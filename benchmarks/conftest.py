@@ -1,0 +1,72 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§4): it runs the experiments through the public API, prints
+the figure (normalised, like the paper) next to the paper's reported
+numbers, asserts the qualitative shape, and appends the rendered output
+to ``benchmarks/results/`` so the comparison survives output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.core import ExperimentProfile, FaultSpec, run_experiment
+from repro.workload import Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's §4.1 defaults.
+RS_PARAMS = {"k": 9, "m": 3}
+CLAY_PARAMS = {"k": 9, "m": 3, "d": 11}
+
+
+def rs_profile(**overrides) -> ExperimentProfile:
+    """RS(12,9) baseline profile (§4.1)."""
+    settings = dict(name="rs-12-9", ec_plugin="jerasure", ec_params=dict(RS_PARAMS))
+    settings.update(overrides)
+    return ExperimentProfile(**settings)
+
+
+def clay_profile(**overrides) -> ExperimentProfile:
+    """Clay(12,9,11) baseline profile (§4.1)."""
+    settings = dict(name="clay-12-9-11", ec_plugin="clay", ec_params=dict(CLAY_PARAMS))
+    settings.update(overrides)
+    return ExperimentProfile(**settings)
+
+
+def recovery_time(
+    profile: ExperimentProfile,
+    workload: Workload,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    seed: int = 3,
+) -> float:
+    """Total system recovery time (detection -> finished) for one run."""
+    outcome = run_experiment(
+        profile,
+        workload,
+        list(faults) if faults is not None else [FaultSpec(level="node", count=1)],
+        seed=seed,
+    )
+    return outcome.total_recovery_time
+
+
+def emit(capsys, name: str, text: str) -> None:
+    """Print a rendered result uncaptured and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+@pytest.fixture
+def bench_workload() -> Workload:
+    """The scaled default workload most panels run on."""
+    return Workload(num_objects=4000, object_size=64 * MB)

@@ -1,0 +1,121 @@
+"""Ablations of the simulator's own design choices (DESIGN.md §4).
+
+Three mechanisms produce the paper's headline shapes; each ablation
+switches one off and shows the corresponding effect collapse:
+
+* **sub-packetization costs** — the per-fragment decode CPU cost (plus
+  min-IO degeneration of scattered reads) is what makes Clay at 4 KB
+  stripe units pathological (Fig 2c).  Zeroing the fragment cost
+  collapses most of the gap.
+* **recovery QoS rates** — the mClock-style recovery share is what makes
+  the EC recovery period comparable to the 600 s checking period
+  (Fig 3).  Unthrottled recovery pushes the checking share toward 100%.
+* **EC-aware co-occurrence targeting** — injecting multi-device faults
+  into one stripe's acting set is what makes 3 concurrent failures
+  superlinear (Fig 2d).  Spread random faults behave like three
+  independent single failures.
+"""
+
+import dataclasses
+
+from conftest import KB, MB, clay_profile, emit, rs_profile
+
+from repro.analysis import render_table
+from repro.cluster.osd import CephConfig
+from repro.core import Colocation, FaultSpec, run_experiment
+from repro.workload import Workload
+
+
+def _recovery(profile, workload, faults=None, seed=3):
+    outcome = run_experiment(
+        profile, workload, faults or [FaultSpec(level="node")], seed=seed
+    )
+    return outcome
+
+
+def run_ablations():
+    results = {}
+
+    # (1) Clay's per-fragment decode cost on vs off at 4 KB units.
+    workload = Workload(num_objects=1500, object_size=64 * MB)
+    base = clay_profile(stripe_unit=4 * KB)
+    no_fragments = clay_profile(
+        stripe_unit=4 * KB,
+        ceph=dataclasses.replace(CephConfig(), decode_fragment_overhead=0.0),
+    )
+    results["clay4KB/with-fragments"] = _recovery(base, workload).total_recovery_time
+    results["clay4KB/no-fragments"] = _recovery(
+        no_fragments, workload
+    ).total_recovery_time
+
+    # (2) recovery QoS vs unthrottled recovery.
+    throttled = rs_profile()
+    unthrottled = rs_profile(
+        ceph=dataclasses.replace(
+            CephConfig(), recovery_read_rate=10e9, recovery_write_rate=10e9
+        )
+    )
+    wl2 = Workload(num_objects=4000, object_size=64 * MB)
+    results["fig3/qos-fraction"] = _recovery(throttled, wl2).timeline.checking_fraction
+    results["fig3/unthrottled-fraction"] = _recovery(
+        unthrottled, wl2
+    ).timeline.checking_fraction
+
+    # (3) EC-aware targeting vs spread random faults.
+    wl3 = Workload(num_objects=4000, object_size=64 * MB)
+    targeted_profile = rs_profile(failure_domain="osd", osds_per_host=3)
+    targeted = _recovery(
+        targeted_profile, wl3,
+        [FaultSpec(level="device", count=3, colocation=Colocation.DIFFERENT_HOSTS)],
+    )
+    spread_profile = rs_profile(failure_domain="osd", osds_per_host=3)
+    # Explicit far-apart targets: three OSDs that share no acting set.
+    spread = _recovery(
+        spread_profile, wl3,
+        [FaultSpec(level="device", count=3, targets=[0, 31, 62])],
+    )
+    results["fig2d/targeted-chunks"] = targeted.recovery_stats.chunks_rebuilt
+    results["fig2d/spread-chunks"] = spread.recovery_stats.chunks_rebuilt
+    results["fig2d/targeted-multiloss"] = (
+        targeted.recovery_stats.chunks_rebuilt
+        - targeted.recovery_stats.objects_recovered
+    )
+    results["fig2d/spread-multiloss"] = (
+        spread.recovery_stats.chunks_rebuilt
+        - spread.recovery_stats.objects_recovered
+    )
+    return results
+
+
+def test_model_ablations(benchmark, capsys):
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    table = render_table(
+        "Model ablations: switch one mechanism off, watch the effect go",
+        ["ablation", "with mechanism", "without"],
+        [
+            ["Clay@4KB total recovery (s)",
+             f"{results['clay4KB/with-fragments']:.0f}",
+             f"{results['clay4KB/no-fragments']:.0f}"],
+            ["checking fraction",
+             f"{results['fig3/qos-fraction'] * 100:.1f}%",
+             f"{results['fig3/unthrottled-fraction'] * 100:.1f}%"],
+            ["3-failure multi-loss stripe ops",
+             f"{results['fig2d/targeted-multiloss']}",
+             f"{results['fig2d/spread-multiloss']}"],
+        ],
+    )
+    emit(capsys, "ablation_model", table)
+
+    # The fragment CPU cost is the dominant Clay@4KB term.
+    assert (
+        results["clay4KB/with-fragments"]
+        > 1.5 * results["clay4KB/no-fragments"]
+    )
+    # QoS throttling is what keeps the checking share near the paper's 54%.
+    assert results["fig3/unthrottled-fraction"] > results["fig3/qos-fraction"]
+    assert results["fig3/unthrottled-fraction"] > 0.9
+    # EC-aware targeting concentrates losses into shared stripes.
+    assert (
+        results["fig2d/targeted-multiloss"] > results["fig2d/spread-multiloss"]
+    )

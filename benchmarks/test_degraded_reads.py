@@ -1,0 +1,96 @@
+"""Extension: client-visible cost of the checking period.
+
+Not a paper figure — a consequence of one.  §4.3 shows that ~600 s of
+the recovery cycle passes before any EC recovery I/O; this benchmark
+quantifies what clients experience during that window: the fraction of
+reads served degraded (k-chunk fetch + on-the-fly decode) and the
+latency penalty, for RS(12,9) vs Clay(12,9,11).
+"""
+
+from conftest import MB, emit
+
+from repro.analysis import render_table
+from repro.cluster import (
+    CACHE_SCHEMES,
+    CephCluster,
+    CephConfig,
+    ClientLoadGenerator,
+    RadosClient,
+)
+from repro.ec import ClayCode, ReedSolomon
+from repro.sim import Environment, SeedSequence
+
+
+def run_phases(code):
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        code,
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(mon_osd_down_out_interval=120.0),
+        num_hosts=30,
+        pg_num=64,
+    )
+    for i in range(300):
+        cluster.ingest_object(f"obj-{i}", 8 * MB)
+    client = RadosClient(cluster)
+
+    def phase(duration, seed):
+        generator = ClientLoadGenerator(
+            client, interval=0.25, seeds=SeedSequence(seed)
+        )
+        env.run_until_process(generator.run_for(duration))
+        return generator.stats
+
+    healthy = phase(30.0, seed=1)
+    victim = cluster.topology.osds[cluster.pool.pgs[0].acting[0]].host_id
+    for osd_id in cluster.topology.hosts[victim].osd_ids:
+        cluster.osds[osd_id].host_running = False
+    checking = phase(60.0, seed=2)
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=env.now + 10_000)
+    assert done.triggered
+    recovered = phase(30.0, seed=3)
+    return {"healthy": healthy, "checking": checking, "recovered": recovered}
+
+
+def run_benchmark():
+    return {
+        "RS(12,9)": run_phases(ReedSolomon(9, 3)),
+        "Clay(12,9,11)": run_phases(ClayCode(9, 3, d=11)),
+    }
+
+
+def test_degraded_reads_during_checking_period(benchmark, capsys):
+    results = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+
+    rows = []
+    for label, phases in results.items():
+        for phase_name in ("healthy", "checking", "recovered"):
+            stats = phases[phase_name]
+            rows.append(
+                [
+                    label,
+                    phase_name,
+                    f"{stats.degraded_fraction * 100:.1f}%",
+                    f"{stats.mean_latency() * 1000:.1f} ms",
+                    f"{stats.latency_percentile(99) * 1000:.1f} ms",
+                ]
+            )
+    table = render_table(
+        "Degraded reads across the outage window (extension)",
+        ["code", "phase", "degraded reads", "mean latency", "p99"],
+        rows,
+    )
+    emit(capsys, "degraded_reads", table)
+
+    for label, phases in results.items():
+        # Degradation appears only during the checking window...
+        assert phases["healthy"].degraded_fraction == 0.0
+        assert phases["checking"].degraded_fraction > 0.1
+        assert phases["recovered"].degraded_fraction == 0.0
+        # ...and it costs latency.
+        assert (
+            phases["checking"].mean_latency()
+            > phases["healthy"].mean_latency()
+        )

@@ -1,0 +1,84 @@
+"""Figure 2d: impact of the failure mode (count and locality).
+
+Paper numbers (normalised to a single-failure baseline): two concurrent
+OSD failures ~1.08-1.12; three ~1.45-1.55; and the locality of three
+failures flips the RS-vs-Clay winner (Clay faster when co-located, RS
+faster when spread).  The experiment follows §4.2: failure domain = OSD,
+a third SSD per host, concurrent device-level faults injected into one
+stripe's acting set (the EC-aware targeting of §3.2).
+
+Reproduced shape: recovery time grows with failure count, with the
+3-failure cases far above the 2-failure ones, and Clay pays more than RS
+when the failures are spread across hosts.  Known deviation (recorded in
+EXPERIMENTS.md): our simulator keeps same-host slightly *slower* than
+different-host and does not reproduce the paper's small (~3%) Clay win
+for co-located triple failures.
+"""
+
+from conftest import MB, clay_profile, emit, recovery_time, rs_profile
+
+from repro.analysis import render_figure2_panel, render_table
+from repro.core import Colocation, FaultSpec
+from repro.workload import Workload
+
+GROUPS = ["2f same host", "2f diff hosts", "3f same host", "3f diff hosts"]
+MODES = [
+    (2, Colocation.SAME_HOST),
+    (2, Colocation.DIFFERENT_HOSTS),
+    (3, Colocation.SAME_HOST),
+    (3, Colocation.DIFFERENT_HOSTS),
+]
+PAPER = {
+    "rs": dict(zip(GROUPS, (1.08, 1.08, 1.49, 1.51))),
+    "clay": dict(zip(GROUPS, (1.09, 1.12, 1.45, 1.55))),
+}
+
+
+def run_panel():
+    workload = Workload(num_objects=20_000, object_size=64 * MB)
+    results = {}
+    for key, factory in (("rs", rs_profile), ("clay", clay_profile)):
+        base_profile = factory(failure_domain="osd", osds_per_host=3)
+        baseline = recovery_time(
+            base_profile, workload, [FaultSpec(level="device", count=1)]
+        )
+        for group, (count, colocation) in zip(GROUPS, MODES):
+            profile = factory(failure_domain="osd", osds_per_host=3)
+            total = recovery_time(
+                profile,
+                workload,
+                [FaultSpec(level="device", count=count, colocation=colocation)],
+            )
+            results[f"{key}/{group}"] = total / baseline
+    return results
+
+
+def test_fig2d_failure_mode(benchmark, capsys):
+    norm = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    rs = {g: norm[f"rs/{g}"] for g in GROUPS}
+    clay = {g: norm[f"clay/{g}"] for g in GROUPS}
+
+    figure = render_figure2_panel("d", GROUPS, rs, clay)
+    comparison = render_table(
+        "Fig 2d paper vs measured (recovery time vs 1-failure baseline)",
+        ["configuration", "paper", "measured"],
+        [
+            [f"{code} {group}", PAPER[code][group],
+             f"{ {'rs': rs, 'clay': clay}[code][group]:.3f}"]
+            for code in ("rs", "clay")
+            for group in GROUPS
+        ],
+    )
+    emit(capsys, "fig2d_failure_mode", figure + "\n\n" + comparison)
+
+    # Shape: both codes slow down as the failure count rises.
+    for series in (rs, clay):
+        assert series["3f same host"] > series["2f same host"] > 1.0
+        assert series["3f diff hosts"] > series["2f diff hosts"] > 1.0
+    # Shape: the 3-failure cases sit far above the 2-failure ones.
+    assert rs["3f same host"] / rs["2f same host"] > 1.15
+    # Shape: locality changes the RS-vs-Clay comparison; when the three
+    # failures are spread across hosts, RS recovers faster than Clay.
+    assert clay["3f diff hosts"] > rs["3f diff hosts"]
+    # Magnitude: 3-failure ratios land in the paper's ~1.25-1.6 region.
+    assert 1.2 < max(rs["3f same host"], clay["3f same host"]) < 1.8

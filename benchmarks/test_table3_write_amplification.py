@@ -1,0 +1,81 @@
+"""Table 3 + §4.4: actual write amplification vs the theoretical n/k.
+
+Paper numbers: RS(12,9) theoretical 1.33 vs actual 1.76 (+32.3%);
+RS(15,12) theoretical 1.25 vs actual 2.15 (+72.0%) — same fault
+tolerance (3), very different real storage cost.
+
+The gap comes from the division-and-padding policy plus per-chunk
+metadata.  At 64 MB objects with 4 KB units padding is negligible, so the
+paper's +32-72% can only arise when objects are small relative to
+k * stripe_unit; this benchmark ingests ~28 KB objects (7 stripe units),
+where the paper's own formula predicts 12/7 = 1.71x for RS(12,9) and
+15/7 = 2.14x for RS(15,12) before metadata — matching Table 3's
+measurements almost exactly (see EXPERIMENTS.md).
+"""
+
+from conftest import KB, emit
+
+from repro.analysis import render_table
+from repro.core import ExperimentProfile, estimate_wa, run_experiment
+from repro.workload import Workload
+
+OBJECT_SIZE = 28 * KB
+STRIPE_UNIT = 4 * KB
+PAPER = {
+    "RS(12,9)": {"theory": 1.33, "actual": 1.76, "diff": "+32.3%"},
+    "RS(15,12)": {"theory": 1.25, "actual": 2.15, "diff": "+72.0%"},
+}
+
+
+def measure(k: int, m: int):
+    profile = ExperimentProfile(
+        name=f"wa-rs-{k + m}-{k}",
+        ec_params={"k": k, "m": m},
+        stripe_unit=STRIPE_UNIT,
+        pg_num=64,
+    )
+    workload = Workload(num_objects=2000, object_size=OBJECT_SIZE)
+    outcome = run_experiment(profile, workload, faults=[])
+    return outcome.wa
+
+
+def run_table():
+    return {"RS(12,9)": measure(9, 3), "RS(15,12)": measure(12, 3)}
+
+
+def test_table3_write_amplification(benchmark, capsys):
+    reports = benchmark.pedantic(run_table, rounds=1, iterations=1)
+
+    rows = []
+    for label, report in reports.items():
+        rows.append(
+            [
+                label,
+                f"{report.theoretical:.2f}",
+                f"{report.actual:.2f}",
+                f"{report.excess_percent:+.1f}%",
+                PAPER[label]["actual"],
+                PAPER[label]["diff"],
+            ]
+        )
+    table = render_table(
+        "Table 3: Write amplification of RS codes "
+        f"(objects {OBJECT_SIZE // KB} KB, stripe_unit {STRIPE_UNIT // KB} KB)",
+        ["Code(n,k)", "n/k", "Actual WA", "Diff. %", "paper WA", "paper Diff."],
+        rows,
+    )
+    emit(capsys, "table3_write_amplification", table)
+
+    rs129, rs1512 = reports["RS(12,9)"], reports["RS(15,12)"]
+    # Shape: actual always exceeds theoretical, by tens of percent.
+    assert rs129.excess_percent > 20
+    assert rs1512.excess_percent > 55
+    # Shape: the gap grows with k at equal fault tolerance.
+    assert rs1512.excess_percent > rs129.excess_percent
+    # Magnitude: within a few percent of the paper's Table 3.
+    assert abs(rs129.actual - 1.76) < 0.10
+    assert abs(rs1512.actual - 2.15) < 0.12
+    # The paper's estimation formula lower-bounds both measurements.
+    for (k, report) in ((9, rs129), (12, rs1512)):
+        estimate = estimate_wa(OBJECT_SIZE, k + 3, k, STRIPE_UNIT)
+        assert report.theoretical < estimate <= report.actual

@@ -1,0 +1,91 @@
+"""§4.4 formula validation: WA estimation across sizes, (n,k), units.
+
+The paper derives::
+
+    S_chunk = S_unit * ceil(S_object / (k * S_unit))
+    WA      = (n * S_chunk + S_meta) / S_object
+
+and validates it "through a set of experiments with a variety of object
+size, EC parameter (n, k), and stripe_unit".  This benchmark repeats
+that validation: for every combination it ingests the workload, measures
+the OSD-level Actual WA Factor, and checks that the formula (with
+S_meta = 0) is a tighter lower bound than n/k — never above the
+measurement, always at least the theoretical factor.
+"""
+
+import itertools
+
+from conftest import KB, MB, emit
+
+from repro.analysis import render_table
+from repro.core import (
+    ExperimentProfile,
+    estimate_wa,
+    run_experiment,
+    theoretical_wa,
+)
+from repro.workload import Workload
+
+OBJECT_SIZES = [16 * KB, 28 * KB, 200 * KB, 4 * MB]
+CODES = [(9, 3), (12, 3), (6, 2)]
+STRIPE_UNITS = [4 * KB, 64 * KB]
+
+
+def run_validation():
+    rows = []
+    for size, (k, m), unit in itertools.product(OBJECT_SIZES, CODES, STRIPE_UNITS):
+        profile = ExperimentProfile(
+            name="wa-sweep", ec_params={"k": k, "m": m},
+            stripe_unit=unit, pg_num=32,
+        )
+        outcome = run_experiment(
+            profile, Workload(num_objects=400, object_size=size), faults=[]
+        )
+        rows.append(
+            {
+                "size": size,
+                "k": k,
+                "m": m,
+                "unit": unit,
+                "theory": theoretical_wa(k + m, k),
+                "estimate": estimate_wa(size, k + m, k, unit),
+                "actual": outcome.wa.actual,
+            }
+        )
+    return rows
+
+
+def test_wa_formula_validation(benchmark, capsys):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    def label_size(nbytes):
+        return f"{nbytes // KB}KB" if nbytes < MB else f"{nbytes // MB}MB"
+
+    table = render_table(
+        "WA formula validation: n/k <= estimate <= measured (24 configs)",
+        ["object", "RS(n,k)", "stripe_unit", "n/k", "estimate", "measured"],
+        [
+            [
+                label_size(r["size"]),
+                f"RS({r['k'] + r['m']},{r['k']})",
+                label_size(r["unit"]),
+                f"{r['theory']:.3f}",
+                f"{r['estimate']:.3f}",
+                f"{r['actual']:.3f}",
+            ]
+            for r in rows
+        ],
+    )
+    emit(capsys, "wa_formula_validation", table)
+
+    for r in rows:
+        # The formula is a valid lower bound on the measurement...
+        assert r["estimate"] <= r["actual"] * (1 + 1e-9), r
+        # ...and at least as tight as the theoretical n/k.
+        assert r["estimate"] >= r["theory"] - 1e-9, r
+    # It is *strictly* tighter whenever padding is non-trivial.
+    tighter = [r for r in rows if r["estimate"] > r["theory"] * 1.01]
+    assert len(tighter) >= len(rows) // 3
+    # And the measurement tracks the estimate closely (metadata is small).
+    for r in rows:
+        assert r["actual"] <= r["estimate"] * 1.15 + 0.05, r

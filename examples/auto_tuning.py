@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Auto-tuning: from sweep to sensitivity ranking to a recommendation.
+
+The paper's §6 suggests its quantitative analysis "could potentially help
+create more intelligent mechanisms for tuning EC-based DSS automatically".
+This example is that loop end to end:
+
+1. sweep pg_num x cache scheme for RS(12,9) and Clay(12,9,11);
+2. rank the configuration axes by their impact on recovery time;
+3. recommend the fastest configuration under a write-amplification
+   budget, and cross-check pg_num against the autoscaler's advice.
+
+Run:  python examples/auto_tuning.py
+      python examples/auto_tuning.py --objects 1000 --runs 2
+"""
+
+import argparse
+
+from repro.analysis import rank_axes, recommend_configuration
+from repro.cluster import autoscale_advice
+from repro.core import ExperimentProfile, FaultSpec, SweepRunner, SweepSpec, format_table
+from repro.workload import Workload
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=500)
+    parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--wa-budget", type=float, default=1.55)
+    args = parser.parse_args()
+
+    base = ExperimentProfile(name="tuning-base")
+    spec = SweepSpec(
+        base=base,
+        axes={
+            "pg_num": [16, 256],
+            "cache_scheme": ["kv-optimized", "autotune"],
+        },
+        ec_variants=[
+            ("jerasure", {"k": 9, "m": 3}),
+            ("clay", {"k": 9, "m": 3, "d": 11}),
+        ],
+    )
+    runner = SweepRunner(
+        Workload(num_objects=args.objects, object_size=64 * MB),
+        faults=[FaultSpec(level="node")],
+        runs=args.runs,
+        progress=lambda label, i, n: print(f"  [{i + 1}/{n}] {label}"),
+    )
+    print(f"sweeping {spec.size()} configurations...")
+    results = runner.run(spec)
+
+    print()
+    print(
+        format_table(
+            "sweep results",
+            ["configuration", "recovery (s)", "WA"],
+            [
+                [r.label, f"{r.recovery_time:.1f}", f"{r.wa_actual:.3f}"]
+                for r in sorted(results, key=lambda r: r.recovery_time)
+            ],
+        )
+    )
+
+    print()
+    impacts = rank_axes(results, ["pg_num", "cache_scheme", "ec_plugin"])
+    print(
+        format_table(
+            "what to tune first (axis impact on recovery time)",
+            ["axis", "impact", "best", "worst"],
+            [[i.axis, f"{i.impact_percent:.0f}%", i.best, i.worst] for i in impacts],
+        )
+    )
+
+    print()
+    try:
+        recommendation = recommend_configuration(results, wa_budget=args.wa_budget)
+        print(recommendation.summary())
+    except ValueError as error:
+        print(f"no configuration fits the WA budget ({error}); "
+              "falling back to unconstrained choice")
+        print(recommend_configuration(results).summary())
+
+    print()
+    osds = base.num_hosts * base.osds_per_host
+    for pg_num in (16, 256):
+        advice = autoscale_advice(pg_num, osds, 12)
+        print(f"autoscaler view of pg_num={pg_num}: {advice.summary()}")
+
+
+if __name__ == "__main__":
+    main()

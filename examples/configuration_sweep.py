@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Configuration sweep: how pool settings move EC recovery time.
+
+Reproduces the spirit of §4.2 at example scale: sweeps placement-group
+count and caching scheme for RS(12,9) vs Clay(12,9,11) and prints each
+panel normalised to its fastest configuration — the paper's Figure 2
+presentation.
+
+Run:  python examples/configuration_sweep.py          (a couple of minutes)
+      python examples/configuration_sweep.py --objects 500   (quick look)
+"""
+
+import argparse
+
+from repro.analysis import normalised_series, render_figure2_panel
+from repro.core import ExperimentProfile, FaultSpec, run_experiment
+from repro.workload import Workload
+
+MB = 1024 * 1024
+
+
+def recovery_time(profile: ExperimentProfile, workload: Workload, seed: int = 7) -> float:
+    outcome = run_experiment(
+        profile, workload, [FaultSpec(level="node", count=1)], seed=seed
+    )
+    return outcome.total_recovery_time
+
+
+def sweep_pg_num(workload: Workload) -> None:
+    groups = ["1 PG", "16 PGs", "256 PGs"]
+    results = {"rs": {}, "clay": {}}
+    for plugin, params in (
+        ("jerasure", {"k": 9, "m": 3}),
+        ("clay", {"k": 9, "m": 3, "d": 11}),
+    ):
+        key = "rs" if plugin == "jerasure" else "clay"
+        for label, pg_num in zip(groups, (1, 16, 256)):
+            profile = ExperimentProfile(
+                name=f"{key}-pg{pg_num}", ec_plugin=plugin,
+                ec_params=dict(params), pg_num=pg_num,
+            )
+            results[key][label] = recovery_time(profile, workload)
+    everything = {**{f"rs/{k}": v for k, v in results["rs"].items()},
+                  **{f"clay/{k}": v for k, v in results["clay"].items()}}
+    norm = normalised_series(everything)
+    print(render_figure2_panel(
+        "b (example scale)",
+        groups,
+        {g: norm[f"rs/{g}"] for g in groups},
+        {g: norm[f"clay/{g}"] for g in groups},
+    ))
+    print()
+
+
+def sweep_cache_scheme(workload: Workload) -> None:
+    groups = ["kv-optimized", "data-optimized", "autotune"]
+    everything = {}
+    for plugin, params, key in (
+        ("jerasure", {"k": 9, "m": 3}, "rs"),
+        ("clay", {"k": 9, "m": 3, "d": 11}, "clay"),
+    ):
+        for scheme in groups:
+            profile = ExperimentProfile(
+                name=f"{key}-{scheme}", ec_plugin=plugin,
+                ec_params=dict(params), cache_scheme=scheme,
+            )
+            everything[f"{key}/{scheme}"] = recovery_time(profile, workload)
+    norm = normalised_series(everything)
+    print(render_figure2_panel(
+        "a (example scale)",
+        groups,
+        {g: norm[f"rs/{g}"] for g in groups},
+        {g: norm[f"clay/{g}"] for g in groups},
+    ))
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=2000,
+                        help="workload size (objects of 64 MB)")
+    args = parser.parse_args()
+    workload = Workload(num_objects=args.objects, object_size=64 * MB)
+    print(f"workload: {args.objects} x 64 MB objects\n")
+    sweep_cache_scheme(workload)
+    sweep_pg_num(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""What the checking period costs clients: degraded reads.
+
+The paper shows 41-58% of the recovery cycle is a checking period before
+any EC recovery I/O (§4.3).  This example measures the client-visible
+side of that window: while a failed host is down-but-not-out, every read
+needing one of its shards is served degraded (k surviving chunks plus an
+on-the-fly decode).  We drive a read load through three phases — healthy,
+checking period, after recovery — and compare latency and the degraded
+fraction.
+
+Run:  python examples/degraded_reads.py
+"""
+
+from repro.cluster import (
+    CACHE_SCHEMES,
+    CephCluster,
+    CephConfig,
+    ClientLoadGenerator,
+    RadosClient,
+)
+from repro.core import format_table
+from repro.ec import ReedSolomon
+from repro.sim import Environment, SeedSequence
+
+MB = 1024 * 1024
+
+
+def drive_phase(env, client, label, duration, seed):
+    generator = ClientLoadGenerator(client, interval=0.2, seeds=SeedSequence(seed))
+    env.run_until_process(generator.run_for(duration))
+    stats = generator.stats
+    return [
+        label,
+        stats.count,
+        f"{stats.degraded_fraction * 100:.1f}%",
+        f"{stats.mean_latency() * 1000:.1f} ms",
+        f"{stats.latency_percentile(99) * 1000:.1f} ms",
+    ]
+
+
+def main() -> None:
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        ReedSolomon(9, 3),
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(mon_osd_down_out_interval=120.0),
+        num_hosts=30,
+        pg_num=64,
+    )
+    for i in range(400):
+        cluster.ingest_object(f"obj-{i}", 8 * MB)
+    client = RadosClient(cluster)
+
+    rows = []
+    # Phase 1: healthy cluster.
+    rows.append(drive_phase(env, client, "healthy", 30.0, seed=1))
+
+    # Fail one storage host holding data.
+    victim = cluster.topology.osds[cluster.pool.pgs[0].acting[0]].host_id
+    for osd_id in cluster.topology.hosts[victim].osd_ids:
+        cluster.osds[osd_id].host_running = False
+    print(f"host.{victim} shut down at t={env.now:.0f}s "
+          f"(down->out interval: 120s)\n")
+
+    # Phase 2: the checking period (down, not yet out, nothing recovering).
+    rows.append(drive_phase(env, client, "checking period", 60.0, seed=2))
+
+    # Phase 3: wait for recovery to finish, then measure again.
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=env.now + 5000)
+    assert done.triggered, "recovery did not finish"
+    rows.append(drive_phase(env, client, "after recovery", 30.0, seed=3))
+
+    print(
+        format_table(
+            "client reads across the outage (RS(12,9), 8 MB objects)",
+            ["phase", "reads", "degraded", "mean latency", "p99 latency"],
+            rows,
+        )
+    )
+    print(
+        "\nDuring the checking period the cluster serves degraded reads for"
+        "\nevery stripe with a shard on the failed host — the client-side"
+        "\ncost of the 600s window the paper says prior work ignores."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Failure modes: concurrent device faults, same host vs spread.
+
+Reproduces the spirit of Figure 2d at example scale: the failure domain
+is set to OSD, every host gets a third SSD, and ECFault injects two or
+three concurrent device faults either co-located on one storage node or
+spread across nodes — then compares RS(12,9) and Clay(12,9,11) recovery.
+
+Run:  python examples/failure_modes.py
+      python examples/failure_modes.py --objects 4000   (closer to Fig 2d)
+"""
+
+import argparse
+
+from repro.core import (
+    Colocation,
+    ExperimentProfile,
+    FaultSpec,
+    format_table,
+    run_experiment,
+)
+from repro.workload import Workload
+
+MB = 1024 * 1024
+
+MODES = [
+    ("1 failure", FaultSpec(level="device", count=1)),
+    ("2 failures, same host",
+     FaultSpec(level="device", count=2, colocation=Colocation.SAME_HOST)),
+    ("2 failures, diff hosts",
+     FaultSpec(level="device", count=2, colocation=Colocation.DIFFERENT_HOSTS)),
+    ("3 failures, same host",
+     FaultSpec(level="device", count=3, colocation=Colocation.SAME_HOST)),
+    ("3 failures, diff hosts",
+     FaultSpec(level="device", count=3, colocation=Colocation.DIFFERENT_HOSTS)),
+]
+
+
+def profile_for(plugin: str) -> ExperimentProfile:
+    params = {"k": 9, "m": 3} if plugin == "jerasure" else {"k": 9, "m": 3, "d": 11}
+    return ExperimentProfile(
+        name=plugin,
+        ec_plugin=plugin,
+        ec_params=params,
+        failure_domain="osd",
+        osds_per_host=3,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=1500)
+    args = parser.parse_args()
+    workload = Workload(num_objects=args.objects, object_size=64 * MB)
+
+    rows = []
+    for plugin in ("jerasure", "clay"):
+        baseline = None
+        for label, spec in MODES:
+            outcome = run_experiment(
+                profile_for(plugin), workload, [spec], seed=11
+            )
+            total = outcome.total_recovery_time
+            if baseline is None:
+                baseline = total
+            stats = outcome.recovery_stats
+            rows.append(
+                [
+                    plugin,
+                    label,
+                    f"{total:.0f}s",
+                    f"{total / baseline:.2f}x",
+                    stats.chunks_rebuilt,
+                    f"{stats.bytes_read / 1e9:.1f} GB",
+                ]
+            )
+    print(
+        format_table(
+            "Failure modes: recovery vs count and locality (cf. Figure 2d)",
+            ["code", "mode", "recovery", "vs 1-failure", "chunks rebuilt",
+             "repair reads"],
+            rows,
+        )
+    )
+    print(
+        "\nEC-aware injection (§3.2): multi-device faults land inside one"
+        "\nplacement group's acting set, so '3 failures' exercises real"
+        "\n3-erasure stripes rather than three unrelated repairs."
+    )
+
+
+if __name__ == "__main__":
+    main()

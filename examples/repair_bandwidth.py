@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Repair bandwidth, straight from the codes (no cluster needed).
+
+Compares what each erasure-code plugin actually reads to repair chunk
+losses — the theory the paper's §4.2 failure-mode experiments test in a
+real system.  Also demonstrates byte-level repair: encode an object with
+Clay(12,9,11), discard a chunk, and rebuild it from beta = alpha/q
+sub-chunks per helper.
+
+Run:  python examples/repair_bandwidth.py
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.ec import (
+    ClayCode,
+    InsufficientChunksError,
+    LocallyRepairableCode,
+    ReedSolomon,
+    ShingledErasureCode,
+)
+
+
+def repair_plan_table() -> None:
+    codes = [
+        ReedSolomon(9, 3),
+        ClayCode(9, 3, d=11),
+        LocallyRepairableCode(9, l=3, r=3),
+        ShingledErasureCode(9, 3, l=4),
+    ]
+    rows = []
+    for lost in ([4], [4, 7], [4, 7, 10]):
+        for code in codes:
+            label = f"{code.plugin_name}({code.n},{code.k})"
+            alive = [i for i in range(code.n) if i not in lost]
+            try:
+                plan = code.repair_plan(lost, alive)
+                reads = f"{plan.read_fraction_total():.2f}"
+            except InsufficientChunksError:
+                reads = "unrecoverable"  # SHEC guarantees one failure only
+            rows.append([len(lost), label, reads])
+    print(
+        format_table(
+            "Repair reads per stripe (in chunk units) by failure count",
+            ["failures", "code", "chunks read"],
+            rows,
+        )
+    )
+    print(
+        "\nNote the paper's §4.2 effect: Clay reads 11/3 ~= 3.67 chunks for"
+        "\none failure (vs 9 for RS) but loses the advantage at 2+ failures.\n"
+    )
+
+
+def clay_byte_level_repair() -> None:
+    clay = ClayCode(9, 3, d=11)
+    payload = np.random.default_rng(1).integers(
+        0, 256, 9 * clay.alpha * 64, dtype=np.uint8
+    ).tobytes()
+    chunks = clay.encode(payload)
+    lost = 5
+    planes = clay.repair_plane_indices(lost)
+    helpers = {
+        node: chunks[node].reshape(clay.alpha, -1)[planes]
+        for node in range(clay.n)
+        if node != lost
+    }
+    rebuilt = clay.repair_chunk(lost, helpers)
+    assert np.array_equal(rebuilt, chunks[lost])
+    read = sum(h.size for h in helpers.values())
+    conventional = clay.k * len(chunks[0])
+    print(
+        f"Clay(12,9,11) byte-level repair of chunk {lost}: read "
+        f"{read} bytes from {len(helpers)} helpers "
+        f"(beta={clay.beta} of alpha={clay.alpha} sub-chunks each)\n"
+        f"conventional RS repair would read {conventional} bytes "
+        f"-> Clay saves {(1 - read / conventional) * 100:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    repair_plan_table()
+    clay_byte_level_repair()

@@ -1,0 +1,124 @@
+"""Calibration driver: run the Fig 2 / Fig 3 sweeps and print shapes.
+
+Not part of the library — a development tool to tune the simulator's
+QoS/CPU constants against the paper's reported ratios.
+"""
+
+import argparse
+import time
+
+from repro.core import (
+    ExperimentProfile,
+    FaultSpec,
+    normalise,
+    run_experiment,
+)
+from repro.workload import Workload
+
+KB, MB = 1024, 1024 * 1024
+
+
+def run(profile, workload, faults, seed=0):
+    t0 = time.time()
+    out = run_experiment(profile, workload, faults, seed=seed)
+    wall = time.time() - t0
+    tl = out.timeline
+    return dict(
+        total=tl.total_recovery,
+        checking=tl.checking_period,
+        ec=tl.ec_recovery_period,
+        frac=tl.checking_fraction,
+        wall=wall,
+        stats=out.recovery_stats,
+    )
+
+
+def profile_for(plugin, **kw):
+    if plugin == "rs":
+        return ExperimentProfile(name="rs", ec_plugin="jerasure",
+                                 ec_params={"k": 9, "m": 3}, **kw)
+    return ExperimentProfile(name="clay", ec_plugin="clay",
+                             ec_params={"k": 9, "m": 3, "d": 11}, **kw)
+
+
+def fig2a(num_objects):
+    wl = Workload(num_objects=num_objects, object_size=64 * MB)
+    print("\n== Fig 2a: backend cache (paper: RS auto best; Clay kv worst 1.11) ==")
+    raw = {}
+    for plugin in ("rs", "clay"):
+        for scheme in ("kv-optimized", "data-optimized", "autotune"):
+            p = profile_for(plugin, cache_scheme=scheme)
+            r = run(p, wl, [FaultSpec(level="node")], seed=3)
+            raw[f"{plugin}/{scheme}"] = r["total"]
+            print(f"  {plugin:5s} {scheme:15s} total={r['total']:7.1f} ec={r['ec']:7.1f} wall={r['wall']:.1f}s")
+    print("  normalised:", {k: round(v, 3) for k, v in normalise(raw).items()})
+
+
+def fig2b(num_objects):
+    wl = Workload(num_objects=num_objects, object_size=64 * MB)
+    print("\n== Fig 2b: pg_num (paper: pg1 RS~1.22 Clay~1.35; pg16 ~1.04; pg256 1.0) ==")
+    raw = {}
+    for plugin in ("rs", "clay"):
+        for pg in (1, 16, 256):
+            p = profile_for(plugin, pg_num=pg)
+            r = run(p, wl, [FaultSpec(level="node")], seed=3)
+            raw[f"{plugin}/pg{pg}"] = r["total"]
+            print(f"  {plugin:5s} pg={pg:<4d} total={r['total']:7.1f} ec={r['ec']:7.1f} wall={r['wall']:.1f}s")
+    print("  normalised:", {k: round(v, 3) for k, v in normalise(raw).items()})
+
+
+def fig2c(num_objects):
+    wl = Workload(num_objects=num_objects, object_size=64 * MB)
+    print("\n== Fig 2c: stripe unit (paper: RS 64MB=3.29x RS4KB; Clay 4KB=4.26x best) ==")
+    raw = {}
+    for plugin in ("rs", "clay"):
+        for unit in (4 * KB, 4 * MB, 64 * MB):
+            p = profile_for(plugin, stripe_unit=unit, pg_num=256)
+            r = run(p, wl, [FaultSpec(level="node")], seed=3)
+            label = f"{plugin}/{unit//KB}KB" if unit < MB else f"{plugin}/{unit//MB}MB"
+            raw[label] = r["total"]
+            print(f"  {label:12s} total={r['total']:8.1f} ec={r['ec']:8.1f} wall={r['wall']:.1f}s")
+    print("  normalised:", {k: round(v, 3) for k, v in normalise(raw).items()})
+
+
+def fig2d(num_objects):
+    wl = Workload(num_objects=num_objects, object_size=64 * MB)
+    print("\n== Fig 2d: failure modes (paper: 2f~1.08-1.12, 3f~1.45-1.55; crossover) ==")
+    raw = {}
+    for plugin in ("rs", "clay"):
+        base = profile_for(plugin, failure_domain="osd", osds_per_host=3)
+        r1 = run(base, wl, [FaultSpec(level="device", count=1)], seed=3)
+        raw[f"{plugin}/1f"] = r1["total"]
+        print(f"  {plugin:5s} 1f baseline     total={r1['total']:7.1f} ec={r1['ec']:7.1f}")
+        for count, colo in ((2, "same_host"), (2, "diff_hosts"), (3, "same_host"), (3, "diff_hosts")):
+            p = profile_for(plugin, failure_domain="osd", osds_per_host=3)
+            r = run(p, wl, [FaultSpec(level="device", count=count, colocation=colo)], seed=3)
+            key = f"{plugin}/{count}f-{colo}"
+            raw[key] = r["total"]
+            print(f"  {key:22s} total={r['total']:7.1f} ec={r['ec']:7.1f} ratio={r['total']/r1['total']:.2f}")
+
+
+def fig3(num_objects):
+    print("\n== Fig 3: timeline (paper: checking 602s = 53.7%; range 41-58%) ==")
+    for count in num_objects:
+        wl = Workload(num_objects=count, object_size=64 * MB)
+        p = profile_for("rs")
+        r = run(p, wl, [FaultSpec(level="node")], seed=3)
+        print(f"  objects={count:6d} checking={r['checking']:6.1f} ec={r['ec']:7.1f} frac={r['frac']*100:5.1f}% wall={r['wall']:.1f}s")
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--panel", default="all")
+    ap.add_argument("--objects", type=int, default=2000)
+    args = ap.parse_args()
+    if args.panel in ("a", "all"):
+        fig2a(args.objects)
+    if args.panel in ("b", "all"):
+        fig2b(args.objects)
+    if args.panel in ("c", "all"):
+        fig2c(args.objects)
+    if args.panel in ("d", "all"):
+        fig2d(args.objects)
+    if args.panel in ("3", "all"):
+        fig3([1000, 2000, 4000, 8000])

@@ -1,0 +1,37 @@
+"""Result analysis: statistics and text renderings of the paper's figures."""
+
+from .figures import (
+    render_figure2_panel,
+    render_figure3_timeline,
+    render_paper_vs_measured,
+    render_table,
+)
+from .sensitivity import (
+    AxisImpact,
+    Recommendation,
+    axis_impacts,
+    rank_axes,
+    recommend_configuration,
+)
+from .stats import (
+    crossover_points,
+    impact_range_percent,
+    mean_and_stdev,
+    normalised_series,
+)
+
+__all__ = [
+    "render_figure2_panel",
+    "render_figure3_timeline",
+    "render_paper_vs_measured",
+    "render_table",
+    "AxisImpact",
+    "Recommendation",
+    "axis_impacts",
+    "rank_axes",
+    "recommend_configuration",
+    "crossover_points",
+    "impact_range_percent",
+    "mean_and_stdev",
+    "normalised_series",
+]

@@ -1,0 +1,78 @@
+"""Text renderings of the paper's figures.
+
+Each ``render_*`` function takes measured data in the shape the matching
+benchmark produces and returns the figure as plain text: grouped bars
+for the four Figure 2 panels and an annotated timeline for Figure 3.
+The benchmarks print these so ``pytest benchmarks/ --benchmark-only``
+output reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from ..core.report import Series, format_grouped_bars, format_table
+from ..core.timeline import RecoveryTimeline
+
+__all__ = [
+    "render_figure2_panel",
+    "render_figure3_timeline",
+    "render_table",
+    "render_paper_vs_measured",
+]
+
+
+def render_figure2_panel(
+    panel: str,
+    groups: Sequence[str],
+    rs_values: Mapping[str, float],
+    clay_values: Mapping[str, float],
+    rs_label: str = "RS(12,9)",
+    clay_label: str = "Clay(12,9,11)",
+) -> str:
+    """One Figure 2 panel: normalised recovery time, RS vs Clay bars."""
+    return format_grouped_bars(
+        f"Figure 2{panel}: Normalized Recovery Time",
+        groups,
+        [Series(rs_label, rs_values), Series(clay_label, clay_values)],
+    )
+
+
+def render_figure3_timeline(timeline: RecoveryTimeline, width: int = 60) -> str:
+    """Figure 3: the annotated system-recovery timeline."""
+    total = timeline.total_recovery
+    if total <= 0:
+        raise ValueError("timeline has no duration")
+    check_cols = round(width * timeline.checking_period / total)
+    lines = [
+        "Figure 3: Timeline of System Recovery",
+        "=" * 38,
+        f"|{'=' * check_cols}{'-' * (width - check_cols)}|",
+        f"|<-- System Checking Period ({timeline.checking_period:.0f}s) -->"
+        f"<-- EC Recovery Period ({timeline.ec_recovery_period:.0f}s) -->|",
+        "",
+    ]
+    for t, label in timeline.annotations():
+        lines.append(f"  t={t:8.1f}s  {label}")
+    lines.append(
+        f"  checking period = {timeline.checking_fraction * 100:.1f}% of "
+        f"overall system recovery time"
+    )
+    return "\n".join(lines)
+
+
+def render_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table, Table 2/3 style."""
+    return format_table(title, columns, rows)
+
+
+def render_paper_vs_measured(
+    title: str,
+    rows: Sequence[Tuple[str, object, object]],
+) -> str:
+    """The EXPERIMENTS.md-style record: metric, paper value, measured."""
+    return format_table(
+        title,
+        ["metric", "paper", "measured"],
+        [list(row) for row in rows],
+    )

@@ -1,0 +1,73 @@
+"""Statistics helpers for sweep results.
+
+Small, dependency-light aggregation used by the benchmarks: normalised
+series (Figure 2's presentation), configuration-impact ranges (the
+"101% to 426%" headline), and mean/stdev over repeated runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "mean_and_stdev",
+    "normalised_series",
+    "impact_range_percent",
+    "crossover_points",
+]
+
+
+def mean_and_stdev(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, sample stdev); stdev is 0.0 for fewer than two values."""
+    if not values:
+        raise ValueError("no values")
+    mean = statistics.fmean(values)
+    stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+    return mean, stdev
+
+
+def normalised_series(values: Mapping[str, float]) -> Dict[str, float]:
+    """Every value divided by the minimum (fastest config reads 1.0)."""
+    if not values:
+        return {}
+    base = min(values.values())
+    if base <= 0:
+        raise ValueError("values must be positive")
+    return {key: value / base for key, value in values.items()}
+
+
+def impact_range_percent(values: Mapping[str, float]) -> float:
+    """Largest configuration impact as a percentage of the best config.
+
+    The paper's headline metric: "configurations may affect the EC
+    recovery time by up to 426%" means max/min * 100.
+    """
+    if not values:
+        raise ValueError("no values")
+    lo, hi = min(values.values()), max(values.values())
+    if lo <= 0:
+        raise ValueError("values must be positive")
+    return hi / lo * 100.0
+
+
+def crossover_points(
+    series_a: Mapping[str, float],
+    series_b: Mapping[str, float],
+    groups: Sequence[str],
+) -> List[str]:
+    """Groups where the winner flips relative to the previous group.
+
+    Used to check the paper's qualitative findings, e.g. Clay beating RS
+    for same-host triple failures but losing for different-host ones.
+    """
+    flips: List[str] = []
+    previous = None
+    for group in groups:
+        if group not in series_a or group not in series_b:
+            continue
+        winner = "a" if series_a[group] < series_b[group] else "b"
+        if previous is not None and winner != previous:
+            flips.append(group)
+        previous = winner
+    return flips

@@ -1,0 +1,274 @@
+"""``ecfault`` — the command-line front end (§6's open-source artifact).
+
+Subcommands::
+
+    ecfault run          one fault-injection experiment
+    ecfault sweep        a configuration sweep, persisted as JSON
+    ecfault analyze      sensitivity analysis over saved sweep results
+    ecfault repair-plan  repair I/O a code performs for a loss pattern
+    ecfault wa           write-amplification estimate (the §4.4 formula)
+    ecfault autoscale    pg_num advice for a pool/cluster shape
+
+Every command prints plain text; ``sweep`` writes machine-readable JSON
+so results can be analysed later or elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import List, Optional
+
+from .analysis.sensitivity import rank_axes, recommend_configuration
+from .cluster.autoscale import autoscale_advice
+from .core.experiment import run_experiment
+from .core.fault_injector import Colocation, FaultSpec
+from .core.profile import ExperimentProfile
+from .core.report import format_table
+from .core.sweep import SweepRunner, SweepSpec
+from .core.wa import estimate_wa, theoretical_wa
+from .ec.base import create_plugin
+from .workload.generator import Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def parse_size(text: str) -> int:
+    """'4KB' / '4MB' / '4096' -> bytes."""
+    match = re.fullmatch(r"(\d+)\s*(KB|MB|GB|B)?", text.strip(), re.IGNORECASE)
+    if not match:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}")
+    unit = (match.group(2) or "B").upper()
+    return int(match.group(1)) * {"B": 1, "KB": KB, "MB": MB, "GB": 1024 * MB}[unit]
+
+
+def _parse_ec(plugin: str, params_text: str) -> dict:
+    """'k=9,m=3,d=11' -> {'k': 9, 'm': 3, 'd': 11} (values as ints)."""
+    params = {}
+    for part in params_text.split(","):
+        if not part.strip():
+            continue
+        key, _, value = part.partition("=")
+        if not value:
+            raise argparse.ArgumentTypeError(
+                f"EC parameter {part!r} is not key=value"
+            )
+        params[key.strip()] = int(value)
+    return params
+
+
+def _profile_from_args(args) -> ExperimentProfile:
+    return ExperimentProfile(
+        name="cli",
+        ec_plugin=args.plugin,
+        ec_params=_parse_ec(args.plugin, args.ec_params),
+        pg_num=args.pg_num,
+        stripe_unit=args.stripe_unit,
+        cache_scheme=args.cache_scheme,
+        failure_domain=args.failure_domain,
+        num_hosts=args.hosts,
+        osds_per_host=args.osds_per_host,
+    )
+
+
+def _add_profile_arguments(parser) -> None:
+    parser.add_argument("--plugin", default="jerasure",
+                        help="EC plugin (jerasure/isa/clay/lrc/shec)")
+    parser.add_argument("--ec-params", default="k=9,m=3",
+                        help="plugin parameters, e.g. k=9,m=3,d=11")
+    parser.add_argument("--pg-num", type=int, default=256)
+    parser.add_argument("--stripe-unit", type=parse_size, default=4 * MB)
+    parser.add_argument("--cache-scheme", default="autotune")
+    parser.add_argument("--failure-domain", default="host")
+    parser.add_argument("--hosts", type=int, default=30)
+    parser.add_argument("--osds-per-host", type=int, default=2)
+    parser.add_argument("--objects", type=int, default=2000)
+    parser.add_argument("--object-size", type=parse_size, default=64 * MB)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_run(args) -> int:
+    profile = _profile_from_args(args)
+    workload = Workload(num_objects=args.objects, object_size=args.object_size)
+    faults = []
+    if args.fault != "none":
+        faults.append(
+            FaultSpec(level=args.fault, count=args.fault_count,
+                      colocation=args.colocation)
+        )
+    outcome = run_experiment(profile, workload, faults, seed=args.seed)
+    print(f"profile: {profile.describe()}")
+    if outcome.timeline is not None:
+        timeline = outcome.timeline
+        print(f"checking period:   {timeline.checking_period:9.1f} s")
+        print(f"EC recovery:       {timeline.ec_recovery_period:9.1f} s")
+        print(f"total recovery:    {timeline.total_recovery:9.1f} s")
+        print(f"checking fraction: {timeline.checking_fraction * 100:8.1f} %")
+    stats = outcome.recovery_stats
+    print(f"objects recovered: {stats.objects_recovered}")
+    print(f"write amplification: {outcome.wa.actual:.3f} "
+          f"(theoretical {outcome.wa.theoretical:.3f})")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    base = _profile_from_args(args)
+    axes = {}
+    if args.sweep_pg_num:
+        axes["pg_num"] = [int(v) for v in args.sweep_pg_num.split(",")]
+    if args.sweep_stripe_unit:
+        axes["stripe_unit"] = [parse_size(v) for v in args.sweep_stripe_unit.split(",")]
+    if args.sweep_cache_scheme:
+        axes["cache_scheme"] = args.sweep_cache_scheme.split(",")
+    if not axes:
+        print("nothing to sweep: pass at least one --sweep-* option",
+              file=sys.stderr)
+        return 2
+    spec = SweepSpec(base=base, axes=axes)
+    runner = SweepRunner(
+        Workload(num_objects=args.objects, object_size=args.object_size),
+        runs=args.runs,
+        base_seed=args.seed,
+        progress=lambda label, i, n: print(f"[{i + 1}/{n}] {label}", file=sys.stderr),
+    )
+    results = runner.run(spec)
+    SweepRunner.save(results, args.output)
+    print(
+        format_table(
+            f"sweep results ({len(results)} cells; saved to {args.output})",
+            ["configuration", "recovery (s)", "checking %", "WA"],
+            [
+                [r.label, f"{r.recovery_time:.1f}",
+                 f"{r.checking_fraction * 100:.1f}", f"{r.wa_actual:.3f}"]
+                for r in results
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    results = SweepRunner.load(args.results)
+    axes = args.axes.split(",") if args.axes else ["pg_num", "stripe_unit", "cache_scheme"]
+    impacts = rank_axes(results, axes)
+    print(
+        format_table(
+            "configuration-axis impact on recovery time",
+            ["axis", "impact", "best value", "worst value"],
+            [
+                [i.axis, f"{i.impact_percent:.0f}%", i.best, i.worst]
+                for i in impacts
+            ],
+        )
+    )
+    budget = args.wa_budget
+    recommendation = recommend_configuration(results, wa_budget=budget)
+    print()
+    print(recommendation.summary())
+    return 0
+
+
+def cmd_repair_plan(args) -> int:
+    code = create_plugin(args.plugin, **_parse_ec(args.plugin, args.ec_params))
+    lost = [int(v) for v in args.lost.split(",")]
+    alive = [i for i in range(code.n) if i not in lost]
+    plan = code.repair_plan(lost, alive)
+    print(f"{args.plugin}({code.n},{code.k}) losing {lost}:")
+    print(
+        format_table(
+            "repair reads",
+            ["helper chunk", "fraction", "io runs"],
+            [[r.chunk_index, f"{r.fraction:.3f}", r.io_ops] for r in plan.reads],
+        )
+    )
+    print(f"total read: {plan.read_fraction_total():.2f} chunk-equivalents "
+          f"(conventional RS: {code.k}.00)")
+    return 0
+
+
+def cmd_wa(args) -> int:
+    params = _parse_ec(args.plugin, args.ec_params)
+    k = params["k"]
+    n = k + params.get("m", params.get("l", 0) + params.get("r", 0))
+    estimate = estimate_wa(args.object_size, n, k, args.stripe_unit)
+    print(f"object {args.object_size} B, RS({n},{k}), "
+          f"stripe_unit {args.stripe_unit} B")
+    print(f"theoretical n/k: {theoretical_wa(n, k):.4f}")
+    print(f"formula estimate: {estimate:.4f} "
+          f"({(estimate / theoretical_wa(n, k) - 1) * 100:+.1f}%)")
+    return 0
+
+
+def cmd_autoscale(args) -> int:
+    params = _parse_ec(args.plugin, args.ec_params)
+    width = params["k"] + params.get("m", params.get("l", 0) + params.get("r", 0))
+    advice = autoscale_advice(
+        args.pg_num, args.hosts * args.osds_per_host, width
+    )
+    print(advice.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ecfault",
+        description="EC configuration-sensitivity experiments (HotStorage '24)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one fault-injection experiment")
+    _add_profile_arguments(run)
+    run.add_argument("--fault", choices=["node", "device", "none"], default="node")
+    run.add_argument("--fault-count", type=int, default=1)
+    run.add_argument("--colocation", choices=list(Colocation.ALL), default="any")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run a configuration sweep")
+    _add_profile_arguments(sweep)
+    sweep.add_argument("--sweep-pg-num", help="comma list, e.g. 1,16,256")
+    sweep.add_argument("--sweep-stripe-unit", help="comma list, e.g. 4KB,4MB,64MB")
+    sweep.add_argument("--sweep-cache-scheme", help="comma list of schemes")
+    sweep.add_argument("--runs", type=int, default=1)
+    sweep.add_argument("--output", default="sweep.json")
+    sweep.set_defaults(func=cmd_sweep)
+
+    analyze = sub.add_parser("analyze", help="sensitivity analysis of a sweep")
+    analyze.add_argument("results", help="JSON written by 'ecfault sweep'")
+    analyze.add_argument("--axes", help="comma list of settings to rank")
+    analyze.add_argument("--wa-budget", type=float, default=None)
+    analyze.set_defaults(func=cmd_analyze)
+
+    plan = sub.add_parser("repair-plan", help="repair I/O for a loss pattern")
+    plan.add_argument("--plugin", default="clay")
+    plan.add_argument("--ec-params", default="k=9,m=3,d=11")
+    plan.add_argument("--lost", default="0", help="comma list of chunk indices")
+    plan.set_defaults(func=cmd_repair_plan)
+
+    wa = sub.add_parser("wa", help="write-amplification estimate (§4.4)")
+    wa.add_argument("--plugin", default="jerasure")
+    wa.add_argument("--ec-params", default="k=9,m=3")
+    wa.add_argument("--object-size", type=parse_size, required=True)
+    wa.add_argument("--stripe-unit", type=parse_size, default=4 * KB)
+    wa.set_defaults(func=cmd_wa)
+
+    autoscale = sub.add_parser("autoscale", help="pg_num advice")
+    autoscale.add_argument("--plugin", default="jerasure")
+    autoscale.add_argument("--ec-params", default="k=9,m=3")
+    autoscale.add_argument("--pg-num", type=int, required=True)
+    autoscale.add_argument("--hosts", type=int, default=30)
+    autoscale.add_argument("--osds-per-host", type=int, default=2)
+    autoscale.set_defaults(func=cmd_autoscale)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Cluster facade: one assembled Ceph-like DSS instance.
+
+Ties the substrate together the way §4.1's testbed is wired: a MON/MGR
+host, N OSD hosts with virtual NVMe devices, one erasure-coded pool, and
+the recovery manager subscribed to osdmap changes.  ECFault (the
+``repro.core`` package) treats this object as "the target DSS": it
+provisions disks through the per-host NVMe targets, injects faults, and
+harvests the logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ec.base import ErasureCode
+from ..sim import Environment
+from .crush import CrushMap
+from .devices import DiskSpec, GP_SSD
+from .bluestore import CacheConfig
+from .logs import NodeLog
+from .monitor import Monitor
+from .network import M5_NIC, NicSpec
+from .osd import CephConfig, OsdDaemon
+from .pool import Pool
+from .recovery import RecoveryManager
+from .topology import ClusterTopology
+
+__all__ = ["CephCluster"]
+
+
+class CephCluster:
+    """An assembled cluster with one erasure-coded pool."""
+
+    def __init__(
+        self,
+        env: Environment,
+        code: ErasureCode,
+        cache_config: CacheConfig,
+        config: Optional[CephConfig] = None,
+        num_hosts: int = 30,
+        osds_per_host: int = 2,
+        num_racks: int = 1,
+        pg_num: int = 256,
+        stripe_unit: int = 4096,
+        failure_domain: str = "host",
+        disk_spec: DiskSpec = GP_SSD,
+        nic_spec: NicSpec = M5_NIC,
+        placement_seed: int = 0,
+    ):
+        self.env = env
+        self.config = config or CephConfig()
+        self.topology = ClusterTopology(
+            env,
+            num_hosts=num_hosts,
+            osds_per_host=osds_per_host,
+            num_racks=num_racks,
+            disk_spec=disk_spec,
+            nic_spec=nic_spec,
+        )
+        self.host_logs: Dict[int, NodeLog] = {
+            host_id: NodeLog(f"host.{host_id}")
+            for host_id in self.topology.hosts
+        }
+        self.mon_log = NodeLog("mon.0")
+        self.osds: Dict[int, OsdDaemon] = {
+            osd_id: OsdDaemon(env, device, cache_config, self.config)
+            for osd_id, device in self.topology.osds.items()
+        }
+        self.crush = CrushMap(self.topology, seed=placement_seed)
+        self.pool = Pool(
+            pool_id=1,
+            name="ecpool",
+            code=code,
+            crush=self.crush,
+            pg_num=pg_num,
+            stripe_unit=stripe_unit,
+            failure_domain=failure_domain,
+        )
+        self.monitor = Monitor(env, self.osds, self.config, log=self.mon_log)
+        self.recovery = RecoveryManager(
+            env,
+            self.topology,
+            self.osds,
+            self.pool,
+            self.config,
+            self.host_logs,
+            self.mon_log,
+        )
+        self.monitor.on_out.append(self.recovery.on_osds_out)
+
+    # -- state ingestion ---------------------------------------------------------
+
+    def ingest_object(self, name: str, size: int) -> None:
+        """Place one object and account its chunks on the acting OSDs.
+
+        Ingestion is a state operation (the paper measures recovery and
+        storage overhead, not write latency): every chunk is stored with
+        full padding/metadata accounting but no simulated I/O time.
+        """
+        pg = self.pool.put_object(name, size)
+        layout = pg.objects[-1].layout
+        for osd_id in pg.acting:
+            self.osds[osd_id].store_chunk(layout.chunk_stored_bytes, layout.units)
+
+    # -- queries ------------------------------------------------------------------
+
+    def used_bytes_total(self) -> int:
+        """Cluster-wide OSD-level storage usage (WA measurement point)."""
+        return sum(osd.used_bytes for osd in self.osds.values())
+
+    def up_osds(self) -> List[int]:
+        return [osd_id for osd_id, osd in self.osds.items() if osd.is_up()]
+
+    def all_logs(self) -> List[NodeLog]:
+        return [self.mon_log, *self.host_logs.values()]
+
+    def osds_with_data(self) -> List[int]:
+        """OSDs that hold at least one chunk (fault-injection candidates)."""
+        return sorted(
+            osd_id
+            for osd_id, osd in self.osds.items()
+            if osd.backend.num_chunks > 0
+        )

@@ -1,0 +1,237 @@
+"""Client read path: normal and degraded reads against the EC pool.
+
+The paper measures how long the system takes to restore redundancy; this
+module measures what the outage *costs clients meanwhile*.  During the
+entire System Checking Period (§4.3) — ~600 s of down-but-not-out — every
+read that needs a shard on the failed device is a **degraded read**: the
+primary must fetch k surviving chunks (parity included) and decode on the
+fly, instead of streaming the k data chunks directly.  Degraded reads are
+slower, burn extra disk/network bandwidth, and compete with recovery I/O
+once it starts — all visible through :class:`ClientLoadGenerator`'s
+latency samples.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..sim import Event
+from ..sim.rng import SeedSequence
+from .ceph import CephCluster
+from .pool import PlacementGroup
+
+__all__ = ["ReadSample", "ReadStats", "RadosClient", "ClientLoadGenerator"]
+
+
+class ObjectNotFoundError(KeyError):
+    """Read of an object the pool does not hold."""
+
+
+class ReadFailedError(RuntimeError):
+    """Too few shards available to serve the read at all."""
+
+
+@dataclass(frozen=True)
+class ReadSample:
+    """One completed client read."""
+
+    object_name: str
+    issued_at: float
+    latency: float
+    degraded: bool
+    bytes_read: int
+
+
+@dataclass
+class ReadStats:
+    """Aggregate over a load generator's samples."""
+
+    samples: List[ReadSample] = field(default_factory=list)
+
+    def add(self, sample: ReadSample) -> None:
+        self.samples.append(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for s in self.samples if s.degraded)
+
+    @property
+    def degraded_fraction(self) -> float:
+        return self.degraded_count / self.count if self.samples else 0.0
+
+    def latency_percentile(self, percentile: float, degraded: Optional[bool] = None) -> float:
+        """p50/p99-style latency; optionally filtered by degraded flag."""
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        values = sorted(
+            s.latency
+            for s in self.samples
+            if degraded is None or s.degraded == degraded
+        )
+        if not values:
+            raise ValueError("no samples match the filter")
+        index = max(0, round(percentile / 100 * len(values)) - 1)
+        return values[index]
+
+    def mean_latency(self, degraded: Optional[bool] = None) -> float:
+        values = [
+            s.latency
+            for s in self.samples
+            if degraded is None or s.degraded == degraded
+        ]
+        if not values:
+            raise ValueError("no samples match the filter")
+        return statistics.fmean(values)
+
+
+class RadosClient:
+    """Reads whole objects from the cluster's EC pool.
+
+    A normal read streams the k data shards; a degraded read falls back
+    to any k surviving shards plus an on-the-fly decode at the primary.
+    Client I/O shares the same disks and NICs as recovery, so the two
+    interfere exactly as they would in the real system.
+    """
+
+    #: Client-visible protocol overhead per read.
+    request_overhead = 0.001
+
+    def __init__(self, cluster: CephCluster, name: str = "client.0"):
+        self.cluster = cluster
+        self.name = name
+
+    def read_object(self, object_name: str) -> Event:
+        """Read one object; the event's value is a :class:`ReadSample`."""
+        return self.cluster.env.process(self._read(object_name))
+
+    # -- internals --------------------------------------------------------------
+
+    def _lookup(self, object_name: str):
+        pg = self.cluster.pool.pg_of(object_name)
+        for obj in pg.objects:
+            if obj.name == object_name:
+                return pg, obj
+        raise ObjectNotFoundError(f"object {object_name!r} not in pool")
+
+    def _read(self, object_name: str) -> Generator:
+        env = self.cluster.env
+        issued_at = env.now
+        pg, obj = self._lookup(object_name)
+        code = self.cluster.pool.code
+        layout = obj.layout
+
+        data_shards = list(range(code.k))
+        up = [
+            shard
+            for shard in range(code.n)
+            if self.cluster.osds[pg.acting[shard]].is_up()
+        ]
+        degraded = any(shard not in up for shard in data_shards)
+        if degraded:
+            shards = up[: code.k]
+            if len(shards) < code.k:
+                raise ReadFailedError(
+                    f"object {object_name!r}: only {len(up)} shards up"
+                )
+        else:
+            shards = data_shards
+
+        primary_osd = next(
+            pg.acting[s] for s in range(code.n) if s in up
+        )
+        primary = self.cluster.osds[primary_osd]
+        yield env.timeout(self.request_overhead)
+        yield env.all_of(
+            [
+                env.process(self._fetch_shard(pg, shard, primary, layout))
+                for shard in shards
+            ]
+        )
+        if degraded:
+            # On-the-fly decode of the missing data shards at the primary.
+            decode = primary.decode_time(
+                output_bytes=layout.chunk_stored_bytes,
+                decode_work=1.0,
+                fragments=layout.units * code.sub_chunk_count,
+                cpu_cost_factor=getattr(code, "cpu_cost_factor", 1.0),
+            )
+            yield primary.cpu.request(decode)
+        return ReadSample(
+            object_name=object_name,
+            issued_at=issued_at,
+            latency=env.now - issued_at,
+            degraded=degraded,
+            bytes_read=obj.size,
+        )
+
+    def _fetch_shard(self, pg: PlacementGroup, shard: int, primary, layout) -> Generator:
+        source = self.cluster.osds[pg.acting[shard]]
+        nbytes = layout.chunk_stored_bytes
+        yield source.disk.submit(
+            source.sequential_ops(nbytes), nbytes, write=False
+        )
+        yield self.cluster.topology.fabric.transfer(
+            self.cluster.topology.nic_of(source.osd_id),
+            self.cluster.topology.nic_of(primary.osd_id),
+            nbytes,
+        )
+
+
+class ClientLoadGenerator:
+    """Open-loop read load over the pool's objects.
+
+    Issues one read every ``interval`` seconds at uniformly random
+    objects, for ``duration`` seconds, collecting the latency/degraded
+    samples into :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        client: RadosClient,
+        interval: float,
+        seeds: Optional[SeedSequence] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.client = client
+        self.interval = interval
+        self.rng = (seeds or SeedSequence(0)).stream("client-load")
+        self.stats = ReadStats()
+        self._running = False
+
+    def run_for(self, duration: float) -> Event:
+        """Start issuing reads for ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.client.cluster.env.process(self._run(duration))
+
+    def _object_names(self) -> List[str]:
+        return [
+            obj.name
+            for pg in self.client.cluster.pool.pgs.values()
+            for obj in pg.objects
+        ]
+
+    def _run(self, duration: float) -> Generator:
+        env = self.client.cluster.env
+        names = self._object_names()
+        if not names:
+            raise RuntimeError("pool holds no objects to read")
+        deadline = env.now + duration
+        pending = []
+        while env.now < deadline:
+            name = self.rng.choice(names)
+            pending.append(env.process(self._one_read(name)))
+            yield env.timeout(self.interval)
+        if pending:
+            yield env.all_of(pending)
+
+    def _one_read(self, name: str) -> Generator:
+        sample = yield self.client.read_object(name)
+        self.stats.add(sample)

@@ -1,0 +1,136 @@
+"""CRUSH-style placement: PGs to OSDs under failure-domain constraints.
+
+A straw2-like deterministic pseudo-random draw maps each placement group
+to an ordered acting set of n OSDs, at most one per failure-domain
+bucket.  The map is a pure function of (pool, pg, osdmap epoch inputs),
+so recomputing after an OSD is marked *out* yields the stable remap
+behaviour Ceph shows: only shards on departed OSDs move.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .topology import ClusterTopology, FailureDomain
+
+__all__ = ["CrushMap", "PlacementError"]
+
+
+class PlacementError(RuntimeError):
+    """Raised when the cluster cannot satisfy a placement request."""
+
+
+def _draw(*parts) -> float:
+    """Deterministic uniform(0,1] draw from the hashed identifiers."""
+    key = ":".join(str(p) for p in parts).encode("utf-8")
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return (int.from_bytes(digest, "big") + 1) / 2.0**64
+
+
+class CrushMap:
+    """Deterministic placement of PG shards across failure domains."""
+
+    def __init__(self, topology: ClusterTopology, seed: int = 0):
+        self.topology = topology
+        self.seed = seed
+
+    def place_pg(
+        self,
+        pool_id: int,
+        pg_id: int,
+        width: int,
+        failure_domain: str,
+        excluded_osds: Optional[Set[int]] = None,
+    ) -> List[int]:
+        """Choose an ordered acting set of ``width`` OSDs for one PG.
+
+        Shard i of the PG lives on the i-th returned OSD.  At most one
+        shard lands per failure-domain bucket; OSDs in ``excluded_osds``
+        (down/out devices) are skipped, shifting only the affected shards
+        — the straw2 property that keeps remaps minimal.
+        """
+        if failure_domain not in FailureDomain.ALL:
+            raise ValueError(f"unknown failure domain {failure_domain!r}")
+        excluded = excluded_osds or set()
+        buckets = self.topology.buckets(failure_domain)
+        if width > len(buckets):
+            raise PlacementError(
+                f"pool {pool_id} needs {width} {failure_domain} buckets, "
+                f"cluster has {len(buckets)}"
+            )
+        # Straw2: every bucket computes an independent weighted draw per
+        # (pool, pg); the top-`width` buckets win, in draw order.  The base
+        # selection ignores exclusions so that shard positions unaffected
+        # by a failure keep their OSDs; excluded shards retry first within
+        # their bucket, then pull from the reserve buckets — this is what
+        # keeps CRUSH remaps minimal.
+        scored = sorted(
+            buckets,
+            key=lambda b: _draw(self.seed, pool_id, pg_id, failure_domain, b),
+            reverse=True,
+        )
+        base, reserve = scored[:width], scored[width:]
+        reserve_iter = iter(reserve)
+        acting: List[int] = []
+        for bucket in base:
+            osd = self._choose_osd_in_bucket(pool_id, pg_id, bucket,
+                                             failure_domain, excluded)
+            while osd is None:
+                try:
+                    fallback = next(reserve_iter)
+                except StopIteration:
+                    raise PlacementError(
+                        f"cannot place pg {pool_id}.{pg_id}: only "
+                        f"{len(acting)} of {width} shards placeable "
+                        f"(excluded={sorted(excluded)})"
+                    ) from None
+                osd = self._choose_osd_in_bucket(pool_id, pg_id, fallback,
+                                                 failure_domain, excluded)
+            acting.append(osd)
+        return acting
+
+    def _choose_osd_in_bucket(
+        self,
+        pool_id: int,
+        pg_id: int,
+        bucket: int,
+        failure_domain: str,
+        excluded: Set[int],
+    ) -> Optional[int]:
+        candidates = [
+            osd
+            for osd in self.topology.osds_in_bucket(bucket, failure_domain)
+            if osd not in excluded and not self.topology.osds[osd].disk.failed
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda osd: _draw(self.seed, pool_id, pg_id, "osd", osd)
+            * self.topology.osds[osd].weight,
+        )
+
+    def remap(
+        self,
+        pool_id: int,
+        pg_id: int,
+        width: int,
+        failure_domain: str,
+        out_osds: Iterable[int],
+    ) -> Tuple[List[int], Dict[int, int]]:
+        """Recompute an acting set after OSDs leave the map.
+
+        Returns ``(new_acting, moved)`` where ``moved`` maps shard index
+        -> replacement OSD for every shard whose OSD changed.
+        """
+        before = self.place_pg(pool_id, pg_id, width, failure_domain)
+        after = self.place_pg(
+            pool_id, pg_id, width, failure_domain, excluded_osds=set(out_osds)
+        )
+        moved = {
+            shard: after[shard]
+            for shard in range(width)
+            if after[shard] != before[shard]
+        }
+        return after, moved

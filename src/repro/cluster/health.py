@@ -1,0 +1,135 @@
+"""Cluster health reporting (a ``ceph status``-style summary).
+
+Derives a HEALTH_OK / HEALTH_WARN / HEALTH_ERR verdict from the live
+cluster state: down/out OSDs, degraded and undersized PGs, near-full
+devices.  The Coordinator does not depend on this — recovery completion
+is tracked from logs, as in the paper — but operators (and the examples)
+get the at-a-glance view a real cluster would print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .ceph import CephCluster
+
+__all__ = ["HealthStatus", "HealthReport", "check_health"]
+
+
+class HealthStatus:
+    """The three Ceph health levels."""
+
+    OK = "HEALTH_OK"
+    WARN = "HEALTH_WARN"
+    ERR = "HEALTH_ERR"
+
+
+#: Devices at or beyond this usage ratio are "nearfull" (Ceph default).
+NEARFULL_RATIO = 0.85
+#: ...and beyond this one, "full".
+FULL_RATIO = 0.95
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One point-in-time health summary."""
+
+    status: str
+    osds_total: int
+    osds_up: int
+    osds_out: int
+    pgs_total: int
+    pgs_active_clean: int
+    pgs_degraded: int
+    pgs_undersized: int
+    nearfull_osds: tuple
+    full_osds: tuple
+    checks: tuple
+
+    def summary(self) -> str:
+        lines = [self.status]
+        for check in self.checks:
+            lines.append(f"  {check}")
+        lines.append(
+            f"  osd: {self.osds_total} osds: {self.osds_up} up, "
+            f"{self.osds_total - self.osds_out} in"
+        )
+        lines.append(
+            f"  pgs: {self.pgs_active_clean} active+clean, "
+            f"{self.pgs_degraded} degraded, {self.pgs_undersized} undersized"
+        )
+        return "\n".join(lines)
+
+
+def check_health(cluster: CephCluster) -> HealthReport:
+    """Compute the cluster's current health from live state.
+
+    A PG is *degraded* when any acting-set OSD is down; *undersized*
+    when fewer than ``min_size = k + 1`` of its shards are on up OSDs
+    (the point where Ceph blocks client I/O).  Any undersized PG or full
+    OSD raises HEALTH_ERR; degraded PGs, down OSDs or nearfull devices
+    raise HEALTH_WARN.
+    """
+    osds_up = [osd_id for osd_id, osd in cluster.osds.items() if osd.is_up()]
+    down = set(cluster.osds) - set(osds_up)
+    out = set(cluster.monitor.out_osds)
+
+    min_size = cluster.pool.code.k + 1
+    degraded = 0
+    undersized = 0
+    clean = 0
+    for pg in cluster.pool.pgs.values():
+        up_shards = sum(
+            1 for osd_id in pg.acting if cluster.osds[osd_id].is_up()
+        )
+        if up_shards == len(pg.acting):
+            clean += 1
+            continue
+        degraded += 1
+        if up_shards < min_size:
+            undersized += 1
+
+    nearfull = []
+    full = []
+    for osd_id, osd in sorted(cluster.osds.items()):
+        usage = osd.disk.used_bytes / osd.disk.spec.capacity_bytes
+        if usage >= FULL_RATIO:
+            full.append(osd.name)
+        elif usage >= NEARFULL_RATIO:
+            nearfull.append(osd.name)
+
+    checks: List[str] = []
+    if down:
+        checks.append(f"{len(down)} osds down")
+    if out:
+        checks.append(f"{len(out)} osds out")
+    if degraded:
+        checks.append(f"{degraded} pgs degraded")
+    if undersized:
+        checks.append(f"{undersized} pgs undersized (below min_size)")
+    if nearfull:
+        checks.append(f"{len(nearfull)} nearfull osd(s)")
+    if full:
+        checks.append(f"{len(full)} full osd(s)")
+
+    if undersized or full:
+        status = HealthStatus.ERR
+    elif checks:
+        status = HealthStatus.WARN
+    else:
+        status = HealthStatus.OK
+
+    return HealthReport(
+        status=status,
+        osds_total=len(cluster.osds),
+        osds_up=len(osds_up),
+        osds_out=len(out),
+        pgs_total=len(cluster.pool.pgs),
+        pgs_active_clean=clean,
+        pgs_degraded=degraded,
+        pgs_undersized=undersized,
+        nearfull_osds=tuple(nearfull),
+        full_osds=tuple(full),
+        checks=tuple(checks),
+    )

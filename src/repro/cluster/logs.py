@@ -1,0 +1,64 @@
+"""DSS-side logging: what the cluster daemons write to their local logs.
+
+These are the *raw* logs of the target system — the input ECFault's
+Logger component (``repro.core.logger``) parses, classifies by keyword,
+and ships over the log bus.  Keeping emission here and collection in
+``repro.core`` mirrors the paper's architecture: the DSS logs as it
+normally would; the framework only observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+__all__ = ["LogRecord", "NodeLog"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log line: timestamp, emitting node, subsystem, message."""
+
+    time: float
+    node: str
+    subsystem: str  # "mon", "mgr", "osd", "client"
+    message: str
+    fields: tuple = ()
+
+    def field(self, key: str, default=None):
+        """Look up a structured field attached to the record."""
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields)
+        return f"[{self.time:10.3f}] {self.node} {self.subsystem}: {self.message}" + (
+            f" ({extras})" if extras else ""
+        )
+
+
+class NodeLog:
+    """Append-only log of one node (MON host or OSD host)."""
+
+    def __init__(self, node: str):
+        self.node = node
+        self.records: List[LogRecord] = []
+
+    def emit(self, time: float, subsystem: str, message: str, **fields) -> LogRecord:
+        record = LogRecord(
+            time=time,
+            node=self.node,
+            subsystem=subsystem,
+            message=message,
+            fields=tuple(sorted(fields.items())),
+        )
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)

@@ -1,0 +1,134 @@
+"""MON/MGR model: heartbeats, failure detection, and the down->out clock.
+
+This is where the paper's *System Checking Period* (§4.3) comes from.
+After a fault, nothing happens until peers stop seeing heartbeats
+(``osd_heartbeat_grace``), the monitor marks the OSD **down**, and — the
+dominant term — waits ``mon_osd_down_out_interval`` (600 s by default)
+before marking it **out**, which finally changes the CRUSH map and lets
+peering and recovery begin.  The monitor logs every step with the same
+phrasing the paper's Figure 3 annotates, so the timeline analysis in
+``repro.core.timeline`` can segment the recovery cycle from logs alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Set
+
+from ..sim import Environment
+from .logs import NodeLog
+from .osd import CephConfig, OsdDaemon
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """The MON/MGR pair of the cluster (one host in the paper's testbed)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        osds: Dict[int, OsdDaemon],
+        config: CephConfig,
+        log: Optional[NodeLog] = None,
+    ):
+        self.env = env
+        self.osds = osds
+        self.config = config
+        # `log if log is not None` — an empty NodeLog is falsy (__len__).
+        self.log = log if log is not None else NodeLog("mon.0")
+        self.last_heartbeat: Dict[int, float] = {i: 0.0 for i in osds}
+        self.down_since: Dict[int, float] = {}
+        self.out_osds: Set[int] = set()
+        self.osdmap_epoch = 1
+        #: Callbacks invoked with the set of newly-out OSDs.
+        self.on_out: List[Callable[[Set[int]], None]] = []
+        self._heartbeat_procs = [
+            env.process(self._heartbeat_loop(osd_id)) for osd_id in sorted(osds)
+        ]
+        self._tick_proc = env.process(self._tick_loop())
+
+    # -- daemon-side heartbeats ---------------------------------------------------
+
+    def _heartbeat_loop(self, osd_id: int) -> Generator:
+        """Each OSD pings the monitor every heartbeat interval while up."""
+        while True:
+            osd = self.osds[osd_id]
+            if osd.is_up():
+                self.last_heartbeat[osd_id] = self.env.now
+                if osd_id in self.down_since:
+                    del self.down_since[osd_id]
+                    self.log.emit(
+                        self.env.now, "mon", "osd boot: marking up", osd=osd.name
+                    )
+            yield self.env.timeout(self.config.osd_heartbeat_interval)
+
+    # -- monitor tick: detection and the down->out interval -------------------------
+
+    def _tick_loop(self) -> Generator:
+        while True:
+            yield self.env.timeout(self.config.mon_tick_interval)
+            self._check_failures()
+            self._check_down_out()
+
+    def _check_failures(self) -> None:
+        now = self.env.now
+        for osd_id, osd in self.osds.items():
+            if osd_id in self.down_since or osd_id in self.out_osds:
+                continue
+            silent_for = now - self.last_heartbeat[osd_id]
+            if not osd.is_up() and silent_for > self.config.osd_heartbeat_grace:
+                self.down_since[osd_id] = now
+                self.osdmap_epoch += 1
+                self.log.emit(
+                    now,
+                    "mon",
+                    "no heartbeats from osd, marking down",
+                    osd=osd.name,
+                    epoch=self.osdmap_epoch,
+                    silent=round(silent_for, 1),
+                )
+                self.log.emit(
+                    now, "mgr", "receiving heartbeats from surviving osds",
+                    waiting=len(self.down_since),
+                )
+
+    def _check_down_out(self) -> None:
+        now = self.env.now
+        newly_out: Set[int] = set()
+        for osd_id, since in list(self.down_since.items()):
+            if now - since >= self.config.mon_osd_down_out_interval:
+                del self.down_since[osd_id]
+                self.out_osds.add(osd_id)
+                newly_out.add(osd_id)
+                self.osdmap_epoch += 1
+                self.log.emit(
+                    now,
+                    "mon",
+                    "marking osd out after down interval",
+                    osd=self.osds[osd_id].name,
+                    epoch=self.osdmap_epoch,
+                )
+        if newly_out:
+            self.log.emit(
+                now, "mgr", "osdmap changed, checking recovery resources",
+                out=len(self.out_osds),
+            )
+            for callback in self.on_out:
+                callback(newly_out)
+
+    # -- queries -------------------------------------------------------------------
+
+    def detection_time(self, osd_id: int) -> Optional[float]:
+        """When the OSD was marked down, if it has been."""
+        if osd_id in self.down_since:
+            return self.down_since[osd_id]
+        for record in self.log:
+            if (
+                record.message.startswith("no heartbeats")
+                and record.field("osd") == self.osds[osd_id].name
+            ):
+                return record.time
+        return None
+
+    def is_out(self, osd_id: int) -> bool:
+        return osd_id in self.out_osds

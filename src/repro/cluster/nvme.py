@@ -1,0 +1,99 @@
+"""Virtual NVMe-oF disk provisioning (the paper's §3.1).
+
+ECFault decouples OSD hosts from their storage by exporting virtual NVMe
+namespaces over NVMe-oF and attaching them back as local devices — in the
+real system via ``nvmetcli``.  This module models that control plane: a
+per-host :class:`NvmeTarget` creates subsystems, the Worker attaches them
+to OSDs, and *removing a subsystem is the device-level fault primitive*
+(§3.2): the backing disk immediately fails all I/O, exactly what a
+yanked NVMe namespace looks like to BlueStore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .devices import Disk
+
+__all__ = ["NvmeSubsystem", "NvmeTarget", "SubsystemNotFoundError"]
+
+
+class SubsystemNotFoundError(KeyError):
+    """Operation on an NQN that is not exported by this target."""
+
+
+@dataclass
+class NvmeSubsystem:
+    """One exported NVMe subsystem (a single-namespace model).
+
+    ``nqn`` is the NVMe Qualified Name; ``backing`` is the simulated
+    device serving the namespace; ``attached_osd`` records which OSD
+    consumed it, if any.
+    """
+
+    nqn: str
+    backing: Disk
+    attached_osd: Optional[int] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.attached_osd is not None
+
+
+class NvmeTarget:
+    """The nvmet configuration of one DataNode (an nvmetcli stand-in)."""
+
+    def __init__(self, host_name: str):
+        self.host_name = host_name
+        self.subsystems: Dict[str, NvmeSubsystem] = {}
+        self.removed_nqns: list = []
+
+    def create_subsystem(self, nqn: str, backing: Disk) -> NvmeSubsystem:
+        """Export ``backing`` under ``nqn`` (``nvmetcli`` create)."""
+        if nqn in self.subsystems:
+            raise ValueError(f"subsystem {nqn!r} already exists on {self.host_name}")
+        subsystem = NvmeSubsystem(nqn=nqn, backing=backing)
+        self.subsystems[nqn] = subsystem
+        return subsystem
+
+    def connect(self, nqn: str, osd_id: int) -> Disk:
+        """Attach the namespace to an OSD as its local device."""
+        subsystem = self._lookup(nqn)
+        if subsystem.connected:
+            raise ValueError(f"subsystem {nqn!r} already attached to osd.{subsystem.attached_osd}")
+        subsystem.attached_osd = osd_id
+        return subsystem.backing
+
+    def remove_subsystem(self, nqn: str) -> NvmeSubsystem:
+        """Tear down the subsystem — the device-level fault injection.
+
+        The backing disk fails instantly; the consuming OSD observes I/O
+        errors on its next access, as with ``nvmetcli`` removal in the
+        real framework.
+        """
+        subsystem = self._lookup(nqn)
+        del self.subsystems[nqn]
+        self.removed_nqns.append(nqn)
+        subsystem.backing.fail()
+        return subsystem
+
+    def restore_subsystem(self, subsystem: NvmeSubsystem) -> None:
+        """Re-export a previously removed subsystem (experiment teardown)."""
+        if subsystem.nqn in self.subsystems:
+            raise ValueError(f"subsystem {subsystem.nqn!r} already present")
+        subsystem.backing.restore()
+        self.subsystems[subsystem.nqn] = subsystem
+
+    def _lookup(self, nqn: str) -> NvmeSubsystem:
+        try:
+            return self.subsystems[nqn]
+        except KeyError:
+            raise SubsystemNotFoundError(
+                f"no subsystem {nqn!r} on {self.host_name}"
+            ) from None
+
+
+def default_nqn(host_name: str, index: int) -> str:
+    """The NQN naming convention ECFault provisions under."""
+    return f"nqn.2024-07.io.ecfault:{host_name}:ns{index}"

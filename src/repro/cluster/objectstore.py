@@ -1,0 +1,80 @@
+"""Object-to-chunk layout: the division-and-padding policy (§4.4).
+
+An object written to an erasure-coded pool is split into k data chunks of
+``object_size / k``.  An undersized chunk is padded up to ``stripe_unit``;
+an oversized chunk is divided into ``ceil(object_size / (k * stripe_unit))``
+encoding units, the last of which is padded to ``stripe_unit``.  Hence the
+paper's per-chunk storage formula::
+
+    S_chunk = S_unit * ceil(S_object / (k * S_unit))
+
+Everything downstream — the simulator's I/O charging, the WA measurement,
+and the Table 3 / formula-validation benchmarks — derives chunk geometry
+from :func:`layout_object` so the policy exists in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChunkLayout", "layout_object"]
+
+
+@dataclass(frozen=True)
+class ChunkLayout:
+    """Geometry of one object's EC stripe set.
+
+    ``units`` is the number of stripe-unit encoding extents per chunk;
+    ``chunk_stored_bytes`` the padded on-disk size of every chunk.
+    """
+
+    object_size: int
+    n: int
+    k: int
+    stripe_unit: int
+    units: int
+    chunk_stored_bytes: int
+
+    @property
+    def chunk_logical_bytes(self) -> float:
+        """Unpadded per-chunk share of the object."""
+        return self.object_size / self.k
+
+    @property
+    def padding_bytes_total(self) -> int:
+        """Zero-padding across all k data chunks (parity mirrors data)."""
+        return self.k * self.chunk_stored_bytes - self.object_size
+
+    @property
+    def stored_bytes_total(self) -> int:
+        """Bytes stored across all n chunks, before metadata."""
+        return self.n * self.chunk_stored_bytes
+
+    @property
+    def stripe_span(self) -> int:
+        """Client bytes covered by one full stripe row (k * stripe_unit)."""
+        return self.k * self.stripe_unit
+
+
+def layout_object(object_size: int, n: int, k: int, stripe_unit: int) -> ChunkLayout:
+    """Apply the division-and-padding policy to one object.
+
+    Raises ``ValueError`` for non-positive geometry.  A zero-byte object
+    still occupies one unit per chunk (the onode must anchor an extent),
+    matching BlueStore behaviour.
+    """
+    if object_size < 0:
+        raise ValueError(f"negative object size: {object_size}")
+    if not 0 < k < n:
+        raise ValueError(f"need 0 < k < n, got k={k}, n={n}")
+    if stripe_unit <= 0:
+        raise ValueError(f"stripe_unit must be positive, got {stripe_unit}")
+    units = max(1, -(-object_size // (k * stripe_unit)))
+    return ChunkLayout(
+        object_size=object_size,
+        n=n,
+        k=k,
+        stripe_unit=stripe_unit,
+        units=units,
+        chunk_stored_bytes=units * stripe_unit,
+    )

@@ -1,0 +1,258 @@
+"""OSD daemon model: chunk storage, liveness, and recovery throttles.
+
+Each OSD binds a virtual NVMe device (see :mod:`repro.cluster.nvme`) to a
+BlueStore backend and exposes the throttled I/O entry points the recovery
+state machine uses.  Liveness is derived, not stored: an OSD is *up* iff
+its host is running and its device still answers — exactly how the two
+fault levels of the paper (node shutdown, device removal) become visible
+to the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Environment, Event, Resource, ServiceCenter
+from .bluestore import BlueStore, CacheConfig
+from .devices import Disk
+from .topology import OsdDevice
+
+__all__ = ["CephConfig", "OsdDaemon", "SubchunkReadProfile"]
+
+
+@dataclass(frozen=True)
+class CephConfig:
+    """The daemon/monitor tunables relevant to the paper's timeline.
+
+    Defaults are Ceph Quincy defaults; ``mon_osd_down_out_interval`` (600 s)
+    is the dominant term of the paper's System Checking Period.
+    """
+
+    osd_heartbeat_interval: float = 6.0
+    osd_heartbeat_grace: float = 20.0
+    mon_osd_down_out_interval: float = 600.0
+    mon_tick_interval: float = 5.0
+    osd_recovery_max_active: int = 3
+    osd_max_backfills: int = 1
+    osd_recovery_sleep: float = 0.0
+    #: Peering cost: fixed per-PG latency plus a per-object census scan.
+    peering_base: float = 0.5
+    peering_per_object: float = 0.0015
+    #: Recovery QoS: the share of device throughput the scheduler grants
+    #: recovery I/O per OSD (Quincy's mClock profiles cap recovery well
+    #: below raw device speed so client I/O keeps priority).
+    recovery_read_rate: float = 40e6
+    recovery_write_rate: float = 22e6
+    #: Fixed messaging/commit cost per object recovery op (pull + push
+    #: round trips through the op queue).
+    recovery_op_overhead: float = 0.03
+    #: CPU cost of one metadata (onode/extent) fetch that misses cache.
+    metadata_op_cost: float = 0.0004
+    #: Decode throughput of one OSD worker (bytes/second of output data)
+    #: and the fixed CPU cost per (encoding unit x plane) fragment, which
+    #: is what punishes sub-packetised codes at small stripe units.
+    decode_bandwidth: float = 1.2e9
+    decode_fragment_overhead: float = 90e-6
+    #: Software cost per scattered sub-chunk range read on the OSD.
+    subchunk_range_overhead: float = 4e-6
+    #: Scheduler-side cost per contiguous sub-chunk run: scattered reads
+    #: get a worse effective rate than sequential ones, which is why
+    #: Clay's fractional reads do not translate 1:1 into time savings.
+    recovery_range_cost: float = 0.006
+    #: Disk transfer size for sequential recovery I/O.
+    max_io_bytes: int = 131072
+    #: Smallest disk read; sub-chunk reads below this are rounded up.
+    min_io_bytes: int = 4096
+    #: Per-OSD BlueStore cache (autotuned or ratio-split per profile).
+    osd_cache_bytes: float = 2.5e9
+
+    def __post_init__(self):
+        if self.osd_heartbeat_interval <= 0 or self.osd_heartbeat_grace <= 0:
+            raise ValueError("heartbeat settings must be positive")
+        if self.mon_osd_down_out_interval < 0:
+            raise ValueError("down/out interval must be non-negative")
+        if self.osd_recovery_max_active < 1 or self.osd_max_backfills < 1:
+            raise ValueError("recovery throttles must be >= 1")
+
+
+@dataclass(frozen=True)
+class SubchunkReadProfile:
+    """Resolved geometry of one fractional helper read.
+
+    ``disk_bytes``/``disk_ops`` is what the device sees; ``scatter_runs``
+    feeds the recovery scheduler's per-run penalty (zero when the read
+    degenerated to sequential full extents).
+    """
+
+    disk_bytes: int
+    disk_ops: int
+    scatter_runs: int
+    degenerate: bool
+
+
+class OsdDaemon:
+    """One ceph-osd: device + backend + recovery reservations."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: OsdDevice,
+        cache_config: CacheConfig,
+        config: CephConfig,
+    ):
+        self.env = env
+        self.device = device
+        self.config = config
+        self.backend = BlueStore(cache_config, cache_bytes=config.osd_cache_bytes)
+        self.host_running = True
+        #: Throttles mirroring Ceph's: concurrent recovery ops and the
+        #: per-OSD backfill reservation that caps simultaneous PGs.
+        self.recovery_ops = Resource(env, config.osd_recovery_max_active)
+        self.backfill_slots = Resource(env, config.osd_max_backfills)
+        #: CPU worker pool for decode and sub-chunk range processing.
+        self.cpu = ServiceCenter(env, servers=2, name=f"{device.name}.cpu")
+        #: Recovery QoS limiters: the scheduler grants recovery a bounded
+        #: share of this OSD's read/write throughput (mClock-style).
+        self.recovery_reads = ServiceCenter(
+            env, servers=1, name=f"{device.name}.rec-rd"
+        )
+        self.recovery_writes = ServiceCenter(
+            env, servers=1, name=f"{device.name}.rec-wr"
+        )
+
+    @property
+    def osd_id(self) -> int:
+        return self.device.osd_id
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def disk(self) -> Disk:
+        return self.device.disk
+
+    def is_up(self) -> bool:
+        """Daemon answers heartbeats: host running and device healthy."""
+        return self.host_running and not self.disk.failed
+
+    # -- durable state ---------------------------------------------------------
+
+    def store_chunk(self, stored_bytes: int, units: int) -> int:
+        """Account a chunk landing on this OSD; returns bytes consumed."""
+        consumed = self.backend.store_chunk(stored_bytes, units)
+        self.disk.allocate(consumed)
+        return consumed
+
+    def remove_chunk(self, stored_bytes: int, units: int) -> int:
+        released = self.backend.remove_chunk(stored_bytes, units)
+        self.disk.free(released)
+        return released
+
+    @property
+    def used_bytes(self) -> int:
+        """OSD-level storage usage (the paper's WA measurement point)."""
+        return self.backend.used_bytes
+
+    # -- recovery I/O ------------------------------------------------------------
+
+    def sequential_ops(self, nbytes: int) -> int:
+        """Disk operations for a sequential transfer of ``nbytes``."""
+        return max(1, -(-nbytes // self.config.max_io_bytes))
+
+    def read_chunk(self, nbytes: int, units: int) -> Event:
+        """Sequential recovery read of a full chunk, plus metadata misses."""
+        ops = self.sequential_ops(nbytes) + self.backend.read_overhead_ops(nbytes)
+        return self.disk.submit(max(1, round(ops)), nbytes, write=False)
+
+    def subchunk_profile(
+        self, units: int, unit_bytes: int, fraction: float, runs_per_unit: int
+    ) -> "SubchunkReadProfile":
+        """Resolve a fractional (sub-packetised) read against min-IO.
+
+        Every stripe-unit extent contributes ``unit_bytes * fraction``
+        wanted bytes spread over ``runs_per_unit`` contiguous runs.  A run
+        reads at least ``min_io_bytes``; when the runs would cover the
+        whole extent anyway, the read *degenerates* to a full sequential
+        extent read — Clay's bandwidth saving evaporates at small stripe
+        units, which is the §4.2 "subpacketization overhead" effect.
+        """
+        if units < 1 or unit_bytes <= 0 or not 0.0 < fraction <= 1.0:
+            raise ValueError("invalid sub-chunk read geometry")
+        wanted_per_unit = unit_bytes * fraction
+        run_len = wanted_per_unit / max(1, runs_per_unit)
+        effective_run = max(run_len, float(self.config.min_io_bytes))
+        per_unit_bytes = runs_per_unit * effective_run
+        if fraction >= 0.5:
+            # Dense request: readahead makes one sequential full-extent
+            # read cheaper than dozens of scattered ranges.
+            per_unit_bytes = float(unit_bytes)
+        if per_unit_bytes >= unit_bytes:
+            return SubchunkReadProfile(
+                disk_bytes=units * unit_bytes,
+                disk_ops=units * self.sequential_ops(unit_bytes),
+                scatter_runs=0,
+                degenerate=True,
+            )
+        return SubchunkReadProfile(
+            disk_bytes=int(units * per_unit_bytes),
+            disk_ops=units * runs_per_unit,
+            scatter_runs=units * runs_per_unit,
+            degenerate=False,
+        )
+
+    def read_subchunks(
+        self, units: int, unit_bytes: int, fraction: float, runs_per_unit: int
+    ) -> Event:
+        """Scattered sub-chunk recovery read (Clay single-failure repair)."""
+        profile = self.subchunk_profile(units, unit_bytes, fraction, runs_per_unit)
+        ops = profile.disk_ops + self.backend.read_overhead_ops(
+            profile.disk_bytes, profile.scatter_runs
+        )
+        return self.disk.submit(max(1, round(ops)), profile.disk_bytes, write=False)
+
+    def write_chunk(self, nbytes: int, units: int) -> Event:
+        """Recovery write of a rebuilt chunk, after deferred coalescing."""
+        ops = self.sequential_ops(nbytes) * self.backend.write_coalescing()
+        return self.disk.submit(max(1, round(ops)), nbytes, write=True)
+
+    # -- recovery QoS (the binding constraint on recovery speed) ------------------
+
+    def recovery_read_grant(self, nbytes: int, runs: int = 0) -> Event:
+        """Wait for the recovery scheduler to admit a helper read.
+
+        Service time is the QoS-rate transfer time plus the CPU-side cost
+        of metadata misses (onode/csum/extent fetches) — which is where
+        the cache-scheme sensitivity of Figure 2a enters the read path —
+        plus a per-run penalty for scattered sub-chunk reads.
+        """
+        base = nbytes / self.config.recovery_read_rate
+        meta = (
+            self.backend.read_overhead_ops(nbytes, runs)
+            * self.config.metadata_op_cost
+        )
+        scatter = runs * self.config.recovery_range_cost
+        return self.recovery_reads.request(base + meta + scatter)
+
+    def recovery_write_grant(self, nbytes: int) -> Event:
+        """Wait for the recovery scheduler to admit a rebuilt-chunk write.
+
+        Deferred-write coalescing (data-cache dependent) stretches or
+        shrinks the effective write cost — the write-side Figure 2a
+        mechanism.
+        """
+        base = nbytes / self.config.recovery_write_rate
+        return self.recovery_writes.request(base * self.backend.write_coalescing())
+
+    def decode_time(
+        self, output_bytes: int, decode_work: float, fragments: int,
+        cpu_cost_factor: float,
+    ) -> float:
+        """CPU time to decode one lost chunk of ``output_bytes``.
+
+        ``fragments`` counts (unit x plane) decode fragments — 1 per unit
+        for scalar codes, alpha per unit for sub-packetised ones.
+        """
+        byte_time = output_bytes * decode_work * cpu_cost_factor / self.config.decode_bandwidth
+        fragment_time = fragments * self.config.decode_fragment_overhead
+        return byte_time + fragment_time

@@ -1,0 +1,308 @@
+"""Peering and EC recovery state machine.
+
+When the monitor marks OSDs *out*, every placement group whose acting set
+intersects them goes through the Ceph-like cycle this module models:
+
+1. **Queueing** — the PG is queued, missing shards are computed from the
+   old acting set ("collecting missing OSDs, queueing recovery").
+2. **Reservation + peering** — the PG takes a backfill reservation on its
+   primary and on each replacement OSD (``osd_max_backfills`` throttle),
+   then scans its object census ("check recovery resource").
+3. **Recovery I/O** — per object: the primary pulls the repair plan's
+   reads from the surviving shards (disk + NIC), decodes (CPU), and
+   pushes rebuilt chunks to the replacement OSDs (NIC + disk), throttled
+   by ``osd_recovery_max_active`` per primary.
+
+All repair I/O amounts come from the erasure code's own
+:meth:`~repro.ec.base.ErasureCode.repair_plan`, so RS-vs-Clay differences
+in Figures 2c/2d are produced by the codes, not by per-code constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Set
+
+from ..ec.base import ErasureCode
+from ..sim import Environment, Event
+from .crush import PlacementError
+from .logs import NodeLog
+from .osd import CephConfig, OsdDaemon
+from .pool import PlacementGroup, Pool, StoredObject
+from .topology import ClusterTopology
+
+__all__ = ["RecoveryStats", "RecoveryManager"]
+
+
+@dataclass
+class RecoveryStats:
+    """Aggregate counters for one recovery cycle."""
+
+    pgs_queued: int = 0
+    pgs_recovered: int = 0
+    pgs_unplaceable: int = 0
+    objects_recovered: int = 0
+    chunks_rebuilt: int = 0
+    chunks_toofull: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    started_at: Optional[float] = None
+    io_started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+
+class RecoveryManager:
+    """Drives all PG recoveries triggered by an osdmap change."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: ClusterTopology,
+        osds: Dict[int, OsdDaemon],
+        pool: Pool,
+        config: CephConfig,
+        host_logs: Dict[int, NodeLog],
+        mgr_log: NodeLog,
+    ):
+        self.env = env
+        self.topology = topology
+        self.osds = osds
+        self.pool = pool
+        self.config = config
+        self.host_logs = host_logs
+        self.mgr_log = mgr_log
+        self.stats = RecoveryStats()
+        self.out_osds: Set[int] = set()
+        self._active_pgs = 0
+        self._all_done: Optional[Event] = None
+
+    def _log_for(self, osd_id: int) -> NodeLog:
+        return self.host_logs[self.osds[osd_id].device.host_id]
+
+    # -- entry point (wired to Monitor.on_out) -------------------------------------
+
+    def on_osds_out(self, newly_out: Set[int]) -> None:
+        """React to an osdmap change: queue recovery for affected PGs."""
+        self.out_osds |= set(newly_out)
+        if self.stats.started_at is None:
+            self.stats.started_at = self.env.now
+        affected = self.pool.pgs_using_osd(newly_out)
+        for pg in affected:
+            lost_shards = pg.shards_on(self.out_osds)
+            if not lost_shards:
+                continue
+            self._active_pgs += 1
+            self.stats.pgs_queued += 1
+            self.env.process(self._recover_pg(pg, lost_shards))
+
+    def wait_all_recovered(self) -> Event:
+        """Event firing when every queued PG finished recovery."""
+        if self._all_done is None:
+            self._all_done = self.env.event()
+            if self._active_pgs == 0:
+                self._all_done.succeed()
+        return self._all_done
+
+    def _pg_finished(self) -> None:
+        self._active_pgs -= 1
+        self.stats.finished_at = self.env.now
+        if self._active_pgs == 0 and self._all_done is not None:
+            if not self._all_done.triggered:
+                self._all_done.succeed()
+
+    # -- per-PG state machine --------------------------------------------------------
+
+    def _recover_pg(self, pg: PlacementGroup, lost_shards: List[int]) -> Generator:
+        old_acting = list(pg.acting)
+        try:
+            new_acting = self.pool.crush.place_pg(
+                pg.pool_id,
+                pg.pg_id,
+                self.pool.code.n,
+                self.pool.failure_domain,
+                excluded_osds=self.out_osds,
+            )
+        except PlacementError:
+            self.stats.pgs_unplaceable += 1
+            self.mgr_log.emit(
+                self.env.now, "mgr", "pg remains degraded, no placement",
+                pg=pg.pgid,
+            )
+            self._pg_finished()
+            return
+
+        primary = new_acting[0]
+        targets = sorted({new_acting[shard] for shard in lost_shards})
+        self._log_for(primary).emit(
+            self.env.now,
+            "osd",
+            "collecting missing OSDs, queueing recovery",
+            pg=pg.pgid,
+            missing=len(lost_shards),
+        )
+
+        # Backfill reservations, taken in OSD-id order to avoid deadlock.
+        reservation_osds = sorted({primary, *targets})
+        for osd_id in reservation_osds:
+            yield self.osds[osd_id].backfill_slots.acquire()
+        try:
+            self._log_for(primary).emit(
+                self.env.now, "osd", "check recovery resource", pg=pg.pgid
+            )
+            peering = (
+                self.config.peering_base
+                + self.config.peering_per_object * len(pg.objects)
+            )
+            yield self.env.timeout(peering)
+            if self.stats.io_started_at is None:
+                self.stats.io_started_at = self.env.now
+                self.mgr_log.emit(
+                    self.env.now, "mgr", "report recovery I/O", phase="start"
+                )
+            self._log_for(primary).emit(
+                self.env.now, "osd", "start recovery I/O",
+                pg=pg.pgid, objects=len(pg.objects),
+            )
+            ops = [
+                self.env.process(
+                    self._recover_object(pg, obj, lost_shards, old_acting, new_acting)
+                )
+                for obj in pg.objects
+            ]
+            if ops:
+                yield self.env.all_of(ops)
+        finally:
+            for osd_id in reversed(reservation_osds):
+                self.osds[osd_id].backfill_slots.release()
+
+        pg.acting = new_acting
+        self.stats.pgs_recovered += 1
+        self._log_for(primary).emit(
+            self.env.now, "osd", "recovery completed", pg=pg.pgid
+        )
+        self.mgr_log.emit(
+            self.env.now, "mgr", "report recovery I/O",
+            pg=pg.pgid, phase="pg-done",
+        )
+        self._pg_finished()
+
+    # -- per-object recovery op ---------------------------------------------------------
+
+    def _recover_object(
+        self,
+        pg: PlacementGroup,
+        obj: StoredObject,
+        lost_shards: List[int],
+        old_acting: List[int],
+        new_acting: List[int],
+    ) -> Generator:
+        code = self.pool.code
+        primary = self.osds[new_acting[0]]
+        yield primary.recovery_ops.acquire()
+        try:
+            # Messaging/commit round trips of the pull+push op pair.
+            yield self.env.timeout(self.config.recovery_op_overhead)
+            alive_shards = [
+                shard
+                for shard, osd_id in enumerate(old_acting)
+                if shard not in lost_shards and self.osds[osd_id].is_up()
+            ]
+            plan = code.repair_plan(lost_shards, alive_shards)
+            layout = obj.layout
+            yield self.env.all_of(
+                [
+                    self.env.process(
+                        self._pull_shard(read, old_acting, primary, layout)
+                    )
+                    for read in plan.reads
+                ]
+            )
+            fragments = layout.units * code.sub_chunk_count * len(lost_shards)
+            decode = primary.decode_time(
+                output_bytes=layout.chunk_stored_bytes * len(lost_shards),
+                decode_work=plan.decode_work,
+                fragments=fragments,
+                cpu_cost_factor=getattr(code, "cpu_cost_factor", 1.0),
+            )
+            yield primary.cpu.request(decode)
+            yield self.env.all_of(
+                [
+                    self.env.process(
+                        self._push_shard(shard, new_acting, primary, layout)
+                    )
+                    for shard in lost_shards
+                ]
+            )
+            self.stats.objects_recovered += 1
+            self.stats.chunks_rebuilt += len(lost_shards)
+            if self.config.osd_recovery_sleep:
+                yield self.env.timeout(self.config.osd_recovery_sleep)
+        finally:
+            primary.recovery_ops.release()
+
+    def _pull_shard(self, read, old_acting, primary: OsdDaemon, layout) -> Generator:
+        """Read one helper shard and ship it to the primary.
+
+        The read first waits for the source's recovery-QoS grant (the
+        scheduler share — usually the binding constraint), then performs
+        the device I/O, then crosses the network.
+        """
+        source = self.osds[old_acting[read.chunk_index]]
+        if read.fraction >= 1.0:
+            nbytes = layout.chunk_stored_bytes
+            yield source.recovery_read_grant(nbytes)
+            yield source.read_chunk(nbytes, layout.units)
+        else:
+            nbytes = int(layout.chunk_stored_bytes * read.fraction)
+            profile = source.subchunk_profile(
+                layout.units, layout.stripe_unit, read.fraction, read.io_ops
+            )
+            # The grant covers what the device must move (full extents
+            # when the read degenerated); only the wanted sub-chunks
+            # cross the network.
+            yield source.recovery_read_grant(
+                profile.disk_bytes, runs=profile.scatter_runs
+            )
+            yield source.read_subchunks(
+                layout.units, layout.stripe_unit, read.fraction, read.io_ops
+            )
+            # Software cost of extracting the sub-chunk ranges.
+            ranges = layout.units * read.io_ops
+            yield source.cpu.request(
+                ranges * self.config.subchunk_range_overhead
+            )
+        self.stats.bytes_read += nbytes
+        yield self.topology.fabric.transfer(
+            self.topology.nic_of(source.osd_id),
+            self.topology.nic_of(primary.osd_id),
+            nbytes,
+        )
+
+    def _push_shard(self, shard: int, new_acting, primary: OsdDaemon, layout) -> Generator:
+        """Ship one rebuilt shard from the primary and persist it.
+
+        A target without capacity headroom behaves like Ceph's
+        ``backfill_toofull``: the shard stays degraded rather than
+        overfilling the device.
+        """
+        target = self.osds[new_acting[shard]]
+        nbytes = layout.chunk_stored_bytes
+        allocated, metadata = target.backend.chunk_allocation(nbytes, layout.units)
+        if target.disk.used_bytes + allocated + metadata > target.disk.spec.capacity_bytes:
+            self.stats.chunks_toofull += 1
+            self.mgr_log.emit(
+                self.env.now, "mgr", "backfill toofull, shard stays degraded",
+                osd=target.name,
+            )
+            return
+        # Reserve the space synchronously with the check (concurrent
+        # pushes to one target must not race past the headroom test).
+        target.store_chunk(nbytes, layout.units)
+        yield self.topology.fabric.transfer(
+            self.topology.nic_of(primary.osd_id),
+            self.topology.nic_of(target.osd_id),
+            nbytes,
+        )
+        yield target.recovery_write_grant(nbytes)
+        yield target.write_chunk(nbytes, layout.units)
+        self.stats.bytes_written += nbytes

@@ -1,0 +1,81 @@
+"""The Controller — ECFault's top-level component (§3, Figure 1).
+
+A Controller binds the three sub-modules the paper names — the EC
+Manager (an :class:`~repro.core.profile.ExperimentProfile`), the Fault
+Injector, and the Coordinator — to one deployed target DSS.  Building a
+Controller from a profile stands up the whole stack: simulation
+environment, cluster, per-host Workers with NVMe-oF provisioned disks,
+loggers, and the log bus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cluster.ceph import CephCluster
+from ..sim import Environment
+from ..sim.rng import SeedSequence
+from ..workload.generator import Workload
+from .coordinator import Coordinator, ExperimentOutcome
+from .fault_injector import FaultInjector, FaultSpec
+from .logbus import LogBus
+from .profile import ExperimentProfile
+from .worker import Worker, deploy_workers
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """One experiment's control plane over one target DSS instance.
+
+    Controllers are single-use: a fault-injection experiment mutates the
+    cluster (failed devices, remapped PGs), so each run of a sweep
+    builds a fresh Controller — exactly how the real framework tears
+    down and redeploys between profile runs.
+    """
+
+    def __init__(self, profile: ExperimentProfile, seed: int = 0):
+        self.profile = profile
+        self.seeds = SeedSequence(seed)
+        self.env = Environment()
+        self.cluster = CephCluster(
+            self.env,
+            code=profile.create_code(),
+            cache_config=profile.cache_config(),
+            config=profile.ceph,
+            num_hosts=profile.num_hosts,
+            osds_per_host=profile.osds_per_host,
+            num_racks=profile.num_racks,
+            pg_num=profile.pg_num,
+            stripe_unit=profile.stripe_unit,
+            failure_domain=profile.failure_domain,
+            disk_spec=profile.disk_spec(),
+            placement_seed=self.seeds.stream("crush").randrange(2**31),
+        )
+        self.workers: Dict[int, Worker] = deploy_workers(self.cluster)
+        self.bus = LogBus()
+        self.fault_injector = FaultInjector(self.cluster, self.workers, self.seeds)
+        self.coordinator = Coordinator(
+            self.cluster, self.fault_injector, self.bus, self.seeds
+        )
+        self._used = False
+
+    def run_experiment(
+        self,
+        workload: Workload,
+        faults: Optional[List[FaultSpec]] = None,
+        settle_time: float = 60.0,
+        max_sim_time: float = 200_000.0,
+    ) -> ExperimentOutcome:
+        """Run the profile's experiment once (single use per Controller)."""
+        if self._used:
+            raise RuntimeError(
+                "Controller already ran an experiment; build a fresh one"
+            )
+        self._used = True
+        return self.coordinator.run(
+            workload,
+            faults or [],
+            settle_time=settle_time,
+            max_sim_time=max_sim_time,
+        )

@@ -1,0 +1,249 @@
+"""EC-aware, topology-aware fault injection (§3.2).
+
+The Fault Injector is *white-box*: it knows the pool's EC parameters and
+failure domain from the experiment profile and refuses to inject more
+than the guaranteed fault-tolerance capacity (n - k failures within the
+failure domain), so every injected fault exercises EC recovery rather
+than causing data loss.  It is *topology-aware*: concurrent device
+failures can be forced onto the same storage node or spread across
+different nodes — the Figure 2d axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..cluster.ceph import CephCluster
+from ..sim.rng import SeedSequence
+from .worker import Worker
+
+__all__ = ["Colocation", "FaultSpec", "FaultToleranceError", "FaultInjector"]
+
+
+class Colocation:
+    """Placement constraint for concurrent device faults (Fig 2d x-axis)."""
+
+    SAME_HOST = "same_host"
+    DIFFERENT_HOSTS = "diff_hosts"
+    ANY = "any"
+    ALL = (SAME_HOST, DIFFERENT_HOSTS, ANY)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fault-injection request.
+
+    ``level`` is ``"node"`` (shut a host down) or ``"device"`` (remove
+    NVMe subsystems).  ``count`` is how many targets; ``colocation``
+    constrains device faults; explicit ``targets`` (host ids for node
+    faults, OSD ids for device faults) override selection.
+    """
+
+    level: str = "node"
+    count: int = 1
+    colocation: str = Colocation.ANY
+    targets: Optional[Sequence[int]] = None
+
+    def __post_init__(self):
+        if self.level not in ("node", "device"):
+            raise ValueError(f"unknown fault level {self.level!r}")
+        if self.count < 1:
+            raise ValueError("fault count must be >= 1")
+        if self.colocation not in Colocation.ALL:
+            raise ValueError(f"unknown colocation {self.colocation!r}")
+        if self.colocation == Colocation.SAME_HOST and self.level == "node":
+            raise ValueError("same-host colocation applies to device faults")
+
+
+class FaultToleranceError(ValueError):
+    """The requested faults would exceed the code's guaranteed capacity."""
+
+
+class FaultInjector:
+    """Selects fault targets and applies them through the Workers."""
+
+    def __init__(
+        self,
+        cluster: CephCluster,
+        workers: Dict[int, Worker],
+        seeds: Optional[SeedSequence] = None,
+    ):
+        self.cluster = cluster
+        self.workers = workers
+        self.seeds = seeds or SeedSequence(0)
+        self.injected_osds: Set[int] = set()
+
+    # -- white-box validation ---------------------------------------------------------
+
+    def validate(self, spec: FaultSpec) -> None:
+        """Refuse faults beyond n - k failures within the failure domain.
+
+        Counts the *failure-domain buckets* the spec would take out, plus
+        any already-injected ones, against the pool's tolerance m = n - k.
+        """
+        pool = self.cluster.pool
+        tolerance = pool.code.fault_tolerance()
+        domain = pool.failure_domain
+        hit = {
+            self.cluster.topology.bucket_of(osd_id, domain)
+            for osd_id in self._osds_for(spec) | self.injected_osds
+        }
+        if len(hit) > tolerance:
+            raise FaultToleranceError(
+                f"{len(hit)} failed {domain} buckets would exceed the "
+                f"guaranteed tolerance m={tolerance} of "
+                f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+            )
+
+    def _osds_for(self, spec: FaultSpec) -> Set[int]:
+        """OSDs a spec will take down (resolving target selection)."""
+        if spec.level == "node":
+            hosts = self._select_hosts(spec)
+            out: Set[int] = set()
+            for host_id in hosts:
+                out |= set(self.cluster.topology.hosts[host_id].osd_ids)
+            return out
+        return set(self._select_devices(spec))
+
+    # -- target selection ----------------------------------------------------------------
+
+    def _healthy_data_osds(self) -> List[int]:
+        """Candidate OSDs: hold chunks, still up, not already injected."""
+        return [
+            osd_id
+            for osd_id in self.cluster.osds_with_data()
+            if osd_id not in self.injected_osds
+            and self.cluster.osds[osd_id].is_up()
+        ]
+
+    def _data_hosts(self) -> List[int]:
+        """Hosts that store chunks (so faults actually trigger recovery)."""
+        return sorted(
+            {
+                self.cluster.topology.osds[o].host_id
+                for o in self._healthy_data_osds()
+            }
+        )
+
+    def _select_hosts(self, spec: FaultSpec) -> List[int]:
+        if spec.targets is not None:
+            return list(spec.targets)[: spec.count]
+        rng = self.seeds.stream("fault-hosts")
+        candidates = self._data_hosts()
+        if len(candidates) < spec.count:
+            raise ValueError(
+                f"only {len(candidates)} hosts hold data, need {spec.count}"
+            )
+        return rng.sample(candidates, spec.count)
+
+    def _select_devices(self, spec: FaultSpec) -> List[int]:
+        """Pick device-fault targets, EC-aware.
+
+        Multi-device faults are chosen *within one placement group's
+        acting set* whenever possible, so that "f concurrent failures"
+        actually exercises f-erasure EC recovery on shared stripes rather
+        than f unrelated single-failure recoveries — the systematic
+        exploration §3.2 describes.  The colocation constraint (same
+        host vs different hosts) is applied within the acting set.
+        """
+        if spec.targets is not None:
+            return list(spec.targets)[: spec.count]
+        rng = self.seeds.stream("fault-devices")
+        healthy = set(self._healthy_data_osds())
+        if spec.count > 1:
+            chosen = self._co_occurring_targets(spec, healthy, rng)
+            if chosen is not None:
+                return chosen
+        by_host: Dict[int, List[int]] = {}
+        for osd_id in sorted(healthy):
+            by_host.setdefault(
+                self.cluster.topology.osds[osd_id].host_id, []
+            ).append(osd_id)
+        if spec.colocation == Colocation.SAME_HOST:
+            hosts = [h for h, osds in by_host.items() if len(osds) >= spec.count]
+            if not hosts:
+                raise ValueError(
+                    f"no host has {spec.count} data-bearing OSDs for a "
+                    "same-host fault"
+                )
+            host = rng.choice(sorted(hosts))
+            return rng.sample(by_host[host], spec.count)
+        if spec.colocation == Colocation.DIFFERENT_HOSTS:
+            hosts = sorted(by_host)
+            if len(hosts) < spec.count:
+                raise ValueError(
+                    f"only {len(hosts)} data-bearing hosts, need {spec.count}"
+                )
+            chosen_hosts = rng.sample(hosts, spec.count)
+            return [rng.choice(sorted(by_host[h])) for h in chosen_hosts]
+        if len(healthy) < spec.count:
+            raise ValueError(
+                f"only {len(healthy)} data-bearing OSDs, need {spec.count}"
+            )
+        return rng.sample(sorted(healthy), spec.count)
+
+    def _co_occurring_targets(self, spec: FaultSpec, healthy: Set[int], rng):
+        """Targets from a single PG's acting set honouring colocation.
+
+        Returns None when no acting set satisfies the constraint; the
+        caller falls back to topology-only selection.
+        """
+        topology = self.cluster.topology
+        candidates = []
+        for pg in self.cluster.pool.pgs.values():
+            if not pg.objects:
+                continue
+            usable = [o for o in pg.acting if o in healthy]
+            if spec.colocation == Colocation.SAME_HOST:
+                by_host: Dict[int, List[int]] = {}
+                for osd_id in usable:
+                    by_host.setdefault(topology.osds[osd_id].host_id, []).append(osd_id)
+                for host in sorted(by_host):
+                    if len(by_host[host]) >= spec.count:
+                        candidates.append((pg.pg_id, by_host[host][: spec.count]))
+                        break
+            elif spec.colocation == Colocation.DIFFERENT_HOSTS:
+                picked: List[int] = []
+                seen_hosts: Set[int] = set()
+                for osd_id in usable:
+                    host = topology.osds[osd_id].host_id
+                    if host not in seen_hosts:
+                        picked.append(osd_id)
+                        seen_hosts.add(host)
+                    if len(picked) == spec.count:
+                        candidates.append((pg.pg_id, picked))
+                        break
+            else:
+                if len(usable) >= spec.count:
+                    candidates.append((pg.pg_id, usable[: spec.count]))
+        if not candidates:
+            return None
+        return rng.choice(sorted(candidates))[1]
+
+    # -- application --------------------------------------------------------------------
+
+    def inject(self, spec: FaultSpec) -> List[int]:
+        """Validate and apply a fault; returns the affected OSD ids."""
+        self.validate(spec)
+        if spec.level == "node":
+            hosts = self._select_hosts(spec)
+            affected: List[int] = []
+            for host_id in hosts:
+                self.workers[host_id].shutdown_node()
+                affected.extend(self.cluster.topology.hosts[host_id].osd_ids)
+        else:
+            devices = self._select_devices(spec)
+            affected = []
+            for osd_id in devices:
+                host_id = self.cluster.topology.osds[osd_id].host_id
+                self.workers[host_id].remove_device(osd_id)
+                affected.append(osd_id)
+        self.injected_osds |= set(affected)
+        return sorted(affected)
+
+    def restore_all(self) -> None:
+        """Undo every injected fault via the owning workers."""
+        for worker in self.workers.values():
+            worker.restore()
+        self.injected_osds.clear()

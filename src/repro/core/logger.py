@@ -1,0 +1,126 @@
+"""Loggers — local parsing, keyword classification, and shipping (§3.3).
+
+Each DSS node's raw log is parsed *locally*: entries are classified by
+keyword (decoding, failure, recovery, heartbeat, ...), irrelevant ones
+are dropped, and only the classified remainder is published to the log
+bus — "to reduce the network traffic of log collection".  The
+Coordinator-side :class:`LogCollector` consumes every topic and performs
+the global sort/merge the timeline analysis runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..cluster.logs import LogRecord, NodeLog
+from .logbus import LogBus
+
+__all__ = ["ClassifiedRecord", "NodeLogger", "LogCollector", "KEYWORD_CLASSES"]
+
+#: Classification keywords, checked in order; first hit wins.  Mirrors the
+#: paper's examples ("decoding, failure, recovery, etc.").
+KEYWORD_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("failure", ("marking down", "no heartbeats", "shutdown", "removed nvme")),
+    ("osdmap", ("marking osd out", "osdmap changed", "marking up")),
+    ("recovery", (
+        "queueing recovery",
+        "check recovery resource",
+        "start recovery i/o",
+        "recovery completed",
+        "report recovery i/o",
+    )),
+    ("decoding", ("decode", "decoding")),
+    ("heartbeat", ("heartbeat",)),
+    ("provisioning", ("provisioned", "nvme namespace")),
+)
+
+
+@dataclass(frozen=True)
+class ClassifiedRecord:
+    """A raw log record plus its keyword class."""
+
+    record: LogRecord
+    keyword_class: str
+
+    @property
+    def time(self) -> float:
+        return self.record.time
+
+
+def classify(record: LogRecord) -> Optional[str]:
+    """Keyword class of a record, or None if irrelevant to EC analysis."""
+    message = record.message.lower()
+    for name, keywords in KEYWORD_CLASSES:
+        if any(keyword in message for keyword in keywords):
+            return name
+    return None
+
+
+class NodeLogger:
+    """ECFault Logger on one node: parse, classify, publish."""
+
+    def __init__(self, node_log: NodeLog, bus: LogBus):
+        self.node_log = node_log
+        self.bus = bus
+        self._shipped = 0
+        self.dropped = 0
+
+    def flush(self) -> int:
+        """Classify unshipped records, publish relevant ones; returns count."""
+        shipped = 0
+        for record in self.node_log.records[self._shipped :]:
+            keyword_class = classify(record)
+            if keyword_class is None:
+                self.dropped += 1
+            else:
+                self.bus.publish(
+                    topic=f"ecfault.logs.{keyword_class}",
+                    producer=self.node_log.node,
+                    time=record.time,
+                    payload=ClassifiedRecord(record, keyword_class),
+                )
+                shipped += 1
+        self._shipped = len(self.node_log.records)
+        return shipped
+
+
+class LogCollector:
+    """Coordinator-side consumer: global merge of all classified logs."""
+
+    def __init__(self, bus: LogBus, group: str = "coordinator"):
+        self.bus = bus
+        self.group = group
+        self.records: List[ClassifiedRecord] = []
+
+    def collect(self) -> int:
+        """Drain every topic; returns how many records arrived."""
+        arrived = 0
+        for topic in self.bus.topics():
+            if not topic.startswith("ecfault.logs."):
+                continue
+            for message in self.bus.consume(topic, self.group):
+                self.records.append(message.payload)
+                arrived += 1
+        # Global sort: by time, then by node for a stable merge.
+        self.records.sort(key=lambda r: (r.time, r.record.node))
+        return arrived
+
+    def of_class(self, keyword_class: str) -> List[ClassifiedRecord]:
+        return [r for r in self.records if r.keyword_class == keyword_class]
+
+    def first_matching(self, substring: str) -> Optional[ClassifiedRecord]:
+        """Earliest record whose message contains ``substring``."""
+        needle = substring.lower()
+        for record in self.records:
+            if needle in record.record.message.lower():
+                return record
+        return None
+
+    def last_matching(self, substring: str) -> Optional[ClassifiedRecord]:
+        """Latest record whose message contains ``substring``."""
+        needle = substring.lower()
+        for record in reversed(self.records):
+            if needle in record.record.message.lower():
+                return record
+        return None

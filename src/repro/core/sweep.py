@@ -1,0 +1,185 @@
+"""Configuration sweeps: grids of profiles run through one harness.
+
+The paper's method is inherently a sweep — "systematically inject faults
+to trigger EC recovery under various configurations" — and its §6 future
+work asks for broader coverage.  This module provides the machinery the
+benchmarks and the sensitivity analysis build on:
+
+* :class:`SweepSpec` — a base profile plus per-axis value lists; the
+  cartesian product defines the experiment grid.
+* :class:`SweepRunner` — runs every cell (optionally repeated over
+  seeds), collects :class:`SweepResult` rows, and can persist/reload
+  them as JSON so long sweeps are resumable and results are shareable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..workload.generator import Workload
+from .experiment import run_experiment
+from .fault_injector import FaultSpec
+from .profile import ExperimentProfile
+
+__all__ = ["SweepSpec", "SweepResult", "SweepRunner"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of configurations around a base profile.
+
+    ``axes`` maps a profile field name (e.g. ``"pg_num"``,
+    ``"stripe_unit"``, ``"cache_scheme"``) to the values to sweep; the
+    grid is the cartesian product.  ``ec_variants`` optionally sweeps
+    whole (plugin, params) pairs as an extra axis.
+    """
+
+    base: ExperimentProfile
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    ec_variants: Sequence[tuple] = ()
+
+    def __post_init__(self):
+        for axis in self.axes:
+            if not hasattr(self.base, axis):
+                raise ValueError(f"unknown profile field {axis!r}")
+            if not self.axes[axis]:
+                raise ValueError(f"axis {axis!r} has no values")
+
+    def cells(self) -> Iterator[ExperimentProfile]:
+        """Yield one profile per grid cell."""
+        axis_names = sorted(self.axes)
+        value_lists = [self.axes[name] for name in axis_names]
+        ec_list = list(self.ec_variants) or [
+            (self.base.ec_plugin, dict(self.base.ec_params))
+        ]
+        for plugin, params in ec_list:
+            for values in itertools.product(*value_lists):
+                overrides = dict(zip(axis_names, values))
+                overrides["ec_plugin"] = plugin
+                overrides["ec_params"] = dict(params)
+                label_parts = [plugin] + [
+                    f"{name}={value}" for name, value in overrides.items()
+                    if name not in ("ec_plugin", "ec_params")
+                ]
+                overrides["name"] = "/".join(label_parts)
+                yield self.base.with_overrides(**overrides)
+
+    def size(self) -> int:
+        """Number of grid cells."""
+        cells = 1
+        for values in self.axes.values():
+            cells *= len(values)
+        return cells * max(1, len(self.ec_variants) or 1)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One grid cell's measurements (averaged over seeds)."""
+
+    label: str
+    settings: Dict[str, Any]
+    recovery_time: float
+    checking_fraction: float
+    wa_actual: float
+    runs: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "settings": self.settings,
+            "recovery_time": self.recovery_time,
+            "checking_fraction": self.checking_fraction,
+            "wa_actual": self.wa_actual,
+            "runs": self.runs,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping[str, Any]) -> "SweepResult":
+        return cls(
+            label=blob["label"],
+            settings=dict(blob["settings"]),
+            recovery_time=blob["recovery_time"],
+            checking_fraction=blob["checking_fraction"],
+            wa_actual=blob["wa_actual"],
+            runs=blob["runs"],
+        )
+
+
+class SweepRunner:
+    """Executes a sweep, one fresh cluster per cell per seed."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        faults: Optional[Sequence[FaultSpec]] = None,
+        runs: int = 1,
+        base_seed: int = 0,
+        progress: Optional[Callable[[str, int, int], None]] = None,
+    ):
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        self.workload = workload
+        self.faults = list(faults) if faults is not None else [FaultSpec(level="node")]
+        self.runs = runs
+        self.base_seed = base_seed
+        self.progress = progress
+
+    def run(self, spec: SweepSpec) -> List[SweepResult]:
+        """Run every cell; returns results in grid order."""
+        results: List[SweepResult] = []
+        cells = list(spec.cells())
+        for index, profile in enumerate(cells):
+            if self.progress is not None:
+                self.progress(profile.name, index, len(cells))
+            results.append(self._run_cell(profile))
+        return results
+
+    def _run_cell(self, profile: ExperimentProfile) -> SweepResult:
+        times: List[float] = []
+        fractions: List[float] = []
+        was: List[float] = []
+        for run in range(self.runs):
+            outcome = run_experiment(
+                profile, self.workload, self.faults,
+                seed=self.base_seed + run,
+            )
+            was.append(outcome.wa.actual)
+            if outcome.timeline is not None:
+                times.append(outcome.timeline.total_recovery)
+                fractions.append(outcome.timeline.checking_fraction)
+        settings = {
+            "ec_plugin": profile.ec_plugin,
+            "ec_params": dict(profile.ec_params),
+            "pg_num": profile.pg_num,
+            "stripe_unit": profile.stripe_unit,
+            "cache_scheme": profile.cache_scheme,
+            "failure_domain": profile.failure_domain,
+        }
+        return SweepResult(
+            label=profile.name,
+            settings=settings,
+            recovery_time=sum(times) / len(times) if times else 0.0,
+            checking_fraction=sum(fractions) / len(fractions) if fractions else 0.0,
+            wa_actual=sum(was) / len(was),
+            runs=self.runs,
+        )
+
+    # -- persistence ---------------------------------------------------------------
+
+    @staticmethod
+    def save(results: Sequence[SweepResult], path) -> None:
+        """Write results as a JSON document."""
+        blob = {"version": 1, "results": [r.to_json() for r in results]}
+        pathlib.Path(path).write_text(json.dumps(blob, indent=2))
+
+    @staticmethod
+    def load(path) -> List[SweepResult]:
+        """Reload results written by :meth:`save`."""
+        blob = json.loads(pathlib.Path(path).read_text())
+        if blob.get("version") != 1:
+            raise ValueError(f"unsupported sweep file version: {blob.get('version')!r}")
+        return [SweepResult.from_json(r) for r in blob["results"]]

@@ -1,0 +1,106 @@
+"""Recovery-cycle timeline analysis (the paper's §4.3 / Figure 3).
+
+Segments one system recovery cycle from the merged, classified logs —
+the same way the paper annotates Figure 3 with MGR/OSD log lines:
+
+* ``failure detected`` — MON marks the OSD down (t = 0 of Figure 3);
+* **System Checking Period** — heartbeats, the down->out interval,
+  resource checks, collecting missing OSDs, queueing, peering;
+* ``EC Recovery started`` — the first "start recovery I/O" line;
+* **EC Recovery Period** — the actual repair reads/decodes/writes;
+* ``EC Recovery finished`` — the last "recovery completed" line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .logger import LogCollector
+
+__all__ = ["RecoveryTimeline", "TimelineError", "build_timeline"]
+
+
+class TimelineError(RuntimeError):
+    """The logs do not contain a complete recovery cycle."""
+
+
+@dataclass(frozen=True)
+class RecoveryTimeline:
+    """Absolute timestamps of one recovery cycle plus derived metrics."""
+
+    fault_injected: Optional[float]
+    failure_detected: float
+    marked_out: float
+    recovery_queued: float
+    ec_recovery_started: float
+    ec_recovery_finished: float
+
+    @property
+    def checking_period(self) -> float:
+        """Detection -> first recovery I/O (the paper's checking period)."""
+        return self.ec_recovery_started - self.failure_detected
+
+    @property
+    def ec_recovery_period(self) -> float:
+        return self.ec_recovery_finished - self.ec_recovery_started
+
+    @property
+    def total_recovery(self) -> float:
+        """The overall system recovery period (detection -> finished)."""
+        return self.ec_recovery_finished - self.failure_detected
+
+    @property
+    def checking_fraction(self) -> float:
+        """Share of the cycle spent checking (41%-58% in the paper)."""
+        if self.total_recovery <= 0:
+            return 0.0
+        return self.checking_period / self.total_recovery
+
+    def annotations(self) -> List[Tuple[float, str]]:
+        """(relative time, label) pairs matching Figure 3's annotations."""
+        zero = self.failure_detected
+        return [
+            (0.0, "Failure detected"),
+            (self.marked_out - zero, "OSD marked out (osdmap change)"),
+            (self.recovery_queued - zero, "collecting missing OSDs, queueing recovery"),
+            (self.ec_recovery_started - zero, "EC Recovery started"),
+            (self.ec_recovery_finished - zero, "EC Recovery finished"),
+        ]
+
+
+def build_timeline(collector: LogCollector) -> RecoveryTimeline:
+    """Extract the recovery timeline from collected logs.
+
+    Raises :class:`TimelineError` when a phase marker is missing (e.g.,
+    the experiment ended before recovery finished).
+    """
+    injected = collector.first_matching("shutdown") or collector.first_matching(
+        "removed nvme"
+    )
+    detected = collector.first_matching("marking down")
+    out = collector.first_matching("marking osd out")
+    queued = collector.first_matching("queueing recovery")
+    started = collector.first_matching("start recovery i/o")
+    finished = collector.last_matching("recovery completed")
+    missing = [
+        name
+        for name, record in (
+            ("failure detection", detected),
+            ("mark-out", out),
+            ("recovery queueing", queued),
+            ("recovery start", started),
+            ("recovery completion", finished),
+        )
+        if record is None
+    ]
+    if missing:
+        raise TimelineError(f"incomplete recovery cycle; missing: {missing}")
+    return RecoveryTimeline(
+        fault_injected=injected.time if injected else None,
+        failure_detected=detected.time,
+        marked_out=out.time,
+        recovery_queued=queued.time,
+        ec_recovery_started=started.time,
+        ec_recovery_finished=finished.time,
+    )

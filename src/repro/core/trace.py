@@ -1,0 +1,166 @@
+"""Trace export and anomaly spotting over collected experiment data.
+
+§3.3 gives the Logger pipeline its purpose: "to facilitate fine-grained
+measurements and in-depth analysis of potential anomalies and
+bottlenecks".  This module is that analysis end of the pipeline:
+
+* :func:`export_logs_jsonl` / :func:`export_timeline_csv` — durable,
+  tool-friendly dumps of an experiment's classified logs and phases;
+* :func:`pg_recovery_spans` — per-PG recovery durations recovered from
+  the logs alone (no simulator internals);
+* :func:`find_anomalies` — straggler PGs and outlier devices, the
+  "potential anomalies and bottlenecks" the paper wants surfaced.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..workload.iostat import IostatCollector
+from .coordinator import ExperimentOutcome
+from .logger import LogCollector
+
+__all__ = [
+    "export_logs_jsonl",
+    "export_timeline_csv",
+    "PgSpan",
+    "pg_recovery_spans",
+    "Anomaly",
+    "find_anomalies",
+]
+
+
+def export_logs_jsonl(collector: LogCollector, path) -> int:
+    """Write every classified record as one JSON object per line."""
+    lines = []
+    for classified in collector.records:
+        record = classified.record
+        lines.append(
+            json.dumps(
+                {
+                    "time": record.time,
+                    "node": record.node,
+                    "subsystem": record.subsystem,
+                    "class": classified.keyword_class,
+                    "message": record.message,
+                    "fields": dict(record.fields),
+                },
+                sort_keys=True,
+            )
+        )
+    pathlib.Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def export_timeline_csv(outcome: ExperimentOutcome, path) -> None:
+    """Write the recovery phases as a small CSV (phase, start, end)."""
+    timeline = outcome.timeline
+    if timeline is None:
+        raise ValueError("experiment has no recovery timeline to export")
+    rows = [
+        ("checking", timeline.failure_detected, timeline.ec_recovery_started),
+        ("ec_recovery", timeline.ec_recovery_started, timeline.ec_recovery_finished),
+    ]
+    lines = ["phase,start_s,end_s,duration_s"]
+    for phase, start, end in rows:
+        lines.append(f"{phase},{start:.3f},{end:.3f},{end - start:.3f}")
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+@dataclass(frozen=True)
+class PgSpan:
+    """One PG's recovery window, reconstructed from logs."""
+
+    pgid: str
+    queued_at: float
+    completed_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.queued_at
+
+
+def pg_recovery_spans(collector: LogCollector) -> List[PgSpan]:
+    """Per-PG queue->complete spans from the classified recovery logs."""
+    queued: Dict[str, float] = {}
+    spans: List[PgSpan] = []
+    for classified in collector.of_class("recovery"):
+        record = classified.record
+        pgid = record.field("pg")
+        if pgid is None:
+            continue
+        message = record.message.lower()
+        if "queueing recovery" in message:
+            queued.setdefault(pgid, record.time)
+        elif message == "recovery completed" and pgid in queued:
+            spans.append(
+                PgSpan(pgid=pgid, queued_at=queued.pop(pgid),
+                       completed_at=record.time)
+            )
+    return sorted(spans, key=lambda span: span.duration, reverse=True)
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged anomaly: what, where, and how far off it is."""
+
+    kind: str  # "straggler-pg" | "hot-device"
+    subject: str
+    value: float
+    median: float
+
+    @property
+    def factor(self) -> float:
+        return self.value / self.median if self.median else float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}: {self.subject} at {self.value:.1f} "
+            f"({self.factor:.1f}x the median {self.median:.1f})"
+        )
+
+
+def find_anomalies(
+    collector: LogCollector,
+    iostat: Optional[IostatCollector] = None,
+    threshold: float = 3.0,
+) -> List[Anomaly]:
+    """Straggler PGs (by recovery duration) and hot devices (by bytes).
+
+    Anything beyond ``threshold`` times the median is flagged — the
+    simple robust rule the paper's bottleneck analysis needs.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0")
+    anomalies: List[Anomaly] = []
+    spans = pg_recovery_spans(collector)
+    if len(spans) >= 3:
+        median = statistics.median(span.duration for span in spans)
+        if median > 0:
+            anomalies.extend(
+                Anomaly("straggler-pg", span.pgid, span.duration, median)
+                for span in spans
+                if span.duration > threshold * median
+            )
+    if iostat is not None and iostat.samples:
+        totals: Dict[str, int] = {}
+        for sample in iostat.samples:
+            totals[sample.device] = (
+                totals.get(sample.device, 0)
+                + sample.read_bytes
+                + sample.written_bytes
+            )
+        busy = {d: b for d, b in totals.items() if b > 0}
+        if len(busy) >= 3:
+            median = statistics.median(busy.values())
+            if median > 0:
+                anomalies.extend(
+                    Anomaly("hot-device", device, float(total), float(median))
+                    for device, total in sorted(busy.items())
+                    if total > threshold * median
+                )
+    return anomalies

@@ -1,0 +1,98 @@
+"""Workers — ECFault's per-node agents (§3).
+
+One Worker runs on every DataNode of the target DSS and does two things:
+
+* **Virtual disk provisioning**: creates NVMe subsystems on the node's
+  NVMe-oF target and connects them to the local OSDs, replacing physical
+  disks so device state is under framework control (§3.1).
+* **DSS manipulation**: applies the faults the Controller requests —
+  shutting the node down (node-level fault) or removing an NVMe
+  subsystem (device-level fault) — and restores state afterwards (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..cluster.ceph import CephCluster
+from ..cluster.nvme import NvmeSubsystem, NvmeTarget, default_nqn
+
+__all__ = ["Worker", "deploy_workers"]
+
+
+class Worker:
+    """ECFault agent on one DataNode (OSD host)."""
+
+    def __init__(self, cluster: CephCluster, host_id: int):
+        self.cluster = cluster
+        self.host = cluster.topology.hosts[host_id]
+        self.target = NvmeTarget(self.host.name)
+        self.log = cluster.host_logs[host_id]
+        self._removed: Dict[int, NvmeSubsystem] = {}
+        self._was_shutdown = False
+
+    # -- provisioning (§3.1) --------------------------------------------------------
+
+    def provision_disks(self) -> List[str]:
+        """Export each OSD's backing disk via NVMe-oF and attach it.
+
+        Returns the NQNs created.  Idempotent per host: provisioning an
+        already-provisioned host raises, mirroring nvmetcli behaviour.
+        """
+        nqns: List[str] = []
+        for index, osd_id in enumerate(self.host.osd_ids):
+            nqn = default_nqn(self.host.name, index)
+            disk = self.cluster.topology.osds[osd_id].disk
+            self.target.create_subsystem(nqn, disk)
+            self.target.connect(nqn, osd_id)
+            nqns.append(nqn)
+        self.log.emit(
+            self.cluster.env.now, "client",
+            "provisioned virtual NVMe namespaces", count=len(nqns),
+        )
+        return nqns
+
+    def nqn_of(self, osd_id: int) -> str:
+        """The NQN currently backing an OSD on this host."""
+        for nqn, subsystem in self.target.subsystems.items():
+            if subsystem.attached_osd == osd_id:
+                return nqn
+        raise KeyError(f"osd.{osd_id} has no attached subsystem on {self.host.name}")
+
+    # -- fault application (§3.2) ------------------------------------------------------
+
+    def shutdown_node(self) -> None:
+        """Node-level fault: stop every daemon on this host."""
+        for osd_id in self.host.osd_ids:
+            self.cluster.osds[osd_id].host_running = False
+        self._was_shutdown = True
+        self.log.emit(self.cluster.env.now, "client", "node shutdown requested")
+
+    def remove_device(self, osd_id: int) -> None:
+        """Device-level fault: tear down the OSD's NVMe subsystem."""
+        nqn = self.nqn_of(osd_id)
+        subsystem = self.target.remove_subsystem(nqn)
+        self._removed[osd_id] = subsystem
+        self.log.emit(
+            self.cluster.env.now, "client",
+            "removed NVMe subsystem", nqn=nqn, osd=f"osd.{osd_id}",
+        )
+
+    def restore(self) -> None:
+        """Undo all faults this worker applied (experiment teardown)."""
+        if self._was_shutdown:
+            for osd_id in self.host.osd_ids:
+                self.cluster.osds[osd_id].host_running = True
+            self._was_shutdown = False
+        for osd_id, subsystem in list(self._removed.items()):
+            self.target.restore_subsystem(subsystem)
+            del self._removed[osd_id]
+
+
+def deploy_workers(cluster: CephCluster, provision: bool = True) -> Dict[int, Worker]:
+    """Stand up one Worker per OSD host, optionally provisioning disks."""
+    workers = {host_id: Worker(cluster, host_id) for host_id in cluster.topology.hosts}
+    if provision:
+        for worker in workers.values():
+            worker.provision_disks()
+    return workers

@@ -1,0 +1,464 @@
+"""Clay codes — coupled-layer MSR codes (the ``clay`` plugin).
+
+Implements the construction of Vajha et al., "Clay Codes: Moulding MDS
+Codes to Yield an MSR Code" (FAST '18), which Ceph ships as the ``clay``
+erasure-code plugin the paper evaluates as Clay(12,9,11).
+
+Geometry.  A Clay(n=k+m, k, d) code has repair degree ``q = d - k + 1``
+and requires ``q | n``; with ``t = n / q`` each codeword is a 3-D array of
+GF(256) symbols ``C(x, y, z)`` where the column ``(x, y)`` (with
+``x in [0,q)``, ``y in [0,t)``) is one storage node and ``z`` ranges over
+the ``alpha = q^t`` *planes* (the sub-packetisation level).  Node ``i``
+maps to ``(x, y) = (i % q, i // q)``.
+
+Coupling.  A vertex ``(x, y, z)`` with ``z_y == x`` is *unpaired*;
+otherwise its companion is ``(z_y, y, z')`` with ``z' = z`` except
+``z'_y = x``.  Coupled values C relate to uncoupled values U through the
+symmetric invertible transform::
+
+    C_v = U_v + gamma * U_comp        U_v = (C_v + gamma * C_comp) / (1 + gamma^2)
+
+Within every plane the uncoupled symbols across the n nodes form a
+codeword of a scalar [n, k] MDS code.  Decoding ``e <= m`` erased nodes
+proceeds plane-by-plane in increasing *intersection score* order (the
+layered decoder), and a single failed node is repaired reading only
+``beta = alpha / q`` sub-chunks from each of the ``d = n - 1`` helpers —
+the MSR repair-bandwidth optimum that motivates Clay over Reed–Solomon.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .base import (
+    ErasureCode,
+    InsufficientChunksError,
+    RepairPlan,
+    RepairRead,
+    register_plugin,
+)
+from .galois import gf_inv, gf_mul
+from .matrix import (
+    SingularMatrixError,
+    identity,
+    invert,
+    mat_vec_apply,
+    systematic_vandermonde_generator,
+)
+
+__all__ = ["ClayCode"]
+
+Vertex = Tuple[int, int, Tuple[int, ...]]
+
+
+@register_plugin("clay")
+class ClayCode(ErasureCode):
+    """Clay(k+m, k, d) vector MDS code with optimal single-node repair."""
+
+    cpu_cost_factor = 1.5
+
+    def __init__(self, k: int, m: int, d: int = 0, gamma: int = 2):
+        super().__init__(k, m)
+        n = k + m
+        if d == 0:
+            d = n - 1
+        if not k <= d <= n - 1:
+            raise ValueError(f"Clay requires k <= d <= n-1, got d={d} (k={k}, n={n})")
+        self.d = d
+        self.q = d - k + 1
+        if n % self.q != 0:
+            raise ValueError(
+                f"Clay requires q=d-k+1 to divide n: q={self.q}, n={n}"
+            )
+        self.t = n // self.q
+        self.alpha = self.q ** self.t
+        self.beta = self.alpha // self.q
+        # Plane-level scalar MDS code and its parity-check H = [P | I_m].
+        self.generator = systematic_vandermonde_generator(n, k)
+        parity_rows = self.generator[k:]
+        self.parity_check = np.hstack([parity_rows, identity(m)])
+        if d == n - 1:
+            self.gamma = self._choose_gamma(gamma)
+        else:
+            # Optimal repair needs q == m; the layered decoder below works
+            # for any coupling coefficient outside {0, 1}.
+            if gamma in (0, 1):
+                raise ValueError("gamma must not be 0 or 1")
+            self.gamma = gamma
+        self._inv_det = gf_inv(1 ^ gf_mul(self.gamma, self.gamma))
+        if d == n - 1:
+            self._repair_inverse = {
+                node: invert(self._repair_system(node)) for node in range(n)
+            }
+        else:
+            self._repair_inverse = {}
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def sub_chunk_count(self) -> int:
+        return self.alpha
+
+    def node_coords(self, node: int) -> Tuple[int, int]:
+        """Map node index to its (x, y) column coordinates."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"node index {node} out of range")
+        return node % self.q, node // self.q
+
+    def coords_node(self, x: int, y: int) -> int:
+        return y * self.q + x
+
+    def planes(self) -> List[Tuple[int, ...]]:
+        """All alpha plane vectors z in lexicographic order."""
+        return [tuple(z) for z in itertools.product(range(self.q), repeat=self.t)]
+
+    def plane_index(self, z: Sequence[int]) -> int:
+        """Lexicographic rank of plane z (z[0] most significant)."""
+        index = 0
+        for digit in z:
+            index = index * self.q + digit
+        return index
+
+    def is_unpaired(self, x: int, y: int, z: Sequence[int]) -> bool:
+        return z[y] == x
+
+    def companion(self, x: int, y: int, z: Tuple[int, ...]) -> Vertex:
+        """The coupled partner vertex of (x, y, z); requires a paired vertex."""
+        x2 = z[y]
+        z2 = z[:y] + (x,) + z[y + 1 :]
+        return x2, y, z2
+
+    def intersection_score(self, z: Sequence[int], erased: Iterable[int]) -> int:
+        """Number of erased columns (x*, y*) that are unpaired in plane z."""
+        score = 0
+        for node in erased:
+            x, y = self.node_coords(node)
+            if z[y] == x:
+                score += 1
+        return score
+
+    def repair_plane_indices(self, lost_node: int) -> List[int]:
+        """Sorted plane indices read from helpers to repair ``lost_node``."""
+        x0, y0 = self.node_coords(lost_node)
+        return sorted(
+            self.plane_index(z) for z in self.planes() if z[y0] == x0
+        )
+
+    # -- coupling transforms ---------------------------------------------------
+
+    def _uncouple(self, c_self: np.ndarray, c_comp: np.ndarray) -> np.ndarray:
+        """U_v from the coupled pair (C_v, C_companion)."""
+        gamma = self.gamma
+        mixed = c_self ^ _scale(gamma, c_comp)
+        return _scale(self._inv_det, mixed)
+
+    def _couple_from_u_pair(self, u_self: np.ndarray, u_comp: np.ndarray) -> np.ndarray:
+        """C_v when both uncoupled pair values are known."""
+        return u_self ^ _scale(self.gamma, u_comp)
+
+    def _couple_from_u_and_c(self, u_self: np.ndarray, c_comp: np.ndarray) -> np.ndarray:
+        """C_v when U_v and the companion's coupled value are known."""
+        det = 1 ^ gf_mul(self.gamma, self.gamma)
+        return _scale(det, u_self) ^ _scale(self.gamma, c_comp)
+
+    # -- encode / decode -------------------------------------------------------
+
+    def encode(self, data: bytes) -> List[np.ndarray]:
+        data_chunks = self._split_payload(data)
+        lane = len(data_chunks[0]) // self.alpha
+        available = {
+            i: chunk.reshape(self.alpha, lane) for i, chunk in enumerate(data_chunks)
+        }
+        parities = self._layered_decode(available, list(range(self.k, self.n)), lane)
+        chunks = list(data_chunks)
+        for i in range(self.k, self.n):
+            chunks.append(parities[i].reshape(-1))
+        return chunks
+
+    def decode_chunks(
+        self, available: Mapping[int, np.ndarray], wanted: Iterable[int]
+    ) -> Dict[int, np.ndarray]:
+        wanted_list = sorted(set(wanted))
+        self._validate_failure(wanted_list, available.keys())
+        erased = sorted(set(range(self.n)) - set(available))
+        if len(erased) > self.m:
+            raise InsufficientChunksError(
+                f"{len(erased)} erasures exceed fault tolerance m={self.m}"
+            )
+        first = np.asarray(next(iter(available.values())))
+        if first.size % self.alpha != 0:
+            raise ValueError(
+                f"chunk size {first.size} is not a multiple of alpha={self.alpha}"
+            )
+        lane = first.size // self.alpha
+        planes_by_node = {
+            node: np.asarray(chunk).reshape(self.alpha, lane)
+            for node, chunk in available.items()
+        }
+        solved = self._layered_decode(planes_by_node, erased, lane)
+        return {i: solved[i].reshape(-1) for i in wanted_list}
+
+    def _layered_decode(
+        self,
+        available: Mapping[int, np.ndarray],
+        erased: Sequence[int],
+        lane: int,
+    ) -> Dict[int, np.ndarray]:
+        """Recover coupled chunks at ``erased`` nodes, layer by layer.
+
+        ``available`` maps node -> (alpha, lane) array of coupled values.
+        Every node is either in ``available`` or ``erased``.
+        """
+        erased = sorted(erased)
+        alive = sorted(available)
+        chosen = alive[: self.k]
+        solve_inverse = invert(self.generator[chosen])
+        erased_rows = self.generator[erased]
+
+        # C values: known planes for alive nodes, filled in for erased ones.
+        coupled: Dict[int, np.ndarray] = {
+            node: np.asarray(available[node]) for node in alive
+        }
+        for node in erased:
+            coupled[node] = np.zeros((self.alpha, lane), dtype=np.uint8)
+        recovered_planes = {node: set() for node in erased}
+
+        groups: Dict[int, List[Tuple[int, ...]]] = {}
+        for z in self.planes():
+            groups.setdefault(self.intersection_score(z, erased), []).append(z)
+
+        u_erased: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        for score in sorted(groups):
+            group = groups[score]
+            # Step 1: compute U at alive nodes and MDS-solve U at erased ones.
+            for z in group:
+                zi = self.plane_index(z)
+                u_alive: Dict[int, np.ndarray] = {}
+                for node in alive:
+                    x, y = self.node_coords(node)
+                    if self.is_unpaired(x, y, z):
+                        u_alive[node] = coupled[node][zi]
+                        continue
+                    cx, cy, cz = self.companion(x, y, z)
+                    comp_node = self.coords_node(cx, cy)
+                    comp_zi = self.plane_index(cz)
+                    if comp_node in available:
+                        c_comp = coupled[comp_node][comp_zi]
+                    else:
+                        # Companion plane has score-1 less; already recovered.
+                        if comp_zi not in recovered_planes[comp_node]:
+                            raise AssertionError(
+                                "layered decode ordering violated"
+                            )
+                        c_comp = coupled[comp_node][comp_zi]
+                    u_alive[node] = self._uncouple(coupled[node][zi], c_comp)
+                message = mat_vec_apply(solve_inverse, [u_alive[i] for i in chosen])
+                solved = mat_vec_apply(erased_rows, message)
+                for node, value in zip(erased, solved):
+                    u_erased[(node, z)] = value
+            # Step 2: turn U back into C at erased vertices of this group.
+            for z in group:
+                zi = self.plane_index(z)
+                for node in erased:
+                    x, y = self.node_coords(node)
+                    if self.is_unpaired(x, y, z):
+                        coupled[node][zi] = u_erased[(node, z)]
+                    else:
+                        cx, cy, cz = self.companion(x, y, z)
+                        comp_node = self.coords_node(cx, cy)
+                        comp_zi = self.plane_index(cz)
+                        if comp_node in available:
+                            coupled[node][zi] = self._couple_from_u_and_c(
+                                u_erased[(node, z)], coupled[comp_node][comp_zi]
+                            )
+                        else:
+                            coupled[node][zi] = self._couple_from_u_pair(
+                                u_erased[(node, z)], u_erased[(comp_node, cz)]
+                            )
+                    recovered_planes[node].add(zi)
+        return {node: coupled[node] for node in erased}
+
+    # -- bandwidth-optimal single-node repair -----------------------------------
+
+    def repair_chunk(
+        self, lost_node: int, helper_reads: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Rebuild ``lost_node`` from beta sub-chunks per helper.
+
+        ``helper_reads`` maps each of the d = n-1 surviving nodes to a
+        ``(beta, lane)`` (or flat ``beta * lane``) array holding that
+        node's sub-chunks for :meth:`repair_plane_indices`, in sorted
+        plane order.  Returns the full repaired chunk, flattened.
+        """
+        if self.d != self.n - 1:
+            raise NotImplementedError("optimal repair implemented for d = n-1")
+        survivors = sorted(helper_reads)
+        expected = [i for i in range(self.n) if i != lost_node]
+        if survivors != expected:
+            raise InsufficientChunksError(
+                f"repair of node {lost_node} needs all {self.n - 1} helpers"
+            )
+        x0, y0 = self.node_coords(lost_node)
+        repair_planes = [z for z in self.planes() if z[y0] == x0]
+        plane_rank = {
+            self.plane_index(z): pos
+            for pos, z in enumerate(sorted(repair_planes, key=self.plane_index))
+        }
+        first = np.asarray(helper_reads[survivors[0]])
+        lane = first.size // self.beta
+        reads = {
+            node: np.asarray(block).reshape(self.beta, lane)
+            for node, block in helper_reads.items()
+        }
+
+        def helper_c(node: int, z: Tuple[int, ...]) -> np.ndarray:
+            return reads[node][plane_rank[self.plane_index(z)]]
+
+        inverse = self._repair_inverse[lost_node]
+        others = [x for x in range(self.q) if x != x0]
+        chunk = np.zeros((self.alpha, lane), dtype=np.uint8)
+        h = self.parity_check
+        for z in repair_planes:
+            rhs_blocks = []
+            for row in range(self.m):
+                acc = np.zeros(lane, dtype=np.uint8)
+                for node in survivors:
+                    coeff = int(h[row, node])
+                    if coeff == 0:
+                        continue
+                    x, y = self.node_coords(node)
+                    if y == y0:
+                        # U depends on an unknown companion at the failed
+                        # node; only the known C part lands in the RHS.
+                        known = _scale(self._inv_det, helper_c(node, z))
+                        acc ^= _scale(coeff, known)
+                        continue
+                    if self.is_unpaired(x, y, z):
+                        u_val = helper_c(node, z)
+                    else:
+                        cx, cy, cz = self.companion(x, y, z)
+                        comp_node = self.coords_node(cx, cy)
+                        u_val = self._uncouple(
+                            helper_c(node, z), helper_c(comp_node, cz)
+                        )
+                    acc ^= _scale(coeff, u_val)
+                rhs_blocks.append(acc)
+            solution = mat_vec_apply(inverse, rhs_blocks)
+            # Unknown 0 is U = C at the lost node in this (unpaired) plane.
+            chunk[self.plane_index(z)] = solution[0]
+            # Unknowns 1.. are the lost node's C values in companion planes.
+            for pos, x in enumerate(others, start=1):
+                cz = z[:y0] + (x,) + z[y0 + 1 :]
+                chunk[self.plane_index(cz)] = solution[pos]
+        return chunk.reshape(-1)
+
+    def _repair_system(self, lost_node: int) -> np.ndarray:
+        """The per-plane linear system solved during optimal repair.
+
+        Unknowns: [U(lost, z)] + [C(lost, z(y0 -> x)) for each x != x0].
+        Equations: the m parity checks of the plane code.  The system is
+        identical for every repair plane of a given lost node.
+        """
+        x0, y0 = self.node_coords(lost_node)
+        others = [x for x in range(self.q) if x != x0]
+        if len(others) + 1 != self.m:
+            raise SingularMatrixError(
+                "repair system is square only when d = n-1 (q = m)"
+            )
+        system = np.zeros((self.m, self.m), dtype=np.uint8)
+        for row in range(self.m):
+            system[row, 0] = self.parity_check[row, lost_node]
+            for pos, x in enumerate(others, start=1):
+                node = self.coords_node(x, y0)
+                coeff = gf_mul(
+                    int(self.parity_check[row, node]),
+                    gf_mul(self._inv_det, self.gamma),
+                )
+                system[row, pos] = coeff
+        return system
+
+    def _choose_gamma(self, preferred: int) -> int:
+        """Pick a coupling coefficient making every repair system invertible."""
+        candidates = [preferred] + [g for g in range(2, 256) if g != preferred]
+        for gamma in candidates:
+            if gamma in (0, 1):
+                continue
+            self.gamma = gamma
+            self._inv_det = gf_inv(1 ^ gf_mul(gamma, gamma))
+            try:
+                for node in range(self.n):
+                    invert(self._repair_system(node))
+            except SingularMatrixError:
+                continue
+            return gamma
+        raise SingularMatrixError("no usable coupling coefficient gamma found")
+
+    # -- repair planning for the simulator ---------------------------------------
+
+    def repair_plan(self, lost: Iterable[int], alive: Iterable[int]) -> RepairPlan:
+        """Clay repair I/O: partial-plane reads scaled to the failure count.
+
+        A single failure reads ``beta = alpha/q`` sub-chunks (``1/q`` of
+        every helper chunk) from each of the d helpers.  For f <= m
+        concurrent failures the decoder needs the *union* of the failed
+        nodes' repair-plane sets from every survivor — a fraction that
+        grows as ``1 - (1 - 1/q)^f``, which is why Clay's bandwidth
+        advantage over Reed-Solomon shrinks as failures accumulate (§4.2
+        of the paper; multiple-node repair in the Clay paper).  Reads are
+        scattered over ``io_ops`` contiguous runs per helper chunk.
+        """
+        lost_set = self._validate_failure(lost, alive)
+        alive_list = sorted(set(alive))
+        if len(lost_set) == 1 and len(alive_list) >= self.d:
+            (lost_node,) = lost_set
+            runs = _contiguous_runs(self.repair_plane_indices(lost_node))
+            reads = tuple(
+                RepairRead(chunk_index=i, fraction=1.0 / self.q, io_ops=runs)
+                for i in alive_list[: self.d]
+            )
+            return RepairPlan(lost=(lost_node,), reads=reads, decode_work=1.5)
+        if len(alive_list) == self.n - len(lost_set):
+            # Every survivor helps: partial-plane multi-node repair.
+            plane_union = sorted(
+                set().union(*(self.repair_plane_indices(node) for node in lost_set))
+            )
+            fraction = len(plane_union) / float(self.alpha)
+            if fraction < 1.0:
+                runs = _contiguous_runs(plane_union)
+                reads = tuple(
+                    RepairRead(chunk_index=i, fraction=fraction, io_ops=runs)
+                    for i in alive_list
+                )
+                return RepairPlan(
+                    lost=tuple(sorted(lost_set)), reads=reads, decode_work=2.0
+                )
+        # Degraded helper set (or the union covers everything): fall back
+        # to a conventional k-chunk full decode.
+        reads = tuple(
+            RepairRead(chunk_index=i, fraction=1.0, io_ops=1)
+            for i in alive_list[: self.k]
+        )
+        return RepairPlan(
+            lost=tuple(sorted(lost_set)), reads=reads, decode_work=2.0
+        )
+
+
+def _scale(scalar: int, block: np.ndarray) -> np.ndarray:
+    """scalar * block over GF(256) (returns a new array)."""
+    from .galois import mul_scalar_vector
+
+    return mul_scalar_vector(scalar, block)
+
+
+def _contiguous_runs(sorted_indices: Sequence[int]) -> int:
+    """Number of maximal runs of consecutive integers."""
+    runs = 0
+    previous = None
+    for idx in sorted_indices:
+        if previous is None or idx != previous + 1:
+            runs += 1
+        previous = idx
+    return max(runs, 1)

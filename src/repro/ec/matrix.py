@@ -1,0 +1,212 @@
+"""Matrix algebra over GF(256).
+
+Matrices are ``numpy.uint8`` 2-D arrays.  These routines back every code in
+the package: Vandermonde/Cauchy generator construction for Reed–Solomon,
+sub-matrix inversion for decoding, and general linear solves for LRC and
+SHEC global repairs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .galois import addmul_scalar_vector, gf_inv, gf_mul, gf_pow
+
+__all__ = [
+    "SingularMatrixError",
+    "matmul",
+    "mat_vec_apply",
+    "identity",
+    "invert",
+    "rank",
+    "solve",
+    "vandermonde",
+    "cauchy",
+    "systematic_vandermonde_generator",
+]
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a decode requires inverting a singular matrix."""
+
+
+def identity(size: int) -> np.ndarray:
+    """The size x size identity matrix over GF(256)."""
+    return np.identity(size, dtype=np.uint8)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256)."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        row = out[i]
+        for j in range(a.shape[1]):
+            addmul_scalar_vector(row, int(a[i, j]), b[j])
+    return out
+
+
+def mat_vec_apply(matrix: np.ndarray, vectors: Sequence[np.ndarray]) -> list:
+    """Apply ``matrix`` to a block vector of equal-length uint8 arrays.
+
+    ``vectors[j]`` is the j-th input block; the result is a list of output
+    blocks, ``out[i] = XOR_j matrix[i][j] * vectors[j]``.  This is the bulk
+    encode/decode path: each block may be megabytes.
+    """
+    if matrix.shape[1] != len(vectors):
+        raise ValueError(
+            f"matrix has {matrix.shape[1]} columns but {len(vectors)} blocks given"
+        )
+    length = len(vectors[0]) if vectors else 0
+    for vec in vectors:
+        if len(vec) != length:
+            raise ValueError("all blocks must have equal length")
+    outputs = []
+    for i in range(matrix.shape[0]):
+        acc = np.zeros(length, dtype=np.uint8)
+        for j, vec in enumerate(vectors):
+            addmul_scalar_vector(acc, int(matrix[i, j]), vec)
+        outputs.append(acc)
+    return outputs
+
+
+def invert(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix via Gauss–Jordan elimination.
+
+    Raises :class:`SingularMatrixError` if no inverse exists.
+    """
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError(f"matrix is not square: {matrix.shape}")
+    work = matrix.astype(np.uint8).copy()
+    inverse = identity(size)
+    for col in range(size):
+        pivot_row = None
+        for row in range(col, size):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise SingularMatrixError(f"singular matrix (column {col})")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = gf_inv(int(work[col, col]))
+        for j in range(size):
+            work[col, j] = gf_mul(int(work[col, j]), pivot_inv)
+            inverse[col, j] = gf_mul(int(inverse[col, j]), pivot_inv)
+        for row in range(size):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            addmul_scalar_vector(work[row], factor, work[col].copy())
+            addmul_scalar_vector(inverse[row], factor, inverse[col].copy())
+    return inverse
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of a (possibly rectangular) matrix over GF(256)."""
+    work = matrix.astype(np.uint8).copy()
+    rows, cols = work.shape
+    r = 0
+    for col in range(cols):
+        pivot_row = None
+        for row in range(r, rows):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            continue
+        if pivot_row != r:
+            work[[r, pivot_row]] = work[[pivot_row, r]]
+        pivot_inv = gf_inv(int(work[r, col]))
+        for j in range(cols):
+            work[r, j] = gf_mul(int(work[r, j]), pivot_inv)
+        for row in range(rows):
+            if row == r or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            addmul_scalar_vector(work[row], factor, work[r].copy())
+        r += 1
+        if r == rows:
+            break
+    return r
+
+
+def solve(matrix: np.ndarray, rhs_blocks: Sequence[np.ndarray]) -> list:
+    """Solve ``matrix @ x = rhs`` for block unknowns x.
+
+    ``rhs_blocks[i]`` is the i-th right-hand-side block.  The matrix must be
+    square and invertible; the return value mirrors :func:`mat_vec_apply`.
+    """
+    return mat_vec_apply(invert(matrix), list(rhs_blocks))
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """The rows x cols Vandermonde matrix V[i][j] = i**j over GF(256)."""
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf_pow(i, j) if i else (1 if j == 0 else 0)
+    # Row 0 of i**j with i=0 is [1, 0, 0, ...]; fix by the convention 0**0=1.
+    return out
+
+
+def cauchy(m: int, k: int, x_values: Optional[Sequence[int]] = None,
+           y_values: Optional[Sequence[int]] = None) -> np.ndarray:
+    """An m x k Cauchy matrix C[i][j] = 1 / (x_i + y_j).
+
+    Any sub-square of a Cauchy matrix is invertible, which is what makes
+    Cauchy-based Reed–Solomon MDS for every erasure pattern.
+    """
+    if x_values is None:
+        x_values = list(range(k, k + m))
+    if y_values is None:
+        y_values = list(range(k))
+    if len(set(x_values) | set(y_values)) != m + k:
+        raise ValueError("x and y values must be pairwise distinct")
+    out = np.zeros((m, k), dtype=np.uint8)
+    for i, x in enumerate(x_values):
+        for j, y in enumerate(y_values):
+            out[i, j] = gf_inv(x ^ y)
+    return out
+
+
+def systematic_vandermonde_generator(n: int, k: int) -> np.ndarray:
+    """A systematic n x k MDS generator built from a Vandermonde matrix.
+
+    Builds the n x k Vandermonde matrix on n distinct evaluation points and
+    normalises its top k x k block to the identity (the classic Jerasure
+    ``reed_sol_van`` construction).  Every k x k sub-matrix of the result is
+    invertible because column operations preserve that property.
+    """
+    if not 0 < k <= n <= 256:
+        raise ValueError(f"invalid RS dimensions n={n}, k={k}")
+    vand = np.zeros((n, k), dtype=np.uint8)
+    for i in range(n):
+        for j in range(k):
+            vand[i, j] = gf_pow(i + 1, j)
+    # Column-reduce so the top k rows become the identity.
+    for col in range(k):
+        pivot = None
+        for j in range(col, k):
+            if vand[col, j] != 0:
+                pivot = j
+                break
+        if pivot is None:
+            raise SingularMatrixError("vandermonde normalisation failed")
+        if pivot != col:
+            vand[:, [col, pivot]] = vand[:, [pivot, col]]
+        pivot_inv = gf_inv(int(vand[col, col]))
+        for i in range(n):
+            vand[i, col] = gf_mul(int(vand[i, col]), pivot_inv)
+        for j in range(k):
+            if j == col or vand[col, j] == 0:
+                continue
+            factor = int(vand[col, j])
+            for i in range(n):
+                vand[i, j] ^= gf_mul(factor, int(vand[i, col]))
+    return vand

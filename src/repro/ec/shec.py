@@ -1,0 +1,162 @@
+"""SHEC — Shingled Erasure Code (the ``shec`` plugin).
+
+SHEC(k, m, l) computes m parity chunks, each covering a sliding
+("shingled") window of l data chunks.  Window i starts at
+``floor(i * k / m)`` and wraps modulo k, so consecutive parities overlap
+— single failures repair from only l reads (less than k), at the cost of
+weaker worst-case multi-failure tolerance than an MDS code.  This matches
+the multiple-SHEC layout of Ceph's ``shec`` plugin.
+
+Within a window, coefficients come from a Cauchy matrix so overlapping
+parities stay linearly independent for the patterns SHEC is meant to
+cover; :meth:`can_recover` reports exactly which patterns decode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+import numpy as np
+
+from .base import (
+    ErasureCode,
+    InsufficientChunksError,
+    RepairPlan,
+    RepairRead,
+    register_plugin,
+)
+from .galois import addmul_scalar_vector
+from .matrix import cauchy, identity, mat_vec_apply, rank, solve
+
+__all__ = ["ShingledErasureCode"]
+
+
+@register_plugin("shec")
+class ShingledErasureCode(ErasureCode):
+    """SHEC(k, m, l): m shingled parities over windows of l data chunks."""
+
+    cpu_cost_factor = 0.9
+
+    def __init__(self, k: int, m: int, l: int):
+        super().__init__(k, m)
+        if not 1 <= l <= k:
+            raise ValueError(f"window length l must be in 1..k, got {l}")
+        self.window = l
+        self.generator = self._build_generator()
+
+    def window_members(self, parity: int) -> List[int]:
+        """Data chunk indices covered by parity ``parity`` (wrapping)."""
+        if not 0 <= parity < self.m:
+            raise ValueError(f"parity index {parity} out of range")
+        start = (parity * self.k) // self.m
+        return [(start + offset) % self.k for offset in range(self.window)]
+
+    def _build_generator(self) -> np.ndarray:
+        coefficients = cauchy(self.m, self.k)
+        parity_rows = np.zeros((self.m, self.k), dtype=np.uint8)
+        for i in range(self.m):
+            for j in self.window_members(i):
+                parity_rows[i, j] = coefficients[i, j]
+        return np.vstack([identity(self.k), parity_rows])
+
+    def fault_tolerance(self) -> int:
+        """SHEC guarantees only single-failure recovery in the worst case;
+        many (but not all) multi-failure patterns also decode."""
+        return 1
+
+    def can_recover(self, erased: Iterable[int]) -> bool:
+        """Whether this exact erasure pattern is decodable."""
+        erased_set = set(erased)
+        alive = [i for i in range(self.n) if i not in erased_set]
+        return rank(self.generator[alive]) == self.k
+
+    # -- data path ---------------------------------------------------------
+
+    def encode(self, data: bytes) -> List[np.ndarray]:
+        data_chunks = self._split_payload(data)
+        return data_chunks + mat_vec_apply(self.generator[self.k :], data_chunks)
+
+    def decode_chunks(
+        self, available: Mapping[int, np.ndarray], wanted: Iterable[int]
+    ) -> Dict[int, np.ndarray]:
+        wanted_list = sorted(set(wanted))
+        recovered: Dict[int, np.ndarray] = {
+            i: np.asarray(c) for i, c in available.items()
+        }
+        alive = sorted(recovered)
+        chosen = self._independent(alive)
+        if chosen is None:
+            raise InsufficientChunksError("erasure pattern not recoverable by SHEC")
+        data = solve(self.generator[chosen], [recovered[i] for i in chosen])
+        for i in range(self.k):
+            recovered.setdefault(i, data[i])
+        out: Dict[int, np.ndarray] = {}
+        blocks = [recovered[i] for i in range(self.k)]
+        for idx in wanted_list:
+            if idx in recovered:
+                out[idx] = recovered[idx]
+                continue
+            row = self.generator[idx]
+            acc = np.zeros_like(blocks[0])
+            for j, block in enumerate(blocks):
+                addmul_scalar_vector(acc, int(row[j]), block)
+            out[idx] = acc
+        return out
+
+    def _independent(self, candidates: List[int]):
+        chosen: List[int] = []
+        for idx in candidates:
+            trial = chosen + [idx]
+            if rank(self.generator[trial]) == len(trial):
+                chosen.append(idx)
+            if len(chosen) == self.k:
+                return chosen
+        return None
+
+    # -- repair planning -----------------------------------------------------
+
+    def repair_plan(self, lost: Iterable[int], alive: Iterable[int]) -> RepairPlan:
+        """Single losses read one covering window; otherwise a global solve."""
+        lost_set = set(lost)
+        alive_set = set(alive)
+        if len(lost_set) == 1:
+            (idx,) = lost_set
+            members = self._cheapest_window(idx, alive_set)
+            if members is not None:
+                reads = tuple(
+                    RepairRead(chunk_index=i, fraction=1.0, io_ops=1)
+                    for i in sorted(members)
+                )
+                return RepairPlan(lost=(idx,), reads=reads, decode_work=0.6)
+        chosen = self._independent(sorted(alive_set))
+        if chosen is None:
+            raise InsufficientChunksError("erasure pattern not recoverable by SHEC")
+        reads = tuple(
+            RepairRead(chunk_index=i, fraction=1.0, io_ops=1) for i in chosen
+        )
+        return RepairPlan(lost=tuple(sorted(lost_set)), reads=reads)
+
+    def _cheapest_window(self, idx: int, alive: Set[int]):
+        """Smallest all-alive read set that rebuilds chunk ``idx`` locally."""
+        if idx >= self.k:
+            members = self.window_members(idx - self.k)
+            if all(i in alive for i in members):
+                return members
+            return None
+        best = None
+        for parity in range(self.m):
+            members = self.window_members(parity)
+            if idx not in members:
+                continue
+            needed = [i for i in members if i != idx] + [self.k + parity]
+            if all(i in alive for i in needed):
+                if best is None or len(needed) < len(best):
+                    best = needed
+        return best
+
+    def _validate_failure(self, lost: Iterable[int], alive: Iterable[int]) -> Set[int]:
+        lost_set = set(lost)
+        for idx in lost_set | set(alive):
+            if not 0 <= idx < self.n:
+                raise ValueError(f"chunk index {idx} out of range")
+        return lost_set

@@ -1,0 +1,149 @@
+"""Contention primitives built on the simulation kernel.
+
+Three building blocks cover everything the cluster model needs:
+
+* :class:`Resource` — a counted semaphore with a FIFO waiter queue.  OSD
+  recovery slots (``osd_recovery_max_active``) and per-host backfill
+  reservations are plain resources.
+* :class:`ServiceCenter` — a multi-server FIFO queue where each job brings
+  its own service time.  Disks and NICs are service centers: the device
+  model converts an I/O (operation count + byte count) into a service time
+  and the center serialises concurrent users, which is where queueing delay
+  — the phenomenon behind most of the paper's configuration effects —
+  comes from.
+* :class:`Store` — an unbounded FIFO hand-off queue used by the Kafka-like
+  log bus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from .engine import Environment, Event
+
+__all__ = ["Resource", "ServiceCenter", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO acquisition order.
+
+    Usage from a process::
+
+        yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is held by the caller."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter: _in_use stays put.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class ServiceCenter:
+    """A FIFO service center with ``servers`` parallel servers.
+
+    ``request(service_time)`` returns a process event that completes when
+    the job has waited for a server and then been served.  Total busy time
+    is tracked so callers can compute utilisation.
+    """
+
+    def __init__(self, env: Environment, servers: int = 1, name: str = ""):
+        self.env = env
+        self.name = name
+        self._slots = Resource(env, servers)
+        self.busy_time = 0.0
+        self.jobs_served = 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._slots.queue_length
+
+    def request(self, service_time: float) -> Event:
+        """Submit a job; the returned event fires when service completes."""
+        if service_time < 0:
+            raise ValueError(f"negative service time: {service_time!r}")
+        return self.env.process(self._serve(service_time))
+
+    def _serve(self, service_time: float) -> Generator:
+        yield self._slots.acquire()
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self._slots.release()
+        self.busy_time += service_time
+        self.jobs_served += 1
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of one server's time spent busy over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self._slots.capacity)
+
+
+class Store:
+    """Unbounded FIFO queue for message hand-off between processes."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event yielding the next item (blocks until one exists)."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,88 @@
+"""Client interfaces: how RADOS/RBD/CephFS/RGW shape the object stream.
+
+Table 1 lists the Ceph interface as an EC-relevant configuration because
+each client layer chops user data into RADOS objects differently — and
+object size drives both the padding write amplification (§4.4) and the
+per-object recovery cost.  This module maps a client-level workload
+through an interface to the RADOS-object stream the pool actually sees:
+
+* ``rados``  — objects pass through unchanged;
+* ``rbd``    — block images are striped into 4 MB objects;
+* ``cephfs`` — files are striped into 4 MB objects (default file layout);
+* ``rgw``    — S3-style uploads: small objects stay whole (plus a head
+  object), large ones become 4 MB multipart chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..sim.rng import SeedSequence
+from .generator import ObjectWrite, Workload
+
+__all__ = ["InterfaceModel", "INTERFACES", "interface_stream"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class InterfaceModel:
+    """How one client interface maps user data to RADOS objects.
+
+    ``strip_size`` of None passes user objects through unchanged;
+    otherwise user payloads are divided into objects of that size (the
+    last one keeps the remainder).  ``head_object_bytes`` adds the small
+    metadata head object some interfaces create per user object.
+    """
+
+    name: str
+    strip_size: Optional[int]
+    head_object_bytes: int = 0
+    #: Payloads at or below this size stay whole even when striping.
+    whole_below: int = 0
+
+    def objects_for(self, write: ObjectWrite) -> Iterator[ObjectWrite]:
+        """RADOS objects produced by one client-level write."""
+        if self.head_object_bytes:
+            yield ObjectWrite(name=f"{write.name}/head", size=self.head_object_bytes)
+        if self.strip_size is None or write.size <= self.whole_below:
+            yield write
+            return
+        index = 0
+        remaining = write.size
+        while remaining > 0:
+            size = min(self.strip_size, remaining)
+            yield ObjectWrite(name=f"{write.name}/{index:06d}", size=size)
+            remaining -= size
+            index += 1
+
+
+#: The Table-1 interface options.
+INTERFACES = {
+    "rados": InterfaceModel(name="rados", strip_size=None),
+    "rbd": InterfaceModel(name="rbd", strip_size=4 * MB),
+    "cephfs": InterfaceModel(name="cephfs", strip_size=4 * MB),
+    "rgw": InterfaceModel(
+        name="rgw", strip_size=4 * MB, head_object_bytes=4096,
+        whole_below=4 * MB,
+    ),
+}
+
+
+def interface_stream(
+    workload: Workload,
+    interface: str,
+    seeds: Optional[SeedSequence] = None,
+) -> Iterator[ObjectWrite]:
+    """The RADOS-object stream a client workload produces.
+
+    Raises ``KeyError`` for interfaces outside Table 1's options.
+    """
+    try:
+        model = INTERFACES[interface]
+    except KeyError:
+        known = ", ".join(sorted(INTERFACES))
+        raise KeyError(f"unknown interface {interface!r}; options: {known}") from None
+    for write in workload.writes(seeds):
+        yield from model.objects_for(write)

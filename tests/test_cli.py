@@ -1,0 +1,104 @@
+"""The ecfault command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_size
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parse_size():
+    assert parse_size("4096") == 4096
+    assert parse_size("4KB") == 4096
+    assert parse_size("4 MB") == 4 * 1024 * 1024
+    assert parse_size("1GB") == 1024**3
+    with pytest.raises(Exception):
+        parse_size("lots")
+
+
+def test_repair_plan_command(capsys):
+    code, out, _ = run_cli(
+        capsys, "repair-plan", "--plugin", "clay",
+        "--ec-params", "k=9,m=3,d=11", "--lost", "4",
+    )
+    assert code == 0
+    assert "clay(12,9)" in out
+    assert "3.67" in out  # d * beta / alpha chunk-equivalents
+    assert "conventional RS: 9.00" in out
+
+
+def test_wa_command(capsys):
+    code, out, _ = run_cli(
+        capsys, "wa", "--object-size", "28KB", "--stripe-unit", "4KB",
+    )
+    assert code == 0
+    assert "theoretical n/k: 1.3333" in out
+    assert "1.7143" in out  # 12 * 4KB / 28KB
+
+
+def test_autoscale_command(capsys):
+    code, out, _ = run_cli(capsys, "autoscale", "--pg-num", "1")
+    assert code == 0
+    assert "recommended 512" in out
+    assert "SCALE" in out
+
+
+def test_run_command_small_experiment(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "--objects", "40", "--object-size", "8MB",
+        "--pg-num", "8", "--hosts", "15",
+    )
+    assert code == 0
+    assert "checking period" in out
+    assert "write amplification" in out
+
+
+def test_run_command_without_fault(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "--objects", "20", "--object-size", "8MB",
+        "--pg-num", "8", "--hosts", "15", "--fault", "none",
+    )
+    assert code == 0
+    assert "checking period" not in out  # no timeline without a fault
+    assert "write amplification" in out
+
+
+def test_sweep_requires_an_axis(capsys):
+    code, _, err = run_cli(
+        capsys, "sweep", "--objects", "5", "--object-size", "8MB",
+    )
+    assert code == 2
+    assert "nothing to sweep" in err
+
+
+def test_sweep_and_analyze_pipeline(tmp_path, capsys):
+    output = tmp_path / "sweep.json"
+    code, out, _ = run_cli(
+        capsys, "sweep", "--objects", "30", "--object-size", "8MB",
+        "--hosts", "15", "--sweep-pg-num", "4,16",
+        "--output", str(output),
+    )
+    assert code == 0
+    assert "sweep results (2 cells" in out
+    blob = json.loads(output.read_text())
+    assert len(blob["results"]) == 2
+
+    code, out, _ = run_cli(
+        capsys, "analyze", str(output), "--axes", "pg_num",
+    )
+    assert code == 0
+    assert "configuration-axis impact" in out
+    assert "recommended configuration" in out
+
+
+def test_bad_ec_params_message():
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError, match="not key=value"):
+        main(["repair-plan", "--ec-params", "k9"])

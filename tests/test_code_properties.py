@@ -1,0 +1,130 @@
+"""Cross-code property tests: invariants every plugin must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import (
+    ClayCode,
+    LocallyRepairableCode,
+    ReedSolomon,
+    ShingledErasureCode,
+)
+
+ALL_CODES = [
+    ReedSolomon(4, 2),
+    ReedSolomon(9, 3),
+    ClayCode(2, 2),
+    ClayCode(4, 2),
+    ClayCode(9, 3, d=11),
+    LocallyRepairableCode(6, l=2, r=2),
+    ShingledErasureCode(6, 3, l=4),
+]
+
+
+@pytest.fixture(params=ALL_CODES, ids=lambda c: f"{c.plugin_name}-{c.n}-{c.k}")
+def code(request):
+    return request.param
+
+
+def test_encode_produces_n_equal_chunks(code):
+    chunks = code.encode(bytes(range(256)) * 3)
+    assert len(chunks) == code.n
+    assert len({len(c) for c in chunks}) == 1
+    assert all(c.dtype == np.uint8 for c in chunks)
+
+
+def test_systematic_prefix(code):
+    """Chunks 0..k-1 concatenate back to the (padded) payload."""
+    data = bytes(range(200))
+    chunks = code.encode(data)
+    joined = b"".join(c.tobytes() for c in chunks[: code.k])
+    assert joined[: len(data)] == data
+
+
+def test_all_data_present_decode_is_identity(code):
+    data = bytes(range(100))
+    chunks = code.encode(data)
+    available = {i: chunks[i] for i in range(code.k)}
+    assert code.decode(available, len(data)) == data
+
+
+def test_single_erasure_always_recoverable(code):
+    data = bytes(reversed(range(231)))
+    chunks = code.encode(data)
+    for lost in range(code.n):
+        available = {i: chunks[i] for i in range(code.n) if i != lost}
+        rebuilt = code.decode_chunks(available, [lost])
+        assert np.array_equal(rebuilt[lost], chunks[lost])
+
+
+def test_guaranteed_tolerance_patterns_decode(code):
+    """Adjacent erasures up to fault_tolerance() must always decode."""
+    tolerance = code.fault_tolerance()
+    data = bytes(range(173))
+    chunks = code.encode(data)
+    for start in range(code.n):
+        erased = [(start + i) % code.n for i in range(tolerance)]
+        available = {i: chunks[i] for i in range(code.n) if i not in erased}
+        rebuilt = code.decode_chunks(available, erased)
+        for idx in erased:
+            assert np.array_equal(rebuilt[idx], chunks[idx]), (code.plugin_name, erased)
+
+
+def test_single_loss_repair_plan_is_consistent(code):
+    for lost in range(code.n):
+        alive = [i for i in range(code.n) if i != lost]
+        plan = code.repair_plan([lost], alive)
+        assert plan.lost == (lost,)
+        assert lost not in {read.chunk_index for read in plan.reads}
+        assert all(0 < read.fraction <= 1.0 for read in plan.reads)
+        assert all(read.io_ops >= 1 for read in plan.reads)
+        # Nobody reads less than ~1 chunk-equivalent or more than n - 1.
+        assert 0.99 <= plan.read_fraction_total() <= code.n - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.binary(min_size=0, max_size=1500))
+def test_property_rs_roundtrip_worst_pattern(data):
+    """Lose all parity-adjacent chunks; decode must still be exact."""
+    code = ReedSolomon(5, 3)
+    chunks = code.encode(data)
+    erased = {4, 5, 6}  # one data + two parity... indices 4 (data last), 5, 6
+    available = {i: chunks[i] for i in range(code.n) if i not in erased}
+    assert code.decode(available, len(data)) == data
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=3),
+    data=st.binary(min_size=1, max_size=400),
+)
+def test_property_rs_any_dimension_roundtrip(k, m, data):
+    code = ReedSolomon(k, m)
+    chunks = code.encode(data)
+    # Drop the last m chunks (maximal parity-heavy erasure).
+    available = {i: chunks[i] for i in range(code.n - m)}
+    assert code.decode(available, len(data)) == data
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_clay_repair_equals_decode(seed):
+    """Optimal repair and full decode must agree on the rebuilt chunk."""
+    clay = ClayCode(4, 2)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, 333, dtype=np.uint8).tobytes()
+    chunks = clay.encode(data)
+    lost = int(rng.integers(0, clay.n))
+    planes = clay.repair_plane_indices(lost)
+    helpers = {
+        node: chunks[node].reshape(clay.alpha, -1)[planes]
+        for node in range(clay.n)
+        if node != lost
+    }
+    via_repair = clay.repair_chunk(lost, helpers)
+    available = {i: chunks[i] for i in range(clay.n) if i != lost}
+    via_decode = clay.decode_chunks(available, [lost])[lost]
+    assert np.array_equal(via_repair, via_decode)
+    assert np.array_equal(via_repair, chunks[lost])

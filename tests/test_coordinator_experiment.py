@@ -1,0 +1,139 @@
+"""Coordinator and the high-level experiment API: full cycles."""
+
+import pytest
+
+from repro.core import (
+    Controller,
+    ExperimentProfile,
+    FaultSpec,
+    repeat_experiment,
+    run_experiment,
+)
+from repro.cluster.osd import CephConfig
+from repro.workload import Workload
+
+MB = 1024 * 1024
+
+FAST_CEPH = CephConfig(mon_osd_down_out_interval=60.0)
+
+
+def small_profile(**overrides):
+    settings = dict(
+        name="test",
+        pg_num=16,
+        num_hosts=15,
+        osds_per_host=2,
+        ceph=FAST_CEPH,
+    )
+    settings.update(overrides)
+    return ExperimentProfile(**settings)
+
+
+def small_workload(count=60):
+    return Workload(num_objects=count, object_size=8 * MB)
+
+
+def test_full_experiment_produces_timeline():
+    outcome = run_experiment(
+        small_profile(), small_workload(), [FaultSpec(level="node", count=1)]
+    )
+    timeline = outcome.timeline
+    assert timeline is not None
+    # Order of phases is monotonic.
+    assert (
+        timeline.fault_injected
+        <= timeline.failure_detected
+        <= timeline.marked_out
+        <= timeline.ec_recovery_started
+        <= timeline.ec_recovery_finished
+    )
+    # The down/out interval dominates the checking period.
+    assert timeline.checking_period >= 60.0
+    assert outcome.total_recovery_time > 0
+
+
+def test_experiment_without_faults_has_no_timeline():
+    outcome = run_experiment(small_profile(), small_workload(20), faults=[])
+    assert outcome.timeline is None
+    assert outcome.recovery_stats.pgs_queued == 0
+    with pytest.raises(RuntimeError):
+        outcome.total_recovery_time
+    assert outcome.wa.actual > 1.0
+
+
+def test_experiment_is_deterministic():
+    args = (small_profile(), small_workload(), [FaultSpec(level="node")])
+    a = run_experiment(*args, seed=7)
+    b = run_experiment(*args, seed=7)
+    assert a.total_recovery_time == b.total_recovery_time
+    assert a.recovery_stats.bytes_read == b.recovery_stats.bytes_read
+
+
+def test_different_seeds_differ():
+    args = (small_profile(), small_workload(), [FaultSpec(level="node")])
+    a = run_experiment(*args, seed=1)
+    b = run_experiment(*args, seed=2)
+    # Different fault targets / placement: byte counts differ generically.
+    assert (
+        a.recovery_stats.bytes_read != b.recovery_stats.bytes_read
+        or a.total_recovery_time != b.total_recovery_time
+    )
+
+
+def test_controller_is_single_use():
+    controller = Controller(small_profile())
+    controller.run_experiment(small_workload(10), [])
+    with pytest.raises(RuntimeError, match="fresh"):
+        controller.run_experiment(small_workload(10), [])
+
+
+def test_repeat_experiment_averages():
+    result = repeat_experiment(
+        small_profile(),
+        small_workload(40),
+        [FaultSpec(level="node")],
+        runs=3,
+    )
+    assert len(result.outcomes) == 3
+    times = result.recovery_times
+    assert min(times) <= result.mean_recovery_time <= max(times)
+    assert result.stdev_recovery_time >= 0
+    assert 0 < result.mean_checking_fraction < 1
+
+
+def test_repeat_experiment_validation():
+    with pytest.raises(ValueError):
+        repeat_experiment(small_profile(), small_workload(1), [], runs=0)
+
+
+def test_iostat_collected_during_experiment():
+    outcome = run_experiment(
+        small_profile(), small_workload(), [FaultSpec(level="node")]
+    )
+    assert outcome.iostat is not None
+    assert len(outcome.iostat.samples) > 0
+    busiest = outcome.iostat.busiest_devices(top=3)
+    assert busiest  # recovery moved bytes somewhere
+
+
+def test_device_level_experiment():
+    profile = small_profile(failure_domain="osd", osds_per_host=3)
+    outcome = run_experiment(
+        profile,
+        small_workload(),
+        [FaultSpec(level="device", count=2, colocation="same_host")],
+    )
+    assert len(outcome.injected_osds) == 2
+    assert outcome.timeline is not None
+    assert outcome.recovery_stats.pgs_recovered > 0
+
+
+def test_logs_flow_through_bus():
+    controller = Controller(small_profile())
+    controller.run_experiment(small_workload(), [FaultSpec(level="node")])
+    collector = controller.coordinator.collector
+    assert collector.of_class("failure")
+    assert collector.of_class("recovery")
+    assert collector.of_class("osdmap")
+    # Bus topics were actually used.
+    assert any(t.startswith("ecfault.logs.") for t in controller.coordinator.bus.topics())

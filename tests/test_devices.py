@@ -1,0 +1,106 @@
+"""Disk model: service times, queueing, accounting, failure."""
+
+import pytest
+
+from repro.cluster import GP_SSD, Disk, DiskFailedError, DiskSpec
+from repro.sim import Environment
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="test",
+        capacity_bytes=10**9,
+        read_bandwidth=100e6,
+        write_bandwidth=50e6,
+        read_iops=1000.0,
+        write_iops=500.0,
+        latency=0.001,
+    )
+    base.update(overrides)
+    return DiskSpec(**base)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        make_spec(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        make_spec(read_bandwidth=-1)
+
+
+def test_bandwidth_bound_read():
+    env = Environment()
+    disk = Disk(env, make_spec())
+    # 100 MB sequential: bandwidth term 1.0s dominates 10 ops / 1000 iops.
+    assert disk.service_time(10, 100_000_000, write=False) == pytest.approx(1.001)
+
+
+def test_iops_bound_read():
+    env = Environment()
+    disk = Disk(env, make_spec())
+    # 2000 tiny ops: iops term 2.0s dominates byte term.
+    assert disk.service_time(2000, 8_192_000, write=False) == pytest.approx(2.001, rel=1e-3)
+
+
+def test_write_uses_write_envelope():
+    env = Environment()
+    disk = Disk(env, make_spec())
+    read = disk.service_time(1, 50_000_000, write=False)
+    write = disk.service_time(1, 50_000_000, write=True)
+    assert write > read
+
+
+def test_service_time_validation():
+    env = Environment()
+    disk = Disk(env, make_spec())
+    with pytest.raises(ValueError):
+        disk.service_time(0, 100, write=False)
+    with pytest.raises(ValueError):
+        disk.service_time(1, -1, write=False)
+
+
+def test_submit_queues_and_counts():
+    env = Environment()
+    disk = Disk(env, make_spec(), queue_depth=1)
+    done = []
+
+    def io(name, nbytes):
+        yield disk.submit(1, nbytes, write=False)
+        done.append((name, env.now))
+
+    env.process(io("a", 100_000_000))  # 1.001 s
+    env.process(io("b", 100_000_000))
+    env.run()
+    assert done[0][0] == "a"
+    assert done[1][1] == pytest.approx(2.002)
+    assert disk.read_ops == 2
+    assert disk.read_bytes == 200_000_000
+
+
+def test_failed_disk_rejects_io():
+    env = Environment()
+    disk = Disk(env, make_spec())
+    disk.fail()
+    with pytest.raises(DiskFailedError):
+        disk.submit(1, 100, write=True)
+    disk.restore()
+    disk.submit(1, 100, write=True)  # works again
+
+
+def test_allocation_accounting_and_capacity():
+    env = Environment()
+    disk = Disk(env, make_spec(capacity_bytes=1000))
+    disk.allocate(600)
+    assert disk.used_bytes == 600
+    with pytest.raises(RuntimeError, match="full"):
+        disk.allocate(500)
+    disk.free(100)
+    assert disk.used_bytes == 500
+    with pytest.raises(ValueError):
+        disk.free(10_000)
+    with pytest.raises(ValueError):
+        disk.allocate(-1)
+
+
+def test_gp_ssd_matches_paper_testbed():
+    assert GP_SSD.capacity_bytes == 100 * 1024**3
+    assert GP_SSD.read_bandwidth >= 200e6  # gp-class streaming

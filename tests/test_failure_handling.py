@@ -1,0 +1,141 @@
+"""Failure-path behaviour: toofull targets, unplaceable PGs, cascades."""
+
+import pytest
+
+from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig, DiskSpec
+from repro.cluster.devices import GP_SSD
+from repro.ec import ReedSolomon
+from repro.sim import Environment
+
+MB = 1024 * 1024
+
+
+def tiny_disk_spec(capacity_mb: int) -> DiskSpec:
+    return DiskSpec(
+        name="tiny",
+        capacity_bytes=capacity_mb * MB,
+        read_bandwidth=GP_SSD.read_bandwidth,
+        write_bandwidth=GP_SSD.write_bandwidth,
+        read_iops=GP_SSD.read_iops,
+        write_iops=GP_SSD.write_iops,
+        latency=GP_SSD.latency,
+    )
+
+
+def build(num_hosts=8, pg_num=8, disk_spec=GP_SSD, osds_per_host=2):
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        ReedSolomon(4, 2),
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(mon_osd_down_out_interval=30.0),
+        num_hosts=num_hosts,
+        osds_per_host=osds_per_host,
+        pg_num=pg_num,
+        disk_spec=disk_spec,
+    )
+    return env, cluster
+
+
+def fail_host(cluster, host_id):
+    for osd_id in cluster.topology.hosts[host_id].osd_ids:
+        cluster.osds[osd_id].host_running = False
+
+
+def test_backfill_toofull_leaves_shard_degraded_without_crashing():
+    env, cluster = build(disk_spec=tiny_disk_spec(150), pg_num=32)
+    for i in range(60):
+        cluster.ingest_object(f"o{i}", 8 * MB)
+    env.run(until=10)
+    victim = cluster.topology.osds[
+        next(pg for pg in cluster.pool.pgs.values() if pg.objects).acting[0]
+    ].host_id
+    # Pre-fill every surviving disk to ~98%: no target has headroom for
+    # a rebuilt 2 MB chunk, exactly Ceph's backfill_toofull situation.
+    for osd in cluster.osds.values():
+        if osd.device.host_id == victim:
+            continue
+        ballast = int(osd.disk.spec.capacity_bytes * 0.98) - osd.disk.used_bytes
+        if ballast > 0:
+            osd.disk.allocate(ballast)
+    fail_host(cluster, victim)
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=3000)
+    assert done.triggered
+    stats = cluster.recovery.stats
+    assert stats.chunks_toofull > 0
+    assert any(
+        "backfill toofull" in record.message for record in cluster.mon_log
+    )
+    # No disk exceeded its capacity.
+    for osd in cluster.osds.values():
+        assert osd.disk.used_bytes <= osd.disk.spec.capacity_bytes
+
+
+def test_unplaceable_pg_reported_not_hung():
+    """With exactly n failure-domain buckets, losing one leaves the PG
+    with nowhere to go: it must be reported degraded, not deadlock."""
+    env, cluster = build(num_hosts=6, pg_num=2)  # width 6 == hosts
+    cluster.ingest_object("o", 8 * MB)
+    env.run(until=10)
+    pg = cluster.pool.pg_of("o")
+    fail_host(cluster, cluster.topology.osds[pg.acting[0]].host_id)
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=2000)
+    assert done.triggered
+    assert cluster.recovery.stats.pgs_unplaceable >= 1
+    assert any(
+        "no placement" in record.message for record in cluster.mon_log
+    )
+
+
+def test_cascading_second_failure_during_recovery():
+    """A second host failure after recovery began still converges."""
+    env, cluster = build(num_hosts=10, pg_num=16)
+    for i in range(60):
+        cluster.ingest_object(f"o{i}", 8 * MB)
+    env.run(until=10)
+    pg = next(pg for pg in cluster.pool.pgs.values() if pg.objects)
+    first = cluster.topology.osds[pg.acting[0]].host_id
+    second = cluster.topology.osds[pg.acting[1]].host_id
+    fail_host(cluster, first)
+    env.run(until=80)  # first failure is out, recovery underway
+    fail_host(cluster, second)
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=20_000)
+    assert done.triggered
+    stats = cluster.recovery.stats
+    assert stats.pgs_recovered + stats.pgs_unplaceable == stats.pgs_queued
+    # Both hosts' OSDs are out of every acting set.
+    dead = set(cluster.topology.hosts[first].osd_ids)
+    dead |= set(cluster.topology.hosts[second].osd_ids)
+    for pg in cluster.pool.pgs.values():
+        assert not dead & set(pg.acting)
+
+
+def test_recovery_restores_full_redundancy_accounting():
+    """After recovery, cluster-wide chunk count matches pre-failure."""
+    env, cluster = build(num_hosts=10, pg_num=8)
+    for i in range(40):
+        cluster.ingest_object(f"o{i}", 8 * MB)
+    expected_chunks = 40 * cluster.pool.code.n
+    before = sum(o.backend.num_chunks for o in cluster.osds.values())
+    assert before == expected_chunks
+    env.run(until=10)
+    victim = cluster.topology.osds[
+        next(pg for pg in cluster.pool.pgs.values() if pg.objects).acting[0]
+    ].host_id
+    dead_osds = set(cluster.topology.hosts[victim].osd_ids)
+    lost_chunks = sum(cluster.osds[o].backend.num_chunks for o in dead_osds)
+    fail_host(cluster, victim)
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=5000)
+    assert done.triggered
+    alive_chunks = sum(
+        o.backend.num_chunks
+        for osd_id, o in cluster.osds.items()
+        if osd_id not in dead_osds
+    )
+    # Every lost chunk was rebuilt somewhere among the survivors.
+    assert alive_chunks == expected_chunks
+    assert cluster.recovery.stats.chunks_rebuilt == lost_chunks

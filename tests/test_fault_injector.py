@@ -1,0 +1,123 @@
+"""Fault injector: white-box tolerance guard and topology awareness."""
+
+import pytest
+
+from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig
+from repro.core import Colocation, FaultSpec, FaultToleranceError
+from repro.core.fault_injector import FaultInjector
+from repro.core.worker import deploy_workers
+from repro.ec import ReedSolomon
+from repro.sim import Environment
+
+
+def build(failure_domain="host", osds_per_host=3, num_hosts=10, code=None):
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        code or ReedSolomon(4, 2),
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(),
+        num_hosts=num_hosts,
+        osds_per_host=osds_per_host,
+        pg_num=16,
+        failure_domain=failure_domain,
+    )
+    for i in range(40):
+        cluster.ingest_object(f"o{i}", 1024 * 1024)
+    workers = deploy_workers(cluster)
+    return cluster, FaultInjector(cluster, workers)
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(level="power")
+    with pytest.raises(ValueError):
+        FaultSpec(count=0)
+    with pytest.raises(ValueError):
+        FaultSpec(colocation="same_rack")
+    with pytest.raises(ValueError):
+        FaultSpec(level="node", colocation=Colocation.SAME_HOST)
+
+
+def test_node_fault_shuts_down_all_host_osds():
+    cluster, injector = build()
+    affected = injector.inject(FaultSpec(level="node", count=1))
+    assert len(affected) == 3  # osds_per_host
+    host = cluster.topology.osds[affected[0]].host_id
+    for osd_id in affected:
+        assert cluster.topology.osds[osd_id].host_id == host
+        assert not cluster.osds[osd_id].is_up()
+
+
+def test_device_fault_removes_single_disk():
+    cluster, injector = build(failure_domain="osd")
+    affected = injector.inject(FaultSpec(level="device", count=1))
+    assert len(affected) == 1
+    assert cluster.osds[affected[0]].disk.failed
+    # Sibling OSDs on the same host stay up.
+    host = cluster.topology.osds[affected[0]].host_id
+    siblings = [o for o in cluster.topology.hosts[host].osd_ids if o != affected[0]]
+    assert all(cluster.osds[o].is_up() for o in siblings)
+
+
+def test_same_host_colocation():
+    cluster, injector = build(failure_domain="osd")
+    affected = injector.inject(
+        FaultSpec(level="device", count=2, colocation=Colocation.SAME_HOST)
+    )
+    hosts = {cluster.topology.osds[o].host_id for o in affected}
+    assert len(hosts) == 1
+
+
+def test_diff_host_colocation():
+    cluster, injector = build(failure_domain="osd")
+    affected = injector.inject(
+        FaultSpec(level="device", count=2, colocation=Colocation.DIFFERENT_HOSTS)
+    )
+    hosts = {cluster.topology.osds[o].host_id for o in affected}
+    assert len(hosts) == 2
+
+
+def test_tolerance_guard_blocks_excess_faults():
+    """Never beyond n - k failures within the failure domain (§3.2)."""
+    cluster, injector = build(failure_domain="osd")
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="device", count=3))  # m = 2
+
+
+def test_tolerance_guard_is_cumulative():
+    cluster, injector = build(failure_domain="osd")
+    injector.inject(FaultSpec(level="device", count=2))
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="device", count=1))
+
+
+def test_node_fault_counts_as_one_host_bucket():
+    """With failure domain host, one node = one bucket <= m."""
+    cluster, injector = build(failure_domain="host")
+    injector.inject(FaultSpec(level="node", count=2))  # 2 hosts <= m=2
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="node", count=1))
+
+
+def test_explicit_targets():
+    cluster, injector = build(failure_domain="osd")
+    affected = injector.inject(FaultSpec(level="device", count=1, targets=[5]))
+    assert affected == [5]
+
+
+def test_selection_is_deterministic():
+    _, injector_a = build()
+    _, injector_b = build()
+    a = injector_a.inject(FaultSpec(level="node", count=1))
+    b = injector_b.inject(FaultSpec(level="node", count=1))
+    assert a == b
+
+
+def test_restore_all_heals_cluster():
+    cluster, injector = build(failure_domain="osd")
+    affected = injector.inject(FaultSpec(level="device", count=2))
+    injector.restore_all()
+    assert injector.injected_osds == set()
+    for osd_id in affected:
+        assert cluster.osds[osd_id].is_up()

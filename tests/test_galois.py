@@ -1,0 +1,155 @@
+"""GF(256) arithmetic: axioms, table consistency, and vector kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ec.galois import (
+    addmul_scalar_vector,
+    gf_add,
+    gf_div,
+    gf_exp,
+    gf_inv,
+    gf_log,
+    gf_mul,
+    gf_pow,
+    gf_sub,
+    mul_scalar_vector,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def test_add_is_xor():
+    assert gf_add(0b1010, 0b0110) == 0b1100
+
+
+def test_sub_equals_add():
+    assert gf_sub(77, 13) == gf_add(77, 13)
+
+
+def test_mul_identity_and_zero():
+    for a in range(256):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+
+
+def test_known_products():
+    # 2 is the field generator for 0x11d: 2 * 128 = x^8 = 0x11d - x^8 = 0x1d.
+    assert gf_mul(2, 128) == 0x1D
+    assert gf_mul(3, 7) == (7 ^ gf_mul(2, 7))  # (x+1)*a == a + x*a
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        gf_mul(256, 1)
+    with pytest.raises(ValueError):
+        gf_add(-1, 0)
+
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+
+@given(nonzero)
+def test_inverse_roundtrip(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(elements, nonzero)
+def test_div_is_mul_by_inverse(a, b):
+    assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+
+def test_div_by_zero():
+    with pytest.raises(ZeroDivisionError):
+        gf_div(5, 0)
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+@given(nonzero, st.integers(min_value=-10, max_value=10))
+def test_pow_matches_repeated_mul(a, e):
+    expected = 1
+    base = a if e >= 0 else gf_inv(a)
+    for _ in range(abs(e)):
+        expected = gf_mul(expected, base)
+    assert gf_pow(a, e) == expected
+
+
+def test_pow_zero_base():
+    assert gf_pow(0, 0) == 1
+    assert gf_pow(0, 5) == 0
+    with pytest.raises(ZeroDivisionError):
+        gf_pow(0, -1)
+
+
+@given(nonzero)
+def test_exp_log_roundtrip(a):
+    assert gf_exp(gf_log(a)) == a
+
+
+def test_log_of_zero_rejected():
+    with pytest.raises(ValueError):
+        gf_log(0)
+
+
+def test_generator_order_255():
+    seen = set()
+    for power in range(255):
+        seen.add(gf_exp(power))
+    assert len(seen) == 255  # generator hits every nonzero element
+
+
+# -- vector kernels -------------------------------------------------------------
+
+
+@given(elements, st.binary(min_size=1, max_size=64))
+def test_mul_scalar_vector_matches_scalar(scalar, data):
+    vec = np.frombuffer(data, dtype=np.uint8)
+    out = mul_scalar_vector(scalar, vec)
+    for got, byte in zip(out, vec):
+        assert got == gf_mul(scalar, int(byte))
+
+
+def test_mul_scalar_vector_type_check():
+    with pytest.raises(TypeError):
+        mul_scalar_vector(3, np.zeros(4, dtype=np.uint16))
+
+
+def test_mul_scalar_vector_special_cases():
+    vec = np.array([1, 2, 3], dtype=np.uint8)
+    assert np.array_equal(mul_scalar_vector(0, vec), np.zeros(3, dtype=np.uint8))
+    assert np.array_equal(mul_scalar_vector(1, vec), vec)
+    # Result must be a copy, not a view.
+    out = mul_scalar_vector(1, vec)
+    out[0] = 99
+    assert vec[0] == 1
+
+
+@given(elements, st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+def test_addmul_accumulates(scalar, acc_data, vec_data):
+    size = min(len(acc_data), len(vec_data))
+    acc = np.frombuffer(acc_data[:size], dtype=np.uint8).copy()
+    vec = np.frombuffer(vec_data[:size], dtype=np.uint8)
+    expected = acc ^ mul_scalar_vector(scalar, vec)
+    addmul_scalar_vector(acc, scalar, vec)
+    assert np.array_equal(acc, expected)
+
+
+def test_addmul_zero_scalar_is_noop():
+    acc = np.array([5, 6], dtype=np.uint8)
+    addmul_scalar_vector(acc, 0, np.array([9, 9], dtype=np.uint8))
+    assert np.array_equal(acc, np.array([5, 6], dtype=np.uint8))

@@ -1,0 +1,106 @@
+"""Cluster health reporting."""
+
+import pytest
+
+from repro.cluster import (
+    CACHE_SCHEMES,
+    CephCluster,
+    CephConfig,
+    HealthStatus,
+    check_health,
+)
+from repro.ec import ReedSolomon
+from repro.sim import Environment
+
+MB = 1024 * 1024
+
+
+def build(down_out=60.0):
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        ReedSolomon(4, 2),
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(mon_osd_down_out_interval=down_out),
+        num_hosts=10,
+        pg_num=8,
+    )
+    for i in range(30):
+        cluster.ingest_object(f"o{i}", 4 * MB)
+    return env, cluster
+
+
+def test_healthy_cluster_reports_ok():
+    env, cluster = build()
+    env.run(until=30)
+    report = check_health(cluster)
+    assert report.status == HealthStatus.OK
+    assert report.pgs_active_clean == report.pgs_total == 8
+    assert report.pgs_degraded == 0
+    assert report.checks == ()
+    assert "HEALTH_OK" in report.summary()
+
+
+def test_down_host_reports_warn_with_degraded_pgs():
+    env, cluster = build(down_out=10_000.0)
+    env.run(until=10)
+    pg = next(pg for pg in cluster.pool.pgs.values() if pg.objects)
+    victim = cluster.topology.osds[pg.acting[0]].host_id
+    for osd_id in cluster.topology.hosts[victim].osd_ids:
+        cluster.osds[osd_id].host_running = False
+    report = check_health(cluster)
+    assert report.status == HealthStatus.WARN
+    assert report.pgs_degraded > 0
+    assert report.pgs_undersized == 0  # k=4, n=6: one shard down >= min_size
+    assert any("degraded" in c for c in report.checks)
+    assert "HEALTH_WARN" in report.summary()
+
+
+def test_undersized_pgs_report_err():
+    env, cluster = build(down_out=10_000.0)
+    env.run(until=10)
+    pg = next(pg for pg in cluster.pool.pgs.values() if pg.objects)
+    # Kill two shards of one PG: up shards = 4 < min_size = 5.
+    for shard in (0, 1):
+        cluster.osds[pg.acting[shard]].disk.fail()
+    report = check_health(cluster)
+    assert report.status == HealthStatus.ERR
+    assert report.pgs_undersized >= 1
+
+
+def test_full_osd_reports_err():
+    env, cluster = build()
+    osd = cluster.osds[0]
+    ballast = int(osd.disk.spec.capacity_bytes * 0.96) - osd.disk.used_bytes
+    osd.disk.allocate(ballast)
+    report = check_health(cluster)
+    assert report.status == HealthStatus.ERR
+    assert osd.name in report.full_osds
+
+
+def test_nearfull_osd_reports_warn():
+    env, cluster = build()
+    osd = cluster.osds[1]
+    ballast = int(osd.disk.spec.capacity_bytes * 0.88) - osd.disk.used_bytes
+    osd.disk.allocate(ballast)
+    report = check_health(cluster)
+    assert report.status == HealthStatus.WARN
+    assert osd.name in report.nearfull_osds
+
+
+def test_health_recovers_after_recovery_completes():
+    env, cluster = build(down_out=30.0)
+    env.run(until=10)
+    pg = next(pg for pg in cluster.pool.pgs.values() if pg.objects)
+    victim = cluster.topology.osds[pg.acting[0]].host_id
+    for osd_id in cluster.topology.hosts[victim].osd_ids:
+        cluster.osds[osd_id].host_running = False
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=3000)
+    assert done.triggered
+    report = check_health(cluster)
+    # PGs remapped away from the dead host: no degraded PGs remain (the
+    # down OSDs themselves still warn).
+    assert report.pgs_degraded == 0
+    assert report.status == HealthStatus.WARN
+    assert any("down" in c for c in report.checks)

@@ -1,0 +1,186 @@
+"""Cross-module integration scenarios at test (small) scale.
+
+These exercise the paper's qualitative effects end-to-end through the
+public API — scaled down so the whole file stays fast, asserting
+orderings rather than magnitudes (the benchmarks check magnitudes).
+"""
+
+import pytest
+
+from repro.cluster.osd import CephConfig
+from repro.core import (
+    Colocation,
+    ExperimentProfile,
+    FaultSpec,
+    run_experiment,
+)
+from repro.workload import Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+FAST = CephConfig(mon_osd_down_out_interval=30.0)
+
+
+def total_time(profile, workload, faults=None, seed=5):
+    outcome = run_experiment(
+        profile, workload, faults or [FaultSpec(level="node")], seed=seed
+    )
+    return outcome
+
+
+def test_pg1_recovers_slower_than_pg256():
+    workload = Workload(num_objects=150, object_size=16 * MB)
+    times = {}
+    for pg_num in (1, 256):
+        profile = ExperimentProfile(name=f"pg{pg_num}", pg_num=pg_num, ceph=FAST)
+        times[pg_num] = total_time(profile, workload).timeline.ec_recovery_period
+    assert times[1] > times[256]
+
+
+def test_clay_small_stripe_unit_pathology():
+    """Clay at 4KB stripe units is much slower than Clay at 4MB."""
+    workload = Workload(num_objects=120, object_size=16 * MB)
+    times = {}
+    for unit in (4 * KB, 4 * MB):
+        profile = ExperimentProfile(
+            name=f"clay-{unit}", ec_plugin="clay",
+            ec_params={"k": 9, "m": 3, "d": 11}, stripe_unit=unit, ceph=FAST,
+        )
+        times[unit] = total_time(profile, workload).timeline.ec_recovery_period
+    assert times[4 * KB] > 2.0 * times[4 * MB]
+
+
+def test_large_stripe_unit_inflates_recovery_volume():
+    workload = Workload(num_objects=100, object_size=16 * MB)
+    read_bytes = {}
+    for unit in (4 * KB, 16 * MB):
+        profile = ExperimentProfile(name=f"su{unit}", stripe_unit=unit, ceph=FAST)
+        outcome = total_time(profile, workload)
+        read_bytes[unit] = outcome.recovery_stats.bytes_read
+    # 16MB units pad every chunk of a 16MB object to 16MB: ~9x volume.
+    assert read_bytes[16 * MB] > 5 * read_bytes[4 * KB]
+
+
+def test_more_failures_take_longer():
+    workload = Workload(num_objects=200, object_size=8 * MB)
+    times = {}
+    for count in (1, 3):
+        profile = ExperimentProfile(
+            name=f"f{count}", failure_domain="osd", osds_per_host=3, ceph=FAST
+        )
+        outcome = total_time(
+            profile, workload,
+            [FaultSpec(level="device", count=count,
+                       colocation=Colocation.DIFFERENT_HOSTS)],
+        )
+        times[count] = outcome.timeline.ec_recovery_period
+    assert times[3] > times[1]
+
+
+def test_checking_fraction_falls_with_workload_size():
+    fractions = {}
+    for count in (50, 400):
+        profile = ExperimentProfile(name=f"w{count}", ceph=FAST)
+        outcome = total_time(profile, Workload(num_objects=count, object_size=16 * MB))
+        fractions[count] = outcome.timeline.checking_fraction
+    assert fractions[400] < fractions[50]
+
+
+def test_wa_grows_when_objects_shrink():
+    was = {}
+    for size in (28 * KB, 16 * MB):
+        profile = ExperimentProfile(name=f"s{size}", stripe_unit=4 * KB, ceph=FAST)
+        outcome = run_experiment(
+            profile, Workload(num_objects=60, object_size=size), faults=[]
+        )
+        was[size] = outcome.wa.actual
+    assert was[28 * KB] > was[16 * MB] > 4 / 3
+
+
+def test_node_and_device_faults_both_complete():
+    workload = Workload(num_objects=80, object_size=8 * MB)
+    for spec in (FaultSpec(level="node"), FaultSpec(level="device")):
+        profile = ExperimentProfile(
+            name=spec.level, failure_domain="osd", osds_per_host=3, ceph=FAST
+        )
+        outcome = total_time(profile, workload, [spec])
+        assert outcome.recovery_stats.pgs_recovered > 0
+        assert outcome.timeline is not None
+
+
+def test_lrc_recovers_through_full_stack():
+    profile = ExperimentProfile(
+        name="lrc", ec_plugin="lrc", ec_params={"k": 9, "l": 3, "r": 3},
+        ceph=FAST,
+    )
+    outcome = total_time(profile, Workload(num_objects=80, object_size=8 * MB))
+    assert outcome.recovery_stats.pgs_recovered > 0
+
+
+def test_shec_recovers_through_full_stack():
+    profile = ExperimentProfile(
+        name="shec", ec_plugin="shec", ec_params={"k": 8, "m": 4, "l": 5},
+        ceph=FAST,
+    )
+    outcome = total_time(profile, Workload(num_objects=80, object_size=8 * MB))
+    assert outcome.recovery_stats.pgs_recovered > 0
+
+
+def test_filestore_backend_profile_runs():
+    profile = ExperimentProfile(name="filestore", backend="filestore", ceph=FAST)
+    outcome = total_time(profile, Workload(num_objects=60, object_size=8 * MB))
+    assert outcome.recovery_stats.pgs_recovered > 0
+
+
+def test_clay_repair_traffic_less_than_rs_at_default_unit():
+    """Single-failure repair bytes: Clay's MSR saving shows up in the
+    cluster's measured read volume, not just in the plan."""
+    workload = Workload(num_objects=150, object_size=16 * MB)
+    reads = {}
+    for name, plugin, params in (
+        ("rs", "jerasure", {"k": 9, "m": 3}),
+        ("clay", "clay", {"k": 9, "m": 3, "d": 11}),
+    ):
+        profile = ExperimentProfile(
+            name=name, ec_plugin=plugin, ec_params=params, ceph=FAST
+        )
+        outcome = total_time(profile, workload)
+        stats = outcome.recovery_stats
+        reads[name] = stats.bytes_read / max(1, stats.chunks_rebuilt)
+    assert reads["clay"] < reads["rs"]
+
+
+def test_hdd_device_class_recovers_slower_than_ssd():
+    """Table 1 row 8: the device class changes recovery time."""
+    workload = Workload(num_objects=80, object_size=8 * MB)
+    times = {}
+    for device_class in ("ssd", "hdd"):
+        profile = ExperimentProfile(
+            name=device_class, device_class=device_class, ceph=FAST
+        )
+        times[device_class] = total_time(
+            profile, workload
+        ).timeline.ec_recovery_period
+    assert times["hdd"] > times["ssd"]
+
+
+def test_rack_failure_domain_spreads_across_racks():
+    """Table 1 row 7: rack-level failure domains place one shard/rack."""
+    profile = ExperimentProfile(
+        name="rack",
+        ec_plugin="jerasure",
+        ec_params={"k": 4, "m": 2},
+        failure_domain="rack",
+        num_hosts=18,
+        num_racks=6,
+        pg_num=8,
+        ceph=FAST,
+    )
+    from repro.core import Controller
+
+    controller = Controller(profile)
+    topology = controller.cluster.topology
+    for pg in controller.cluster.pool.pgs.values():
+        racks = {topology.host_of(osd).rack_id for osd in pg.acting}
+        assert len(racks) == 6  # one shard per rack

@@ -1,0 +1,117 @@
+"""Interface object-stream mapping and pg autoscaling."""
+
+import pytest
+
+from repro.cluster import autoscale_advice, recommended_pg_num
+from repro.workload import INTERFACES, Workload, interface_stream
+
+MB = 1024 * 1024
+
+
+# -- interfaces -----------------------------------------------------------------
+
+
+def test_rados_passthrough():
+    wl = Workload(num_objects=3, object_size=10 * MB)
+    objects = list(interface_stream(wl, "rados"))
+    assert len(objects) == 3
+    assert all(o.size == 10 * MB for o in objects)
+
+
+def test_rbd_stripes_into_4mb_objects():
+    wl = Workload(num_objects=1, object_size=10 * MB)
+    objects = list(interface_stream(wl, "rbd"))
+    assert [o.size for o in objects] == [4 * MB, 4 * MB, 2 * MB]
+    assert sum(o.size for o in objects) == 10 * MB
+    assert len({o.name for o in objects}) == 3
+
+
+def test_cephfs_matches_default_file_layout():
+    wl = Workload(num_objects=1, object_size=4 * MB)
+    objects = list(interface_stream(wl, "cephfs"))
+    assert [o.size for o in objects] == [4 * MB]
+
+
+def test_rgw_small_objects_stay_whole_with_head():
+    wl = Workload(num_objects=1, object_size=1 * MB)
+    objects = list(interface_stream(wl, "rgw"))
+    # A 4 KB head object plus the body.
+    assert [o.size for o in objects] == [4096, 1 * MB]
+    assert objects[0].name.endswith("/head")
+
+
+def test_rgw_large_objects_go_multipart():
+    wl = Workload(num_objects=1, object_size=9 * MB)
+    objects = list(interface_stream(wl, "rgw"))
+    assert objects[0].size == 4096
+    assert [o.size for o in objects[1:]] == [4 * MB, 4 * MB, 1 * MB]
+
+
+def test_unknown_interface_rejected():
+    wl = Workload(num_objects=1)
+    with pytest.raises(KeyError, match="unknown interface"):
+        list(interface_stream(wl, "nfs"))
+
+
+def test_table1_interfaces_all_modelled():
+    assert set(INTERFACES) == {"rados", "rbd", "cephfs", "rgw"}
+
+
+def test_interface_changes_wa_profile():
+    """Striping 10 MB objects into 4 MB pieces changes padding: the
+    interface is EC-relevant, which is why Table 1 lists it."""
+    from repro.cluster import layout_object
+
+    whole = layout_object(10 * MB, 12, 9, 4 * MB)
+    striped = [layout_object(s, 12, 9, 4 * MB) for s in (4 * MB, 4 * MB, 2 * MB)]
+    whole_stored = whole.stored_bytes_total
+    striped_stored = sum(l.stored_bytes_total for l in striped)
+    assert striped_stored != whole_stored
+
+
+# -- autoscaler -----------------------------------------------------------------
+
+
+def test_recommended_pg_num_matches_target():
+    # 60 OSDs, width 12 -> 60*100/12 = 500 -> rounded to 512.
+    assert recommended_pg_num(60, 12) == 512
+    # 16 OSDs, width 6 -> 266 -> 256.
+    assert recommended_pg_num(16, 6) == 256
+
+
+def test_recommended_pg_num_power_of_two():
+    for osds in (3, 10, 37, 90):
+        value = recommended_pg_num(osds, 12)
+        assert value & (value - 1) == 0  # power of two
+
+
+def test_recommended_pg_num_bounds():
+    assert recommended_pg_num(1, 200, target_shards_per_osd=1) == 1
+    assert recommended_pg_num(100_000, 1) <= 32768
+
+
+def test_recommended_validation():
+    with pytest.raises(ValueError):
+        recommended_pg_num(0, 12)
+    with pytest.raises(ValueError):
+        recommended_pg_num(10, 12, target_shards_per_osd=0)
+
+
+def test_autoscale_advice_flags_gross_misconfiguration():
+    # The paper's pg_num=1 case: 60 OSDs, width 12.
+    advice = autoscale_advice(1, 60, 12)
+    assert advice.recommended == 512
+    assert advice.should_scale
+    assert "SCALE" in advice.summary()
+    assert advice.shards_per_osd == pytest.approx(0.2)
+
+
+def test_autoscale_advice_accepts_reasonable_pg_num():
+    advice = autoscale_advice(256, 60, 12)
+    assert not advice.should_scale
+    assert "ok" in advice.summary()
+
+
+def test_autoscale_advice_validation():
+    with pytest.raises(ValueError):
+        autoscale_advice(0, 60, 12)

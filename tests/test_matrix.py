@@ -1,0 +1,146 @@
+"""Matrix algebra over GF(256): inversion, rank, and MDS constructions."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec.galois import gf_mul
+from repro.ec.matrix import (
+    SingularMatrixError,
+    cauchy,
+    identity,
+    invert,
+    mat_vec_apply,
+    matmul,
+    rank,
+    solve,
+    systematic_vandermonde_generator,
+)
+
+
+def random_matrix(rng, rows, cols):
+    return rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+
+
+def test_identity_shape_and_values():
+    eye = identity(3)
+    assert eye.dtype == np.uint8
+    assert np.array_equal(eye, np.identity(3, dtype=np.uint8))
+
+
+def test_matmul_against_manual():
+    a = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+    b = np.array([[5, 6], [7, 8]], dtype=np.uint8)
+    out = matmul(a, b)
+    expected_00 = gf_mul(1, 5) ^ gf_mul(2, 7)
+    assert out[0, 0] == expected_00
+
+
+def test_matmul_shape_mismatch():
+    with pytest.raises(ValueError):
+        matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 2), dtype=np.uint8))
+
+
+def test_matmul_identity_is_noop():
+    rng = np.random.default_rng(1)
+    a = random_matrix(rng, 4, 4)
+    assert np.array_equal(matmul(identity(4), a), a)
+    assert np.array_equal(matmul(a, identity(4)), a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=6))
+def test_invert_roundtrip(seed, size):
+    rng = np.random.default_rng(seed)
+    # Rejection-sample an invertible matrix.
+    for _ in range(50):
+        m = random_matrix(rng, size, size)
+        try:
+            inv = invert(m)
+        except SingularMatrixError:
+            continue
+        assert np.array_equal(matmul(m, inv), identity(size))
+        assert np.array_equal(matmul(inv, m), identity(size))
+        return
+    pytest.skip("no invertible sample found (vanishingly unlikely)")
+
+
+def test_invert_singular_raises():
+    singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(SingularMatrixError):
+        invert(singular)
+
+
+def test_invert_non_square_rejected():
+    with pytest.raises(ValueError):
+        invert(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_rank_full_and_deficient():
+    assert rank(identity(4)) == 4
+    dup = np.array([[1, 2, 3], [1, 2, 3], [0, 0, 1]], dtype=np.uint8)
+    assert rank(dup) == 2
+    assert rank(np.zeros((3, 3), dtype=np.uint8)) == 0
+
+
+def test_rank_rectangular():
+    wide = np.array([[1, 0, 1, 1], [0, 1, 1, 0]], dtype=np.uint8)
+    assert rank(wide) == 2
+
+
+def test_solve_recovers_blocks():
+    rng = np.random.default_rng(7)
+    m = systematic_vandermonde_generator(5, 3)[[0, 3, 4]]
+    blocks = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(3)]
+    rhs = mat_vec_apply(m, blocks)
+    solved = solve(m, rhs)
+    for got, want in zip(solved, blocks):
+        assert np.array_equal(got, want)
+
+
+def test_mat_vec_apply_validates_shapes():
+    m = identity(2)
+    with pytest.raises(ValueError):
+        mat_vec_apply(m, [np.zeros(4, dtype=np.uint8)])
+    with pytest.raises(ValueError):
+        mat_vec_apply(
+            m,
+            [np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8)],
+        )
+
+
+def test_cauchy_every_square_submatrix_invertible():
+    m, k = 3, 4
+    c = cauchy(m, k)
+    for size in (1, 2, 3):
+        for rows in itertools.combinations(range(m), size):
+            for cols in itertools.combinations(range(k), size):
+                sub = c[np.ix_(rows, cols)]
+                invert(sub)  # must not raise
+
+
+def test_cauchy_distinctness_enforced():
+    with pytest.raises(ValueError):
+        cauchy(2, 2, x_values=[0, 1], y_values=[1, 2])
+
+
+def test_systematic_generator_top_is_identity():
+    gen = systematic_vandermonde_generator(12, 9)
+    assert np.array_equal(gen[:9], identity(9))
+
+
+def test_systematic_generator_is_mds():
+    """Every k x k row subset of the generator must be invertible."""
+    n, k = 8, 5
+    gen = systematic_vandermonde_generator(n, k)
+    for rows in itertools.combinations(range(n), k):
+        invert(gen[list(rows)])  # must not raise
+
+
+def test_systematic_generator_bad_dims():
+    with pytest.raises(ValueError):
+        systematic_vandermonde_generator(3, 5)
+    with pytest.raises(ValueError):
+        systematic_vandermonde_generator(300, 5)

@@ -1,0 +1,81 @@
+"""NIC and fabric model: transfer times, contention, loopback."""
+
+import pytest
+
+from repro.cluster import Fabric, M5_NIC, Nic, NicSpec
+from repro.sim import Environment
+
+
+def make_nic(env, name="n", bandwidth=1e9, latency=0.001, overhead=0.0001):
+    return Nic(env, NicSpec(name, bandwidth, latency, overhead), name=name)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        NicSpec("bad", 0, 0.0, 0.0)
+
+
+def test_wire_time():
+    env = Environment()
+    nic = make_nic(env)
+    assert nic.wire_time(1_000_000) == pytest.approx(0.0011)
+    with pytest.raises(ValueError):
+        nic.wire_time(-1)
+
+
+def test_transfer_charges_both_ends():
+    env = Environment()
+    a, b = make_nic(env, "a"), make_nic(env, "b")
+    fabric = Fabric(env)
+    done = []
+
+    def xfer():
+        yield fabric.transfer(a, b, 1_000_000)
+        done.append(env.now)
+
+    env.process(xfer())
+    env.run()
+    # egress 0.0011 + latency 0.001 + ingress 0.0011
+    assert done[0] == pytest.approx(0.0032)
+    assert a.sent_bytes == 1_000_000
+    assert b.received_bytes == 1_000_000
+
+
+def test_loopback_is_cheap():
+    env = Environment()
+    a = make_nic(env, "a")
+    fabric = Fabric(env)
+    done = []
+
+    def xfer():
+        yield fabric.transfer(a, a, 10**9)
+        done.append(env.now)
+
+    env.process(xfer())
+    env.run()
+    assert done[0] == pytest.approx(a.spec.message_overhead)
+    assert a.sent_bytes == 0  # loopback bypasses the NIC
+
+
+def test_ingress_contention_serialises():
+    """Two senders into one receiver share its ingress queue."""
+    env = Environment()
+    dst = make_nic(env, "dst")
+    srcs = [make_nic(env, f"s{i}") for i in range(2)]
+    fabric = Fabric(env)
+    done = []
+
+    def xfer(src):
+        yield fabric.transfer(src, dst, 1_000_000_000)  # ~1 s wire time
+        done.append(env.now)
+
+    for src in srcs:
+        env.process(xfer(src))
+    env.run()
+    # First arrival ~2s (egress+ingress), second waits on dst ingress.
+    assert done[1] - done[0] == pytest.approx(1.0001, rel=1e-3)
+    assert fabric.transfers == 2
+
+
+def test_m5_nic_is_10gbit():
+    assert M5_NIC.bandwidth == pytest.approx(1.25e9)

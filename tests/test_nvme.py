@@ -1,0 +1,74 @@
+"""Virtual NVMe-oF provisioning: the device-fault control plane."""
+
+import pytest
+
+from repro.cluster import Disk, GP_SSD, NvmeTarget, SubsystemNotFoundError
+from repro.cluster.nvme import default_nqn
+from repro.sim import Environment
+
+
+@pytest.fixture
+def target():
+    return NvmeTarget("host.0")
+
+
+def make_disk():
+    return Disk(Environment(), GP_SSD)
+
+
+def test_create_and_connect(target):
+    disk = make_disk()
+    sub = target.create_subsystem("nqn.test:ns0", disk)
+    assert not sub.connected
+    got = target.connect("nqn.test:ns0", osd_id=7)
+    assert got is disk
+    assert sub.attached_osd == 7
+    assert sub.connected
+
+
+def test_duplicate_nqn_rejected(target):
+    target.create_subsystem("nqn.x", make_disk())
+    with pytest.raises(ValueError, match="already exists"):
+        target.create_subsystem("nqn.x", make_disk())
+
+
+def test_double_connect_rejected(target):
+    target.create_subsystem("nqn.x", make_disk())
+    target.connect("nqn.x", 1)
+    with pytest.raises(ValueError, match="already attached"):
+        target.connect("nqn.x", 2)
+
+
+def test_unknown_nqn(target):
+    with pytest.raises(SubsystemNotFoundError):
+        target.connect("nqn.ghost", 1)
+    with pytest.raises(SubsystemNotFoundError):
+        target.remove_subsystem("nqn.ghost")
+
+
+def test_remove_fails_backing_disk(target):
+    """Removing the subsystem IS the device-level fault (§3.2)."""
+    disk = make_disk()
+    target.create_subsystem("nqn.x", disk)
+    target.connect("nqn.x", 3)
+    sub = target.remove_subsystem("nqn.x")
+    assert disk.failed
+    assert "nqn.x" not in target.subsystems
+    assert target.removed_nqns == ["nqn.x"]
+    # Restore brings it back healthy.
+    target.restore_subsystem(sub)
+    assert not disk.failed
+    assert "nqn.x" in target.subsystems
+
+
+def test_restore_duplicate_rejected(target):
+    disk = make_disk()
+    sub = target.create_subsystem("nqn.x", disk)
+    with pytest.raises(ValueError, match="already present"):
+        target.restore_subsystem(sub)
+
+
+def test_default_nqn_convention():
+    nqn = default_nqn("host.3", 1)
+    assert nqn.startswith("nqn.2024-07.io.ecfault:")
+    assert "host.3" in nqn and nqn.endswith("ns1")

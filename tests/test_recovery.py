@@ -1,0 +1,183 @@
+"""Recovery state machine: end-to-end PG recovery on small clusters."""
+
+import pytest
+
+from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig
+from repro.ec import ClayCode, ReedSolomon
+from repro.sim import Environment
+
+
+def build(code=None, *, pg_num=8, num_hosts=8, osds_per_host=2,
+          failure_domain="host", down_out=60.0):
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        code or ReedSolomon(4, 2),
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(mon_osd_down_out_interval=down_out),
+        num_hosts=num_hosts,
+        osds_per_host=osds_per_host,
+        pg_num=pg_num,
+        failure_domain=failure_domain,
+    )
+    return env, cluster
+
+
+def ingest(cluster, count=40, size=4 * 1024 * 1024):
+    for i in range(count):
+        cluster.ingest_object(f"obj-{i}", size)
+
+
+def fail_host(cluster, host_id):
+    for osd_id in cluster.topology.hosts[host_id].osd_ids:
+        cluster.osds[osd_id].host_running = False
+
+
+def drive_to_completion(env, cluster, limit=5000.0):
+    done = cluster.recovery.wait_all_recovered()
+    env.run(until=limit)
+    assert done.triggered, "recovery did not finish in time"
+
+
+def affected_host(cluster):
+    """A host that actually holds shards of at least one PG."""
+    for pg in cluster.pool.pgs.values():
+        if pg.objects:
+            return cluster.topology.osds[pg.acting[0]].host_id
+    raise AssertionError("no data ingested")
+
+
+def test_recovery_completes_and_counts():
+    env, cluster = build()
+    ingest(cluster)
+    env.run(until=10)
+    victim = affected_host(cluster)
+    fail_host(cluster, victim)
+    drive_to_completion(env, cluster)
+    stats = cluster.recovery.stats
+    assert stats.pgs_recovered == stats.pgs_queued > 0
+    assert stats.objects_recovered > 0
+    assert stats.chunks_rebuilt >= stats.objects_recovered
+    assert stats.bytes_written > 0
+    assert stats.bytes_read >= stats.bytes_written  # k reads per write
+
+
+def test_acting_sets_exclude_failed_osds_after_recovery():
+    env, cluster = build()
+    ingest(cluster)
+    env.run(until=10)
+    victim = affected_host(cluster)
+    failed_osds = set(cluster.topology.hosts[victim].osd_ids)
+    fail_host(cluster, victim)
+    drive_to_completion(env, cluster)
+    for pg in cluster.pool.pgs.values():
+        assert not failed_osds & set(pg.acting)
+
+
+def test_rebuilt_chunks_land_on_targets():
+    env, cluster = build()
+    ingest(cluster, count=20)
+    env.run(until=10)
+    before = {o: cluster.osds[o].backend.num_chunks for o in cluster.osds}
+    victim = affected_host(cluster)
+    fail_host(cluster, victim)
+    drive_to_completion(env, cluster)
+    gained = [
+        o
+        for o in cluster.osds
+        if cluster.osds[o].backend.num_chunks > before[o]
+        and cluster.topology.osds[o].host_id != victim
+    ]
+    assert gained, "no replacement OSD received rebuilt chunks"
+
+
+def test_unaffected_host_failure_recovers_nothing():
+    env, cluster = build(pg_num=1, num_hosts=14)
+    ingest(cluster, count=5)
+    env.run(until=10)
+    acting_hosts = {
+        cluster.topology.osds[o].host_id for o in cluster.pool.pgs[0].acting
+    }
+    spare = next(h for h in cluster.topology.hosts if h not in acting_hosts)
+    fail_host(cluster, spare)
+    env.run(until=500)
+    assert cluster.recovery.stats.pgs_queued == 0
+
+
+def test_clay_reads_less_than_rs_for_single_shard_loss():
+    """Repair traffic differences emerge from the codes themselves."""
+    results = {}
+    for label, code in (("rs", ReedSolomon(4, 2)), ("clay", ClayCode(4, 2))):
+        env, cluster = build(code, num_hosts=8)
+        ingest(cluster, count=30)
+        env.run(until=10)
+        victim = affected_host(cluster)
+        fail_host(cluster, victim)
+        drive_to_completion(env, cluster)
+        stats = cluster.recovery.stats
+        results[label] = stats.bytes_read / max(stats.objects_recovered, 1)
+    # Clay(4,2,3): 3 helpers x 1/2 chunk = 1.5 chunks vs RS k=2 chunks.
+    assert results["clay"] < results["rs"]
+
+
+def test_multi_host_failure_within_tolerance():
+    env, cluster = build(ReedSolomon(4, 2), num_hosts=10)
+    ingest(cluster, count=30)
+    env.run(until=10)
+    pg = next(pg for pg in cluster.pool.pgs.values() if pg.objects)
+    h1 = cluster.topology.osds[pg.acting[0]].host_id
+    h2 = cluster.topology.osds[pg.acting[1]].host_id
+    fail_host(cluster, h1)
+    fail_host(cluster, h2)
+    drive_to_completion(env, cluster)
+    stats = cluster.recovery.stats
+    assert stats.pgs_recovered == stats.pgs_queued > 0
+
+
+def test_osd_level_failure_domain_recovery():
+    env, cluster = build(
+        ReedSolomon(4, 2), failure_domain="osd", num_hosts=4, osds_per_host=3
+    )
+    ingest(cluster, count=25)
+    env.run(until=10)
+    pg = next(pg for pg in cluster.pool.pgs.values() if pg.objects)
+    victim_osd = pg.acting[2]
+    cluster.osds[victim_osd].disk.fail()
+    drive_to_completion(env, cluster)
+    assert cluster.recovery.stats.pgs_recovered > 0
+    for pg in cluster.pool.pgs.values():
+        assert victim_osd not in pg.acting
+
+
+def test_recovery_io_starts_only_after_out():
+    env, cluster = build(down_out=200.0)
+    ingest(cluster)
+    env.run(until=10)
+    victim = affected_host(cluster)
+    fail_host(cluster, victim)
+    drive_to_completion(env, cluster, limit=8000)
+    stats = cluster.recovery.stats
+    assert stats.io_started_at is not None
+    # Out interval (200 s) gates the start of recovery I/O.
+    assert stats.io_started_at >= 10 + 200.0
+
+
+def test_recovery_logs_paper_phrases():
+    env, cluster = build()
+    ingest(cluster)
+    env.run(until=10)
+    fail_host(cluster, affected_host(cluster))
+    drive_to_completion(env, cluster)
+    text = "\n".join(
+        record.message
+        for log in cluster.all_logs()
+        for record in log
+    )
+    for phrase in (
+        "collecting missing OSDs, queueing recovery",
+        "check recovery resource",
+        "start recovery I/O",
+        "recovery completed",
+        "report recovery I/O",
+    ):
+        assert phrase in text

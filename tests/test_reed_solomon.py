@@ -1,0 +1,171 @@
+"""Reed-Solomon codes: MDS property, both techniques, both plugins."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import InsufficientChunksError, IsaReedSolomon, ReedSolomon
+
+
+@pytest.fixture(params=["reed_sol_van", "cauchy_orig"])
+def technique(request):
+    return request.param
+
+
+def test_unknown_technique_rejected():
+    with pytest.raises(ValueError, match="unknown RS technique"):
+        ReedSolomon(4, 2, technique="magic")
+
+
+def test_n_over_256_rejected():
+    with pytest.raises(ValueError):
+        ReedSolomon(250, 10)
+
+
+def test_encode_produces_n_equal_chunks(technique):
+    code = ReedSolomon(5, 3, technique=technique)
+    chunks = code.encode(b"x" * 1000)
+    assert len(chunks) == 8
+    sizes = {len(c) for c in chunks}
+    assert len(sizes) == 1
+
+
+def test_systematic_data_chunks_hold_payload(technique):
+    code = ReedSolomon(4, 2, technique=technique)
+    data = bytes(range(64))
+    chunks = code.encode(data)
+    recovered = b"".join(c.tobytes() for c in chunks[:4])[: len(data)]
+    assert recovered == data
+
+
+def test_exhaustive_small_code_all_patterns(technique):
+    """RS(5,3): every erasure pattern of <= m chunks must decode."""
+    code = ReedSolomon(3, 2, technique=technique)
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 256, 301, dtype=np.uint8).tobytes()
+    chunks = code.encode(data)
+    for count in (1, 2):
+        for erased in itertools.combinations(range(code.n), count):
+            available = {
+                i: chunks[i] for i in range(code.n) if i not in erased
+            }
+            assert code.decode(available, len(data)) == data
+            rebuilt = code.decode_chunks(available, list(erased))
+            for idx in erased:
+                assert np.array_equal(rebuilt[idx], chunks[idx])
+
+
+def test_paper_rs_12_9_with_three_failures(technique):
+    code = ReedSolomon(9, 3, technique=technique)
+    rng = np.random.default_rng(12)
+    data = rng.integers(0, 256, 9 * 1024, dtype=np.uint8).tobytes()
+    chunks = code.encode(data)
+    for erased in [(0, 1, 2), (9, 10, 11), (0, 5, 11), (3, 9, 10)]:
+        available = {i: chunks[i] for i in range(12) if i not in erased}
+        rebuilt = code.decode_chunks(available, list(erased))
+        for idx in erased:
+            assert np.array_equal(rebuilt[idx], chunks[idx])
+
+
+def test_paper_rs_15_12(technique):
+    code = ReedSolomon(12, 3, technique=technique)
+    data = bytes(range(256)) * 12
+    chunks = code.encode(data)
+    available = {i: chunks[i] for i in range(15) if i not in (1, 7, 14)}
+    assert code.decode(available, len(data)) == data
+
+
+def test_too_few_chunks_raises(technique):
+    code = ReedSolomon(4, 2, technique=technique)
+    chunks = code.encode(b"payload")
+    available = {i: chunks[i] for i in (0, 1, 2)}
+    with pytest.raises(InsufficientChunksError):
+        code.decode_chunks(available, [3, 4, 5])
+
+
+def test_parity_reconstruction(technique):
+    """Decoding can also rebuild parity chunks, not just data."""
+    code = ReedSolomon(4, 2, technique=technique)
+    data = bytes(range(200))
+    chunks = code.encode(data)
+    available = {i: chunks[i] for i in range(4)}  # all data, no parity
+    rebuilt = code.decode_chunks(available, [4, 5])
+    assert np.array_equal(rebuilt[4], chunks[4])
+    assert np.array_equal(rebuilt[5], chunks[5])
+
+
+def test_mixed_data_and_parity_loss(technique):
+    code = ReedSolomon(6, 3, technique=technique)
+    data = bytes(range(251)) * 2
+    chunks = code.encode(data)
+    erased = (0, 4, 8)
+    available = {i: chunks[i] for i in range(9) if i not in erased}
+    rebuilt = code.decode_chunks(available, list(erased))
+    for idx in erased:
+        assert np.array_equal(rebuilt[idx], chunks[idx])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.binary(min_size=0, max_size=2000),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_roundtrip_random_erasures(data, seed):
+    code = ReedSolomon(4, 2)
+    chunks = code.encode(data)
+    rng = np.random.default_rng(seed)
+    erased = set(rng.choice(6, size=2, replace=False).tolist())
+    available = {i: chunks[i] for i in range(6) if i not in erased}
+    assert code.decode(available, len(data)) == data
+
+
+def test_isa_plugin_same_codewords():
+    """ISA is the same math as Jerasure; only the CPU model differs."""
+    data = bytes(range(123))
+    jer = ReedSolomon(4, 2).encode(data)
+    isa = IsaReedSolomon(4, 2).encode(data)
+    for a, b in zip(jer, isa):
+        assert np.array_equal(a, b)
+    assert IsaReedSolomon(4, 2).cpu_cost_factor < ReedSolomon(4, 2).cpu_cost_factor
+
+
+def test_cauchy_and_vandermonde_differ_but_both_decode():
+    data = bytes(range(100))
+    van = ReedSolomon(4, 2, technique="reed_sol_van")
+    cau = ReedSolomon(4, 2, technique="cauchy_orig")
+    chunks_v = van.encode(data)
+    chunks_c = cau.encode(data)
+    # Same data chunks, (generally) different parity chunks.
+    for i in range(4):
+        assert np.array_equal(chunks_v[i], chunks_c[i])
+    assert van.decode({i: chunks_v[i] for i in (2, 3, 4, 5)}, len(data)) == data
+    assert cau.decode({i: chunks_c[i] for i in (2, 3, 4, 5)}, len(data)) == data
+
+
+def test_r6_requires_m_equals_2():
+    with pytest.raises(ValueError, match="m = 2"):
+        ReedSolomon(4, 3, technique="reed_sol_r6_op")
+
+
+def test_r6_parity_structure():
+    """P is the XOR of the data chunks; Q is the 2^i-weighted sum."""
+    code = ReedSolomon(4, 2, technique="reed_sol_r6_op")
+    data = bytes(range(120))
+    chunks = code.encode(data)
+    p_expected = chunks[0] ^ chunks[1] ^ chunks[2] ^ chunks[3]
+    assert np.array_equal(chunks[4], p_expected)
+
+
+def test_r6_exhaustive_double_failures():
+    """RAID-6 must tolerate every 2-erasure pattern."""
+    code = ReedSolomon(5, 2, technique="reed_sol_r6_op")
+    rng = np.random.default_rng(42)
+    data = rng.integers(0, 256, 777, dtype=np.uint8).tobytes()
+    chunks = code.encode(data)
+    for erased in itertools.combinations(range(7), 2):
+        available = {i: chunks[i] for i in range(7) if i not in erased}
+        rebuilt = code.decode_chunks(available, list(erased))
+        for idx in erased:
+            assert np.array_equal(rebuilt[idx], chunks[idx]), erased

@@ -1,0 +1,88 @@
+"""Sensitivity analysis: axis impacts, ranking, recommendations."""
+
+import pytest
+
+from repro.analysis import (
+    axis_impacts,
+    rank_axes,
+    recommend_configuration,
+)
+from repro.core.sweep import SweepResult
+
+
+def result(label, recovery, wa=1.5, **settings):
+    defaults = dict(pg_num=256, stripe_unit=4096, cache_scheme="autotune")
+    defaults.update(settings)
+    return SweepResult(
+        label=label,
+        settings=defaults,
+        recovery_time=recovery,
+        checking_fraction=0.5,
+        wa_actual=wa,
+        runs=1,
+    )
+
+
+GRID = [
+    result("a", 600.0, pg_num=1, cache_scheme="autotune"),
+    result("b", 900.0, pg_num=1, cache_scheme="kv-optimized"),
+    result("c", 500.0, pg_num=256, cache_scheme="autotune"),
+    result("d", 550.0, pg_num=256, cache_scheme="kv-optimized"),
+]
+
+
+def test_axis_impacts_marginalise_other_axes():
+    impacts = {i.axis: i for i in axis_impacts(GRID, ["pg_num", "cache_scheme"])}
+    pg = impacts["pg_num"]
+    # mean(pg=1) = 750, mean(pg=256) = 525 -> impact 142.9%.
+    assert pg.impact_percent == pytest.approx(750 / 525 * 100)
+    assert pg.best == 256 and pg.worst == 1
+    cache = impacts["cache_scheme"]
+    # mean(autotune) = 550, mean(kv) = 725 -> 131.8%.
+    assert cache.impact_percent == pytest.approx(725 / 550 * 100)
+    assert cache.best == "autotune"
+
+
+def test_rank_axes_orders_by_impact():
+    ranked = rank_axes(GRID, ["cache_scheme", "pg_num"])
+    assert [i.axis for i in ranked] == ["pg_num", "cache_scheme"]
+
+
+def test_single_valued_axis_reports_100_percent():
+    impacts = axis_impacts(GRID, ["stripe_unit"])
+    assert impacts[0].impact_percent == 100.0
+
+
+def test_axis_impacts_validation():
+    with pytest.raises(ValueError):
+        axis_impacts([], ["pg_num"])
+    with pytest.raises(KeyError):
+        axis_impacts(GRID, ["nonexistent"])
+
+
+def test_recommend_without_budget_picks_fastest():
+    rec = recommend_configuration(GRID)
+    assert rec.label == "c"
+    assert rec.rejected_faster == ()
+    assert "recommended configuration: c" in rec.summary()
+
+
+def test_recommend_with_budget_skips_expensive_fast_configs():
+    grid = [
+        result("fast-fat", 400.0, wa=2.2),
+        result("slow-lean", 700.0, wa=1.4),
+    ]
+    rec = recommend_configuration(grid, wa_budget=1.5)
+    assert rec.label == "slow-lean"
+    assert len(rec.rejected_faster) == 1
+    assert "rejected" in rec.summary()
+
+
+def test_recommend_unsatisfiable_budget_raises():
+    with pytest.raises(ValueError, match="no configuration satisfies"):
+        recommend_configuration(GRID, wa_budget=1.0)
+
+
+def test_recommend_validates_input():
+    with pytest.raises(ValueError):
+        recommend_configuration([])

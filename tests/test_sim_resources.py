@@ -1,0 +1,178 @@
+"""Unit tests for Resource, ServiceCenter, and Store."""
+
+import pytest
+
+from repro.sim import Environment, Resource, ServiceCenter, Store
+
+
+# -- Resource -----------------------------------------------------------------
+
+
+def test_resource_capacity_validated():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, 0)
+
+
+def test_resource_immediate_acquire_under_capacity():
+    env = Environment()
+    res = Resource(env, 2)
+    a = res.acquire()
+    b = res.acquire()
+    assert a.triggered and b.triggered
+    assert res.in_use == 2
+
+
+def test_resource_blocks_at_capacity_and_fifo_handoff():
+    env = Environment()
+    res = Resource(env, 1)
+    order = []
+
+    def user(name, hold):
+        yield res.acquire()
+        order.append(("got", name, env.now))
+        yield env.timeout(hold)
+        res.release()
+
+    env.process(user("a", 3))
+    env.process(user("b", 1))
+    env.process(user("c", 1))
+    env.run()
+    assert order == [("got", "a", 0.0), ("got", "b", 3.0), ("got", "c", 4.0)]
+
+
+def test_resource_release_without_acquire_rejected():
+    env = Environment()
+    res = Resource(env, 1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_queue_length():
+    env = Environment()
+    res = Resource(env, 1)
+    res.acquire()
+    res.acquire()
+    res.acquire()
+    assert res.queue_length == 2
+
+
+# -- ServiceCenter --------------------------------------------------------------
+
+
+def test_service_center_serial_service():
+    env = Environment()
+    center = ServiceCenter(env, servers=1)
+    done = []
+
+    def job(name, service):
+        yield center.request(service)
+        done.append((name, env.now))
+
+    env.process(job("a", 2.0))
+    env.process(job("b", 3.0))
+    env.run()
+    assert done == [("a", 2.0), ("b", 5.0)]
+
+
+def test_service_center_parallel_servers():
+    env = Environment()
+    center = ServiceCenter(env, servers=2)
+    done = []
+
+    def job(name, service):
+        yield center.request(service)
+        done.append((name, env.now))
+
+    for name in ("a", "b", "c"):
+        env.process(job(name, 2.0))
+    env.run()
+    assert done == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_service_center_negative_time_rejected():
+    env = Environment()
+    center = ServiceCenter(env)
+    with pytest.raises(ValueError):
+        center.request(-1.0)
+
+
+def test_service_center_tracks_busy_time_and_jobs():
+    env = Environment()
+    center = ServiceCenter(env, servers=1)
+
+    def job():
+        yield center.request(4.0)
+
+    env.process(job())
+    env.run()
+    assert center.busy_time == 4.0
+    assert center.jobs_served == 1
+    assert center.utilisation(8.0) == pytest.approx(0.5)
+
+
+def test_service_center_utilisation_zero_elapsed():
+    env = Environment()
+    center = ServiceCenter(env)
+    assert center.utilisation(0.0) == 0.0
+
+
+# -- Store -------------------------------------------------------------------------
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+
+    def getter():
+        value = yield store.get()
+        return value
+
+    p = env.process(getter())
+    assert env.run_until_process(p) == "x"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    result = []
+
+    def getter():
+        value = yield store.get()
+        result.append((env.now, value))
+
+    def putter():
+        yield env.timeout(5.0)
+        store.put("late")
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert result == [(5.0, "late")]
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    for item in (1, 2, 3):
+        store.put(item)
+    got = []
+
+    def getter():
+        for _ in range(3):
+            value = yield store.get()
+            got.append(value)
+
+    env.process(getter())
+    env.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_drain():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    assert store.drain() == ["a", "b"]
+    assert len(store) == 0

@@ -1,0 +1,102 @@
+"""Configuration sweeps: grids, execution, persistence."""
+
+import pytest
+
+from repro.cluster.osd import CephConfig
+from repro.core import ExperimentProfile, FaultSpec, SweepRunner, SweepSpec
+from repro.workload import Workload
+
+MB = 1024 * 1024
+FAST = CephConfig(mon_osd_down_out_interval=30.0)
+
+
+def base_profile():
+    return ExperimentProfile(name="base", pg_num=16, num_hosts=15, ceph=FAST)
+
+
+def test_spec_validates_axes():
+    with pytest.raises(ValueError, match="unknown profile field"):
+        SweepSpec(base=base_profile(), axes={"warp_factor": [1, 2]})
+    with pytest.raises(ValueError, match="no values"):
+        SweepSpec(base=base_profile(), axes={"pg_num": []})
+
+
+def test_cells_cartesian_product():
+    spec = SweepSpec(
+        base=base_profile(),
+        axes={"pg_num": [8, 16], "cache_scheme": ["autotune", "kv-optimized"]},
+    )
+    cells = list(spec.cells())
+    assert len(cells) == spec.size() == 4
+    combos = {(c.pg_num, c.cache_scheme) for c in cells}
+    assert combos == {
+        (8, "autotune"), (8, "kv-optimized"),
+        (16, "autotune"), (16, "kv-optimized"),
+    }
+    assert len({c.name for c in cells}) == 4  # labels are unique
+
+
+def test_ec_variants_axis():
+    spec = SweepSpec(
+        base=base_profile(),
+        axes={"pg_num": [8]},
+        ec_variants=[
+            ("jerasure", {"k": 9, "m": 3}),
+            ("clay", {"k": 9, "m": 3, "d": 11}),
+        ],
+    )
+    cells = list(spec.cells())
+    assert len(cells) == spec.size() == 2
+    assert {c.ec_plugin for c in cells} == {"jerasure", "clay"}
+
+
+def test_runner_validates_runs():
+    with pytest.raises(ValueError):
+        SweepRunner(Workload(num_objects=1), runs=0)
+
+
+def test_runner_executes_grid_and_reports_progress():
+    progress = []
+    runner = SweepRunner(
+        Workload(num_objects=30, object_size=8 * MB),
+        faults=[FaultSpec(level="node")],
+        progress=lambda label, i, n: progress.append((i, n)),
+    )
+    spec = SweepSpec(base=base_profile(), axes={"pg_num": [4, 16]})
+    results = runner.run(spec)
+    assert len(results) == 2
+    assert progress == [(0, 2), (1, 2)]
+    for result in results:
+        assert result.recovery_time > 0
+        assert 0 < result.checking_fraction < 1
+        assert result.wa_actual > 1.0
+        assert result.runs == 1
+    # pg_num is recorded in settings for downstream analysis.
+    assert {r.settings["pg_num"] for r in results} == {4, 16}
+
+
+def test_runner_without_faults_measures_wa_only():
+    runner = SweepRunner(
+        Workload(num_objects=10, object_size=8 * MB), faults=[]
+    )
+    spec = SweepSpec(base=base_profile(), axes={"pg_num": [4]})
+    (result,) = runner.run(spec)
+    assert result.recovery_time == 0.0
+    assert result.wa_actual > 1.0
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    runner = SweepRunner(Workload(num_objects=20, object_size=8 * MB))
+    spec = SweepSpec(base=base_profile(), axes={"pg_num": [4, 8]})
+    results = runner.run(spec)
+    path = tmp_path / "sweep.json"
+    SweepRunner.save(results, path)
+    loaded = SweepRunner.load(path)
+    assert loaded == results
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "results": []}')
+    with pytest.raises(ValueError, match="version"):
+        SweepRunner.load(path)

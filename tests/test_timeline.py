@@ -1,0 +1,88 @@
+"""Timeline segmentation: Figure 3's phases from classified logs."""
+
+import pytest
+
+from repro.cluster import NodeLog
+from repro.core import LogBus, LogCollector, NodeLogger, TimelineError, build_timeline
+from repro.core.timeline import RecoveryTimeline
+
+
+def collector_from(events):
+    log = NodeLog("mixed")
+    for time, message in events:
+        log.emit(time, "osd", message)
+    bus = LogBus()
+    NodeLogger(log, bus).flush()
+    collector = LogCollector(bus)
+    collector.collect()
+    return collector
+
+
+FULL_CYCLE = [
+    (50.0, "node shutdown requested"),
+    (75.0, "no heartbeats from osd, marking down"),
+    (675.0, "marking osd out after down interval"),
+    (675.0, "collecting missing OSDs, queueing recovery"),
+    (675.2, "check recovery resource"),
+    (677.0, "start recovery I/O"),
+    (900.0, "recovery completed"),
+    (1203.0, "recovery completed"),
+]
+
+
+def test_full_cycle_segmentation():
+    timeline = build_timeline(collector_from(FULL_CYCLE))
+    assert timeline.fault_injected == 50.0
+    assert timeline.failure_detected == 75.0
+    assert timeline.marked_out == 675.0
+    assert timeline.ec_recovery_started == 677.0
+    assert timeline.ec_recovery_finished == 1203.0
+    assert timeline.checking_period == pytest.approx(602.0)
+    assert timeline.ec_recovery_period == pytest.approx(526.0)
+    assert timeline.total_recovery == pytest.approx(1128.0)
+    # The paper's Figure 3 numbers: 602 / 1128 = 53.4%.
+    assert timeline.checking_fraction == pytest.approx(0.5337, abs=0.001)
+
+
+def test_paper_figure3_exact_shape():
+    """The same run as the paper's Figure 3: 0 / 602 / 1128 seconds."""
+    timeline = RecoveryTimeline(
+        fault_injected=None,
+        failure_detected=0.0,
+        marked_out=600.0,
+        recovery_queued=600.0,
+        ec_recovery_started=602.0,
+        ec_recovery_finished=1128.0,
+    )
+    assert timeline.checking_fraction * 100 == pytest.approx(53.4, abs=0.1)
+
+
+def test_annotations_are_relative_to_detection():
+    timeline = build_timeline(collector_from(FULL_CYCLE))
+    labels = dict((label, t) for t, label in timeline.annotations())
+    assert labels["Failure detected"] == 0.0
+    assert labels["EC Recovery started"] == pytest.approx(602.0)
+    assert labels["EC Recovery finished"] == pytest.approx(1128.0)
+
+
+def test_missing_phase_raises():
+    incomplete = [e for e in FULL_CYCLE if "start recovery" not in e[1]]
+    with pytest.raises(TimelineError, match="recovery start"):
+        build_timeline(collector_from(incomplete))
+
+
+def test_missing_detection_raises():
+    incomplete = [e for e in FULL_CYCLE if "marking down" not in e[1]]
+    with pytest.raises(TimelineError, match="failure detection"):
+        build_timeline(collector_from(incomplete))
+
+
+def test_device_fault_injection_marker():
+    events = [(10.0, "removed NVMe subsystem")] + FULL_CYCLE[1:]
+    timeline = build_timeline(collector_from(events))
+    assert timeline.fault_injected == 10.0
+
+
+def test_zero_duration_fraction_guard():
+    timeline = RecoveryTimeline(None, 5.0, 5.0, 5.0, 5.0, 5.0)
+    assert timeline.checking_fraction == 0.0

@@ -1,0 +1,134 @@
+"""Trace export and anomaly detection (§3.3's analysis back end)."""
+
+import json
+
+import pytest
+
+from repro.cluster import NodeLog
+from repro.cluster.osd import CephConfig
+from repro.core import ExperimentProfile, FaultSpec, LogBus, LogCollector, NodeLogger, run_experiment
+from repro.core.trace import (
+    Anomaly,
+    export_logs_jsonl,
+    export_timeline_csv,
+    find_anomalies,
+    pg_recovery_spans,
+)
+from repro.workload import Workload
+
+MB = 1024 * 1024
+FAST = CephConfig(mon_osd_down_out_interval=30.0)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    profile = ExperimentProfile(name="trace", pg_num=16, num_hosts=15, ceph=FAST)
+    return run_experiment(
+        profile,
+        Workload(num_objects=60, object_size=8 * MB),
+        [FaultSpec(level="node")],
+        seed=2,
+    )
+
+
+def collector_from(events):
+    log = NodeLog("n")
+    for time, message, fields in events:
+        log.emit(time, "osd", message, **fields)
+    bus = LogBus()
+    NodeLogger(log, bus).flush()
+    collector = LogCollector(bus)
+    collector.collect()
+    return collector
+
+
+def test_export_logs_jsonl_roundtrips(tmp_path, outcome):
+    path = tmp_path / "logs.jsonl"
+    count = export_logs_jsonl(outcome.collector, path)
+    assert count == len(outcome.collector.records) > 0
+    lines = path.read_text().splitlines()
+    assert len(lines) == count
+    first = json.loads(lines[0])
+    assert {"time", "node", "class", "message"} <= set(first)
+    times = [json.loads(line)["time"] for line in lines]
+    assert times == sorted(times)
+
+
+def test_export_timeline_csv(tmp_path, outcome):
+    path = tmp_path / "timeline.csv"
+    export_timeline_csv(outcome, path)
+    lines = path.read_text().splitlines()
+    assert lines[0] == "phase,start_s,end_s,duration_s"
+    assert lines[1].startswith("checking,")
+    assert lines[2].startswith("ec_recovery,")
+
+
+def test_export_timeline_requires_timeline(tmp_path, outcome):
+    import dataclasses
+
+    no_timeline = dataclasses.replace(outcome, timeline=None)
+    with pytest.raises(ValueError):
+        export_timeline_csv(no_timeline, tmp_path / "x.csv")
+
+
+def test_pg_spans_from_real_experiment(outcome):
+    spans = pg_recovery_spans(outcome.collector)
+    assert len(spans) == outcome.recovery_stats.pgs_recovered
+    assert all(span.duration > 0 for span in spans)
+    # Sorted by duration, longest first.
+    durations = [span.duration for span in spans]
+    assert durations == sorted(durations, reverse=True)
+
+
+def test_pg_spans_ignore_incomplete():
+    collector = collector_from(
+        [
+            (1.0, "collecting missing OSDs, queueing recovery", {"pg": "1.a"}),
+            (2.0, "collecting missing OSDs, queueing recovery", {"pg": "1.b"}),
+            (5.0, "recovery completed", {"pg": "1.a"}),
+            # 1.b never completes.
+        ]
+    )
+    spans = pg_recovery_spans(collector)
+    assert [s.pgid for s in spans] == ["1.a"]
+    assert spans[0].duration == pytest.approx(4.0)
+
+
+def test_find_anomalies_flags_straggler():
+    events = []
+    for i in range(6):
+        events.append((float(i), "collecting missing OSDs, queueing recovery",
+                       {"pg": f"1.{i}"}))
+        events.append((float(i) + 2.0, "recovery completed", {"pg": f"1.{i}"}))
+    # One PG takes 10x longer.
+    events.append((10.0, "collecting missing OSDs, queueing recovery", {"pg": "1.slow"}))
+    events.append((40.0, "recovery completed", {"pg": "1.slow"}))
+    anomalies = find_anomalies(collector_from(events))
+    assert len(anomalies) == 1
+    assert anomalies[0].kind == "straggler-pg"
+    assert anomalies[0].subject == "1.slow"
+    assert anomalies[0].factor > 3.0
+    assert "straggler-pg" in anomalies[0].describe()
+
+
+def test_find_anomalies_no_false_positives_on_uniform_spans():
+    events = []
+    for i in range(8):
+        events.append((float(i), "collecting missing OSDs, queueing recovery",
+                       {"pg": f"1.{i}"}))
+        events.append((float(i) + 3.0, "recovery completed", {"pg": f"1.{i}"}))
+    assert find_anomalies(collector_from(events)) == []
+
+
+def test_find_anomalies_hot_device(outcome):
+    anomalies = find_anomalies(
+        outcome.collector, iostat=outcome.iostat, threshold=2.0
+    )
+    # Recovery concentrates traffic: at least the kinds are well-formed.
+    assert all(isinstance(a, Anomaly) for a in anomalies)
+    assert all(a.factor > 2.0 for a in anomalies)
+
+
+def test_find_anomalies_threshold_validation(outcome):
+    with pytest.raises(ValueError):
+        find_anomalies(outcome.collector, threshold=1.0)

@@ -1,0 +1,126 @@
+"""Write amplification: the paper's formula and OSD-level measurement."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ExperimentProfile,
+    chunk_stored_size,
+    estimate_wa,
+    measure_wa,
+    run_experiment,
+    theoretical_wa,
+)
+from repro.workload import Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def test_theoretical_wa():
+    assert theoretical_wa(12, 9) == pytest.approx(4 / 3)
+    assert theoretical_wa(15, 12) == pytest.approx(1.25)
+    with pytest.raises(ValueError):
+        theoretical_wa(9, 9)
+
+
+def test_chunk_stored_size_matches_formula():
+    assert chunk_stored_size(64 * MB, 9, 4 * KB) == 4 * KB * math.ceil(
+        64 * MB / (9 * 4 * KB)
+    )
+    assert chunk_stored_size(0, 9, 4 * KB) == 4 * KB  # onode anchors a unit
+    with pytest.raises(ValueError):
+        chunk_stored_size(100, 0, 4096)
+
+
+def test_estimate_wa_lower_bounds_and_exceeds_theory():
+    """The estimate sits between n/k and the measured WA."""
+    estimate = estimate_wa(28 * KB, 12, 9, 4 * KB)
+    assert estimate > theoretical_wa(12, 9)
+    # 28 KB objects: chunk padded to 4 KB -> 12 * 4 / 28.
+    assert estimate == pytest.approx(12 * 4 / 28)
+
+
+def test_estimate_wa_with_metadata_term():
+    base = estimate_wa(28 * KB, 12, 9, 4 * KB)
+    with_meta = estimate_wa(28 * KB, 12, 9, 4 * KB, meta_bytes=1024)
+    assert with_meta == pytest.approx(base + 1024 / (28 * KB))
+    with pytest.raises(ValueError):
+        estimate_wa(28 * KB, 12, 9, 4 * KB, meta_bytes=-1)
+
+
+def test_estimate_wa_validation():
+    with pytest.raises(ValueError):
+        estimate_wa(0, 12, 9, 4096)
+    with pytest.raises(ValueError):
+        estimate_wa(100, 9, 12, 4096)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=10**8),
+    k=st.integers(min_value=2, max_value=16),
+    m=st.integers(min_value=1, max_value=4),
+    unit=st.sampled_from([4 * KB, 64 * KB, 4 * MB]),
+)
+def test_property_estimate_never_below_theory(size, k, m, unit):
+    assert estimate_wa(size, k + m, k, unit) >= theoretical_wa(k + m, k) - 1e-9
+
+
+@given(
+    size=st.integers(min_value=1, max_value=10**7),
+    k=st.integers(min_value=2, max_value=12),
+)
+def test_property_estimate_converges_for_large_objects(size, k):
+    """For objects >> k * stripe_unit, the estimate approaches n/k."""
+    unit = 4 * KB
+    big = size + 50 * k * unit
+    estimate = estimate_wa(big, k + 3, k, unit)
+    theory = theoretical_wa(k + 3, k)
+    assert estimate <= theory * (1 + 1.0 / 50)
+
+
+def test_measured_wa_exceeds_estimate_exceeds_theory():
+    """measured >= estimate >= n/k: the §4.4 ordering, end to end."""
+    profile = ExperimentProfile(pg_num=16, num_hosts=15, stripe_unit=4 * KB)
+    workload = Workload(num_objects=60, object_size=28 * KB)
+    outcome = run_experiment(profile, workload, faults=[])
+    actual = outcome.wa.actual
+    estimate = estimate_wa(28 * KB, 12, 9, 4 * KB)
+    assert actual >= estimate > theoretical_wa(12, 9)
+    # Metadata keeps actual strictly above the padding-only estimate.
+    assert actual > estimate
+
+
+def test_wa_report_percentages():
+    profile = ExperimentProfile(pg_num=8, num_hosts=15, stripe_unit=4 * KB)
+    workload = Workload(num_objects=40, object_size=28 * KB)
+    outcome = run_experiment(profile, workload, faults=[])
+    report = outcome.wa
+    assert report.theoretical == pytest.approx(4 / 3)
+    assert report.excess_percent > 0
+    assert report.n == 12 and report.k == 9
+
+
+def test_wa_large_objects_near_theory():
+    """64 MB objects at 4 KB units: padding is negligible (~n/k)."""
+    profile = ExperimentProfile(pg_num=8, num_hosts=15, stripe_unit=4 * KB)
+    workload = Workload(num_objects=20, object_size=64 * MB)
+    outcome = run_experiment(profile, workload, faults=[])
+    assert outcome.wa.actual == pytest.approx(4 / 3, rel=0.02)
+
+
+def test_measure_wa_validation():
+    from repro.cluster import CACHE_SCHEMES, CephCluster
+    from repro.ec import ReedSolomon
+    from repro.sim import Environment
+
+    cluster = CephCluster(
+        Environment(), ReedSolomon(4, 2), CACHE_SCHEMES["autotune"],
+        num_hosts=8, pg_num=4,
+    )
+    with pytest.raises(ValueError):
+        measure_wa(cluster, -1)
+    report = measure_wa(cluster, 0)
+    assert report.actual == 0.0

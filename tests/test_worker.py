@@ -1,0 +1,81 @@
+"""Workers: provisioning and fault application on one node."""
+
+import pytest
+
+from repro.cluster import CACHE_SCHEMES, CephCluster
+from repro.core.worker import Worker, deploy_workers
+from repro.ec import ReedSolomon
+from repro.sim import Environment
+
+
+@pytest.fixture
+def cluster():
+    env = Environment()
+    return CephCluster(
+        env,
+        ReedSolomon(4, 2),
+        CACHE_SCHEMES["autotune"],
+        num_hosts=6,
+        osds_per_host=2,
+        pg_num=4,
+    )
+
+
+def test_provision_creates_one_namespace_per_osd(cluster):
+    worker = Worker(cluster, host_id=0)
+    nqns = worker.provision_disks()
+    assert len(nqns) == 2
+    for osd_id in cluster.topology.hosts[0].osd_ids:
+        assert worker.nqn_of(osd_id) in nqns
+
+
+def test_double_provision_rejected(cluster):
+    worker = Worker(cluster, host_id=0)
+    worker.provision_disks()
+    with pytest.raises(ValueError):
+        worker.provision_disks()
+
+
+def test_nqn_of_unprovisioned_osd(cluster):
+    worker = Worker(cluster, host_id=0)
+    with pytest.raises(KeyError):
+        worker.nqn_of(0)
+
+
+def test_shutdown_and_restore_node(cluster):
+    worker = Worker(cluster, host_id=1)
+    worker.provision_disks()
+    worker.shutdown_node()
+    for osd_id in cluster.topology.hosts[1].osd_ids:
+        assert not cluster.osds[osd_id].is_up()
+    worker.restore()
+    for osd_id in cluster.topology.hosts[1].osd_ids:
+        assert cluster.osds[osd_id].is_up()
+
+
+def test_remove_and_restore_device(cluster):
+    worker = Worker(cluster, host_id=2)
+    worker.provision_disks()
+    osd_id = cluster.topology.hosts[2].osd_ids[0]
+    worker.remove_device(osd_id)
+    assert cluster.osds[osd_id].disk.failed
+    assert not cluster.osds[osd_id].is_up()
+    worker.restore()
+    assert cluster.osds[osd_id].is_up()
+
+
+def test_deploy_workers_covers_all_hosts(cluster):
+    workers = deploy_workers(cluster)
+    assert set(workers) == set(cluster.topology.hosts)
+    # Provisioning happened: every worker has subsystems.
+    for worker in workers.values():
+        assert len(worker.target.subsystems) == 2
+
+
+def test_worker_logs_actions(cluster):
+    worker = Worker(cluster, host_id=3)
+    worker.provision_disks()
+    worker.shutdown_node()
+    messages = [r.message for r in cluster.host_logs[3]]
+    assert any("provisioned" in m for m in messages)
+    assert any("shutdown" in m for m in messages)
