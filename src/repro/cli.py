@@ -3,6 +3,7 @@
 Subcommands::
 
     ecfault run          one fault-injection experiment
+    ecfault scrub        a silent-corruption + deep-scrub experiment
     ecfault sweep        a configuration sweep, persisted as JSON
     ecfault analyze      sensitivity analysis over saved sweep results
     ecfault repair-plan  repair I/O a code performs for a loss pattern
@@ -24,7 +25,7 @@ from typing import List, Optional
 from .analysis.sensitivity import rank_axes, recommend_configuration
 from .cluster.autoscale import autoscale_advice
 from .core.experiment import run_experiment
-from .core.fault_injector import Colocation, FaultSpec
+from .core.fault_injector import Colocation, CorruptionModel, FaultSpec
 from .core.profile import ExperimentProfile
 from .core.report import format_table
 from .core.sweep import SweepRunner, SweepSpec
@@ -114,6 +115,38 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_scrub(args) -> int:
+    profile = _profile_from_args(args).with_overrides(
+        scrub_interval=args.scrub_interval,
+        scrub_pgs_per_batch=args.pgs_per_batch,
+        csum_block_size=args.csum_block_size,
+        integrity_data_plane=args.data_plane,
+    )
+    workload = Workload(num_objects=args.objects, object_size=args.object_size)
+    faults = [
+        FaultSpec(
+            level="corrupt", count=args.fault_count, corruption=args.corruption
+        )
+    ]
+    outcome = run_experiment(profile, workload, faults, seed=args.seed)
+    print(f"profile: {profile.describe()}")
+    print(f"scrub interval {args.scrub_interval:.0f} s, "
+          f"csum block {args.csum_block_size} B, model {args.corruption}")
+    timeline = outcome.scrub_timeline
+    if timeline is not None:
+        print(f"detection period:  {timeline.detection_period:9.1f} s")
+        print(f"repair period:     {timeline.repair_period:9.3f} s")
+        print(f"total cycle:       {timeline.total_cycle:9.1f} s")
+        print(f"detection fraction:{timeline.detection_fraction * 100:8.1f} %")
+        for offset, label in timeline.annotations():
+            print(f"  t+{offset:9.1f} s  {label}")
+    stats = outcome.scrub_stats
+    print(f"chunks scrubbed:   {stats.chunks_scrubbed}")
+    print(f"errors detected:   {stats.errors_detected}")
+    print(f"chunks repaired:   {stats.chunks_repaired}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     base = _profile_from_args(args)
     axes = {}
@@ -133,6 +166,7 @@ def cmd_sweep(args) -> int:
         runs=args.runs,
         base_seed=args.seed,
         progress=lambda label, i, n: print(f"[{i + 1}/{n}] {label}", file=sys.stderr),
+        workers=args.workers,
     )
     results = runner.run(spec)
     SweepRunner.save(results, args.output)
@@ -226,12 +260,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--colocation", choices=list(Colocation.ALL), default="any")
     run.set_defaults(func=cmd_run)
 
+    scrub = sub.add_parser(
+        "scrub", help="silent-corruption + deep-scrub experiment"
+    )
+    _add_profile_arguments(scrub)
+    scrub.add_argument("--corruption", choices=list(CorruptionModel.ALL),
+                       default="bit_rot")
+    scrub.add_argument("--fault-count", type=int, default=1,
+                       help="corrupted chunks in one stripe (<= m)")
+    scrub.add_argument("--scrub-interval", type=float, default=300.0,
+                       help="seconds between deep-scrub batches")
+    scrub.add_argument("--pgs-per-batch", type=int, default=4)
+    scrub.add_argument("--csum-block-size", type=parse_size, default=4 * KB,
+                       help="checksum granularity (bytes per crc32c)")
+    scrub.add_argument("--data-plane", action="store_true",
+                       help="materialise real chunk bytes (small objects only)")
+    scrub.set_defaults(func=cmd_scrub)
+
     sweep = sub.add_parser("sweep", help="run a configuration sweep")
     _add_profile_arguments(sweep)
     sweep.add_argument("--sweep-pg-num", help="comma list, e.g. 1,16,256")
     sweep.add_argument("--sweep-stripe-unit", help="comma list, e.g. 4KB,4MB,64MB")
     sweep.add_argument("--sweep-cache-scheme", help="comma list of schemes")
     sweep.add_argument("--runs", type=int, default=1)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes for grid cells")
     sweep.add_argument("--output", default="sweep.json")
     sweep.set_defaults(func=cmd_sweep)
 

@@ -17,10 +17,20 @@ from .logs import LogRecord, NodeLog
 from .monitor import Monitor
 from .network import M5_NIC, Fabric, Nic, NicSpec
 from .nvme import NvmeSubsystem, NvmeTarget, SubsystemNotFoundError, default_nqn
-from .objectstore import ChunkLayout, layout_object
+from .objectstore import ChunkLayout, block_checksums, blocks_in, crc32c, layout_object
 from .osd import CephConfig, OsdDaemon
 from .pool import PlacementGroup, Pool, StoredObject
 from .recovery import RecoveryManager, RecoveryStats
+from .scrub import (
+    CorruptionModel,
+    IntegrityConfig,
+    IntegrityStore,
+    ScrubConfig,
+    ScrubManager,
+    ScrubPhase,
+    ScrubRepairError,
+    ScrubStats,
+)
 from .topology import ClusterTopology, FailureDomain, Host, OsdDevice
 
 __all__ = [
@@ -59,6 +69,9 @@ __all__ = [
     "default_nqn",
     "ChunkLayout",
     "layout_object",
+    "crc32c",
+    "block_checksums",
+    "blocks_in",
     "CephConfig",
     "OsdDaemon",
     "PlacementGroup",
@@ -66,6 +79,14 @@ __all__ = [
     "StoredObject",
     "RecoveryManager",
     "RecoveryStats",
+    "CorruptionModel",
+    "IntegrityConfig",
+    "IntegrityStore",
+    "ScrubConfig",
+    "ScrubManager",
+    "ScrubPhase",
+    "ScrubRepairError",
+    "ScrubStats",
     "ClusterTopology",
     "FailureDomain",
     "Host",

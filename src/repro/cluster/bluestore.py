@@ -23,7 +23,7 @@ Two paper-facing behaviours live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 __all__ = ["CacheConfig", "CACHE_SCHEMES", "BlueStoreCacheModel", "BlueStore"]
 
@@ -134,6 +134,12 @@ class BlueStore:
     extent_entry_bytes = 16
     #: EC shard attributes (hash info, shard id, stripe map) per chunk.
     ec_attr_bytes = 32
+    #: Durable crc32c value per checksum block, persisted with the onode.
+    #: Charged only when the integrity subsystem registers checksums for a
+    #: chunk — the calibrated baseline constants above already absorb the
+    #: csum footprint of a stock deployment (see ``csum_bytes_per_data_byte``
+    #: in the cache working-set model below).
+    csum_value_bytes = 4
 
     #: In-memory footprints behind the cache working sets.  RocksDB serves
     #: extent lookups in block granules, hence the amplification factor.
@@ -167,23 +173,37 @@ class BlueStore:
         self.data_bytes = 0
         self.alloc_bytes = 0
         self.meta_bytes = 0
+        #: Per-chunk crc32c checksum tuples, keyed by the pool-level chunk
+        #: key ``(pgid, object_name, shard)`` — the onode-resident csum
+        #: array the deep-scrub state machine verifies chunk reads against.
+        self.chunk_checksums: Dict[tuple, Tuple[int, ...]] = {}
 
     # -- durable layout (write amplification) ----------------------------------
 
-    def chunk_allocation(self, stored_bytes: int, units: int) -> Tuple[int, int]:
-        """(allocated_bytes, metadata_bytes) for one stored chunk."""
-        if stored_bytes < 0 or units < 1:
+    def chunk_allocation(
+        self, stored_bytes: int, units: int, csum_blocks: int = 0
+    ) -> Tuple[int, int]:
+        """(allocated_bytes, metadata_bytes) for one stored chunk.
+
+        ``csum_blocks`` counts the crc32c values persisted with the onode
+        (zero when the integrity subsystem is disabled — the baseline
+        calibration already absorbs stock csum overhead).
+        """
+        if stored_bytes < 0 or units < 1 or csum_blocks < 0:
             raise ValueError("invalid chunk geometry")
         granule = self.min_alloc_size
         allocated = -(-stored_bytes // granule) * granule if stored_bytes else 0
         metadata = (
-            self.onode_bytes + self.ec_attr_bytes + units * self.extent_entry_bytes
+            self.onode_bytes
+            + self.ec_attr_bytes
+            + units * self.extent_entry_bytes
+            + csum_blocks * self.csum_value_bytes
         )
         return allocated, metadata
 
-    def store_chunk(self, stored_bytes: int, units: int) -> int:
+    def store_chunk(self, stored_bytes: int, units: int, csum_blocks: int = 0) -> int:
         """Account one chunk landing on this OSD; returns bytes consumed."""
-        allocated, metadata = self.chunk_allocation(stored_bytes, units)
+        allocated, metadata = self.chunk_allocation(stored_bytes, units, csum_blocks)
         self.num_chunks += 1
         self.num_extents += units
         self.data_bytes += stored_bytes
@@ -191,15 +211,28 @@ class BlueStore:
         self.meta_bytes += metadata
         return allocated + metadata
 
-    def remove_chunk(self, stored_bytes: int, units: int) -> int:
+    def remove_chunk(self, stored_bytes: int, units: int, csum_blocks: int = 0) -> int:
         """Account one chunk leaving this OSD; returns bytes released."""
-        allocated, metadata = self.chunk_allocation(stored_bytes, units)
+        allocated, metadata = self.chunk_allocation(stored_bytes, units, csum_blocks)
         self.num_chunks -= 1
         self.num_extents -= units
         self.data_bytes -= stored_bytes
         self.alloc_bytes -= allocated
         self.meta_bytes -= metadata
         return allocated + metadata
+
+    # -- onode checksum persistence (scrub subsystem) ----------------------------
+
+    def put_chunk_checksums(self, key: tuple, csums: Tuple[int, ...]) -> None:
+        """Persist a chunk's per-block crc32c array with its onode."""
+        self.chunk_checksums[key] = tuple(csums)
+
+    def get_chunk_checksums(self, key: tuple) -> Optional[Tuple[int, ...]]:
+        """The stored csum array for a chunk, or None if never registered."""
+        return self.chunk_checksums.get(key)
+
+    def drop_chunk_checksums(self, key: tuple) -> None:
+        self.chunk_checksums.pop(key, None)
 
     @property
     def used_bytes(self) -> int:

@@ -23,6 +23,7 @@ from .network import M5_NIC, NicSpec
 from .osd import CephConfig, OsdDaemon
 from .pool import Pool
 from .recovery import RecoveryManager
+from .scrub import IntegrityConfig, IntegrityStore, ScrubConfig, ScrubManager
 from .topology import ClusterTopology
 
 __all__ = ["CephCluster"]
@@ -46,6 +47,8 @@ class CephCluster:
         disk_spec: DiskSpec = GP_SSD,
         nic_spec: NicSpec = M5_NIC,
         placement_seed: int = 0,
+        integrity: Optional[IntegrityConfig] = None,
+        scrub: Optional[ScrubConfig] = None,
     ):
         self.env = env
         self.config = config or CephConfig()
@@ -87,6 +90,18 @@ class CephCluster:
             self.mon_log,
         )
         self.monitor.on_out.append(self.recovery.on_osds_out)
+        self.integrity = IntegrityStore(self.pool, integrity or IntegrityConfig())
+        self.scrub = ScrubManager(
+            env,
+            self.topology,
+            self.osds,
+            self.pool,
+            self.integrity,
+            scrub or ScrubConfig(),
+            self.host_logs,
+            self.mon_log,
+            monitor=self.monitor,
+        )
 
     # -- state ingestion ---------------------------------------------------------
 
@@ -98,9 +113,18 @@ class CephCluster:
         full padding/metadata accounting but no simulated I/O time.
         """
         pg = self.pool.put_object(name, size)
-        layout = pg.objects[-1].layout
-        for osd_id in pg.acting:
-            self.osds[osd_id].store_chunk(layout.chunk_stored_bytes, layout.units)
+        obj = pg.objects[-1]
+        layout = obj.layout
+        csum_blocks = 0
+        csums = {}
+        if self.integrity.config.enabled:
+            csum_blocks = self.integrity.csum_blocks_for(layout.chunk_stored_bytes)
+            csums = self.integrity.register_object(pg, obj)
+        for shard, osd_id in enumerate(pg.acting):
+            osd = self.osds[osd_id]
+            osd.store_chunk(layout.chunk_stored_bytes, layout.units, csum_blocks)
+            if shard in csums:
+                osd.backend.put_chunk_checksums((pg.pgid, obj.name, shard), csums[shard])
 
     # -- queries ------------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List
 
 from .ceph import CephCluster
+from .scrub import ScrubPhase
 
 __all__ = ["HealthStatus", "HealthReport", "check_health"]
 
@@ -46,6 +47,8 @@ class HealthReport:
     nearfull_osds: tuple
     full_osds: tuple
     checks: tuple
+    pgs_inconsistent: int = 0
+    pgs_repairing: int = 0
 
     def summary(self) -> str:
         lines = [self.status]
@@ -59,6 +62,11 @@ class HealthReport:
             f"  pgs: {self.pgs_active_clean} active+clean, "
             f"{self.pgs_degraded} degraded, {self.pgs_undersized} undersized"
         )
+        if self.pgs_inconsistent or self.pgs_repairing:
+            lines.append(
+                f"  scrub: {self.pgs_inconsistent} inconsistent, "
+                f"{self.pgs_repairing} repairing"
+            )
         return "\n".join(lines)
 
 
@@ -67,9 +75,10 @@ def check_health(cluster: CephCluster) -> HealthReport:
 
     A PG is *degraded* when any acting-set OSD is down; *undersized*
     when fewer than ``min_size = k + 1`` of its shards are on up OSDs
-    (the point where Ceph blocks client I/O).  Any undersized PG or full
-    OSD raises HEALTH_ERR; degraded PGs, down OSDs or nearfull devices
-    raise HEALTH_WARN.
+    (the point where Ceph blocks client I/O).  Any undersized PG, full
+    OSD, or scrub-detected *inconsistent* PG raises HEALTH_ERR; degraded
+    PGs, down OSDs, nearfull devices, or PGs under scrub repair raise
+    HEALTH_WARN.
     """
     osds_up = [osd_id for osd_id, osd in cluster.osds.items() if osd.is_up()]
     down = set(cluster.osds) - set(osds_up)
@@ -99,6 +108,9 @@ def check_health(cluster: CephCluster) -> HealthReport:
         elif usage >= NEARFULL_RATIO:
             nearfull.append(osd.name)
 
+    inconsistent = cluster.scrub.pgs_in(ScrubPhase.INCONSISTENT)
+    repairing = cluster.scrub.pgs_in(ScrubPhase.REPAIRING)
+
     checks: List[str] = []
     if down:
         checks.append(f"{len(down)} osds down")
@@ -112,8 +124,12 @@ def check_health(cluster: CephCluster) -> HealthReport:
         checks.append(f"{len(nearfull)} nearfull osd(s)")
     if full:
         checks.append(f"{len(full)} full osd(s)")
+    if inconsistent:
+        checks.append(f"{inconsistent} pgs inconsistent (scrub errors)")
+    if repairing:
+        checks.append(f"{repairing} pgs repairing (scrub auto-repair)")
 
-    if undersized or full:
+    if undersized or full or inconsistent:
         status = HealthStatus.ERR
     elif checks:
         status = HealthStatus.WARN
@@ -132,4 +148,6 @@ def check_health(cluster: CephCluster) -> HealthReport:
         nearfull_osds=tuple(nearfull),
         full_osds=tuple(full),
         checks=tuple(checks),
+        pgs_inconsistent=inconsistent,
+        pgs_repairing=repairing,
     )

@@ -42,6 +42,8 @@ class Monitor:
         self.osdmap_epoch = 1
         #: Callbacks invoked with the set of newly-out OSDs.
         self.on_out: List[Callable[[Set[int]], None]] = []
+        #: Last health status broadcast via :meth:`record_health`.
+        self.health_status = "HEALTH_OK"
         self._heartbeat_procs = [
             env.process(self._heartbeat_loop(osd_id)) for osd_id in sorted(osds)
         ]
@@ -115,6 +117,23 @@ class Monitor:
             )
             for callback in self.on_out:
                 callback(newly_out)
+
+    # -- health transitions (scrub / corruption subsystem) ---------------------------
+
+    def record_health(self, status: str, reason: str) -> None:
+        """Log a cluster-health transition (deduplicated on status).
+
+        The scrub state machine drives the ``HEALTH_ERR -> HEALTH_WARN ->
+        HEALTH_OK`` cycle through this hook as corruption is detected,
+        repaired, and cleared; repeated reports of the current status are
+        swallowed so the log shows transitions, not heartbeats.
+        """
+        if status == self.health_status:
+            return
+        self.health_status = status
+        self.log.emit(
+            self.env.now, "mon", f"cluster health now {status}", reason=reason
+        )
 
     # -- queries -------------------------------------------------------------------
 

@@ -11,13 +11,77 @@ paper's per-chunk storage formula::
 Everything downstream — the simulator's I/O charging, the WA measurement,
 and the Table 3 / formula-validation benchmarks — derives chunk geometry
 from :func:`layout_object` so the policy exists in exactly one place.
+
+The module also owns the *data integrity* primitives BlueStore attaches to
+that geometry: a pure-Python crc32c (Castagnoli, the polynomial BlueStore
+uses for its per-block checksums) and :func:`block_checksums`, which cuts
+a chunk into ``csum_block_size`` blocks and checksums each one.  The scrub
+subsystem (:mod:`repro.cluster.scrub`) verifies chunks against exactly
+these values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
-__all__ = ["ChunkLayout", "layout_object"]
+__all__ = [
+    "ChunkLayout",
+    "layout_object",
+    "crc32c",
+    "block_checksums",
+    "blocks_in",
+]
+
+
+def _make_crc32c_table() -> List[int]:
+    poly = 0x82F63B78  # Castagnoli, reflected.
+    table = []
+    for index in range(256):
+        crc = index
+        for _ in range(8):
+            crc = (crc >> 1) ^ (poly if crc & 1 else 0)
+        table.append(crc)
+    return table
+
+
+_CRC32C_TABLE = _make_crc32c_table()
+
+
+def crc32c(data: bytes, value: int = 0) -> int:
+    """crc32c (Castagnoli) of ``data``, continuing from ``value``.
+
+    The same checksum BlueStore stores per ``csum_block`` in the onode;
+    table-driven pure Python, fast enough for the chunk sizes the
+    data-plane tests and examples use.
+    """
+    crc = value ^ 0xFFFFFFFF
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def blocks_in(nbytes: int, csum_block_size: int) -> int:
+    """Number of checksum blocks covering ``nbytes`` of chunk data."""
+    if csum_block_size <= 0:
+        raise ValueError(f"csum_block_size must be positive, got {csum_block_size}")
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return max(1, -(-nbytes // csum_block_size))
+
+
+def block_checksums(data: bytes, csum_block_size: int) -> Tuple[int, ...]:
+    """Per-block crc32c values of one chunk at the given granularity.
+
+    A zero-length chunk still carries one checksum (of the empty block):
+    the onode anchors csum metadata the same way it anchors an extent.
+    """
+    count = blocks_in(len(data), csum_block_size)
+    return tuple(
+        crc32c(data[i * csum_block_size : (i + 1) * csum_block_size])
+        for i in range(count)
+    )
 
 
 @dataclass(frozen=True)

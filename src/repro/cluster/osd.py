@@ -138,14 +138,14 @@ class OsdDaemon:
 
     # -- durable state ---------------------------------------------------------
 
-    def store_chunk(self, stored_bytes: int, units: int) -> int:
+    def store_chunk(self, stored_bytes: int, units: int, csum_blocks: int = 0) -> int:
         """Account a chunk landing on this OSD; returns bytes consumed."""
-        consumed = self.backend.store_chunk(stored_bytes, units)
+        consumed = self.backend.store_chunk(stored_bytes, units, csum_blocks)
         self.disk.allocate(consumed)
         return consumed
 
-    def remove_chunk(self, stored_bytes: int, units: int) -> int:
-        released = self.backend.remove_chunk(stored_bytes, units)
+    def remove_chunk(self, stored_bytes: int, units: int, csum_blocks: int = 0) -> int:
+        released = self.backend.remove_chunk(stored_bytes, units, csum_blocks)
         self.disk.free(released)
         return released
 
@@ -233,6 +233,17 @@ class OsdDaemon:
         )
         scatter = runs * self.config.recovery_range_cost
         return self.recovery_reads.request(base + meta + scatter)
+
+    def scrub_read_grant(self, nbytes: int, rate: float) -> Event:
+        """Wait for the recovery scheduler to admit a deep-scrub read.
+
+        Scrub shares the recovery-read QoS centre with crash repair — on a
+        degraded cluster the two visibly compete for the same bounded
+        repair-read bandwidth (the scarce resource of Rashmi et al.'s
+        Facebook study), which is exactly the interaction the scrub axis
+        benchmark measures.
+        """
+        return self.recovery_reads.request(nbytes / rate)
 
     def recovery_write_grant(self, nbytes: int) -> Event:
         """Wait for the recovery scheduler to admit a rebuilt-chunk write.

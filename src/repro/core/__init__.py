@@ -11,6 +11,7 @@ from .coordinator import Coordinator, ExperimentOutcome, ExperimentTimeout
 from .experiment import RepeatedResult, repeat_experiment, run_experiment
 from .fault_injector import (
     Colocation,
+    CorruptionModel,
     FaultInjector,
     FaultSpec,
     FaultToleranceError,
@@ -20,7 +21,13 @@ from .logger import ClassifiedRecord, LogCollector, NodeLogger, classify
 from .profile import PAPER_CLAY_PROFILE, PAPER_RS_PROFILE, ExperimentProfile
 from .report import Series, format_grouped_bars, format_table, normalise
 from .sweep import SweepRunner, SweepSpec, SweepResult
-from .timeline import RecoveryTimeline, TimelineError, build_timeline
+from .timeline import (
+    RecoveryTimeline,
+    ScrubTimeline,
+    TimelineError,
+    build_scrub_timeline,
+    build_timeline,
+)
 from .trace import (
     Anomaly,
     PgSpan,
@@ -41,6 +48,7 @@ __all__ = [
     "repeat_experiment",
     "run_experiment",
     "Colocation",
+    "CorruptionModel",
     "FaultInjector",
     "FaultSpec",
     "FaultToleranceError",
@@ -67,8 +75,10 @@ __all__ = [
     "find_anomalies",
     "pg_recovery_spans",
     "RecoveryTimeline",
+    "ScrubTimeline",
     "TimelineError",
     "build_timeline",
+    "build_scrub_timeline",
     "WaReport",
     "chunk_stored_size",
     "estimate_wa",

@@ -51,6 +51,8 @@ class Controller:
             failure_domain=profile.failure_domain,
             disk_spec=profile.disk_spec(),
             placement_seed=self.seeds.stream("crush").randrange(2**31),
+            integrity=profile.integrity_config(),
+            scrub=profile.scrub_config(),
         )
         self.workers: Dict[int, Worker] = deploy_workers(self.cluster)
         self.bus = LogBus()

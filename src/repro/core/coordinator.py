@@ -20,13 +20,19 @@ from typing import Generator, List, Optional
 
 from ..cluster.ceph import CephCluster
 from ..cluster.recovery import RecoveryStats
+from ..cluster.scrub import ScrubStats
 from ..sim.rng import SeedSequence
 from ..workload.generator import Workload
 from ..workload.iostat import IostatCollector
 from .fault_injector import FaultInjector, FaultSpec
 from .logbus import LogBus
 from .logger import LogCollector, NodeLogger
-from .timeline import RecoveryTimeline, build_timeline
+from .timeline import (
+    RecoveryTimeline,
+    ScrubTimeline,
+    build_scrub_timeline,
+    build_timeline,
+)
 from .wa import WaReport, measure_wa
 
 __all__ = ["ExperimentOutcome", "ExperimentTimeout", "Coordinator"]
@@ -48,6 +54,8 @@ class ExperimentOutcome:
     iostat: Optional[IostatCollector]
     workload_bytes: int
     finished_at: float
+    scrub_timeline: Optional[ScrubTimeline] = None
+    scrub_stats: Optional[ScrubStats] = None
 
     @property
     def total_recovery_time(self) -> float:
@@ -121,17 +129,31 @@ class Coordinator:
         # Phase 2: settle — heartbeats establish steady state.
         yield env.timeout(settle_time)
 
-        # Phase 3: fault injection.
+        # Phase 3: fault injection.  Crash faults (node/device) take the
+        # victims down and are tracked through the monitor; corrupt
+        # faults leave every daemon up — only deep scrub will find them.
         injected: List[int] = []
+        crash_victims: List[int] = []
+        has_corrupt = False
         for spec in faults:
-            injected.extend(self.injector.inject(spec))
+            affected = self.injector.inject(spec)
+            injected.extend(affected)
+            if spec.level == "corrupt":
+                has_corrupt = True
+            else:
+                crash_victims.extend(affected)
+        if has_corrupt and not self.cluster.scrub.config.enabled:
+            raise ValueError(
+                "corrupt faults were injected but scrubbing is disabled; "
+                "nothing would ever detect them (set a scrub interval)"
+            )
 
         timeline = None
         stats = self.cluster.recovery.stats
-        if injected:
+        if crash_victims:
             # Phase 4a: wait until the monitor marks every victim out.
             deadline = env.now + max_sim_time
-            while not all(self.cluster.monitor.is_out(o) for o in injected):
+            while not all(self.cluster.monitor.is_out(o) for o in crash_victims):
                 if env.now > deadline:
                     raise ExperimentTimeout(
                         f"victims not marked out by t={env.now:.0f}s"
@@ -139,13 +161,25 @@ class Coordinator:
                 yield env.timeout(self.POLL)
             # Phase 4b: wait for every queued PG to recover.
             yield self.cluster.recovery.wait_all_recovered()
+        if has_corrupt:
+            # Phase 4c: wait for scrub to find and repair every corruption.
+            deadline = env.now + max_sim_time
+            while not self.cluster.scrub.quiescent():
+                if env.now > deadline:
+                    raise ExperimentTimeout(
+                        f"scrub repair incomplete by t={env.now:.0f}s"
+                    )
+                yield env.timeout(self.POLL)
 
         # Phase 5: log collection and analysis.
         for logger in self.loggers:
             logger.flush()
         self.collector.collect()
-        if injected and stats.pgs_queued:
+        if crash_victims and stats.pgs_queued:
             timeline = build_timeline(self.collector)
+        scrub_timeline = None
+        if has_corrupt:
+            scrub_timeline = build_scrub_timeline(self.collector)
 
         return ExperimentOutcome(
             timeline=timeline,
@@ -156,4 +190,6 @@ class Coordinator:
             iostat=None,  # attached by run()
             workload_bytes=workload_bytes,
             finished_at=env.now,
+            scrub_timeline=scrub_timeline,
+            scrub_stats=self.cluster.scrub.stats,
         )

@@ -15,10 +15,20 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..cluster.ceph import CephCluster
+from ..cluster.scrub import CorruptionModel
 from ..sim.rng import SeedSequence
 from .worker import Worker
 
-__all__ = ["Colocation", "FaultSpec", "FaultToleranceError", "FaultInjector"]
+__all__ = [
+    "Colocation",
+    "CorruptionModel",
+    "FaultSpec",
+    "FaultToleranceError",
+    "FaultInjector",
+]
+
+#: The fault levels the injector understands.
+FAULT_LEVELS = ("node", "device", "corrupt")
 
 
 class Colocation:
@@ -34,26 +44,44 @@ class Colocation:
 class FaultSpec:
     """A fault-injection request.
 
-    ``level`` is ``"node"`` (shut a host down) or ``"device"`` (remove
-    NVMe subsystems).  ``count`` is how many targets; ``colocation``
-    constrains device faults; explicit ``targets`` (host ids for node
-    faults, OSD ids for device faults) override selection.
+    ``level`` is ``"node"`` (shut a host down), ``"device"`` (remove NVMe
+    subsystems) or ``"corrupt"`` (silently damage stored chunks — found
+    only by deep scrub).  ``count`` is how many targets; ``colocation``
+    constrains device faults; ``corruption`` picks the damage model for
+    corrupt-level faults; explicit ``targets`` (host ids for node faults,
+    OSD ids for device faults, stripe shard indices for corrupt faults)
+    override selection.
     """
 
     level: str = "node"
     count: int = 1
     colocation: str = Colocation.ANY
     targets: Optional[Sequence[int]] = None
+    corruption: str = CorruptionModel.BIT_ROT
 
     def __post_init__(self):
-        if self.level not in ("node", "device"):
-            raise ValueError(f"unknown fault level {self.level!r}")
+        if self.level not in FAULT_LEVELS:
+            raise ValueError(
+                f"unknown fault level {self.level!r}; "
+                f"allowed levels: {', '.join(FAULT_LEVELS)}"
+            )
         if self.count < 1:
-            raise ValueError("fault count must be >= 1")
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
         if self.colocation not in Colocation.ALL:
-            raise ValueError(f"unknown colocation {self.colocation!r}")
+            raise ValueError(
+                f"unknown colocation {self.colocation!r}; "
+                f"allowed colocations: {', '.join(Colocation.ALL)}"
+            )
         if self.colocation == Colocation.SAME_HOST and self.level == "node":
-            raise ValueError("same-host colocation applies to device faults")
+            raise ValueError(
+                "same-host colocation applies to device faults, "
+                f"not level={self.level!r}"
+            )
+        if self.corruption not in CorruptionModel.ALL:
+            raise ValueError(
+                f"unknown corruption model {self.corruption!r}; "
+                f"allowed models: {', '.join(CorruptionModel.ALL)}"
+            )
 
 
 class FaultToleranceError(ValueError):
@@ -84,6 +112,14 @@ class FaultInjector:
         """
         pool = self.cluster.pool
         tolerance = pool.code.fault_tolerance()
+        if spec.level == "corrupt":
+            if spec.count > tolerance:
+                raise FaultToleranceError(
+                    f"{spec.count} corrupted chunks in one stripe would "
+                    f"exceed the guaranteed tolerance m={tolerance} of "
+                    f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+                )
+            return
         domain = pool.failure_domain
         hit = {
             self.cluster.topology.bucket_of(osd_id, domain)
@@ -221,11 +257,73 @@ class FaultInjector:
             return None
         return rng.choice(sorted(candidates))[1]
 
+    def _corrupt_victims(self, spec: FaultSpec):
+        """Pick the stripe and shard set a corrupt-level fault damages.
+
+        White-box stripe guard: unavailable shards (down OSDs), already
+        corrupted shards and the new victims together must stay within
+        the code's guaranteed tolerance — a corruption the code could not
+        repair would be injected data loss, not a fault experiment.
+        """
+        pool = self.cluster.pool
+        integrity = self.cluster.integrity
+        if not integrity.config.enabled:
+            raise ValueError(
+                "corrupt-level faults need write-time checksums; "
+                "enable IntegrityConfig(enabled=True) on the cluster"
+            )
+        populated = [pg for pg in pool.pgs.values() if pg.objects]
+        if not populated:
+            raise ValueError("no stored objects to corrupt")
+        rng = self.seeds.stream("fault-corrupt")
+        if spec.targets is not None:
+            shards = list(spec.targets)[: spec.count]
+            bad = [s for s in shards if not 0 <= s < pool.code.n]
+            if bad:
+                raise ValueError(
+                    f"corrupt targets are stripe shard indices; {bad} "
+                    f"outside [0, {pool.code.n})"
+                )
+            pg = populated[0]
+            obj = pg.objects[0]
+        else:
+            pg = rng.choice(populated)
+            obj = rng.choice(pg.objects)
+            shards = rng.sample(range(pool.code.n), spec.count)
+        tolerance = pool.code.fault_tolerance()
+        unavailable = {
+            s
+            for s, osd_id in enumerate(pg.acting)
+            if not self.cluster.osds[osd_id].is_up()
+        }
+        damaged = unavailable | integrity.corrupt_shards(pg.pgid, obj.name) | set(shards)
+        if len(damaged) > tolerance:
+            raise FaultToleranceError(
+                f"{len(damaged)} damaged chunks in stripe {pg.pgid}/{obj.name} "
+                f"would exceed the guaranteed tolerance m={tolerance} of "
+                f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+            )
+        return pg, obj, shards, rng
+
     # -- application --------------------------------------------------------------------
 
     def inject(self, spec: FaultSpec) -> List[int]:
         """Validate and apply a fault; returns the affected OSD ids."""
         self.validate(spec)
+        if spec.level == "corrupt":
+            pg, obj, shards, rng = self._corrupt_victims(spec)
+            affected = []
+            for shard in sorted(shards):
+                osd_id = pg.acting[shard]
+                host_id = self.cluster.topology.osds[osd_id].host_id
+                self.workers[host_id].corrupt_chunk(
+                    pg.pgid, obj.name, shard, spec.corruption, rng
+                )
+                affected.append(osd_id)
+            # Corrupted OSDs stay up (the fault is silent), so they are
+            # not added to injected_osds — crash faults may still target
+            # them, and the stripe guard above bounds combined damage.
+            return sorted(affected)
         if spec.level == "node":
             hosts = self._select_hosts(spec)
             affected: List[int] = []

@@ -23,6 +23,14 @@ __all__ = ["ClassifiedRecord", "NodeLogger", "LogCollector", "KEYWORD_CLASSES"]
 KEYWORD_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("failure", ("marking down", "no heartbeats", "shutdown", "removed nvme")),
     ("osdmap", ("marking osd out", "osdmap changed", "marking up")),
+    ("corruption", ("silent corruption",)),
+    ("scrub", (
+        "deep-scrub",
+        "scrub error",
+        "scrub repair",
+        "pg inconsistent",
+    )),
+    ("health", ("cluster health now",)),
     ("recovery", (
         "queueing recovery",
         "check recovery resource",

@@ -16,6 +16,7 @@ from typing import Any, Dict
 
 from ..cluster.bluestore import CACHE_SCHEMES, CacheConfig
 from ..cluster.osd import CephConfig
+from ..cluster.scrub import IntegrityConfig, ScrubConfig
 from ..cluster.topology import FailureDomain
 from ..ec.base import ErasureCode, available_plugins, create_plugin
 
@@ -66,6 +67,13 @@ class ExperimentProfile:
     num_hosts: int = 30
     osds_per_host: int = 2
     num_racks: int = 1
+    # Scrub & integrity subsystem (the silent-corruption axis).  A zero
+    # ``scrub_interval`` disables scrubbing *and* write-time checksums,
+    # keeping the baseline experiments byte-for-byte unperturbed.
+    scrub_interval: float = 0.0
+    scrub_pgs_per_batch: int = 4
+    csum_block_size: int = 4096
+    integrity_data_plane: bool = False
 
     def __post_init__(self):
         if self.backend not in _BACKENDS:
@@ -96,6 +104,19 @@ class ExperimentProfile:
             raise ValueError("cluster shape must be positive")
         if not 1 <= self.num_racks <= self.num_hosts:
             raise ValueError("num_racks must be in 1..num_hosts")
+        if self.scrub_interval < 0:
+            raise ValueError(
+                f"scrub_interval must be >= 0 (0 disables scrubbing), "
+                f"got {self.scrub_interval}"
+            )
+        if self.scrub_pgs_per_batch < 1:
+            raise ValueError(
+                f"scrub_pgs_per_batch must be >= 1, got {self.scrub_pgs_per_batch}"
+            )
+        if self.csum_block_size <= 0:
+            raise ValueError(
+                f"csum_block_size must be positive, got {self.csum_block_size}"
+            )
         # Fail early on bad EC parameters rather than at cluster build.
         self.create_code()
 
@@ -117,6 +138,24 @@ class ExperimentProfile:
         if self.backend == "filestore":
             return CacheConfig("filestore-pagecache", 0.10, 0.10, 0.80)
         return CACHE_SCHEMES[self.cache_scheme]
+
+    def integrity_config(self) -> IntegrityConfig:
+        """Write-time checksum settings implied by the scrub knobs."""
+        return IntegrityConfig(
+            enabled=self.scrub_interval > 0 or self.integrity_data_plane,
+            data_plane=self.integrity_data_plane,
+            csum_block_size=self.csum_block_size,
+        )
+
+    def scrub_config(self) -> ScrubConfig:
+        """Scrub scheduler settings (disabled at ``scrub_interval=0``)."""
+        if self.scrub_interval <= 0:
+            return ScrubConfig(enabled=False)
+        return ScrubConfig(
+            enabled=True,
+            interval=self.scrub_interval,
+            pgs_per_batch=self.scrub_pgs_per_batch,
+        )
 
     def with_overrides(self, **changes) -> "ExperimentProfile":
         """A copy of the profile with the given fields replaced."""

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import pathlib
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
@@ -109,8 +112,59 @@ class SweepResult:
         )
 
 
+def _run_cell(
+    profile: ExperimentProfile,
+    workload: Workload,
+    faults: List[FaultSpec],
+    runs: int,
+    base_seed: int,
+) -> SweepResult:
+    """Run one grid cell (module-level so worker processes can pickle it)."""
+    times: List[float] = []
+    fractions: List[float] = []
+    was: List[float] = []
+    for run in range(runs):
+        outcome = run_experiment(
+            profile, workload, faults,
+            seed=base_seed + run,
+        )
+        was.append(outcome.wa.actual)
+        if outcome.timeline is not None:
+            times.append(outcome.timeline.total_recovery)
+            fractions.append(outcome.timeline.checking_fraction)
+    settings = {
+        "ec_plugin": profile.ec_plugin,
+        "ec_params": dict(profile.ec_params),
+        "pg_num": profile.pg_num,
+        "stripe_unit": profile.stripe_unit,
+        "cache_scheme": profile.cache_scheme,
+        "failure_domain": profile.failure_domain,
+    }
+    return SweepResult(
+        label=profile.name,
+        settings=settings,
+        recovery_time=sum(times) / len(times) if times else 0.0,
+        checking_fraction=sum(fractions) / len(fractions) if fractions else 0.0,
+        wa_actual=sum(was) / len(was),
+        runs=runs,
+    )
+
+
+def _cell_worker(args) -> SweepResult:
+    """Unpack one (profile, workload, faults, runs, seed) work item."""
+    return _run_cell(*args)
+
+
 class SweepRunner:
-    """Executes a sweep, one fresh cluster per cell per seed."""
+    """Executes a sweep, one fresh cluster per cell per seed.
+
+    With ``workers > 1`` grid cells run in a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
+    collected via ``executor.map`` — keyed by grid index, never by
+    completion order — and every cell derives its seeds from
+    ``base_seed`` alone, so a parallel sweep is bit-identical to a
+    serial one on the same spec and seeds.
+    """
 
     def __init__(
         self,
@@ -119,62 +173,69 @@ class SweepRunner:
         runs: int = 1,
         base_seed: int = 0,
         progress: Optional[Callable[[str, int, int], None]] = None,
+        workers: int = 1,
     ):
         if runs < 1:
             raise ValueError("runs must be >= 1")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.workload = workload
         self.faults = list(faults) if faults is not None else [FaultSpec(level="node")]
         self.runs = runs
         self.base_seed = base_seed
         self.progress = progress
+        self.workers = workers
 
     def run(self, spec: SweepSpec) -> List[SweepResult]:
         """Run every cell; returns results in grid order."""
-        results: List[SweepResult] = []
         cells = list(spec.cells())
-        for index, profile in enumerate(cells):
-            if self.progress is not None:
+        if self.workers == 1:
+            results: List[SweepResult] = []
+            for index, profile in enumerate(cells):
+                if self.progress is not None:
+                    self.progress(profile.name, index, len(cells))
+                results.append(self._run_cell(profile))
+            return results
+        items = [
+            (profile, self.workload, self.faults, self.runs, self.base_seed)
+            for profile in cells
+        ]
+        if self.progress is not None:
+            for index, profile in enumerate(cells):
                 self.progress(profile.name, index, len(cells))
-            results.append(self._run_cell(profile))
-        return results
+        with ProcessPoolExecutor(max_workers=self.workers) as executor:
+            return list(executor.map(_cell_worker, items))
 
     def _run_cell(self, profile: ExperimentProfile) -> SweepResult:
-        times: List[float] = []
-        fractions: List[float] = []
-        was: List[float] = []
-        for run in range(self.runs):
-            outcome = run_experiment(
-                profile, self.workload, self.faults,
-                seed=self.base_seed + run,
-            )
-            was.append(outcome.wa.actual)
-            if outcome.timeline is not None:
-                times.append(outcome.timeline.total_recovery)
-                fractions.append(outcome.timeline.checking_fraction)
-        settings = {
-            "ec_plugin": profile.ec_plugin,
-            "ec_params": dict(profile.ec_params),
-            "pg_num": profile.pg_num,
-            "stripe_unit": profile.stripe_unit,
-            "cache_scheme": profile.cache_scheme,
-            "failure_domain": profile.failure_domain,
-        }
-        return SweepResult(
-            label=profile.name,
-            settings=settings,
-            recovery_time=sum(times) / len(times) if times else 0.0,
-            checking_fraction=sum(fractions) / len(fractions) if fractions else 0.0,
-            wa_actual=sum(was) / len(was),
-            runs=self.runs,
+        return _run_cell(
+            profile, self.workload, self.faults, self.runs, self.base_seed
         )
 
     # -- persistence ---------------------------------------------------------------
 
     @staticmethod
     def save(results: Sequence[SweepResult], path) -> None:
-        """Write results as a JSON document."""
+        """Write results as a JSON document (atomically).
+
+        The document lands via a temp file in the destination directory
+        plus ``os.replace``, so a sweep killed mid-write never leaves a
+        truncated, unresumable results file behind.
+        """
         blob = {"version": 1, "results": [r.to_json() for r in results]}
-        pathlib.Path(path).write_text(json.dumps(blob, indent=2))
+        target = pathlib.Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or "."
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(blob, indent=2))
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @staticmethod
     def load(path) -> List[SweepResult]:

@@ -18,7 +18,13 @@ from typing import List, Optional, Tuple
 
 from .logger import LogCollector
 
-__all__ = ["RecoveryTimeline", "TimelineError", "build_timeline"]
+__all__ = [
+    "RecoveryTimeline",
+    "ScrubTimeline",
+    "TimelineError",
+    "build_timeline",
+    "build_scrub_timeline",
+]
 
 
 class TimelineError(RuntimeError):
@@ -69,6 +75,75 @@ class RecoveryTimeline:
         ]
 
 
+@dataclass(frozen=True)
+class ScrubTimeline:
+    """Timestamps of one silent-corruption cycle: inject -> detect -> heal.
+
+    The Fig-3-style breakdown gains a *scrub band*: nothing in the
+    cluster reacts between injection and the deep scrub that reads the
+    damaged chunk (the **detection period**, governed by the scrub
+    interval — the corruption analogue of the paper's System Checking
+    Period), then the **repair period** covers the EC decode-repair
+    until health returns to OK.
+    """
+
+    corruption_injected: Optional[float]
+    error_detected: float
+    pg_inconsistent: float
+    repair_started: float
+    repair_finished: float
+    health_ok: float
+
+    @property
+    def detection_period(self) -> float:
+        """Injection -> first checksum mismatch (scrub-interval bound)."""
+        if self.corruption_injected is None:
+            return 0.0
+        return self.error_detected - self.corruption_injected
+
+    @property
+    def repair_period(self) -> float:
+        return self.repair_finished - self.repair_started
+
+    @property
+    def total_cycle(self) -> float:
+        """Injection (or detection) -> health back to OK."""
+        zero = (
+            self.corruption_injected
+            if self.corruption_injected is not None
+            else self.error_detected
+        )
+        return self.health_ok - zero
+
+    @property
+    def detection_fraction(self) -> float:
+        """Share of the cycle spent waiting for scrub to find the damage."""
+        if self.total_cycle <= 0:
+            return 0.0
+        return self.detection_period / self.total_cycle
+
+    def annotations(self) -> List[Tuple[float, str]]:
+        """(relative time, label) pairs for a Figure-3-style scrub band."""
+        zero = (
+            self.corruption_injected
+            if self.corruption_injected is not None
+            else self.error_detected
+        )
+        marks: List[Tuple[float, str]] = []
+        if self.corruption_injected is not None:
+            marks.append((0.0, "Silent corruption injected"))
+        marks.extend(
+            [
+                (self.error_detected - zero, "Scrub detected checksum mismatch"),
+                (self.pg_inconsistent - zero, "PG marked inconsistent (HEALTH_ERR)"),
+                (self.repair_started - zero, "Scrub repair started (HEALTH_WARN)"),
+                (self.repair_finished - zero, "Scrub repair finished"),
+                (self.health_ok - zero, "HEALTH_OK restored"),
+            ]
+        )
+        return marks
+
+
 def build_timeline(collector: LogCollector) -> RecoveryTimeline:
     """Extract the recovery timeline from collected logs.
 
@@ -103,4 +178,39 @@ def build_timeline(collector: LogCollector) -> RecoveryTimeline:
         recovery_queued=queued.time,
         ec_recovery_started=started.time,
         ec_recovery_finished=finished.time,
+    )
+
+
+def build_scrub_timeline(collector: LogCollector) -> ScrubTimeline:
+    """Extract the silent-corruption cycle from collected logs.
+
+    Raises :class:`TimelineError` when a phase marker is missing (e.g.,
+    scrub was disabled, or the experiment ended mid-repair).
+    """
+    injected = collector.first_matching("silent corruption")
+    detected = collector.first_matching("scrub error")
+    inconsistent = collector.first_matching("pg inconsistent")
+    repair_started = collector.first_matching("scrub repair started")
+    repair_finished = collector.last_matching("scrub repair completed")
+    health_ok = collector.last_matching("cluster health now health_ok")
+    missing = [
+        name
+        for name, record in (
+            ("scrub error detection", detected),
+            ("pg inconsistent mark", inconsistent),
+            ("scrub repair start", repair_started),
+            ("scrub repair completion", repair_finished),
+            ("health-ok restoration", health_ok),
+        )
+        if record is None
+    ]
+    if missing:
+        raise TimelineError(f"incomplete scrub cycle; missing: {missing}")
+    return ScrubTimeline(
+        corruption_injected=injected.time if injected else None,
+        error_detected=detected.time,
+        pg_inconsistent=inconsistent.time,
+        repair_started=repair_started.time,
+        repair_finished=repair_finished.time,
+        health_ok=health_ok.time,
     )

@@ -78,6 +78,26 @@ class Worker:
             "removed NVMe subsystem", nqn=nqn, osd=f"osd.{osd_id}",
         )
 
+    def corrupt_chunk(
+        self, pgid: str, object_name: str, shard: int, model: str, rng
+    ) -> int:
+        """Corruption-level fault: silently damage one stored chunk.
+
+        Unlike node/device faults this leaves the daemon up and
+        heartbeating — nothing in the cluster notices until a deep scrub
+        re-reads the chunk and its crc32c fails.  Returns the number of
+        checksum blocks damaged.  :meth:`restore` deliberately does *not*
+        heal corruption: only a scrub repair can.
+        """
+        blocks = self.cluster.integrity.corrupt(
+            pgid, object_name, shard, model, rng
+        )
+        self.log.emit(
+            self.cluster.env.now, "client", "silent corruption injected",
+            pg=pgid, shard=shard, model=model, blocks=blocks,
+        )
+        return blocks
+
     def restore(self) -> None:
         """Undo all faults this worker applied (experiment teardown)."""
         if self._was_shutdown:

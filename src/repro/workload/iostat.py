@@ -9,7 +9,7 @@ framework parses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List
+from typing import Dict, Generator, List, Optional
 
 from ..sim import Environment
 from ..cluster.devices import Disk
@@ -92,3 +92,21 @@ class IostatCollector:
     def device_series(self, device: str) -> List[IoSample]:
         """All samples of one device, in time order."""
         return [s for s in self.samples if s.device == device]
+
+    def window(
+        self, start: float, end: float, device: Optional[str] = None
+    ) -> List[IoSample]:
+        """Samples taken in ``[start, end]``, optionally for one device.
+
+        Lets analyses attribute I/O to experiment phases — e.g. the read
+        traffic a deep-scrub pass generates between two timeline marks.
+        """
+        return [
+            s
+            for s in self.samples
+            if start <= s.time <= end and (device is None or s.device == device)
+        ]
+
+    def read_bytes_in(self, start: float, end: float) -> int:
+        """Total bytes read across all devices in ``[start, end]``."""
+        return sum(s.read_bytes for s in self.window(start, end))

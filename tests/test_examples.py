@@ -70,3 +70,11 @@ def test_degraded_reads_example():
     assert proc.returncode == 0, proc.stderr
     assert "checking period" in proc.stdout
     assert "degraded" in proc.stdout
+
+
+def test_silent_corruption_example():
+    proc = run_example("silent_corruption.py", "--objects", "8")
+    assert proc.returncode == 0, proc.stderr
+    assert "bit_rot" in proc.stdout
+    assert "misdirected_write" in proc.stdout
+    assert "HEALTH_OK restored" in proc.stdout

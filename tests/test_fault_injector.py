@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig
+from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig, IntegrityConfig
 from repro.core import Colocation, FaultSpec, FaultToleranceError
 from repro.core.fault_injector import FaultInjector
 from repro.core.worker import deploy_workers
@@ -10,7 +10,8 @@ from repro.ec import ReedSolomon
 from repro.sim import Environment
 
 
-def build(failure_domain="host", osds_per_host=3, num_hosts=10, code=None):
+def build(failure_domain="host", osds_per_host=3, num_hosts=10, code=None,
+          integrity=None):
     env = Environment()
     cluster = CephCluster(
         env,
@@ -21,6 +22,7 @@ def build(failure_domain="host", osds_per_host=3, num_hosts=10, code=None):
         osds_per_host=osds_per_host,
         pg_num=16,
         failure_domain=failure_domain,
+        integrity=integrity,
     )
     for i in range(40):
         cluster.ingest_object(f"o{i}", 1024 * 1024)
@@ -37,6 +39,17 @@ def test_fault_spec_validation():
         FaultSpec(colocation="same_rack")
     with pytest.raises(ValueError):
         FaultSpec(level="node", colocation=Colocation.SAME_HOST)
+
+
+def test_fault_spec_errors_name_value_and_allowed_set():
+    with pytest.raises(ValueError, match=r"'power'.*allowed levels.*corrupt"):
+        FaultSpec(level="power")
+    with pytest.raises(ValueError, match=r"got 0"):
+        FaultSpec(count=0)
+    with pytest.raises(ValueError, match=r"'same_rack'.*allowed colocations"):
+        FaultSpec(colocation="same_rack")
+    with pytest.raises(ValueError, match=r"'cosmic'.*allowed models.*bit_rot"):
+        FaultSpec(level="corrupt", corruption="cosmic")
 
 
 def test_node_fault_shuts_down_all_host_osds():
@@ -121,3 +134,45 @@ def test_restore_all_heals_cluster():
     assert injector.injected_osds == set()
     for osd_id in affected:
         assert cluster.osds[osd_id].is_up()
+
+
+# -- corrupt-level faults (silent corruption axis) ------------------------------
+
+
+def test_corrupt_fault_requires_integrity():
+    _, injector = build()
+    with pytest.raises(ValueError, match="checksums"):
+        injector.inject(FaultSpec(level="corrupt"))
+
+
+def test_corrupt_fault_marks_chunks_but_keeps_osds_up():
+    cluster, injector = build(integrity=IntegrityConfig(enabled=True))
+    affected = injector.inject(FaultSpec(level="corrupt", count=2))
+    assert cluster.integrity.corrupted_chunk_count() == 2
+    # Silent faults: the OSDs stay up and do not consume the crash budget.
+    assert injector.injected_osds == set()
+    for osd_id in affected:
+        assert cluster.osds[osd_id].is_up()
+
+
+def test_corrupt_fault_respects_tolerance_guard():
+    _, injector = build(integrity=IntegrityConfig(enabled=True))
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="corrupt", count=3))  # m = 2
+
+
+def test_corrupt_fault_stripe_guard_is_cumulative():
+    _, injector = build(integrity=IntegrityConfig(enabled=True))
+    # Explicit targets always land on the first populated PG's first
+    # object, so the second injection hits the same stripe.
+    injector.inject(FaultSpec(level="corrupt", count=2, targets=[0, 1]))
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="corrupt", count=1, targets=[2]))
+
+
+def test_corrupt_fault_is_deterministic():
+    _, injector_a = build(integrity=IntegrityConfig(enabled=True))
+    _, injector_b = build(integrity=IntegrityConfig(enabled=True))
+    a = injector_a.inject(FaultSpec(level="corrupt", count=2))
+    b = injector_b.inject(FaultSpec(level="corrupt", count=2))
+    assert a == b

@@ -100,3 +100,34 @@ def test_load_rejects_unknown_version(tmp_path):
     path.write_text('{"version": 99, "results": []}')
     with pytest.raises(ValueError, match="version"):
         SweepRunner.load(path)
+
+
+def test_runner_validates_workers():
+    with pytest.raises(ValueError, match="workers"):
+        SweepRunner(Workload(num_objects=1), workers=0)
+
+
+def test_parallel_sweep_is_byte_identical(tmp_path):
+    workload = Workload(num_objects=20, object_size=8 * MB)
+    spec = SweepSpec(base=base_profile(), axes={"pg_num": [4, 8]})
+    serial = SweepRunner(workload, faults=[FaultSpec(level="node")], base_seed=3)
+    parallel = SweepRunner(
+        workload, faults=[FaultSpec(level="node")], base_seed=3, workers=2
+    )
+    serial_results = serial.run(spec)
+    parallel_results = parallel.run(spec)
+    assert parallel_results == serial_results
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    SweepRunner.save(serial_results, serial_path)
+    SweepRunner.save(parallel_results, parallel_path)
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+
+def test_save_replaces_atomically(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text("stale garbage that must disappear")
+    SweepRunner.save([], path)
+    assert SweepRunner.load(path) == []
+    # No temp files left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["sweep.json"]
