@@ -1,0 +1,41 @@
+"""Deterministic chaos-campaign harness.
+
+Randomized-but-valid fault/workload campaigns over the simulated DSS,
+with global invariants checked after every step, ddmin shrinking of
+failing schedules, and replayable JSON repro artifacts.  See
+docs/TESTING.md for the harness contract.
+"""
+
+from .artifact import ArtifactError, ReproArtifact, load_artifact, save_artifact
+from .campaign import CampaignSpec, ScheduledAction
+from .engine import (
+    CampaignInvalid,
+    CampaignResult,
+    ChaosReport,
+    campaign_seed,
+    run_campaign,
+    run_chaos,
+)
+from .invariants import InvariantSuite, InvariantViolation
+from .sampler import sample_campaign
+from .shrink import ddmin, shrink_campaign
+
+__all__ = [
+    "ArtifactError",
+    "CampaignInvalid",
+    "CampaignResult",
+    "CampaignSpec",
+    "ChaosReport",
+    "InvariantSuite",
+    "InvariantViolation",
+    "ReproArtifact",
+    "ScheduledAction",
+    "campaign_seed",
+    "ddmin",
+    "load_artifact",
+    "run_campaign",
+    "run_chaos",
+    "sample_campaign",
+    "save_artifact",
+    "shrink_campaign",
+]

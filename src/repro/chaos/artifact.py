@@ -1,0 +1,109 @@
+"""Replayable repro artifacts for failing chaos campaigns.
+
+When a campaign violates an invariant, the runner shrinks its schedule
+and writes one JSON artifact with everything needed to re-execute the
+failure exactly: the (shrunk) campaign spec, the violations it produced,
+and the outcome hash the replay must reproduce.  ``ecfault replay
+<artifact>`` re-runs the spec and exits 0 only when the hash matches —
+i.e. the failure reproduced bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .campaign import CampaignSpec
+from .invariants import InvariantViolation
+
+__all__ = ["ReproArtifact", "ArtifactError", "save_artifact", "load_artifact"]
+
+FORMAT = "ecfault-chaos-repro"
+VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """The file is not a valid chaos repro artifact."""
+
+
+@dataclass(frozen=True)
+class ReproArtifact:
+    """One failing campaign, shrunk, with its expected outcome."""
+
+    spec: CampaignSpec
+    violations: List[InvariantViolation]
+    outcome_hash: str
+    #: The pre-shrink spec, kept for forensics (None when not shrunk).
+    original_spec: Optional[CampaignSpec] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "format": FORMAT,
+            "version": VERSION,
+            "spec": self.spec.to_dict(),
+            "violations": [violation.to_dict() for violation in self.violations],
+            "outcome_hash": self.outcome_hash,
+        }
+        if self.original_spec is not None:
+            data["original_spec"] = self.original_spec.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReproArtifact":
+        if not isinstance(data, dict) or data.get("format") != FORMAT:
+            raise ArtifactError(
+                f"not a {FORMAT} artifact (format={data.get('format')!r})"
+                if isinstance(data, dict)
+                else "artifact root must be a JSON object"
+            )
+        if data.get("version") != VERSION:
+            raise ArtifactError(
+                f"unsupported artifact version {data.get('version')!r} "
+                f"(supported: {VERSION})"
+            )
+        try:
+            spec = CampaignSpec.from_dict(data["spec"])
+            violations = [
+                InvariantViolation(**violation) for violation in data["violations"]
+            ]
+            outcome_hash = data["outcome_hash"]
+            original = (
+                CampaignSpec.from_dict(data["original_spec"])
+                if "original_spec" in data
+                else None
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"malformed artifact: {exc}") from exc
+        if not isinstance(outcome_hash, str) or not outcome_hash:
+            raise ArtifactError("artifact outcome_hash must be a non-empty string")
+        return cls(
+            spec=spec,
+            violations=violations,
+            outcome_hash=outcome_hash,
+            original_spec=original,
+        )
+
+
+def save_artifact(artifact: ReproArtifact, path) -> Path:
+    """Write an artifact as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path) -> ReproArtifact:
+    """Read and validate an artifact file.
+
+    Raises :class:`ArtifactError` on anything that is not a well-formed
+    artifact (bad JSON, wrong format marker, missing fields).
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact {path} is not valid JSON: {exc}") from exc
+    return ReproArtifact.from_dict(data)

@@ -1,0 +1,161 @@
+"""Campaign specifications: one point in the config x workload x fault space.
+
+A :class:`CampaignSpec` is a *complete, self-contained* description of one
+chaos campaign: the sampled cluster configuration, the workload, and a
+timed schedule of fault actions.  Everything the engine needs is in the
+spec — nothing is re-sampled at run time — which is what makes a campaign
+replayable byte-for-byte from its JSON form (the repro-artifact contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cluster.osd import CephConfig
+from ..core.fault_injector import FaultSpec
+from ..core.profile import ExperimentProfile
+from ..workload.generator import Workload
+
+__all__ = ["ScheduledAction", "CampaignSpec"]
+
+#: Action kinds a schedule may contain.
+ACTION_KINDS = ("inject", "restore")
+
+
+@dataclass(frozen=True)
+class ScheduledAction:
+    """One timed step of a campaign.
+
+    ``at`` is absolute simulation time (seconds).  ``kind`` is ``inject``
+    (apply the embedded fault spec) or ``restore`` (undo every injected
+    crash fault; silent corruption stays until a scrub repairs it).
+    """
+
+    at: float
+    kind: str = "inject"
+    level: str = "node"
+    count: int = 1
+    colocation: str = "any"
+    corruption: str = "bit_rot"
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"action time must be >= 0, got {self.at}")
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(
+                f"unknown action kind {self.kind!r}; allowed: {ACTION_KINDS}"
+            )
+        if self.kind == "inject":
+            # Fail at spec-build time, not mid-campaign.
+            self.fault_spec()
+
+    def fault_spec(self) -> FaultSpec:
+        """The FaultSpec an inject action applies (validates fields)."""
+        return FaultSpec(
+            level=self.level,
+            count=self.count,
+            colocation=self.colocation,
+            corruption=self.corruption,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScheduledAction":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One sampled campaign: seed, configuration, workload, schedule."""
+
+    seed: int
+    # -- cluster configuration (the sampled Table-1 row) ---------------------
+    ec_plugin: str = "jerasure"
+    ec_params: Tuple[Tuple[str, int], ...] = (("k", 4), ("m", 2))
+    pg_num: int = 8
+    stripe_unit: int = 262144
+    cache_scheme: str = "autotune"
+    failure_domain: str = "host"
+    num_hosts: int = 8
+    osds_per_host: int = 2
+    scrub_interval: float = 0.0
+    scrub_pgs_per_batch: int = 2
+    # -- daemon tunables kept fast enough for bulk campaigns -----------------
+    mon_osd_down_out_interval: float = 60.0
+    # -- workload -------------------------------------------------------------
+    num_objects: int = 20
+    object_size: int = 1048576
+    size_jitter: float = 0.0
+    # -- fault schedule -------------------------------------------------------
+    actions: Tuple[ScheduledAction, ...] = field(default_factory=tuple)
+    #: Sim-time budget for the final settle phase (recovery + scrub drain).
+    settle_time: float = 50_000.0
+
+    def __post_init__(self):
+        if self.settle_time <= 0:
+            raise ValueError("settle_time must be positive")
+        times = [action.at for action in self.actions]
+        if times != sorted(times):
+            raise ValueError("schedule actions must be time-ordered")
+        if self.scrub_interval <= 0 and any(
+            action.kind == "inject" and action.level == "corrupt"
+            for action in self.actions
+        ):
+            raise ValueError(
+                "corrupt actions need scrubbing enabled (scrub_interval > 0); "
+                "nothing would ever detect or repair the damage"
+            )
+
+    # -- factories ------------------------------------------------------------
+
+    def to_profile(self) -> ExperimentProfile:
+        """The ExperimentProfile this campaign deploys (validated)."""
+        return ExperimentProfile(
+            name=f"chaos-{self.seed}",
+            ec_plugin=self.ec_plugin,
+            ec_params=dict(self.ec_params),
+            pg_num=self.pg_num,
+            stripe_unit=self.stripe_unit,
+            cache_scheme=self.cache_scheme,
+            failure_domain=self.failure_domain,
+            num_hosts=self.num_hosts,
+            osds_per_host=self.osds_per_host,
+            scrub_interval=self.scrub_interval,
+            scrub_pgs_per_batch=self.scrub_pgs_per_batch,
+            ceph=CephConfig(
+                mon_osd_down_out_interval=self.mon_osd_down_out_interval
+            ),
+        )
+
+    def to_workload(self) -> Workload:
+        return Workload(
+            num_objects=self.num_objects,
+            object_size=self.object_size,
+            size_jitter=self.size_jitter,
+        )
+
+    def with_actions(self, actions) -> "CampaignSpec":
+        """A copy of the spec with a different (shrunk) schedule."""
+        return replace(self, actions=tuple(actions))
+
+    # -- JSON round-trip (the replay contract) --------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["ec_params"] = {key: value for key, value in self.ec_params}
+        data["actions"] = [action.to_dict() for action in self.actions]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        payload = dict(data)
+        payload["ec_params"] = tuple(
+            sorted((str(k), int(v)) for k, v in payload["ec_params"].items())
+        )
+        payload["actions"] = tuple(
+            ScheduledAction.from_dict(action) for action in payload["actions"]
+        )
+        return cls(**payload)

@@ -1,0 +1,259 @@
+"""The campaign engine: run one campaign, check invariants, hash the outcome.
+
+Unlike :meth:`Coordinator.run`, which drives one fixed experiment cycle,
+the chaos engine steps a campaign through the simulation *action by
+action* — advance the clock to the next scheduled fault, apply it, run
+the invariant suite, repeat — then lets the cluster settle and demands
+convergence.  Everything observable about the end state is folded into a
+SHA-256 *outcome hash*; replaying the same spec must reproduce the same
+hash bit-for-bit (asserted by the replay CLI and tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cluster.ceph import CephCluster
+from ..cluster.health import HealthStatus, check_health
+from ..core.controller import Controller
+from ..core.fault_injector import FaultInjector, FaultToleranceError
+from ..sim.rng import substream_seed
+from .campaign import CampaignSpec
+from .invariants import InvariantSuite, InvariantViolation
+from .sampler import sample_campaign
+
+__all__ = [
+    "CampaignInvalid",
+    "CampaignResult",
+    "ChaosReport",
+    "campaign_seed",
+    "run_campaign",
+    "run_chaos",
+]
+
+#: Sim-seconds between settle-phase polls of the convergence predicate.
+SETTLE_POLL = 25.0
+
+
+class CampaignInvalid(RuntimeError):
+    """The schedule collided with live cluster state (not a failure).
+
+    The sampler is valid-by-construction for everything it can see, but
+    a few constraints depend on runtime state it cannot know — e.g. a
+    corruption round landing on a stripe that still carries unrepaired
+    damage from an earlier round.  Those campaigns are skipped (and
+    counted), never reported as invariant violations.
+    """
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    spec: CampaignSpec
+    outcome_hash: str
+    violations: List[InvariantViolation]
+    digest: Dict[str, Any]
+    finished_at: float
+    steps: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+def run_campaign(
+    spec: CampaignSpec, extra_checks: Tuple = ()
+) -> CampaignResult:
+    """Execute one campaign start-to-finish and return its result.
+
+    Deterministic: the same spec always yields the same outcome hash.
+    Raises :class:`CampaignInvalid` when the schedule cannot be applied.
+    """
+    controller = Controller(spec.to_profile(), seed=spec.seed)
+    env = controller.env
+    cluster = controller.cluster
+    injector = controller.fault_injector
+    suite = InvariantSuite(cluster, extra_checks=tuple(extra_checks))
+
+    controller.coordinator.ingest_workload(spec.to_workload())
+    step = 0
+    suite.check_step(step)
+
+    for action in spec.actions:
+        if action.at > env.now:
+            env.run(until=action.at)
+        if action.kind == "inject":
+            try:
+                injector.inject(action.fault_spec())
+            except (FaultToleranceError, ValueError) as exc:
+                raise CampaignInvalid(
+                    f"action at t={action.at:g} not applicable: {exc}"
+                ) from exc
+        else:
+            injector.restore_all()
+        step += 1
+        suite.check_step(step)
+
+    # Settle: poll until the cluster converges (or provably cannot, or
+    # the budget runs out - the final check then reports the stall).
+    deadline = env.now + spec.settle_time
+    while env.now < deadline:
+        env.run(until=min(env.now + SETTLE_POLL, deadline))
+        step += 1
+        suite.check_step(step)
+        if _quiescent(cluster):
+            break
+        if _stalled(cluster, injector):
+            break
+
+    step += 1
+    suite.check_final(step)
+
+    digest = outcome_digest(cluster)
+    return CampaignResult(
+        spec=spec,
+        outcome_hash=hash_digest(digest),
+        violations=list(suite.violations),
+        digest=digest,
+        finished_at=env.now,
+        steps=step,
+    )
+
+
+def _quiescent(cluster: CephCluster) -> bool:
+    """Converged: every fault healed and health back to HEALTH_OK."""
+    if not all(osd.is_up() for osd in cluster.osds.values()):
+        return False
+    if cluster.monitor.out_osds:
+        return False
+    if not cluster.recovery.idle:
+        return False
+    if cluster.scrub.config.enabled and not cluster.scrub.quiescent():
+        return False
+    return check_health(cluster).status == HealthStatus.OK
+
+
+def _stalled(cluster: CephCluster, injector: FaultInjector) -> bool:
+    """Nothing further can change: un-restored faults fully processed.
+
+    A shrunk schedule may legitimately end with faults still injected
+    (ddmin dropped the restore); once every victim is marked out,
+    recovery has drained and scrub is quiet, polling further only burns
+    the settle budget - bail out and let the final check report it.
+    """
+    injected = injector.injected_osds
+    if not injected:
+        return False
+    if not all(cluster.monitor.is_out(osd_id) for osd_id in injected):
+        return False
+    if not cluster.recovery.idle:
+        return False
+    if cluster.scrub.config.enabled and not cluster.scrub.quiescent():
+        return False
+    return True
+
+
+# -- the outcome hash (the replay contract) -----------------------------------
+
+
+def outcome_digest(cluster: CephCluster) -> Dict[str, Any]:
+    """Canonical, JSON-serialisable snapshot of everything observable."""
+    health = check_health(cluster)
+    return {
+        "sim_now": cluster.env.now,
+        "sim_steps": cluster.env.steps,
+        "health": {"status": health.status, "checks": list(health.checks)},
+        "osds": {
+            osd.name: {
+                "up": osd.is_up(),
+                "used_bytes": osd.used_bytes,
+                "num_chunks": osd.backend.num_chunks,
+            }
+            for osd in cluster.osds.values()
+        },
+        "recovery": asdict(cluster.recovery.stats),
+        "scrub": asdict(cluster.scrub.stats),
+        "ledger": asdict(cluster.ledger),
+        "corrupt_chunks": cluster.integrity.corrupted_chunk_count(),
+        "logs": [
+            [
+                record.time,
+                record.node,
+                record.subsystem,
+                record.message,
+                [[key, value] for key, value in record.fields],
+            ]
+            for log in cluster.all_logs()
+            for record in log.records
+        ],
+    }
+
+
+def hash_digest(digest: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON form of an outcome digest."""
+    payload = json.dumps(
+        digest, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- bulk campaigns ------------------------------------------------------------
+
+
+def campaign_seed(root_seed: int, index: int) -> int:
+    """Per-campaign seed: an independent substream of the root seed."""
+    return substream_seed(root_seed, f"campaign-{index}")
+
+
+@dataclass
+class ChaosReport:
+    """Summary of one bulk chaos run."""
+
+    root_seed: int
+    campaigns: int = 0
+    passed: int = 0
+    invalid: int = 0
+    failures: List[CampaignResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_chaos(
+    root_seed: int,
+    campaigns: int,
+    extra_checks: Tuple = (),
+    on_campaign=None,
+    stop_on_failure: bool = False,
+) -> ChaosReport:
+    """Sample and run ``campaigns`` campaigns derived from ``root_seed``.
+
+    ``on_campaign(index, spec, result_or_none, error_or_none)`` is called
+    after each campaign (result is None for invalid ones) — the CLI uses
+    it for progress output, tests for introspection.
+    """
+    report = ChaosReport(root_seed=root_seed)
+    for index in range(campaigns):
+        spec = sample_campaign(campaign_seed(root_seed, index))
+        report.campaigns += 1
+        try:
+            result: Optional[CampaignResult] = run_campaign(spec, extra_checks)
+        except CampaignInvalid as exc:
+            report.invalid += 1
+            if on_campaign is not None:
+                on_campaign(index, spec, None, exc)
+            continue
+        if result.passed:
+            report.passed += 1
+        else:
+            report.failures.append(result)
+        if on_campaign is not None:
+            on_campaign(index, spec, result, None)
+        if report.failures and stop_on_failure:
+            break
+    return report

@@ -1,0 +1,253 @@
+"""Global invariant oracles checked after every campaign step.
+
+Each checker inspects live cluster state and returns a list of
+:class:`InvariantViolation` (empty when the invariant holds).  The
+checkers are deliberately *redundant* with the mechanisms they watch —
+durability re-derives decodability from the code itself, byte
+conservation re-adds the ledger against the OSD backends — so a bug in
+either side trips the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..cluster.ceph import CephCluster
+from ..cluster.health import HealthStatus, check_health
+from ..core.timeline import first_nonmonotone
+
+__all__ = [
+    "InvariantViolation",
+    "check_durability",
+    "check_wa_conservation",
+    "check_log_monotonicity",
+    "check_converged",
+    "InvariantSuite",
+]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant failure, with enough context to debug and replay."""
+
+    invariant: str
+    detail: str
+    at_time: float
+    step: int = -1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "at_time": self.at_time,
+            "step": self.step,
+        }
+
+
+def _damaged_shards(cluster: CephCluster, pg) -> set:
+    """Shard positions of a PG that are currently unreadable or corrupt.
+
+    A shard is damaged if its acting OSD is down (crash faults) or if the
+    integrity store records unrepaired silent corruption on it.  Objects
+    in one PG share the acting set, so per-PG damage bounds per-object
+    damage; corruption is tracked per stripe and unioned in per object by
+    the caller.
+    """
+    return {
+        shard
+        for shard, osd_id in enumerate(pg.acting)
+        if not cluster.osds[osd_id].is_up()
+    }
+
+
+def check_durability(cluster: CephCluster) -> List[InvariantViolation]:
+    """No acked write may become undecodable within guaranteed tolerance.
+
+    For every stored object: the union of crash-unavailable shards and
+    silently-corrupted shards must stay within the code's guaranteed
+    fault tolerance, *and* the code itself must produce a repair plan for
+    exactly that loss pattern — the decodability oracle is the erasure
+    code, not the injector's bookkeeping.
+    """
+    violations: List[InvariantViolation] = []
+    code = cluster.pool.code
+    tolerance = code.fault_tolerance()
+    now = cluster.env.now
+    for pg in cluster.pool.pgs.values():
+        if not pg.objects:
+            continue
+        down = _damaged_shards(cluster, pg)
+        for obj in pg.objects:
+            corrupt = cluster.integrity.corrupt_shards(pg.pgid, obj.name)
+            damaged = down | corrupt
+            if not damaged:
+                continue
+            if len(damaged) > tolerance:
+                violations.append(
+                    InvariantViolation(
+                        "durability",
+                        f"object {pg.pgid}/{obj.name} has {len(damaged)} damaged "
+                        f"shards {sorted(damaged)} > guaranteed tolerance "
+                        f"{tolerance} of {code.plugin_name}({code.n},{code.k})",
+                        at_time=now,
+                    )
+                )
+                continue
+            alive = [s for s in range(code.n) if s not in damaged]
+            try:
+                code.repair_plan(sorted(damaged), alive)
+            except Exception as exc:  # noqa: BLE001 - any failure is the finding
+                violations.append(
+                    InvariantViolation(
+                        "durability",
+                        f"object {pg.pgid}/{obj.name} undecodable with damage "
+                        f"{sorted(damaged)} (within tolerance {tolerance}): {exc}",
+                        at_time=now,
+                    )
+                )
+    return violations
+
+
+def check_wa_conservation(cluster: CephCluster) -> List[InvariantViolation]:
+    """WA accounting conserves bytes, exactly.
+
+    client + parity/padding + metadata + repair must equal the summed
+    OSD-level usage — the two sides are maintained by independent code
+    paths (the ledger at the write sites, the BlueStore counters inside
+    the backends), so any drift between them is an accounting bug.
+    """
+    ledger = cluster.ledger
+    used = cluster.used_bytes_total()
+    if ledger.device_bytes == used:
+        return []
+    return [
+        InvariantViolation(
+            "wa-conservation",
+            f"ledger says {ledger.device_bytes} B "
+            f"(client={ledger.client_bytes} parity+padding="
+            f"{ledger.parity_padding_bytes} metadata={ledger.metadata_bytes} "
+            f"repair={ledger.repair_bytes}) but OSDs account {used} B "
+            f"(drift {used - ledger.device_bytes:+d})",
+            at_time=cluster.env.now,
+        )
+    ]
+
+
+def check_log_monotonicity(cluster: CephCluster) -> List[InvariantViolation]:
+    """Every node's log must be time-monotone (append-only, clock-forward)."""
+    violations: List[InvariantViolation] = []
+    for log in cluster.all_logs():
+        index = first_nonmonotone(log.records)
+        if index is not None:
+            violations.append(
+                InvariantViolation(
+                    "timeline-monotone",
+                    f"log of {log.node} runs backwards at record {index}: "
+                    f"{log.records[index]}",
+                    at_time=cluster.env.now,
+                )
+            )
+    return violations
+
+
+def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
+    """End-of-campaign convergence: restore + recovery + scrub => HEALTH_OK.
+
+    Called once after the settle phase.  Every fault was restored and
+    every repair given time to drain, so the cluster must report clean
+    health: no down/out OSDs, recovery idle, scrub quiescent, and the
+    live health verdict back at HEALTH_OK (the ERR -> WARN -> OK arc).
+    """
+    violations: List[InvariantViolation] = []
+    now = cluster.env.now
+    down = [osd.name for osd in cluster.osds.values() if not osd.is_up()]
+    if down:
+        violations.append(
+            InvariantViolation(
+                "health-convergence", f"OSDs still down after settle: {down}",
+                at_time=now,
+            )
+        )
+    if cluster.monitor.out_osds:
+        violations.append(
+            InvariantViolation(
+                "health-convergence",
+                f"OSDs still out after settle: {sorted(cluster.monitor.out_osds)}",
+                at_time=now,
+            )
+        )
+    if not cluster.recovery.idle:
+        violations.append(
+            InvariantViolation(
+                "health-convergence", "recovery still in flight after settle",
+                at_time=now,
+            )
+        )
+    if cluster.scrub.config.enabled and not cluster.scrub.quiescent():
+        violations.append(
+            InvariantViolation(
+                "health-convergence",
+                f"scrub not quiescent after settle "
+                f"({cluster.integrity.corrupted_chunk_count()} corrupt chunks left)",
+                at_time=now,
+            )
+        )
+    report = check_health(cluster)
+    if report.status != HealthStatus.OK:
+        violations.append(
+            InvariantViolation(
+                "health-convergence",
+                f"health is {report.status} after settle: {list(report.checks)}",
+                at_time=now,
+            )
+        )
+    return violations
+
+
+#: The step-wise checkers (convergence is end-of-campaign only).
+STEP_CHECKS = (
+    check_durability,
+    check_wa_conservation,
+    check_log_monotonicity,
+)
+
+
+@dataclass
+class InvariantSuite:
+    """Runs the step-wise checkers and accumulates violations.
+
+    ``extra_checks`` lets tests (and the shrinker's harness) plug in
+    additional oracles with the same ``cluster -> [violation]`` shape.
+    """
+
+    cluster: CephCluster
+    extra_checks: tuple = ()
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    def check_step(self, step: int) -> List[InvariantViolation]:
+        """Run all step-wise invariants; record and return new violations."""
+        found: List[InvariantViolation] = []
+        for checker in (*STEP_CHECKS, *self.extra_checks):
+            for violation in checker(self.cluster):
+                found.append(
+                    InvariantViolation(
+                        violation.invariant,
+                        violation.detail,
+                        violation.at_time,
+                        step=step,
+                    )
+                )
+        self.violations.extend(found)
+        return found
+
+    def check_final(self, step: int) -> List[InvariantViolation]:
+        """Run the end-of-campaign convergence check on top of a step check."""
+        found = self.check_step(step)
+        for violation in check_converged(self.cluster):
+            stamped = InvariantViolation(
+                violation.invariant, violation.detail, violation.at_time, step=step
+            )
+            found.append(stamped)
+            self.violations.append(stamped)
+        return found

@@ -1,0 +1,187 @@
+"""Random-but-valid campaign sampling.
+
+Turns one integer seed into a :class:`~repro.chaos.campaign.CampaignSpec`
+that is *valid by construction*: the EC parameters satisfy each plugin's
+algebraic constraints (Clay's ``q | n``, LRC's ``l | k``, SHEC's window
+bound), the cluster has enough failure-domain buckets to place ``n``
+shards plus recovery headroom, and the fault schedule never requests
+more concurrent damage than the code's guaranteed tolerance.  Rarely a
+schedule can still collide with live cluster state (e.g. a corruption
+round landing on a stripe that already carries unrepaired damage); the
+engine classifies those as *invalid*, not failing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..cluster.bluestore import CACHE_SCHEMES
+from ..sim.rng import SeedSequence
+from .campaign import CampaignSpec, ScheduledAction
+
+__all__ = ["sample_campaign"]
+
+KB = 1024
+MB = 1024 * 1024
+
+#: (plugin, params) choices.  Every entry satisfies its plugin's
+#: constructor constraints; Clay entries additionally keep alpha = q^t
+#: small enough for fast repair planning.
+_EC_CHOICES: List[Tuple[str, Tuple[Tuple[str, int], ...]]] = [
+    ("jerasure", (("k", 2), ("m", 1))),
+    ("jerasure", (("k", 3), ("m", 2))),
+    ("jerasure", (("k", 4), ("m", 2))),
+    ("jerasure", (("k", 6), ("m", 3))),
+    ("isa", (("k", 4), ("m", 2))),
+    ("isa", (("k", 5), ("m", 3))),
+    ("clay", (("d", 3), ("k", 2), ("m", 2))),
+    ("clay", (("d", 5), ("k", 4), ("m", 2))),
+    ("clay", (("d", 5), ("k", 3), ("m", 3))),
+    ("lrc", (("k", 4), ("l", 2), ("r", 1))),
+    ("lrc", (("k", 4), ("l", 2), ("r", 2))),
+    ("lrc", (("k", 6), ("l", 3), ("r", 1))),
+    ("shec", (("k", 4), ("l", 2), ("m", 3))),
+    ("shec", (("k", 4), ("l", 2), ("m", 2))),
+]
+
+_STRIPE_UNITS = (64 * KB, 256 * KB, 1 * MB, 4 * MB)
+_OBJECT_SIZES = (256 * KB, 1 * MB, 4 * MB)
+
+
+def _shard_count(params: Tuple[Tuple[str, int], ...]) -> int:
+    """n = data + parity shards for any of the sampled plugins."""
+    values = dict(params)
+    if "r" in values:  # LRC: n = k + l + r
+        return values["k"] + values["l"] + values["r"]
+    return values["k"] + values["m"]
+
+
+def _tolerance(plugin: str, params: Tuple[Tuple[str, int], ...]) -> int:
+    """Guaranteed fault tolerance, mirroring each plugin's contract."""
+    values = dict(params)
+    if plugin == "shec":
+        return 1
+    if plugin == "lrc":
+        return values["r"] + 1 if values["r"] else 1
+    return values["m"]
+
+
+def sample_campaign(seed: int) -> CampaignSpec:
+    """Sample one valid campaign; same seed, same campaign, always."""
+    rng = SeedSequence(seed).stream("chaos-sampler")
+
+    plugin, params = rng.choice(_EC_CHOICES)
+    n = _shard_count(params)
+    tolerance = _tolerance(plugin, params)
+
+    osds_per_host = rng.choice((1, 2, 2, 3))
+    # Failure domain is host: need n distinct hosts for placement, plus
+    # spare buckets so recovery can remap around `tolerance` dead hosts.
+    num_hosts = n + tolerance + rng.randrange(1, 4)
+
+    scrub_on = rng.random() < 0.5
+    scrub_interval = float(rng.choice((200, 400, 800))) if scrub_on else 0.0
+
+    actions = _sample_schedule(rng, tolerance, osds_per_host, scrub_on)
+
+    return CampaignSpec(
+        seed=seed,
+        ec_plugin=plugin,
+        ec_params=params,
+        pg_num=rng.choice((4, 8, 16)),
+        stripe_unit=rng.choice(_STRIPE_UNITS),
+        cache_scheme=rng.choice(sorted(CACHE_SCHEMES)),
+        failure_domain="host",
+        num_hosts=num_hosts,
+        osds_per_host=osds_per_host,
+        scrub_interval=scrub_interval,
+        scrub_pgs_per_batch=rng.choice((2, 4)),
+        mon_osd_down_out_interval=float(rng.choice((30, 60, 120))),
+        num_objects=rng.randrange(8, 33),
+        object_size=rng.choice(_OBJECT_SIZES),
+        size_jitter=rng.choice((0.0, 0.0, 0.2)),
+        actions=tuple(actions),
+    )
+
+
+def _sample_schedule(
+    rng, tolerance: int, osds_per_host: int, scrub_on: bool
+) -> List[ScheduledAction]:
+    """A budget-tracked schedule of fault rounds.
+
+    Each round either crashes OSDs/hosts (total failure-domain buckets
+    within the tolerance budget) or silently corrupts chunks (only when
+    scrubbing is on to detect them), then restores, so every campaign is
+    *expected* to converge back to HEALTH_OK.  Restore timing straddles
+    the down->out interval on purpose: some rounds restore before the
+    monitor reacts, some mid-recovery, some after.
+    """
+    actions: List[ScheduledAction] = []
+    t = 100.0
+    # Corrupt chunks stay damaged until a deep scrub repairs them, at a
+    # time the sampler cannot know - so once corruption is in flight,
+    # every later crash round conservatively cedes that many tolerance
+    # slots (matching the injector's crash-over-corruption guard).
+    outstanding_corrupt = 0
+    for _ in range(rng.randrange(1, 4)):
+        crashed = False
+        budget = tolerance - outstanding_corrupt
+        for _ in range(rng.randrange(1, 3)):
+            if budget <= 0:
+                break
+            roll = rng.random()
+            if scrub_on and not crashed and roll < 0.3:
+                # Corruption round: daemons stay up, scrub must find it.
+                # Kept to crash-free rounds so the per-stripe white-box
+                # guard (down shards + corrupt shards <= tolerance) holds
+                # regardless of which stripe the injector picks.
+                count = rng.randrange(1, min(budget, 2) + 1)
+                actions.append(
+                    ScheduledAction(
+                        at=t,
+                        kind="inject",
+                        level="corrupt",
+                        count=count,
+                        corruption=rng.choice(
+                            ("bit_rot", "torn_write", "misdirected_write")
+                        ),
+                    )
+                )
+                outstanding_corrupt += count
+                break  # one corruption burst per round
+            if roll < 0.6 or budget < 2:
+                actions.append(
+                    ScheduledAction(at=t, kind="inject", level="node", count=1)
+                )
+                budget -= 1
+            else:
+                same_host_ok = osds_per_host >= 2
+                colocation = rng.choice(
+                    ("any", "diff_hosts", "same_host")
+                    if same_host_ok
+                    else ("any", "diff_hosts")
+                )
+                if colocation == "same_host":
+                    count = rng.randrange(2, min(osds_per_host, budget + 1) + 1)
+                    cost = 1  # one host bucket, several devices
+                else:
+                    count = rng.randrange(1, budget + 1)
+                    cost = count
+                actions.append(
+                    ScheduledAction(
+                        at=t,
+                        kind="inject",
+                        level="device",
+                        count=count,
+                        colocation=colocation,
+                    )
+                )
+                budget -= cost
+            crashed = True
+            t += rng.choice((0.0, 5.0, 20.0))
+        # Restore before mark-down (<20 s grace), mid-checking, or well
+        # after the down->out interval - each exercises a different arc.
+        t += rng.choice((10.0, 50.0, 200.0, 500.0))
+        actions.append(ScheduledAction(at=t, kind="restore"))
+        t += rng.choice((150.0, 300.0, 600.0))
+    return actions

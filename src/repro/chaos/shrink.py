@@ -1,0 +1,92 @@
+"""Delta-debugging shrink of a failing campaign's fault schedule.
+
+Classic ddmin (Zeller & Hildebrandt) over the campaign's action list:
+repeatedly try subsets and complements of the schedule, keeping any
+smaller schedule that still triggers the *same* invariants, until the
+schedule is 1-minimal — removing any single action makes the failure
+disappear.  Campaigns that become invalid during shrinking (an action no
+longer applicable without its predecessors) count as *passing*: the goal
+is the smallest schedule that still fails the original way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Set, Tuple, TypeVar
+
+from .campaign import CampaignSpec, ScheduledAction
+
+__all__ = ["ddmin", "shrink_campaign"]
+
+T = TypeVar("T")
+
+
+def ddmin(items: Sequence[T], fails: Callable[[List[T]], bool]) -> List[T]:
+    """Minimise ``items`` to a 1-minimal sublist that still fails.
+
+    ``fails(candidate)`` must return True when the candidate still
+    reproduces the failure.  The full input must fail, otherwise there
+    is nothing to shrink.
+    """
+    items = list(items)
+    if not fails(items):
+        raise ValueError("ddmin: the unshrunk input does not fail")
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        subsets = [
+            items[start : start + chunk] for start in range(0, len(items), chunk)
+        ]
+        reduced = False
+        for index, subset in enumerate(subsets):
+            if len(subset) < len(items) and fails(subset):
+                items = subset
+                granularity = 2
+                reduced = True
+                break
+            complement = [
+                item
+                for other, subset_ in enumerate(subsets)
+                for item in subset_
+                if other != index
+            ]
+            if len(complement) < len(items) and fails(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink_campaign(
+    spec: CampaignSpec,
+    extra_checks: Tuple = (),
+) -> Tuple[CampaignSpec, "CampaignResult"]:
+    """Shrink a failing campaign to a minimal schedule that still fails.
+
+    Returns the shrunk spec and its (re-run) result, whose outcome hash
+    is what the repro artifact records.  The failure criterion is "any
+    of the originally violated invariants fires again" — matched by
+    invariant name, so the shrunk campaign reproduces the same *kind*
+    of failure, not an unrelated one uncovered on the way down.
+    """
+    from .engine import CampaignInvalid, CampaignResult, run_campaign
+
+    original = run_campaign(spec, extra_checks)
+    if original.passed:
+        raise ValueError("shrink_campaign: campaign does not fail")
+    wanted: Set[str] = {violation.invariant for violation in original.violations}
+
+    def fails(actions: List[ScheduledAction]) -> bool:
+        try:
+            result = run_campaign(spec.with_actions(actions), extra_checks)
+        except CampaignInvalid:
+            return False
+        return any(v.invariant in wanted for v in result.violations)
+
+    minimal = ddmin(list(spec.actions), fails)
+    shrunk = spec.with_actions(minimal)
+    return shrunk, run_campaign(shrunk, extra_checks)

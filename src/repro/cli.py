@@ -9,6 +9,8 @@ Subcommands::
     ecfault repair-plan  repair I/O a code performs for a loss pattern
     ecfault wa           write-amplification estimate (the §4.4 formula)
     ecfault autoscale    pg_num advice for a pool/cluster shape
+    ecfault chaos        seeded randomized fault campaigns with invariants
+    ecfault replay       re-execute a chaos repro artifact exactly
 
 Every command prints plain text; ``sweep`` writes machine-readable JSON
 so results can be analysed later or elsewhere.
@@ -236,6 +238,82 @@ def cmd_wa(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .chaos import run_chaos, save_artifact, shrink_campaign
+    from .chaos.artifact import ReproArtifact
+
+    def progress(index, spec, result, error):
+        if error is not None:
+            print(f"[{index + 1}/{args.campaigns}] seed {spec.seed}: "
+                  f"invalid ({error})", file=sys.stderr)
+        elif not result.passed:
+            print(f"[{index + 1}/{args.campaigns}] seed {spec.seed}: "
+                  f"FAILED ({len(result.violations)} violations)",
+                  file=sys.stderr)
+        elif args.verbose:
+            print(f"[{index + 1}/{args.campaigns}] seed {spec.seed}: ok "
+                  f"({spec.ec_plugin}, {len(spec.actions)} actions)",
+                  file=sys.stderr)
+
+    report = run_chaos(
+        args.seed,
+        args.campaigns,
+        on_campaign=progress,
+        stop_on_failure=args.stop_on_failure,
+    )
+    print(f"chaos: {report.campaigns} campaigns from seed {report.root_seed}: "
+          f"{report.passed} passed, {report.invalid} invalid, "
+          f"{len(report.failures)} failed")
+    for result in report.failures:
+        shrunk_spec, shrunk_result = shrink_campaign(result.spec)
+        artifact = ReproArtifact(
+            spec=shrunk_spec,
+            violations=shrunk_result.violations,
+            outcome_hash=shrunk_result.outcome_hash,
+            original_spec=result.spec,
+        )
+        path = save_artifact(
+            artifact, f"{args.artifact_dir}/repro-{result.spec.seed}.json"
+        )
+        print(f"  seed {result.spec.seed}: schedule shrunk "
+              f"{len(result.spec.actions)} -> {len(shrunk_spec.actions)} "
+              f"actions; artifact: {path}")
+        for violation in shrunk_result.violations:
+            print(f"    {violation.invariant}: {violation.detail}")
+    return 1 if report.failures else 0
+
+
+def cmd_replay(args) -> int:
+    from .chaos import ArtifactError, CampaignInvalid, load_artifact, run_campaign
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except ArtifactError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    spec = artifact.spec
+    print(f"replaying seed {spec.seed}: {spec.ec_plugin}"
+          f"({','.join(f'{k}={v}' for k, v in spec.ec_params)}), "
+          f"{len(spec.actions)} actions, expecting hash "
+          f"{artifact.outcome_hash[:16]}…")
+    try:
+        result = run_campaign(spec)
+    except CampaignInvalid as exc:
+        print(f"replay: campaign no longer applicable: {exc}", file=sys.stderr)
+        return 1
+    for violation in result.violations:
+        print(f"  {violation.invariant} at t={violation.at_time:g} "
+              f"(step {violation.step}): {violation.detail}")
+    if result.outcome_hash == artifact.outcome_hash:
+        print(f"replay: outcome hash {result.outcome_hash[:16]}… matches — "
+              f"failure reproduced exactly "
+              f"({len(result.violations)} violations)")
+        return 0
+    print(f"replay: OUTCOME DIVERGED — expected {artifact.outcome_hash} "
+          f"got {result.outcome_hash}", file=sys.stderr)
+    return 1
+
+
 def cmd_autoscale(args) -> int:
     params = _parse_ec(args.plugin, args.ec_params)
     width = params["k"] + params.get("m", params.get("l", 0) + params.get("r", 0))
@@ -306,6 +384,28 @@ def build_parser() -> argparse.ArgumentParser:
     wa.add_argument("--object-size", type=parse_size, required=True)
     wa.add_argument("--stripe-unit", type=parse_size, default=4 * KB)
     wa.set_defaults(func=cmd_wa)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded randomized fault/workload campaigns with invariants",
+    )
+    chaos.add_argument("--campaigns", type=int, default=100,
+                       help="number of campaigns to sample and run")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="root seed; campaign i uses substream 'campaign-i'")
+    chaos.add_argument("--artifact-dir", default="chaos-artifacts",
+                       help="where shrunk repro artifacts are written")
+    chaos.add_argument("--stop-on-failure", action="store_true",
+                       help="stop at the first failing campaign")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="log every campaign, not just failures")
+    chaos.set_defaults(func=cmd_chaos)
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a chaos repro artifact exactly"
+    )
+    replay.add_argument("artifact", help="JSON written by 'ecfault chaos'")
+    replay.set_defaults(func=cmd_replay)
 
     autoscale = sub.add_parser("autoscale", help="pg_num advice")
     autoscale.add_argument("--plugin", default="jerasure")

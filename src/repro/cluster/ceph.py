@@ -10,6 +10,7 @@ harvests the logs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..ec.base import ErasureCode
@@ -26,7 +27,50 @@ from .recovery import RecoveryManager
 from .scrub import IntegrityConfig, IntegrityStore, ScrubConfig, ScrubManager
 from .topology import ClusterTopology
 
-__all__ = ["CephCluster"]
+__all__ = ["WaLedger", "CephCluster"]
+
+
+@dataclass
+class WaLedger:
+    """Itemised byte ledger behind the WA-conservation invariant.
+
+    Every durable byte an OSD backend accounts must be attributable to
+    exactly one of these buckets::
+
+        client + parity_padding + metadata + repair == sum(osd.used_bytes)
+
+    ``client_bytes`` is the logical volume acked to clients;
+    ``parity_padding_bytes`` is what EC coding plus division-and-padding
+    allocates beyond it at ingest; ``metadata_bytes`` covers onode,
+    extent-map, EC-attribute and checksum metadata (ingest and repair
+    alike); ``repair_bytes`` is recovery's rebuilt-chunk allocations.
+    The equality is exact (integers), which makes it a sharp oracle: any
+    accounting drift anywhere in the write paths trips it.
+    """
+
+    client_bytes: int = 0
+    parity_padding_bytes: int = 0
+    metadata_bytes: int = 0
+    repair_bytes: int = 0
+
+    @property
+    def device_bytes(self) -> int:
+        """What the buckets say the OSDs should be using, in total."""
+        return (
+            self.client_bytes
+            + self.parity_padding_bytes
+            + self.metadata_bytes
+            + self.repair_bytes
+        )
+
+    def credit_ingest(self, object_size: int, allocated: int, metadata: int) -> None:
+        self.client_bytes += object_size
+        self.parity_padding_bytes += allocated - object_size
+        self.metadata_bytes += metadata
+
+    def credit_repair(self, allocated: int, metadata: int) -> None:
+        self.repair_bytes += allocated
+        self.metadata_bytes += metadata
 
 
 class CephCluster:
@@ -80,6 +124,7 @@ class CephCluster:
             failure_domain=failure_domain,
         )
         self.monitor = Monitor(env, self.osds, self.config, log=self.mon_log)
+        self.ledger = WaLedger()
         self.recovery = RecoveryManager(
             env,
             self.topology,
@@ -88,8 +133,10 @@ class CephCluster:
             self.config,
             self.host_logs,
             self.mon_log,
+            ledger=self.ledger,
         )
         self.monitor.on_out.append(self.recovery.on_osds_out)
+        self.monitor.on_in.append(self.recovery.on_osds_in)
         self.integrity = IntegrityStore(self.pool, integrity or IntegrityConfig())
         self.scrub = ScrubManager(
             env,
@@ -120,11 +167,19 @@ class CephCluster:
         if self.integrity.config.enabled:
             csum_blocks = self.integrity.csum_blocks_for(layout.chunk_stored_bytes)
             csums = self.integrity.register_object(pg, obj)
+        alloc_total = 0
+        meta_total = 0
         for shard, osd_id in enumerate(pg.acting):
             osd = self.osds[osd_id]
+            allocated, metadata = osd.backend.chunk_allocation(
+                layout.chunk_stored_bytes, layout.units, csum_blocks
+            )
+            alloc_total += allocated
+            meta_total += metadata
             osd.store_chunk(layout.chunk_stored_bytes, layout.units, csum_blocks)
             if shard in csums:
                 osd.backend.put_chunk_checksums((pg.pgid, obj.name, shard), csums[shard])
+        self.ledger.credit_ingest(size, alloc_total, meta_total)
 
     # -- queries ------------------------------------------------------------------
 

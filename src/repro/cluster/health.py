@@ -25,6 +25,14 @@ class HealthStatus:
     WARN = "HEALTH_WARN"
     ERR = "HEALTH_ERR"
 
+    #: Severity order used by invariant probes (higher is worse).
+    RANK = {OK: 0, WARN: 1, ERR: 2}
+
+    @classmethod
+    def severity(cls, status: str) -> int:
+        """Numeric severity of a health status (raises on unknown)."""
+        return cls.RANK[status]
+
 
 #: Devices at or beyond this usage ratio are "nearfull" (Ceph default).
 NEARFULL_RATIO = 0.85

@@ -42,6 +42,8 @@ class Monitor:
         self.osdmap_epoch = 1
         #: Callbacks invoked with the set of newly-out OSDs.
         self.on_out: List[Callable[[Set[int]], None]] = []
+        #: Callbacks invoked with the set of newly-in (rebooted) OSDs.
+        self.on_in: List[Callable[[Set[int]], None]] = []
         #: Last health status broadcast via :meth:`record_health`.
         self.health_status = "HEALTH_OK"
         self._heartbeat_procs = [
@@ -62,7 +64,26 @@ class Monitor:
                     self.log.emit(
                         self.env.now, "mon", "osd boot: marking up", osd=osd.name
                     )
+                if osd_id in self.out_osds:
+                    self._mark_in(osd_id)
             yield self.env.timeout(self.config.osd_heartbeat_interval)
+
+    def _mark_in(self, osd_id: int) -> None:
+        """An auto-marked-out OSD that boots is marked in again.
+
+        Mirrors Ceph's ``mon_osd_auto_mark_auto_out_in`` default: after a
+        fault is restored, the rebooted OSD rejoins the map, which is what
+        lets cluster health converge back to HEALTH_OK after an
+        experiment's restore phase.
+        """
+        self.out_osds.discard(osd_id)
+        self.osdmap_epoch += 1
+        self.log.emit(
+            self.env.now, "mon", "osd boot: marking in",
+            osd=self.osds[osd_id].name, epoch=self.osdmap_epoch,
+        )
+        for callback in self.on_in:
+            callback({osd_id})
 
     # -- monitor tick: detection and the down->out interval -------------------------
 

@@ -63,6 +63,7 @@ class RecoveryManager:
         config: CephConfig,
         host_logs: Dict[int, NodeLog],
         mgr_log: NodeLog,
+        ledger=None,
     ):
         self.env = env
         self.topology = topology
@@ -71,10 +72,18 @@ class RecoveryManager:
         self.config = config
         self.host_logs = host_logs
         self.mgr_log = mgr_log
+        #: Optional WaLedger credited as rebuilt chunks are stored, so the
+        #: cluster-wide byte-conservation invariant stays exact.
+        self.ledger = ledger
         self.stats = RecoveryStats()
         self.out_osds: Set[int] = set()
         self._active_pgs = 0
         self._all_done: Optional[Event] = None
+
+    @property
+    def idle(self) -> bool:
+        """No PG recovery in flight (an invariant-probe for the chaos harness)."""
+        return self._active_pgs == 0
 
     def _log_for(self, osd_id: int) -> NodeLog:
         return self.host_logs[self.osds[osd_id].device.host_id]
@@ -94,6 +103,15 @@ class RecoveryManager:
             self._active_pgs += 1
             self.stats.pgs_queued += 1
             self.env.process(self._recover_pg(pg, lost_shards))
+
+    def on_osds_in(self, newly_in: Set[int]) -> None:
+        """React to restored OSDs rejoining the map.
+
+        Dropping them from the exclusion set lets later placement and
+        fault rounds reuse them — without this, a restore leaves the set
+        permanently poisoned and repeated fault/restore campaigns starve.
+        """
+        self.out_osds -= set(newly_in)
 
     def wait_all_recovered(self) -> Event:
         """Event firing when every queued PG finished recovery."""
@@ -298,6 +316,8 @@ class RecoveryManager:
         # Reserve the space synchronously with the check (concurrent
         # pushes to one target must not race past the headroom test).
         target.store_chunk(nbytes, layout.units)
+        if self.ledger is not None:
+            self.ledger.credit_repair(allocated, metadata)
         yield self.topology.fabric.transfer(
             self.topology.nic_of(primary.osd_id),
             self.topology.nic_of(target.osd_id),

@@ -303,6 +303,18 @@ class IntegrityStore:
     def corrupted_chunk_count(self) -> int:
         return sum(len(shards) for shards in self._corrupted.values())
 
+    def max_corrupt_per_stripe(self) -> int:
+        """Worst-case unrepaired corruption concentration on one stripe.
+
+        The white-box guard for *crash* faults needs this: a crash takes
+        one more shard from every stripe a victim holds, so crash buckets
+        plus the worst stripe's outstanding corruption must stay within
+        the code's guaranteed tolerance.
+        """
+        if not self._corrupted:
+            return 0
+        return max(len(shards) for shards in self._corrupted.values())
+
     def all_clean(self) -> bool:
         return not self._corrupted
 

@@ -109,6 +109,18 @@ class Coordinator:
         outcome.iostat = iostat
         return outcome
 
+    def ingest_workload(self, workload: Workload) -> int:
+        """Run the workload phase: place every write, return client bytes.
+
+        Shared by the standard experiment cycle and the chaos harness,
+        which drives the rest of a campaign step-by-step itself.
+        """
+        workload_bytes = 0
+        for write in workload.writes(self.seeds):
+            self.cluster.ingest_object(write.name, write.size)
+            workload_bytes += write.size
+        return workload_bytes
+
     # -- the experiment cycle as a simulation process --------------------------------
 
     def _drive(
@@ -120,10 +132,7 @@ class Coordinator:
     ) -> Generator:
         env = self.cluster.env
         # Phase 1: workload execution (state ingestion; see CephCluster).
-        workload_bytes = 0
-        for write in workload.writes(self.seeds):
-            self.cluster.ingest_object(write.name, write.size)
-            workload_bytes += write.size
+        workload_bytes = self.ingest_workload(workload)
         wa = measure_wa(self.cluster, workload_bytes)
 
         # Phase 2: settle — heartbeats establish steady state.

@@ -131,6 +131,19 @@ class FaultInjector:
                 f"guaranteed tolerance m={tolerance} of "
                 f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
             )
+        # Crash-over-corruption guard, the converse of the stripe guard in
+        # _corrupt_victims: each crashed bucket can take one more shard
+        # from the stripe already carrying the most unrepaired silent
+        # corruption, and the combined damage must stay guaranteed-
+        # recoverable.
+        corrupt = self.cluster.integrity.max_corrupt_per_stripe()
+        if corrupt and len(hit) + corrupt > tolerance:
+            raise FaultToleranceError(
+                f"{len(hit)} failed {domain} buckets on top of {corrupt} "
+                f"unrepaired corrupt chunks in one stripe would exceed the "
+                f"guaranteed tolerance m={tolerance} of "
+                f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+            )
 
     def _osds_for(self, spec: FaultSpec) -> Set[int]:
         """OSDs a spec will take down (resolving target selection)."""
@@ -324,12 +337,20 @@ class FaultInjector:
             # not added to injected_osds — crash faults may still target
             # them, and the stripe guard above bounds combined damage.
             return sorted(affected)
+        # injected_osds is updated per target as each fault lands, not in
+        # one batch after the loop: if a multi-target inject dies half-way
+        # (bad explicit target, missing subsystem), the OSDs already taken
+        # down must still count against the tolerance budget — otherwise a
+        # later validate() under-counts live damage and can authorise a
+        # fault combination that exceeds the code's guarantee.
         if spec.level == "node":
             hosts = self._select_hosts(spec)
             affected: List[int] = []
             for host_id in hosts:
                 self.workers[host_id].shutdown_node()
-                affected.extend(self.cluster.topology.hosts[host_id].osd_ids)
+                host_osds = self.cluster.topology.hosts[host_id].osd_ids
+                affected.extend(host_osds)
+                self.injected_osds |= set(host_osds)
         else:
             devices = self._select_devices(spec)
             affected = []
@@ -337,11 +358,17 @@ class FaultInjector:
                 host_id = self.cluster.topology.osds[osd_id].host_id
                 self.workers[host_id].remove_device(osd_id)
                 affected.append(osd_id)
-        self.injected_osds |= set(affected)
+                self.injected_osds.add(osd_id)
         return sorted(affected)
 
     def restore_all(self) -> None:
-        """Undo every injected fault via the owning workers."""
+        """Undo every injected fault via the owning workers.
+
+        Idempotent and partial-failure safe: each worker only rolls back
+        what it actually applied, and an OSD leaves ``injected_osds`` the
+        moment its worker restored it — so a restore that raises half-way
+        can simply be called again, and a double restore is a no-op.
+        """
         for worker in self.workers.values():
             worker.restore()
-        self.injected_osds.clear()
+            self.injected_osds -= set(worker.host.osd_ids)

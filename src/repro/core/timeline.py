@@ -24,7 +24,24 @@ __all__ = [
     "TimelineError",
     "build_timeline",
     "build_scrub_timeline",
+    "first_nonmonotone",
 ]
+
+
+def first_nonmonotone(records) -> Optional[int]:
+    """Index of the first record whose timestamp runs backwards, or None.
+
+    Per-node logs are append-only and the simulation clock never rewinds,
+    so every in-order scan of one node's records must be non-decreasing
+    in time — the timeline-monotonicity invariant the chaos harness
+    asserts after every campaign step.
+    """
+    last = None
+    for index, record in enumerate(records):
+        if last is not None and record.time < last:
+            return index
+        last = record.time
+    return None
 
 
 class TimelineError(RuntimeError):

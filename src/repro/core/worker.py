@@ -99,13 +99,19 @@ class Worker:
         return blocks
 
     def restore(self) -> None:
-        """Undo all faults this worker applied (experiment teardown)."""
+        """Undo all faults this worker applied (experiment teardown).
+
+        Idempotent: restores only what this worker recorded applying, and
+        forgets each fault as it is rolled back, so calling twice (or
+        after a partially-applied inject) never double-restores.
+        """
         if self._was_shutdown:
             for osd_id in self.host.osd_ids:
                 self.cluster.osds[osd_id].host_running = True
             self._was_shutdown = False
         for osd_id, subsystem in list(self._removed.items()):
-            self.target.restore_subsystem(subsystem)
+            if subsystem.nqn not in self.target.subsystems:
+                self.target.restore_subsystem(subsystem)
             del self._removed[osd_id]
 
 

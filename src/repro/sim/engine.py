@@ -274,11 +274,22 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List = []
         self._seq = 0
+        self._steps = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def steps(self) -> int:
+        """Total events executed so far.
+
+        A determinism hook: two runs of the same seeded experiment must
+        agree on (now, steps) at every observation point, so the chaos
+        harness folds this counter into its outcome hash.
+        """
+        return self._steps
 
     # -- public API ----------------------------------------------------------
 
@@ -354,4 +365,5 @@ class Environment:
         if when < self._now:
             raise RuntimeError("event scheduled in the past")
         self._now = when
+        self._steps += 1
         callback()

@@ -34,6 +34,14 @@ class SeedSequence:
         """Return a fresh RNG for the named component."""
         return random.Random(substream_seed(self.root_seed, name))
 
+    def derive(self, name: str) -> "SeedSequence":
+        """A child sequence whose streams are independent of this one's.
+
+        Used by the chaos harness to give every campaign its own seed
+        universe derived from one run-level seed.
+        """
+        return SeedSequence(substream_seed(self.root_seed, name))
+
     def choice_stream(self, name: str, population: Sequence[T]) -> T:
         """Convenience: one deterministic choice from ``population``."""
         return self.stream(name).choice(list(population))

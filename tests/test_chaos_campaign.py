@@ -1,0 +1,210 @@
+"""The chaos-campaign harness: specs, sampling, engine, determinism."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CampaignInvalid,
+    CampaignSpec,
+    ScheduledAction,
+    campaign_seed,
+    run_campaign,
+    run_chaos,
+    sample_campaign,
+)
+from repro.chaos.engine import hash_digest, outcome_digest
+
+pytestmark = pytest.mark.chaos
+
+
+def small_spec(**overrides):
+    """A fast, converging baseline campaign for unit tests."""
+    defaults = dict(
+        seed=1234,
+        ec_plugin="jerasure",
+        ec_params=(("k", 3), ("m", 2)),
+        pg_num=4,
+        stripe_unit=256 * 1024,
+        num_hosts=8,
+        osds_per_host=1,
+        mon_osd_down_out_interval=30.0,
+        num_objects=6,
+        object_size=512 * 1024,
+        actions=(
+            ScheduledAction(at=100.0, kind="inject", level="node", count=1),
+            ScheduledAction(at=200.0, kind="restore"),
+        ),
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+# -- spec validation and JSON round-trip ---------------------------------------
+
+
+def test_spec_round_trips_through_json():
+    spec = small_spec()
+    rebuilt = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt == spec
+
+
+def test_spec_rejects_unordered_schedule():
+    with pytest.raises(ValueError, match="time-ordered"):
+        small_spec(
+            actions=(
+                ScheduledAction(at=200.0, kind="restore"),
+                ScheduledAction(at=100.0, kind="inject", level="node"),
+            )
+        )
+
+
+def test_spec_rejects_corruption_without_scrub():
+    with pytest.raises(ValueError, match="scrub"):
+        small_spec(
+            scrub_interval=0.0,
+            actions=(
+                ScheduledAction(at=100.0, kind="inject", level="corrupt"),
+            ),
+        )
+
+
+def test_action_rejects_unknown_kind_and_bad_fault():
+    with pytest.raises(ValueError, match="kind"):
+        ScheduledAction(at=1.0, kind="explode")
+    with pytest.raises(ValueError, match="level"):
+        ScheduledAction(at=1.0, kind="inject", level="quantum")
+
+
+# -- sampler -------------------------------------------------------------------
+
+
+def test_sampler_is_deterministic():
+    assert sample_campaign(999) == sample_campaign(999)
+    assert sample_campaign(999) != sample_campaign(1000)
+
+
+def test_sampler_specs_are_valid_profiles():
+    for index in range(30):
+        spec = sample_campaign(campaign_seed(5, index))
+        profile = spec.to_profile()  # raises on any invalid configuration
+        assert profile.num_hosts >= profile.create_code().n
+        assert spec.actions, "sampled campaigns always schedule faults"
+        # Every campaign ends with a restore so convergence is expected.
+        assert spec.actions[-1].kind == "restore"
+
+
+# -- engine --------------------------------------------------------------------
+
+
+def test_clean_campaign_converges_without_violations():
+    result = run_campaign(small_spec())
+    assert result.passed
+    assert result.violations == []
+    assert result.digest["health"]["status"] == "HEALTH_OK"
+
+
+def test_same_spec_same_outcome_hash():
+    spec = small_spec()
+    first = run_campaign(spec)
+    second = run_campaign(spec)
+    assert first.outcome_hash == second.outcome_hash
+    assert first.digest == second.digest
+
+
+def test_different_seed_different_outcome_hash():
+    a = run_campaign(small_spec(seed=1))
+    b = run_campaign(small_spec(seed=2))
+    assert a.outcome_hash != b.outcome_hash
+
+
+def test_truncated_settle_reports_convergence_violation():
+    # Restore at t=200 but give the cluster essentially no settle time:
+    # the monitor cannot even mark the rebooted OSD back in.
+    result = run_campaign(small_spec(settle_time=1.0))
+    assert not result.passed
+    assert {v.invariant for v in result.violations} == {"health-convergence"}
+
+
+def test_campaign_with_corruption_heals_via_scrub():
+    spec = small_spec(
+        scrub_interval=150.0,
+        actions=(
+            ScheduledAction(
+                at=100.0, kind="inject", level="corrupt", count=1,
+                corruption="bit_rot",
+            ),
+            ScheduledAction(at=120.0, kind="restore"),
+        ),
+    )
+    result = run_campaign(spec)
+    assert result.passed
+    assert result.digest["scrub"]["chunks_repaired"] >= 1
+    assert result.digest["corrupt_chunks"] == 0
+
+
+def test_overcommitted_schedule_is_invalid_not_failing():
+    # Two node faults against m=1: the injector's white-box guard refuses.
+    spec = small_spec(
+        ec_params=(("k", 4), ("m", 1)),
+        actions=(
+            ScheduledAction(at=100.0, kind="inject", level="node", count=1),
+            ScheduledAction(at=110.0, kind="inject", level="node", count=1),
+            ScheduledAction(at=200.0, kind="restore"),
+        ),
+    )
+    with pytest.raises(CampaignInvalid):
+        run_campaign(spec)
+
+
+def test_extra_checks_feed_the_suite():
+    from repro.chaos.invariants import InvariantViolation
+
+    def always_fires(cluster):
+        return [InvariantViolation("custom", "planted", cluster.env.now)]
+
+    result = run_campaign(small_spec(), extra_checks=(always_fires,))
+    assert not result.passed
+    assert all(v.invariant == "custom" for v in result.violations)
+
+
+def test_outcome_hash_is_canonical_json_sha256():
+    digest = {"b": 2, "a": [1.5, "x"]}
+    assert hash_digest(digest) == hash_digest({"a": [1.5, "x"], "b": 2})
+    assert len(hash_digest(digest)) == 64
+
+
+# -- bulk runs -----------------------------------------------------------------
+
+
+def test_run_chaos_small_batch_all_pass():
+    report = run_chaos(2024, 10)
+    assert report.campaigns == 10
+    assert report.passed + report.invalid == 10
+    assert report.ok
+
+
+def test_run_chaos_reports_and_stops_on_planted_failure():
+    from repro.chaos.invariants import InvariantViolation
+
+    def planted(cluster):
+        return [InvariantViolation("planted", "always fails", cluster.env.now)]
+
+    report = run_chaos(7, 5, extra_checks=(planted,), stop_on_failure=True)
+    assert len(report.failures) == 1
+    assert report.campaigns < 5 or report.campaigns == 1
+
+
+@pytest.mark.slow
+def test_500_campaigns_zero_invariant_violations():
+    """The PR's acceptance gate: a 500-campaign seeded run stays clean."""
+    report = run_chaos(20240807, 500)
+    details = [
+        (r.spec.seed, v.invariant, v.detail)
+        for r in report.failures
+        for v in r.violations
+    ]
+    assert not report.failures, details
+    assert report.campaigns == 500
+    # The sampler should almost never collide with runtime state.
+    assert report.invalid <= 10

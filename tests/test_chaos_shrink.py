@@ -1,0 +1,181 @@
+"""ddmin shrinking and replayable repro artifacts."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ArtifactError,
+    CampaignSpec,
+    ReproArtifact,
+    ScheduledAction,
+    ddmin,
+    load_artifact,
+    run_campaign,
+    save_artifact,
+    shrink_campaign,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+# -- ddmin in isolation --------------------------------------------------------
+
+
+def test_ddmin_finds_single_culprit():
+    items = list(range(20))
+    calls = []
+
+    def fails(candidate):
+        calls.append(list(candidate))
+        return 13 in candidate
+
+    assert ddmin(items, fails) == [13]
+
+
+def test_ddmin_keeps_interacting_pair():
+    items = list(range(16))
+
+    def fails(candidate):
+        return 3 in candidate and 11 in candidate
+
+    assert ddmin(items, fails) == [3, 11]
+
+
+def test_ddmin_preserves_order():
+    items = ["a", "b", "c", "d", "e", "f"]
+
+    def fails(candidate):
+        return "e" in candidate and "b" in candidate
+
+    assert ddmin(items, fails) == ["b", "e"]
+
+
+def test_ddmin_requires_failing_input():
+    with pytest.raises(ValueError, match="does not fail"):
+        ddmin([1, 2, 3], lambda candidate: False)
+
+
+def test_ddmin_result_is_one_minimal():
+    def fails(candidate):
+        return sum(candidate) >= 10
+
+    minimal = ddmin([7, 1, 2, 5, 3, 9], fails)
+    assert fails(minimal)
+    for index in range(len(minimal)):
+        smaller = minimal[:index] + minimal[index + 1 :]
+        assert not fails(smaller), f"dropping {minimal[index]} still fails"
+
+
+# -- shrinking real campaigns --------------------------------------------------
+
+
+def failing_spec():
+    """A campaign that misses convergence: restore but near-zero settle.
+
+    Only the *last* inject+restore pair is needed to reproduce the
+    violation, so the noise rounds before it must shrink away.
+    """
+    return CampaignSpec(
+        seed=77,
+        ec_plugin="jerasure",
+        ec_params=(("k", 3), ("m", 2)),
+        pg_num=4,
+        stripe_unit=256 * 1024,
+        num_hosts=8,
+        osds_per_host=1,
+        mon_osd_down_out_interval=30.0,
+        num_objects=6,
+        object_size=512 * 1024,
+        settle_time=1.0,
+        actions=(
+            ScheduledAction(at=100.0, kind="inject", level="node", count=1),
+            ScheduledAction(at=300.0, kind="restore"),
+            ScheduledAction(at=900.0, kind="inject", level="device", count=1),
+            ScheduledAction(at=1100.0, kind="restore"),
+            ScheduledAction(at=1700.0, kind="inject", level="node", count=1),
+            ScheduledAction(at=1750.0, kind="restore"),
+        ),
+    )
+
+
+def test_shrink_campaign_minimises_schedule():
+    spec = failing_spec()
+    shrunk, result = shrink_campaign(spec)
+    assert not result.passed
+    assert {v.invariant for v in result.violations} == {"health-convergence"}
+    assert len(shrunk.actions) < len(spec.actions)
+    # A lone un-restored inject (or inject+restore with no settle) is
+    # enough to miss convergence; ddmin must get to a single-action core.
+    assert len(shrunk.actions) == 1
+    assert shrunk.actions[0].kind == "inject"
+
+
+def test_shrink_refuses_passing_campaign():
+    spec = failing_spec()
+    passing = CampaignSpec.from_dict({**spec.to_dict(), "settle_time": 50_000.0})
+    with pytest.raises(ValueError, match="does not fail"):
+        shrink_campaign(passing)
+
+
+# -- artifacts -----------------------------------------------------------------
+
+
+def test_artifact_round_trip(tmp_path):
+    spec = failing_spec()
+    result = run_campaign(spec)
+    artifact = ReproArtifact(
+        spec=spec,
+        violations=result.violations,
+        outcome_hash=result.outcome_hash,
+        original_spec=spec,
+    )
+    path = save_artifact(artifact, tmp_path / "repro.json")
+    loaded = load_artifact(path)
+    assert loaded.spec == spec
+    assert loaded.original_spec == spec
+    assert loaded.outcome_hash == result.outcome_hash
+    assert loaded.violations == result.violations
+
+
+def test_artifact_replay_reproduces_outcome_hash(tmp_path):
+    """The acceptance gate: replaying an artifact hits the same hash."""
+    spec = failing_spec()
+    shrunk, result = shrink_campaign(spec)
+    artifact = ReproArtifact(
+        spec=shrunk, violations=result.violations,
+        outcome_hash=result.outcome_hash, original_spec=spec,
+    )
+    path = save_artifact(artifact, tmp_path / "repro.json")
+    replayed = run_campaign(load_artifact(path).spec)
+    assert replayed.outcome_hash == artifact.outcome_hash
+    assert replayed.violations == artifact.violations
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d.pop("format"),
+    lambda d: d.update(format="something-else"),
+    lambda d: d.update(version=99),
+    lambda d: d.pop("spec"),
+    lambda d: d.pop("outcome_hash"),
+    lambda d: d.update(outcome_hash=""),
+    lambda d: d["spec"].pop("seed"),
+])
+def test_artifact_rejects_malformed_payloads(tmp_path, mutate):
+    spec = failing_spec()
+    artifact = ReproArtifact(spec=spec, violations=[], outcome_hash="ab" * 32)
+    data = artifact.to_dict()
+    mutate(data)
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ArtifactError):
+        load_artifact(path)
+
+
+def test_artifact_rejects_non_json(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("{not json")
+    with pytest.raises(ArtifactError, match="not valid JSON"):
+        load_artifact(path)
+    with pytest.raises(ArtifactError, match="cannot read"):
+        load_artifact(tmp_path / "missing.json")

@@ -102,3 +102,121 @@ def test_bad_ec_params_message():
 
     with pytest.raises(argparse.ArgumentTypeError, match="not key=value"):
         main(["repair-plan", "--ec-params", "k9"])
+
+
+# -- help and argument validation across subcommands ---------------------------
+
+
+@pytest.mark.parametrize("command", [
+    "run", "scrub", "sweep", "analyze", "repair-plan",
+    "wa", "autoscale", "chaos", "replay",
+])
+def test_every_subcommand_has_help(capsys, command):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "usage: ecfault" in out
+    assert command in out
+
+
+def test_no_subcommand_is_an_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+@pytest.mark.parametrize("argv", [
+    ["run", "--fault", "meteor"],            # not a valid fault level
+    ["run", "--pg-num", "lots"],             # not an int
+    ["run", "--object-size", "big"],         # not a size
+    ["scrub", "--corruption", "gremlins"],   # not a corruption model
+    ["chaos", "--campaigns", "many"],        # not an int
+    ["replay"],                              # artifact path is required
+    ["frobnicate"],                          # unknown subcommand
+])
+def test_malformed_arguments_exit_2(capsys, argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_sweep_json_schema(tmp_path, capsys):
+    output = tmp_path / "sweep.json"
+    code, _, _ = run_cli(
+        capsys, "sweep", "--objects", "20", "--object-size", "8MB",
+        "--hosts", "15", "--sweep-pg-num", "4,8", "--output", str(output),
+    )
+    assert code == 0
+    blob = json.loads(output.read_text())
+    assert set(blob) >= {"results"}
+    for row in blob["results"]:
+        assert {"label", "recovery_time", "checking_fraction",
+                "wa_actual"} <= set(row)
+        assert isinstance(row["recovery_time"], float)
+
+
+def test_scrub_command_small_experiment(capsys):
+    code, out, _ = run_cli(
+        capsys, "scrub", "--objects", "20", "--object-size", "8MB",
+        "--pg-num", "8", "--hosts", "15", "--scrub-interval", "120",
+    )
+    assert code == 0
+    assert "detection period" in out
+    assert "chunks repaired" in out
+
+
+# -- chaos + replay ------------------------------------------------------------
+
+
+def test_chaos_command_clean_run(capsys):
+    code, out, _ = run_cli(capsys, "chaos", "--campaigns", "5", "--seed", "3")
+    assert code == 0
+    assert "5 campaigns from seed 3" in out
+    assert "0 failed" in out
+
+
+def test_replay_of_saved_artifact_exits_zero(tmp_path, capsys):
+    from repro.chaos import ReproArtifact, run_campaign, save_artifact
+    from tests.test_chaos_shrink import failing_spec
+
+    spec = failing_spec()
+    result = run_campaign(spec)
+    path = save_artifact(
+        ReproArtifact(spec=spec, violations=result.violations,
+                      outcome_hash=result.outcome_hash),
+        tmp_path / "repro.json",
+    )
+    code, out, _ = run_cli(capsys, "replay", str(path))
+    assert code == 0
+    assert "failure reproduced exactly" in out
+    assert "health-convergence" in out
+
+
+def test_replay_detects_outcome_divergence(tmp_path, capsys):
+    from repro.chaos import ReproArtifact, run_campaign, save_artifact
+    from tests.test_chaos_shrink import failing_spec
+
+    spec = failing_spec()
+    result = run_campaign(spec)
+    path = save_artifact(
+        ReproArtifact(spec=spec, violations=result.violations,
+                      outcome_hash="0" * 64),
+        tmp_path / "repro.json",
+    )
+    code, _, err = run_cli(capsys, "replay", str(path))
+    assert code == 1
+    assert "DIVERGED" in err
+
+
+def test_replay_rejects_malformed_artifact(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"format\": \"nope\"}")
+    code, _, err = run_cli(capsys, "replay", str(bad))
+    assert code == 2
+    assert "not a" in err
+
+    code, _, err = run_cli(capsys, "replay", str(tmp_path / "missing.json"))
+    assert code == 2
+    assert "cannot read" in err

@@ -176,3 +176,73 @@ def test_corrupt_fault_is_deterministic():
     a = injector_a.inject(FaultSpec(level="corrupt", count=2))
     b = injector_b.inject(FaultSpec(level="corrupt", count=2))
     assert a == b
+
+
+def test_restore_all_is_idempotent():
+    cluster, injector = build()
+    injector.inject(FaultSpec(level="node", count=1))
+    injector.inject(FaultSpec(level="device", count=1))
+    injector.restore_all()
+    assert injector.injected_osds == set()
+    assert all(osd.is_up() for osd in cluster.osds.values())
+    # A second restore must be a harmless no-op, not a double-restore
+    # (re-creating an NVMe subsystem that already exists would raise).
+    injector.restore_all()
+    assert injector.injected_osds == set()
+    assert all(osd.is_up() for osd in cluster.osds.values())
+
+
+def _partial_device_inject(cluster, injector):
+    """Apply a device inject that dies half-way; returns the landed OSD.
+
+    The first explicit target is fresh and lands; the second was already
+    removed by an earlier inject, so tearing down its (gone) subsystem
+    raises mid-application — after the first fault has taken effect.
+    """
+    [removed] = injector.inject(FaultSpec(level="device", count=1))
+    fresh = next(
+        osd_id for osd_id in cluster.osds_with_data()
+        if osd_id not in injector.injected_osds
+        and cluster.topology.osds[osd_id].host_id
+        != cluster.topology.osds[removed].host_id
+    )
+    with pytest.raises(KeyError):
+        injector.inject(
+            FaultSpec(level="device", count=2, targets=[fresh, removed])
+        )
+    return fresh
+
+
+def test_restore_all_after_partially_applied_inject():
+    cluster, injector = build()
+    fresh = _partial_device_inject(cluster, injector)
+    # The applied half still counts against the tolerance budget...
+    assert fresh in injector.injected_osds
+    # ...and restore_all rolls back everything that actually landed,
+    # idempotently, even after the partial failure.
+    injector.restore_all()
+    injector.restore_all()
+    assert injector.injected_osds == set()
+    assert all(osd.is_up() for osd in cluster.osds.values())
+
+
+def test_partial_inject_still_counts_toward_tolerance():
+    cluster, injector = build()
+    _partial_device_inject(cluster, injector)
+    # m = 2 and two host buckets already hold faults (one from the full
+    # inject, one from the partially-applied one): any further bucket
+    # must be refused.  Before the fix, the partially-applied fault was
+    # never recorded, so this third fault was wrongly authorised.
+    assert len(injector.injected_osds) == 2
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="node", count=1))
+
+
+def test_crash_guard_counts_unrepaired_corruption():
+    cluster, injector = build(integrity=IntegrityConfig(enabled=True))
+    # RS(6,4): m = 2.  One corrupt chunk outstanding leaves room for only
+    # one crash bucket; a second crash could push some stripe to 3 losses.
+    injector.inject(FaultSpec(level="corrupt", count=1))
+    injector.inject(FaultSpec(level="node", count=1))
+    with pytest.raises(FaultToleranceError, match="corrupt"):
+        injector.inject(FaultSpec(level="node", count=1))
