@@ -6,14 +6,15 @@ Subcommands::
     ecfault scrub        a silent-corruption + deep-scrub experiment
     ecfault sweep        a configuration sweep, persisted as JSON
     ecfault analyze      sensitivity analysis over saved sweep results
+    ecfault tune         budgeted configuration search (resumable)
     ecfault repair-plan  repair I/O a code performs for a loss pattern
     ecfault wa           write-amplification estimate (the §4.4 formula)
     ecfault autoscale    pg_num advice for a pool/cluster shape
     ecfault chaos        seeded randomized fault campaigns with invariants
     ecfault replay       re-execute a chaos repro artifact exactly
 
-Every command prints plain text; ``sweep`` writes machine-readable JSON
-so results can be analysed later or elsewhere.
+Every command prints plain text; ``sweep`` and ``tune`` write
+machine-readable JSON so results can be analysed later or elsewhere.
 """
 
 from __future__ import annotations
@@ -207,6 +208,161 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _parse_ec_variants(text: str) -> list:
+    """'jerasure:k=9,m=3;clay:k=9,m=3,d=11' -> [(plugin, params), ...]."""
+    variants = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        plugin, sep, params_text = part.partition(":")
+        if not sep or not plugin.strip():
+            raise argparse.ArgumentTypeError(
+                f"EC variant {part!r} is not plugin:key=value,..."
+            )
+        variants.append((plugin.strip(), _parse_ec(plugin, params_text)))
+    if not variants:
+        raise argparse.ArgumentTypeError("no EC variants given")
+    return variants
+
+
+def cmd_tune(args) -> int:
+    from .tuner import (
+        CategoricalAxis,
+        CoordinateDescent,
+        EcVariantAxis,
+        Fidelity,
+        RandomSearch,
+        ReadProbe,
+        SuccessiveHalving,
+        TuningArtifactError,
+        TuningSpace,
+        default_objectives,
+        pool_width_fits,
+        stripe_unit_divides,
+        tune,
+    )
+
+    base = _profile_from_args(args)
+    axes = []
+    if args.sweep_pg_num:
+        axes.append(CategoricalAxis(
+            "pg_num", tuple(int(v) for v in args.sweep_pg_num.split(","))
+        ))
+    if args.sweep_stripe_unit:
+        axes.append(CategoricalAxis(
+            "stripe_unit",
+            tuple(parse_size(v) for v in args.sweep_stripe_unit.split(",")),
+        ))
+    if args.sweep_cache_scheme:
+        axes.append(CategoricalAxis(
+            "cache_scheme", tuple(args.sweep_cache_scheme.split(","))
+        ))
+    if args.ec_variants_list:
+        axes.append(EcVariantAxis(variants=tuple(
+            (plugin, tuple(sorted(params.items())))
+            for plugin, params in args.ec_variants_list
+        )))
+    if not axes:
+        print("nothing to tune: pass at least one --sweep-* option "
+              "or --ec-variants", file=sys.stderr)
+        return 2
+    space = TuningSpace(
+        base,
+        axes=axes,
+        constraints=[pool_width_fits(), stripe_unit_divides(args.object_size)],
+    )
+
+    probe_enabled = args.probe_reads or args.p99_budget is not None
+    full = Fidelity(args.objects, runs=args.runs, label="full")
+    screen_objects = args.screen_objects or max(1, args.objects // 8)
+    if args.strategy == "halving":
+        mid_objects = max(
+            screen_objects + 1, int(round((screen_objects * args.objects) ** 0.5))
+        )
+        rungs = [Fidelity(screen_objects, runs=args.runs, label="screen")]
+        if screen_objects < mid_objects < args.objects:
+            rungs.append(Fidelity(mid_objects, runs=args.runs, label="mid"))
+        rungs.append(full)
+        strategy = SuccessiveHalving(rungs, eta=args.eta)
+    elif args.strategy == "random":
+        strategy = RandomSearch(args.samples, full)
+    else:
+        strategy = CoordinateDescent(full, screen=max(2, args.samples // 2))
+
+    def progress(measurement, evaluator):
+        remaining = (
+            f", {evaluator.remaining} of {evaluator.budget} object-runs left"
+            if evaluator.budget is not None else ""
+        )
+        print(
+            f"[{evaluator.simulations}] {measurement.label} "
+            f"@{measurement.fidelity.label or measurement.fidelity.key()}: "
+            f"recovery {measurement.recovery_time:.1f}s{remaining}",
+            file=sys.stderr,
+        )
+
+    try:
+        outcome = tune(
+            space,
+            strategy,
+            seed=args.seed,
+            object_size=args.object_size,
+            budget=args.budget,
+            workers=args.workers,
+            probe=ReadProbe() if probe_enabled else None,
+            objectives=default_objectives(
+                wa_budget=args.wa_budget,
+                p99_budget=args.p99_budget,
+                include_p99=probe_enabled,
+            ),
+            artifact_path=args.output,
+            resume=args.resume,
+            on_progress=progress,
+        )
+    except TuningArtifactError as exc:
+        print(f"tune: {exc}", file=sys.stderr)
+        return 2
+
+    exhaustive = len(space.enumerate()) * (
+        full.cost + (ReadProbe().cost if probe_enabled else 0)
+    )
+    print(f"tuned {space.size()} -> {len(space.enumerate())} valid "
+          f"configurations with {strategy.name}: {outcome.simulations} "
+          f"simulations, {outcome.spent} object-runs "
+          f"(exhaustive full-fidelity grid: {exhaustive}; "
+          f"saved {max(0.0, 1 - outcome.spent / exhaustive) * 100:.0f}%)")
+    finals = sorted(
+        {m.signature: m for m in outcome.evaluations
+         if m.fidelity.cost == max(e.fidelity.cost for e in outcome.evaluations)
+         }.values(),
+        key=lambda m: m.recovery_time,
+    )
+    if finals:
+        print()
+        print(
+            format_table(
+                "full-fidelity measurements",
+                ["configuration", "recovery (s)", "WA"],
+                [
+                    [m.label, f"{m.recovery_time:.1f}", f"{m.wa_actual:.3f}"]
+                    for m in finals
+                ],
+            )
+        )
+    print()
+    if outcome.recommendation is not None:
+        print(outcome.recommendation.summary())
+    else:
+        print("no full-fidelity measurement completed within the budget; "
+              "re-run with --resume and a larger --budget", file=sys.stderr)
+        print(f"partial artifact saved to {args.output}")
+        return 1
+    print(f"\ntuning report saved to {args.output} "
+          f"(resume with: ecfault tune ... --resume)")
+    return 0
+
+
 def cmd_repair_plan(args) -> int:
     code = create_plugin(args.plugin, **_parse_ec(args.plugin, args.ec_params))
     lost = [int(v) for v in args.lost.split(",")]
@@ -371,6 +527,41 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--axes", help="comma list of settings to rank")
     analyze.add_argument("--wa-budget", type=float, default=None)
     analyze.set_defaults(func=cmd_analyze)
+
+    tune = sub.add_parser(
+        "tune", help="budgeted configuration search (resumable)"
+    )
+    _add_profile_arguments(tune)
+    tune.add_argument("--strategy", choices=["halving", "random", "coordinate"],
+                      default="halving")
+    tune.add_argument("--budget", type=int, default=None,
+                      help="simulation budget in object-runs (hard ceiling)")
+    tune.add_argument("--sweep-pg-num", help="comma list, e.g. 16,64,256")
+    tune.add_argument("--sweep-stripe-unit", help="comma list, e.g. 1MB,4MB")
+    tune.add_argument("--sweep-cache-scheme", help="comma list of schemes")
+    tune.add_argument("--ec-variants", dest="ec_variants_list",
+                      type=_parse_ec_variants,
+                      help="semicolon list, e.g. "
+                           "'jerasure:k=9,m=3;clay:k=9,m=3,d=11'")
+    tune.add_argument("--screen-objects", type=int, default=None,
+                      help="low-fidelity object count (default: objects/8)")
+    tune.add_argument("--eta", type=int, default=4,
+                      help="successive-halving promotion ratio")
+    tune.add_argument("--samples", type=int, default=12,
+                      help="random-search samples / coordinate screen size")
+    tune.add_argument("--runs", type=int, default=1)
+    tune.add_argument("--workers", type=int, default=1,
+                      help="parallel worker processes for evaluation batches")
+    tune.add_argument("--probe-reads", action="store_true",
+                      help="also measure degraded-read p99 per point")
+    tune.add_argument("--wa-budget", type=float, default=None)
+    tune.add_argument("--p99-budget", type=float, default=None,
+                      help="degraded-read p99 budget in seconds "
+                           "(implies --probe-reads)")
+    tune.add_argument("--output", default="tuning.json")
+    tune.add_argument("--resume", action="store_true",
+                      help="continue from an existing --output artifact")
+    tune.set_defaults(func=cmd_tune)
 
     plan = sub.add_parser("repair-plan", help="repair I/O for a loss pattern")
     plan.add_argument("--plugin", default="clay")

@@ -11,6 +11,7 @@ point at pg_num as the culprit it is in the paper.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["AutoscaleAdvice", "recommended_pg_num", "autoscale_advice"]
@@ -29,8 +30,10 @@ def _round_power_of_two(value: float) -> int:
     power = 1
     while power * 2 <= value:
         power *= 2
-    # Round up when the value is past the geometric midpoint.
-    return power * 2 if value / power > 1.5 else power
+    # Round up when the value is past the geometric midpoint of
+    # [power, 2*power], i.e. sqrt(2)*power ~= 1.414*power; the midpoint
+    # itself rounds down.
+    return power * 2 if value / power > math.sqrt(2.0) else power
 
 
 def recommended_pg_num(

@@ -20,7 +20,7 @@ from .logbus import BusMessage, LogBus
 from .logger import ClassifiedRecord, LogCollector, NodeLogger, classify
 from .profile import PAPER_CLAY_PROFILE, PAPER_RS_PROFILE, ExperimentProfile
 from .report import Series, format_grouped_bars, format_table, normalise
-from .sweep import SweepRunner, SweepSpec, SweepResult
+from .sweep import SweepRunner, SweepSpec, SweepResult, run_cell
 from .timeline import (
     RecoveryTimeline,
     ScrubTimeline,
@@ -62,6 +62,7 @@ __all__ = [
     "PAPER_RS_PROFILE",
     "ExperimentProfile",
     "SweepRunner",
+    "run_cell",
     "SweepSpec",
     "SweepResult",
     "Series",

@@ -28,7 +28,7 @@ from .experiment import run_experiment
 from .fault_injector import FaultSpec
 from .profile import ExperimentProfile
 
-__all__ = ["SweepSpec", "SweepResult", "SweepRunner"]
+__all__ = ["SweepSpec", "SweepResult", "SweepRunner", "run_cell"]
 
 
 @dataclass(frozen=True)
@@ -112,14 +112,19 @@ class SweepResult:
         )
 
 
-def _run_cell(
+def run_cell(
     profile: ExperimentProfile,
     workload: Workload,
     faults: List[FaultSpec],
     runs: int,
     base_seed: int,
 ) -> SweepResult:
-    """Run one grid cell (module-level so worker processes can pickle it)."""
+    """Run one grid cell: ``runs`` experiments averaged into a result row.
+
+    This is the single-configuration quantum both the sweep grid and the
+    tuner's budgeted evaluator are built from (module-level so worker
+    processes can pickle it).
+    """
     times: List[float] = []
     fractions: List[float] = []
     was: List[float] = []
@@ -152,7 +157,7 @@ def _run_cell(
 
 def _cell_worker(args) -> SweepResult:
     """Unpack one (profile, workload, faults, runs, seed) work item."""
-    return _run_cell(*args)
+    return run_cell(*args)
 
 
 class SweepRunner:
@@ -207,7 +212,7 @@ class SweepRunner:
             return list(executor.map(_cell_worker, items))
 
     def _run_cell(self, profile: ExperimentProfile) -> SweepResult:
-        return _run_cell(
+        return run_cell(
             profile, self.workload, self.faults, self.runs, self.base_seed
         )
 

@@ -1,0 +1,387 @@
+"""Budget-accounted, memoising configuration evaluator.
+
+The tuner's cost model is the simulation itself: evaluating a point at
+:class:`Fidelity` ``(objects, runs)`` simulates ``objects * runs``
+object-runs, and that product is what gets charged against the budget.
+Low fidelity (few objects) is cheap and noisy; full fidelity matches
+what an exhaustive :class:`~repro.core.sweep.SweepRunner` grid would
+measure for the same base seed.
+
+Guarantees the strategies and the resume logic rely on:
+
+* **Memoisation** — results are cached by ``(config signature,
+  fidelity)``; a configuration is never simulated twice at one fidelity,
+  and cache hits charge nothing.
+* **Determinism** — the seed of each evaluation derives from the base
+  seed alone (exactly like ``SweepRunner``), never from evaluation
+  order, so any strategy path reaching a point measures the same floats.
+* **Serial/parallel equivalence** — with ``workers > 1`` a batch runs
+  through a :class:`~concurrent.futures.ProcessPoolExecutor` keyed by
+  input order, so artifacts are byte-identical to a ``workers=1`` run.
+* **Hard budget** — an evaluation that would overrun the budget raises
+  :class:`BudgetExhaustedError` *before* simulating anything.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.ceph import CephCluster
+from ..cluster.client import ClientLoadGenerator, RadosClient
+from ..core.fault_injector import FaultSpec
+from ..core.profile import ExperimentProfile
+from ..core.sweep import SweepResult, run_cell
+from ..sim import Environment
+from ..sim.rng import SeedSequence
+from ..workload.generator import Workload
+from .space import TuningSpace
+
+__all__ = [
+    "Fidelity",
+    "ReadProbe",
+    "Measurement",
+    "BudgetExhaustedError",
+    "Evaluator",
+    "measure_degraded_p99",
+]
+
+MB = 1024 * 1024
+
+
+class BudgetExhaustedError(RuntimeError):
+    """The requested evaluation does not fit the remaining budget."""
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """How much simulation one evaluation buys.
+
+    ``cost`` — the budget charge — is ``objects * runs``: the number of
+    simulated object-runs.
+    """
+
+    objects: int
+    runs: int = 1
+    label: str = ""
+
+    def __post_init__(self):
+        if self.objects < 1:
+            raise ValueError("objects must be >= 1")
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+
+    @property
+    def cost(self) -> int:
+        return self.objects * self.runs
+
+    def key(self) -> str:
+        """Cache-key identity (label excluded: it is cosmetic)."""
+        return f"objects={self.objects},runs={self.runs}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"objects": self.objects, "runs": self.runs, "label": self.label}
+
+    @classmethod
+    def from_dict(cls, blob: Mapping[str, Any]) -> "Fidelity":
+        return cls(
+            objects=int(blob["objects"]),
+            runs=int(blob["runs"]),
+            label=str(blob.get("label", "")),
+        )
+
+
+@dataclass(frozen=True)
+class ReadProbe:
+    """Settings for the degraded-read side measurement.
+
+    When attached to an evaluator, every simulated point also runs a
+    small fixed-size outage probe — ingest ``objects`` objects, fail one
+    host, drive a :class:`ClientLoadGenerator` through the checking
+    window — and records the degraded-read p99 latency.  The probe is
+    fixed-scale on purpose: its cost does not depend on fidelity, so it
+    is charged as ``cost`` extra object-runs per evaluation.
+    """
+
+    objects: int = 48
+    object_size: int = 8 * MB
+    window: float = 30.0
+    interval: float = 0.25
+
+    def __post_init__(self):
+        if self.objects < 1 or self.object_size < 1:
+            raise ValueError("probe objects and object_size must be positive")
+        if self.window <= 0 or self.interval <= 0:
+            raise ValueError("probe window and interval must be positive")
+
+    @property
+    def cost(self) -> int:
+        return self.objects
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "objects": self.objects,
+            "object_size": self.object_size,
+            "window": self.window,
+            "interval": self.interval,
+        }
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One evaluated configuration at one fidelity."""
+
+    signature: str
+    settings: Dict[str, Any]
+    fidelity: Fidelity
+    recovery_time: float
+    checking_fraction: float
+    wa_actual: float
+    degraded_p99: Optional[float]
+    cost: int
+
+    @property
+    def label(self) -> str:
+        params = ",".join(
+            f"{k}={v}" for k, v in sorted(self.settings["ec_params"].items())
+        )
+        extras = [
+            f"{name}={value}"
+            for name, value in sorted(self.settings.items())
+            if name not in ("ec_plugin", "ec_params")
+        ]
+        return "/".join([f"{self.settings['ec_plugin']}({params})"] + extras)
+
+    def to_sweep_result(self) -> SweepResult:
+        """Bridge to the sensitivity analysis (``rank_axes`` etc.)."""
+        return SweepResult(
+            label=self.label,
+            settings=dict(self.settings),
+            recovery_time=self.recovery_time,
+            checking_fraction=self.checking_fraction,
+            wa_actual=self.wa_actual,
+            runs=self.fidelity.runs,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "signature": self.signature,
+            "settings": self.settings,
+            "fidelity": self.fidelity.to_dict(),
+            "recovery_time": self.recovery_time,
+            "checking_fraction": self.checking_fraction,
+            "wa_actual": self.wa_actual,
+            "degraded_p99": self.degraded_p99,
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: Mapping[str, Any]) -> "Measurement":
+        return cls(
+            signature=blob["signature"],
+            settings=dict(blob["settings"]),
+            fidelity=Fidelity.from_dict(blob["fidelity"]),
+            recovery_time=blob["recovery_time"],
+            checking_fraction=blob["checking_fraction"],
+            wa_actual=blob["wa_actual"],
+            degraded_p99=blob["degraded_p99"],
+            cost=int(blob["cost"]),
+        )
+
+
+def measure_degraded_p99(
+    profile: ExperimentProfile, probe: ReadProbe, seed: int
+) -> float:
+    """Degraded-read p99 latency during the checking window.
+
+    Builds a fresh cluster for ``profile``, ingests the probe's objects,
+    fails one data-holding host, and drives an open-loop read load while
+    the host is down-but-not-out.  Returns the p99 over degraded
+    samples (over all samples if the load happened to dodge the outage).
+    """
+    seeds = SeedSequence(seed)
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        profile.create_code(),
+        profile.cache_config(),
+        config=profile.ceph,
+        num_hosts=profile.num_hosts,
+        osds_per_host=profile.osds_per_host,
+        num_racks=profile.num_racks,
+        pg_num=profile.pg_num,
+        stripe_unit=profile.stripe_unit,
+        failure_domain=profile.failure_domain,
+        disk_spec=profile.disk_spec(),
+        placement_seed=seeds.stream("tuner-probe-crush").randrange(2**31),
+    )
+    for index in range(probe.objects):
+        cluster.ingest_object(f"probe-{index}", probe.object_size)
+    client = RadosClient(cluster)
+    victim = cluster.topology.osds[cluster.pool.pgs[0].acting[0]].host_id
+    for osd_id in cluster.topology.hosts[victim].osd_ids:
+        cluster.osds[osd_id].host_running = False
+    generator = ClientLoadGenerator(
+        client,
+        interval=probe.interval,
+        seeds=SeedSequence(seeds.stream("tuner-probe-load").randrange(2**31)),
+    )
+    env.run_until_process(generator.run_for(probe.window))
+    stats = generator.stats
+    if stats.degraded_count:
+        return stats.latency_percentile(99, degraded=True)
+    return stats.latency_percentile(99)
+
+
+def _evaluate_item(args) -> Tuple[float, float, float, Optional[float]]:
+    """One evaluation work item (module-level for process pools)."""
+    run_cell_fn, profile, object_size, faults, fidelity, probe, seed = args
+    row = run_cell_fn(
+        profile,
+        Workload(num_objects=fidelity.objects, object_size=object_size),
+        faults,
+        fidelity.runs,
+        seed,
+    )
+    degraded_p99 = (
+        measure_degraded_p99(profile, probe, seed) if probe is not None else None
+    )
+    return row.recovery_time, row.checking_fraction, row.wa_actual, degraded_p99
+
+
+class Evaluator:
+    """Runs points through the simulator under a budget, with memoisation.
+
+    ``run_cell_fn`` defaults to the real single-cell simulation
+    (:func:`repro.core.sweep.run_cell`); tests substitute a counting
+    stub with the same signature.  ``on_result`` fires once per *fresh*
+    measurement, in deterministic batch order — the artifact checkpoint
+    hook.
+    """
+
+    def __init__(
+        self,
+        space: TuningSpace,
+        *,
+        object_size: int = 8 * MB,
+        faults: Optional[Sequence[FaultSpec]] = None,
+        base_seed: int = 0,
+        budget: Optional[int] = None,
+        workers: int = 1,
+        probe: Optional[ReadProbe] = None,
+        run_cell_fn: Optional[Callable] = None,
+        on_result: Optional[Callable[[Measurement], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if budget is not None and budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if object_size < 1:
+            raise ValueError("object_size must be positive")
+        self.space = space
+        self.object_size = object_size
+        self.faults = list(faults) if faults is not None else [FaultSpec(level="node")]
+        self.base_seed = base_seed
+        self.budget = budget
+        self.workers = workers
+        self.probe = probe
+        self.run_cell_fn = run_cell_fn or run_cell
+        self.on_result = on_result
+        #: Object-runs charged so far (restored from artifacts on resume).
+        self.spent = 0
+        #: Fresh simulations actually executed by *this* evaluator.
+        self.simulations = 0
+        self._cache: Dict[Tuple[str, str], Measurement] = {}
+
+    # -- budget ---------------------------------------------------------------------
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Object-runs left, or None when unbudgeted."""
+        return None if self.budget is None else max(0, self.budget - self.spent)
+
+    def cost_of(self, fidelity: Fidelity) -> int:
+        """Budget charge for one fresh evaluation at ``fidelity``."""
+        return fidelity.cost + (self.probe.cost if self.probe is not None else 0)
+
+    def affords(self, count: int, fidelity: Fidelity) -> bool:
+        """Whether ``count`` fresh evaluations fit the remaining budget."""
+        if self.budget is None:
+            return True
+        return self.cost_of(fidelity) * count <= self.budget - self.spent
+
+    # -- cache ----------------------------------------------------------------------
+
+    def seed_cache(self, measurements: Sequence[Measurement]) -> None:
+        """Preload prior results (resume path).  Charges nothing."""
+        for measurement in measurements:
+            key = (measurement.signature, measurement.fidelity.key())
+            self._cache[key] = measurement
+
+    def cached(self, point: Mapping[str, Any], fidelity: Fidelity) -> Optional[Measurement]:
+        return self._cache.get((self.space.signature(point), fidelity.key()))
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self, point: Mapping[str, Any], fidelity: Fidelity) -> Measurement:
+        return self.evaluate_many([point], fidelity)[0]
+
+    def evaluate_many(
+        self, points: Sequence[Mapping[str, Any]], fidelity: Fidelity
+    ) -> List[Measurement]:
+        """Evaluate a batch; returns measurements in input order.
+
+        The whole batch is admitted or refused atomically: if the
+        uncached portion would overrun the budget, nothing is simulated
+        and :class:`BudgetExhaustedError` is raised.
+        """
+        keys = [(self.space.signature(point), fidelity.key()) for point in points]
+        todo: List[Tuple[Tuple[str, str], Mapping[str, Any]]] = []
+        seen: set = set()
+        for key, point in zip(keys, points):
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            todo.append((key, point))
+        charge = len(todo) * self.cost_of(fidelity)
+        if self.budget is not None and self.spent + charge > self.budget:
+            raise BudgetExhaustedError(
+                f"evaluating {len(todo)} fresh point(s) at {fidelity.key()} "
+                f"costs {charge} object-runs; only "
+                f"{self.budget - self.spent} of {self.budget} remain"
+            )
+        items = [
+            (
+                self.run_cell_fn,
+                self.space.to_profile(point),
+                self.object_size,
+                self.faults,
+                fidelity,
+                self.probe,
+                self.base_seed,
+            )
+            for _, point in todo
+        ]
+        if self.workers == 1 or len(items) <= 1:
+            raw = [_evaluate_item(item) for item in items]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as executor:
+                raw = list(executor.map(_evaluate_item, items))
+        for (key, point), (recovery, fraction, wa, p99) in zip(todo, raw):
+            measurement = Measurement(
+                signature=key[0],
+                settings=self.space.settings(point),
+                fidelity=fidelity,
+                recovery_time=recovery,
+                checking_fraction=fraction,
+                wa_actual=wa,
+                degraded_p99=p99,
+                cost=self.cost_of(fidelity),
+            )
+            self._cache[key] = measurement
+            self.spent += measurement.cost
+            self.simulations += 1
+            if self.on_result is not None:
+                self.on_result(measurement)
+        return [self._cache[key] for key in keys]

@@ -1,0 +1,225 @@
+"""Multi-objective scoring: Pareto fronts and scalarised recommendations.
+
+The paper's central finding is that no configuration wins every metric:
+Clay repairs with less I/O but amplifies sub-chunked writes; more PGs
+parallelise recovery but fragment the cache.  The tuner therefore scores
+points against several :class:`Objective`\\ s at once — recovery time,
+write amplification, degraded-read p99 — and returns the non-dominated
+front, plus one scalarised pick honouring per-objective user budgets.
+
+Dominance is the standard weak-Pareto relation: ``a`` dominates ``b``
+when ``a`` is no worse on every objective and strictly better on at
+least one.  It is irreflexive and antisymmetric by construction (the
+property tests pin this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .evaluator import Measurement
+
+__all__ = [
+    "Objective",
+    "RECOVERY_TIME",
+    "WRITE_AMPLIFICATION",
+    "DEGRADED_P99",
+    "default_objectives",
+    "dominates",
+    "pareto_front",
+    "ParetoRecommendation",
+    "recommend",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scored dimension of a measurement.
+
+    ``name`` is a :class:`Measurement` attribute; ``sense`` is ``"min"``
+    or ``"max"``; ``budget`` (in the objective's native units) marks a
+    point infeasible when exceeded; ``weight`` scales the objective's
+    share of the scalarised score.
+    """
+
+    name: str
+    sense: str = "min"
+    budget: Optional[float] = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.sense not in ("min", "max"):
+            raise ValueError(f"sense must be 'min' or 'max', got {self.sense!r}")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    def value(self, measurement: Measurement) -> float:
+        """The raw metric (raises when the measurement lacks it)."""
+        value = getattr(measurement, self.name)
+        if value is None:
+            raise ValueError(
+                f"measurement {measurement.label!r} has no {self.name!r} "
+                "(was the evaluator's read probe enabled?)"
+            )
+        return float(value)
+
+    def loss(self, measurement: Measurement) -> float:
+        """The metric oriented so that smaller is always better."""
+        value = self.value(measurement)
+        return value if self.sense == "min" else -value
+
+    def feasible(self, measurement: Measurement) -> bool:
+        if self.budget is None:
+            return True
+        value = self.value(measurement)
+        return value <= self.budget if self.sense == "min" else value >= self.budget
+
+    def with_budget(self, budget: Optional[float]) -> "Objective":
+        return Objective(self.name, self.sense, budget, self.weight)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "sense": self.sense,
+            "budget": self.budget,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: Mapping[str, Any]) -> "Objective":
+        return cls(
+            name=blob["name"],
+            sense=blob.get("sense", "min"),
+            budget=blob.get("budget"),
+            weight=blob.get("weight", 1.0),
+        )
+
+
+RECOVERY_TIME = Objective("recovery_time")
+WRITE_AMPLIFICATION = Objective("wa_actual")
+DEGRADED_P99 = Objective("degraded_p99")
+
+
+def default_objectives(
+    wa_budget: Optional[float] = None,
+    p99_budget: Optional[float] = None,
+    include_p99: bool = False,
+) -> Tuple[Objective, ...]:
+    """The tuner's stock objective set (recovery first, WA second)."""
+    objectives = [RECOVERY_TIME, WRITE_AMPLIFICATION.with_budget(wa_budget)]
+    if include_p99 or p99_budget is not None:
+        objectives.append(DEGRADED_P99.with_budget(p99_budget))
+    return tuple(objectives)
+
+
+def dominates(
+    a: Measurement, b: Measurement, objectives: Sequence[Objective]
+) -> bool:
+    """Weak Pareto dominance: a <= b everywhere, a < b somewhere."""
+    if not objectives:
+        raise ValueError("need at least one objective")
+    strictly_better = False
+    for objective in objectives:
+        loss_a, loss_b = objective.loss(a), objective.loss(b)
+        if loss_a > loss_b:
+            return False
+        if loss_a < loss_b:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(
+    measurements: Sequence[Measurement], objectives: Sequence[Objective]
+) -> List[Measurement]:
+    """The non-dominated subset, preserving input order.
+
+    Duplicate configurations (same signature) collapse to their first
+    occurrence before dominance filtering, so a re-evaluated point never
+    competes with itself.
+    """
+    unique: List[Measurement] = []
+    seen: set = set()
+    for measurement in measurements:
+        if measurement.signature not in seen:
+            seen.add(measurement.signature)
+            unique.append(measurement)
+    return [
+        candidate
+        for candidate in unique
+        if not any(
+            dominates(other, candidate, objectives)
+            for other in unique
+            if other is not candidate
+        )
+    ]
+
+
+@dataclass(frozen=True)
+class ParetoRecommendation:
+    """The front plus one scalarised pick under the user's budgets."""
+
+    chosen: Measurement
+    front: Tuple[Measurement, ...]
+    objectives: Tuple[Objective, ...]
+    #: False when no front member met every objective budget and the
+    #: recommendation fell back to the best unconstrained trade-off.
+    feasible: bool
+
+    def summary(self) -> str:
+        lines = [f"recommended configuration: {self.chosen.label}"]
+        for objective in self.objectives:
+            budget = (
+                f"  (budget {objective.budget:g})" if objective.budget is not None else ""
+            )
+            lines.append(
+                f"  {objective.name:<20} {objective.value(self.chosen):.4g}{budget}"
+            )
+        if not self.feasible:
+            lines.append(
+                "  WARNING: no configuration met every budget; this is the "
+                "best unconstrained trade-off"
+            )
+        lines.append(
+            f"  Pareto front: {len(self.front)} non-dominated configuration(s)"
+        )
+        return "\n".join(lines)
+
+
+def recommend(
+    measurements: Sequence[Measurement],
+    objectives: Sequence[Objective],
+) -> ParetoRecommendation:
+    """Scalarised pick from the Pareto front.
+
+    Budget-feasible front members are preferred; among candidates, each
+    objective is min-max normalised over the front and the
+    weighted sum decides (ties broken by signature for determinism).
+    """
+    if not measurements:
+        raise ValueError("no measurements to recommend from")
+    front = pareto_front(measurements, objectives)
+    feasible = [
+        m for m in front if all(o.feasible(m) for o in objectives)
+    ]
+    pool = feasible or front
+    spans = {}
+    for objective in objectives:
+        losses = [objective.loss(m) for m in front]
+        spans[objective.name] = (min(losses), max(losses))
+
+    def score(measurement: Measurement) -> float:
+        total = 0.0
+        for objective in objectives:
+            lo, hi = spans[objective.name]
+            loss = objective.loss(measurement)
+            total += objective.weight * ((loss - lo) / (hi - lo) if hi > lo else 0.0)
+        return total
+
+    chosen = min(pool, key=lambda m: (score(m), m.signature))
+    return ParetoRecommendation(
+        chosen=chosen,
+        front=tuple(front),
+        objectives=tuple(objectives),
+        feasible=bool(feasible),
+    )

@@ -1,0 +1,189 @@
+"""The tuning loop: strategy x evaluator x artifact, end to end.
+
+:func:`tune` wires the pieces together: it builds the budgeted
+evaluator, replays any prior artifact into its cache (resume), runs the
+strategy, computes the Pareto front and scalarised recommendation over
+the top-fidelity measurements, and checkpoints a resumable artifact
+after every single evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.fault_injector import FaultSpec
+from .artifact import (
+    TuningArtifact,
+    TuningArtifactError,
+    load_tuning_artifact,
+    save_tuning_artifact,
+)
+from .evaluator import Evaluator, Measurement, ReadProbe
+from .pareto import Objective, ParetoRecommendation, default_objectives, recommend
+from .space import TuningSpace
+from .strategies import Strategy
+
+__all__ = ["TuningOutcome", "tune"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """Everything one tuning run produced."""
+
+    artifact: TuningArtifact
+    evaluations: Tuple[Measurement, ...]
+    front: Tuple[Measurement, ...]
+    recommendation: Optional[ParetoRecommendation]
+    spent: int
+    simulations: int
+
+    @property
+    def budget(self) -> Optional[int]:
+        return self.artifact.budget
+
+
+def _top_fidelity_measurements(
+    evaluations: Sequence[Measurement],
+) -> List[Measurement]:
+    """The measurements taken at the most expensive fidelity present.
+
+    Fronts must compare like with like: recovery time scales with the
+    simulated object count, so mixing rungs would crown low-fidelity
+    noise.  The recommendation is therefore made only over the final
+    (highest-cost) rung.
+    """
+    if not evaluations:
+        return []
+    top = max(m.fidelity.cost for m in evaluations)
+    return [m for m in evaluations if m.fidelity.cost == top]
+
+
+def tune(
+    space: TuningSpace,
+    strategy: Strategy,
+    *,
+    seed: int = 0,
+    object_size: int = 8 * MB,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    budget: Optional[int] = None,
+    workers: int = 1,
+    probe: Optional[ReadProbe] = None,
+    objectives: Optional[Sequence[Objective]] = None,
+    artifact_path=None,
+    resume: bool = False,
+    run_cell_fn: Optional[Callable] = None,
+    on_progress: Optional[Callable[[Measurement, Evaluator], None]] = None,
+) -> TuningOutcome:
+    """Run one budgeted tuning session; returns the full outcome.
+
+    With ``resume=True`` and an existing ``artifact_path``, prior
+    evaluations are replayed into the evaluator's cache and the budget
+    ledger is restored, so the strategy re-traces its deterministic
+    decision path without re-simulating anything already paid for.  The
+    artifact must match this run's space, seed and strategy.
+    """
+    if objectives is None:
+        objectives = default_objectives(include_p99=probe is not None)
+    objectives = tuple(objectives)
+
+    prior: Optional[TuningArtifact] = None
+    if resume:
+        if artifact_path is None:
+            raise ValueError("resume=True requires an artifact_path")
+        prior = load_tuning_artifact(artifact_path)
+        if prior.space != space.describe():
+            raise TuningArtifactError(
+                "artifact was produced for a different tuning space"
+            )
+        if prior.seed != seed:
+            raise TuningArtifactError(
+                f"artifact seed {prior.seed} != requested seed {seed}"
+            )
+        if prior.strategy != strategy.name:
+            raise TuningArtifactError(
+                f"artifact strategy {prior.strategy!r} != {strategy.name!r}"
+            )
+        if prior.budget != budget:
+            raise TuningArtifactError(
+                f"artifact budget {prior.budget!r} != requested {budget!r}"
+            )
+
+    log: List[Measurement] = list(prior.evaluations) if prior else []
+    artifact = TuningArtifact(
+        seed=seed,
+        strategy=strategy.name,
+        space=space.describe(),
+        budget=budget,
+        spent=prior.spent if prior else 0,
+        evaluations=tuple(log),
+        objectives=objectives,
+    )
+
+    state = {"artifact": artifact}
+
+    def record(measurement: Measurement) -> None:
+        log.append(measurement)
+        state["artifact"] = state["artifact"].with_evaluation(
+            measurement, evaluator.spent
+        )
+        if artifact_path is not None:
+            save_tuning_artifact(state["artifact"], artifact_path)
+        if on_progress is not None:
+            on_progress(measurement, evaluator)
+
+    evaluator = Evaluator(
+        space,
+        object_size=object_size,
+        faults=faults,
+        base_seed=seed,
+        budget=budget,
+        workers=workers,
+        probe=probe,
+        run_cell_fn=run_cell_fn,
+        on_result=record,
+    )
+    if prior is not None:
+        evaluator.seed_cache(prior.evaluations)
+        evaluator.spent = prior.spent
+
+    strategy.search(space, evaluator, seed)
+
+    finals = _top_fidelity_measurements(log)
+    recommendation = recommend(finals, objectives) if finals else None
+    final_artifact = state["artifact"]
+    final_artifact = TuningArtifact(
+        seed=final_artifact.seed,
+        strategy=final_artifact.strategy,
+        space=final_artifact.space,
+        budget=final_artifact.budget,
+        spent=evaluator.spent,
+        evaluations=tuple(log),
+        objectives=objectives,
+        front=tuple(m.signature for m in recommendation.front)
+        if recommendation
+        else (),
+        recommendation=(
+            {
+                "signature": recommendation.chosen.signature,
+                "label": recommendation.chosen.label,
+                "settings": recommendation.chosen.settings,
+                "feasible": recommendation.feasible,
+            }
+            if recommendation
+            else None
+        ),
+        complete=True,
+    )
+    if artifact_path is not None:
+        save_tuning_artifact(final_artifact, artifact_path)
+    return TuningOutcome(
+        artifact=final_artifact,
+        evaluations=tuple(log),
+        front=tuple(recommendation.front) if recommendation else (),
+        recommendation=recommendation,
+        spent=evaluator.spent,
+        simulations=evaluator.simulations,
+    )

@@ -109,7 +109,7 @@ def test_bad_ec_params_message():
 
 @pytest.mark.parametrize("command", [
     "run", "scrub", "sweep", "analyze", "repair-plan",
-    "wa", "autoscale", "chaos", "replay",
+    "wa", "autoscale", "chaos", "replay", "tune",
 ])
 def test_every_subcommand_has_help(capsys, command):
     with pytest.raises(SystemExit) as excinfo:
@@ -134,6 +134,9 @@ def test_no_subcommand_is_an_error(capsys):
     ["chaos", "--campaigns", "many"],        # not an int
     ["replay"],                              # artifact path is required
     ["frobnicate"],                          # unknown subcommand
+    ["tune", "--budget", "lots"],            # not an int
+    ["tune", "--strategy", "psychic"],       # not a strategy
+    ["tune", "--ec-variants", "k=9,m=3"],    # missing plugin: prefix
 ])
 def test_malformed_arguments_exit_2(capsys, argv):
     with pytest.raises(SystemExit) as excinfo:
@@ -155,6 +158,72 @@ def test_sweep_json_schema(tmp_path, capsys):
         assert {"label", "recovery_time", "checking_fraction",
                 "wa_actual"} <= set(row)
         assert isinstance(row["recovery_time"], float)
+
+
+# -- tune -----------------------------------------------------------------------
+
+
+def test_tune_requires_an_axis(capsys):
+    code, _, err = run_cli(
+        capsys, "tune", "--objects", "8", "--object-size", "8MB",
+    )
+    assert code == 2
+    assert "nothing to tune" in err
+
+
+def tune_small(capsys, output, *extra):
+    return run_cli(
+        capsys, "tune", "--objects", "16", "--object-size", "8MB",
+        "--hosts", "15", "--sweep-pg-num", "4,8",
+        "--output", str(output), *extra,
+    )
+
+
+def test_tune_artifact_json_schema(tmp_path, capsys):
+    output = tmp_path / "tuning.json"
+    code, out, _ = tune_small(capsys, output)
+    assert code == 0
+    assert "recommended configuration" in out
+    assert "tuning report saved" in out
+    blob = json.loads(output.read_text())
+    assert blob["format"] == "ecfault-tuning-report"
+    assert blob["version"] == 1
+    assert blob["complete"] is True
+    assert {"seed", "strategy", "space", "budget", "spent", "evaluations",
+            "objectives", "front", "recommendation"} <= set(blob)
+    for row in blob["evaluations"]:
+        assert {"signature", "settings", "fidelity", "recovery_time",
+                "wa_actual", "cost"} <= set(row)
+    assert blob["recommendation"]["signature"] in blob["front"]
+    assert blob["spent"] == sum(row["cost"] for row in blob["evaluations"])
+
+
+def test_tune_resumes_from_partial_artifact(tmp_path, capsys):
+    output = tmp_path / "tuning.json"
+    code, out, err = tune_small(capsys, output)
+    assert code == 0
+    complete_text = output.read_text()
+    total_progress = err.count("recovery")
+
+    # Truncate to the first evaluation, as if the run had been killed.
+    blob = json.loads(complete_text)
+    blob["evaluations"] = blob["evaluations"][:1]
+    blob["spent"] = blob["evaluations"][0]["cost"]
+    blob["front"], blob["recommendation"], blob["complete"] = [], None, False
+    output.write_text(json.dumps(blob))
+
+    code, out, err = tune_small(capsys, output, "--resume")
+    assert code == 0
+    assert output.read_text() == complete_text  # same recommendation, byte for byte
+    assert err.count("recovery") == total_progress - 1  # nothing re-run
+
+
+def test_tune_rejects_mismatched_resume(tmp_path, capsys):
+    output = tmp_path / "tuning.json"
+    assert tune_small(capsys, output)[0] == 0
+    code, _, err = tune_small(capsys, output, "--resume", "--seed", "9")
+    assert code == 2
+    assert "seed" in err
 
 
 def test_scrub_command_small_experiment(capsys):

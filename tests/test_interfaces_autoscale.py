@@ -115,3 +115,21 @@ def test_autoscale_advice_accepts_reasonable_pg_num():
 def test_autoscale_advice_validation():
     with pytest.raises(ValueError):
         autoscale_advice(0, 60, 12)
+
+
+def test_round_power_of_two_uses_geometric_midpoint():
+    """The tie point between 2^n and 2^(n+1) is sqrt(2)*2^n, not 1.5x."""
+    import math
+
+    from repro.cluster.autoscale import _round_power_of_two
+
+    assert _round_power_of_two(5.68) == 8   # ratio 1.42 > sqrt(2): up
+    assert _round_power_of_two(5.64) == 4   # ratio 1.41 < sqrt(2): down
+    # Between sqrt(2) and the old arithmetic-flavoured 1.5 cutoff: the
+    # geometric rule rounds up where the old rule rounded down.
+    assert _round_power_of_two(5.8) == 8    # ratio 1.45
+    # The exact midpoint rounds down.
+    assert _round_power_of_two(4 * math.sqrt(2.0)) == 4
+    # Exact powers map to themselves.
+    for power in (1, 2, 64, 32768):
+        assert _round_power_of_two(power) == power

@@ -1,0 +1,166 @@
+"""Property tests for Pareto dominance, fronts, and recommendations.
+
+Hypothesis generates small populations of synthetic measurements; the
+invariants pinned down here are the ones the strategy and runner lean
+on: dominance is irreflexive and antisymmetric, the front contains no
+dominated point, and everything dropped from the front is dominated by
+some front member.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuner import (
+    DEGRADED_P99,
+    Fidelity,
+    Measurement,
+    Objective,
+    RECOVERY_TIME,
+    WRITE_AMPLIFICATION,
+    default_objectives,
+    dominates,
+    pareto_front,
+    recommend,
+)
+
+OBJECTIVES = (RECOVERY_TIME, WRITE_AMPLIFICATION)
+
+
+def make_measurement(index, recovery, wa, p99=None):
+    return Measurement(
+        signature=f"sig-{index}",
+        settings={"ec_plugin": "jerasure", "ec_params": {"k": 9, "m": 3},
+                  "pg_num": 16 + index},
+        fidelity=Fidelity(8),
+        recovery_time=recovery,
+        checking_fraction=0.5,
+        wa_actual=wa,
+        degraded_p99=p99,
+        cost=8,
+    )
+
+
+metric = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def populations(draw, max_size=12):
+    pairs = draw(st.lists(st.tuples(metric, metric), min_size=1,
+                          max_size=max_size))
+    return [make_measurement(i, r, w) for i, (r, w) in enumerate(pairs)]
+
+
+# -- dominance properties -------------------------------------------------------
+
+
+@given(populations(max_size=1))
+def test_dominance_is_irreflexive(population):
+    point = population[0]
+    assert not dominates(point, point, OBJECTIVES)
+
+
+@given(populations(max_size=6))
+@settings(max_examples=200)
+def test_dominance_is_antisymmetric(population):
+    for a in population:
+        for b in population:
+            assert not (dominates(a, b, OBJECTIVES)
+                        and dominates(b, a, OBJECTIVES))
+
+
+@given(populations())
+@settings(max_examples=200)
+def test_front_contains_no_dominated_point(population):
+    front = pareto_front(population, OBJECTIVES)
+    assert front
+    for member in front:
+        assert not any(dominates(other, member, OBJECTIVES)
+                       for other in population)
+
+
+@given(populations())
+@settings(max_examples=200)
+def test_every_dropped_point_is_dominated_by_a_front_member(population):
+    front = pareto_front(population, OBJECTIVES)
+    front_signatures = {m.signature for m in front}
+    for point in population:
+        if point.signature not in front_signatures:
+            assert any(dominates(member, point, OBJECTIVES)
+                       for member in front)
+
+
+@given(populations())
+def test_recommendation_comes_from_the_front(population):
+    recommendation = recommend(population, OBJECTIVES)
+    assert recommendation.chosen in recommendation.front
+    front_signatures = {m.signature for m in
+                        pareto_front(population, OBJECTIVES)}
+    assert {m.signature for m in recommendation.front} <= front_signatures
+
+
+# -- unit behaviour -------------------------------------------------------------
+
+
+def test_duplicate_signatures_collapse_before_dominance():
+    a = make_measurement(0, 10.0, 1.4)
+    duplicate = make_measurement(0, 10.0, 1.4)
+    front = pareto_front([a, duplicate], OBJECTIVES)
+    assert front == [a]
+
+
+def test_single_objective_front_is_the_minimum():
+    population = [make_measurement(i, r, 1.5) for i, r in
+                  enumerate([30.0, 10.0, 20.0])]
+    front = pareto_front(population, [RECOVERY_TIME])
+    assert [m.recovery_time for m in front] == [10.0]
+
+
+def test_budget_prefers_feasible_front_members():
+    fast_but_fat = make_measurement(0, 10.0, 2.0)
+    slow_but_lean = make_measurement(1, 30.0, 1.4)
+    objectives = (RECOVERY_TIME, WRITE_AMPLIFICATION.with_budget(1.5))
+    recommendation = recommend([fast_but_fat, slow_but_lean], objectives)
+    assert recommendation.feasible
+    assert recommendation.chosen is slow_but_lean
+
+
+def test_infeasible_everywhere_falls_back_with_warning():
+    population = [make_measurement(0, 10.0, 2.0),
+                  make_measurement(1, 30.0, 1.9)]
+    objectives = (RECOVERY_TIME, WRITE_AMPLIFICATION.with_budget(1.5))
+    recommendation = recommend(population, objectives)
+    assert not recommendation.feasible
+    assert "WARNING" in recommendation.summary()
+    assert recommendation.summary().startswith("recommended configuration:")
+
+
+def test_missing_probe_metric_raises_a_helpful_error():
+    point = make_measurement(0, 10.0, 1.4, p99=None)
+    with pytest.raises(ValueError, match="read probe"):
+        DEGRADED_P99.value(point)
+
+
+def test_max_sense_objective_flips_orientation():
+    objective = Objective("recovery_time", sense="max")
+    a = make_measurement(0, 10.0, 1.4)
+    b = make_measurement(1, 20.0, 1.4)
+    assert objective.loss(b) < objective.loss(a)
+    assert objective.with_budget(15.0).feasible(b)
+    assert not objective.with_budget(15.0).feasible(a)
+    with pytest.raises(ValueError, match="sense"):
+        Objective("recovery_time", sense="up")
+
+
+def test_default_objectives_gate_p99_on_probe():
+    names = [o.name for o in default_objectives()]
+    assert names == ["recovery_time", "wa_actual"]
+    with_probe = default_objectives(p99_budget=0.5)
+    assert [o.name for o in with_probe][-1] == "degraded_p99"
+    assert with_probe[-1].budget == 0.5
+
+
+def test_recommend_requires_measurements():
+    with pytest.raises(ValueError, match="no measurements"):
+        recommend([], OBJECTIVES)

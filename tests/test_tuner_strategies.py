@@ -1,0 +1,273 @@
+"""Search strategies: unit behaviour on a stub, acceptance on the simulator.
+
+The fast tests drive every strategy against a deterministic synthetic
+cell function.  The ``slow``-marked acceptance test runs the real
+simulator over the ISSUE's seeded reference grid (pg_num x cache x
+stripe_unit x {RS, Clay}) and pins the headline claim: successive
+halving lands within 5% of the exhaustively-measured optimum while
+spending at most 25% of the full-grid budget, deterministically per
+seed.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ExperimentProfile
+from repro.core.sweep import SweepResult
+from repro.tuner import (
+    CategoricalAxis,
+    CoordinateDescent,
+    EcVariantAxis,
+    Evaluator,
+    Fidelity,
+    RandomSearch,
+    SuccessiveHalving,
+    TuningSpace,
+    load_tuning_artifact,
+    pool_width_fits,
+    save_tuning_artifact,
+    stripe_unit_divides,
+    tune,
+)
+from repro.tuner.artifact import TuningArtifact
+
+MB = 1024 * 1024
+
+RS = ("jerasure", (("k", 9), ("m", 3)))
+CLAY = ("clay", (("d", 11), ("k", 9), ("m", 3)))
+
+CALLS = []
+
+
+def stub_cell(profile, workload, faults, runs, seed):
+    """Synthetic simulator: best at pg_num=256 / clay / autotune."""
+    CALLS.append(profile.name)
+    recovery = 1000.0 / (profile.pg_num ** 0.5)
+    if profile.ec_plugin == "clay":
+        recovery *= 0.8
+    if profile.cache_scheme == "kv-optimized":
+        recovery *= 1.1
+    recovery *= 1.0 + 0.05 * (workload.num_objects % 5)
+    return SweepResult(
+        label=profile.name,
+        settings={},
+        recovery_time=recovery,
+        checking_fraction=0.5,
+        wa_actual=1.4 if profile.ec_plugin == "jerasure" else 1.6,
+        runs=runs,
+    )
+
+
+STUB_OPTIMUM = {"pg_num": 256, "cache_scheme": "autotune", "ec": CLAY}
+
+
+def make_space():
+    return TuningSpace(
+        ExperimentProfile(name="strategy-test"),
+        axes=[
+            CategoricalAxis("pg_num", (16, 64, 256)),
+            CategoricalAxis("cache_scheme", ("kv-optimized", "autotune")),
+            EcVariantAxis(variants=(RS, CLAY)),
+        ],
+    )
+
+
+@pytest.fixture(autouse=True)
+def clear_calls():
+    CALLS.clear()
+
+
+def make_evaluator(space=None, **kwargs):
+    kwargs.setdefault("run_cell_fn", stub_cell)
+    return Evaluator(space or make_space(), **kwargs)
+
+
+def best_of(measured):
+    return min(measured, key=lambda m: m.recovery_time)
+
+
+# -- random search --------------------------------------------------------------
+
+
+def test_random_search_is_deterministic_per_seed():
+    space = make_space()
+    runs = [
+        RandomSearch(6, Fidelity(8)).search(space, make_evaluator(space), 5)
+        for _ in range(2)
+    ]
+    assert [m.signature for m in runs[0]] == [m.signature for m in runs[1]]
+    assert len({m.signature for m in runs[0]}) == 6
+    other = RandomSearch(6, Fidelity(8)).search(space, make_evaluator(space), 6)
+    assert [m.signature for m in other] != [m.signature for m in runs[0]]
+
+
+def test_random_search_stops_cleanly_at_budget():
+    evaluator = make_evaluator(budget=20)
+    measured = RandomSearch(6, Fidelity(8)).search(make_space(), evaluator, 0)
+    assert len(measured) == 2  # third evaluation would overdraw
+    assert evaluator.spent == 16 <= 20
+
+
+# -- coordinate descent ---------------------------------------------------------
+
+
+def test_coordinate_descent_finds_the_stub_optimum():
+    space = make_space()
+    evaluator = make_evaluator(space)
+    measured = CoordinateDescent(Fidelity(8), screen=4).search(space, evaluator, 1)
+    assert best_of(measured).signature == space.signature(STUB_OPTIMUM)
+    # The climb only measures a subset of the 12-point grid.
+    assert len({m.signature for m in measured}) < space.size()
+
+
+def test_coordinate_descent_orders_axes_by_impact():
+    space = make_space()
+    evaluator = make_evaluator(space)
+    strategy = CoordinateDescent(Fidelity(8), screen=8)
+    screened = evaluator.evaluate_many(space.enumerate()[:8], Fidelity(8))
+    order = strategy._axis_order(space, screened)
+    assert set(order) == {"pg_num", "cache_scheme", "ec"}
+    # pg_num spans 1000/sqrt(16)..1000/sqrt(256): by far the biggest lever.
+    assert order[0] == "pg_num"
+
+
+def test_coordinate_descent_validates_arguments():
+    with pytest.raises(ValueError, match="screen"):
+        CoordinateDescent(Fidelity(8), screen=1)
+    with pytest.raises(ValueError, match="rounds"):
+        CoordinateDescent(Fidelity(8), rounds=0)
+
+
+# -- successive halving ---------------------------------------------------------
+
+
+def test_halving_rung_counts():
+    ladder = [Fidelity(8), Fidelity(24), Fidelity(96)]
+    assert SuccessiveHalving(ladder, eta=4).rungs(24) == [24, 6, 2]
+    assert SuccessiveHalving(ladder, eta=2).rungs(5) == [5, 3, 2]
+
+
+def test_halving_promotes_the_top_survivors():
+    space = make_space()
+    evaluator = make_evaluator(space)
+    strategy = SuccessiveHalving([Fidelity(4, label="screen"),
+                                  Fidelity(16, label="full")], eta=4)
+    measured = strategy.search(space, evaluator, 0)
+    screen = [m for m in measured if m.fidelity.objects == 4]
+    full = [m for m in measured if m.fidelity.objects == 16]
+    assert len(screen) == space.size() == 12
+    assert len(full) == 3  # ceil(12 / 4)
+    # Survivors are exactly the screen rung's best three.
+    best_screen = sorted(screen, key=lambda m: (m.recovery_time, m.signature))[:3]
+    assert {m.signature for m in full} == {m.signature for m in best_screen}
+    assert best_of(full).signature == space.signature(STUB_OPTIMUM)
+
+
+def test_halving_never_overdraws_the_budget():
+    # Affords rung 0 (12 x 4 = 48) but not rung 1 (3 x 16 = 48 > 2).
+    evaluator = make_evaluator(budget=50)
+    strategy = SuccessiveHalving([Fidelity(4), Fidelity(16)], eta=4)
+    measured = strategy.search(make_space(), evaluator, 0)
+    assert all(m.fidelity.objects == 4 for m in measured)
+    assert evaluator.spent == 48 <= 50
+
+
+def test_halving_validates_arguments():
+    with pytest.raises(ValueError, match="cheapest first"):
+        SuccessiveHalving([Fidelity(16), Fidelity(4)])
+    with pytest.raises(ValueError, match="eta"):
+        SuccessiveHalving([Fidelity(4)], eta=1)
+    with pytest.raises(ValueError, match="initial"):
+        SuccessiveHalving([Fidelity(4)], initial=0)
+    with pytest.raises(ValueError, match="fidelity"):
+        SuccessiveHalving([])
+
+
+# -- resume ---------------------------------------------------------------------
+
+
+def test_resume_replays_without_resimulating(tmp_path):
+    path = tmp_path / "tuning.json"
+    strategy = SuccessiveHalving([Fidelity(4, label="screen"),
+                                  Fidelity(16, label="full")], eta=4)
+    kwargs = dict(seed=11, budget=10_000, run_cell_fn=stub_cell,
+                  artifact_path=path)
+    tune(make_space(), strategy, **kwargs)
+    complete_text = path.read_text()
+    total_calls = len(CALLS)
+
+    # Simulate a run killed after five evaluations: the checkpointed
+    # artifact is a prefix of the complete log with no recommendation.
+    blob = json.loads(complete_text)
+    truncated = TuningArtifact.from_dict(
+        dict(
+            blob,
+            evaluations=blob["evaluations"][:5],
+            spent=sum(m["cost"] for m in blob["evaluations"][:5]),
+            front=[],
+            recommendation=None,
+            complete=False,
+        )
+    )
+    save_tuning_artifact(truncated, path)
+
+    CALLS.clear()
+    outcome = tune(make_space(), strategy, resume=True, **kwargs)
+    assert len(CALLS) == total_calls - 5  # replays nothing already paid for
+    assert path.read_text() == complete_text  # same final artifact, byte for byte
+    assert outcome.artifact.complete
+    final = load_tuning_artifact(path)
+    assert final.recommendation == json.loads(complete_text)["recommendation"]
+
+
+# -- acceptance: the ISSUE's seeded reference grid ------------------------------
+
+
+@pytest.mark.slow
+def test_halving_beats_the_exhaustive_grid_budget_on_reference_grid():
+    """Within 5% of the exhaustive optimum at <= 25% of its budget."""
+    base = ExperimentProfile(name="ref", num_hosts=15)
+    space = TuningSpace(
+        base,
+        axes=[
+            CategoricalAxis("pg_num", (16, 64, 256)),
+            CategoricalAxis("cache_scheme", ("kv-optimized", "autotune")),
+            CategoricalAxis("stripe_unit", (1 * MB, 4 * MB)),
+            EcVariantAxis(variants=(RS, CLAY)),
+        ],
+        constraints=[pool_width_fits(), stripe_unit_divides(8 * MB)],
+    )
+    grid = space.enumerate()
+    assert len(grid) == 24
+
+    full = Fidelity(96, label="full")
+    exhaustive_cost = len(grid) * full.cost  # 2304 object-runs
+
+    # Reference: every cell exhaustively pre-evaluated at full fidelity.
+    reference = Evaluator(space, object_size=8 * MB, base_seed=42)
+    exhaustive = reference.evaluate_many(grid, full)
+    optimum = best_of(exhaustive)
+
+    strategy = SuccessiveHalving(
+        [Fidelity(8, label="screen"), Fidelity(24, label="mid"), full], eta=4
+    )
+    outcomes = [
+        tune(
+            space,
+            strategy,
+            seed=42,
+            object_size=8 * MB,
+            budget=exhaustive_cost // 4,
+        )
+        for _ in range(2)
+    ]
+    outcome = outcomes[0]
+
+    assert outcome.spent <= exhaustive_cost // 4
+    chosen = outcome.recommendation.chosen
+    assert chosen.fidelity.cost == full.cost
+    assert chosen.recovery_time <= optimum.recovery_time * 1.05
+    # Deterministic per seed: the repeat run traces the same path.
+    assert outcomes[1].recommendation.chosen.signature == chosen.signature
+    assert outcomes[1].spent == outcome.spent
