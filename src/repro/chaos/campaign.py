@@ -38,6 +38,13 @@ class ScheduledAction:
     count: int = 1
     colocation: str = "any"
     corruption: str = "bit_rot"
+    # -- gray-fault parameters (only read for the matching level) -------------
+    factor: float = 4.0
+    loss: float = 0.0
+    latency: float = 0.0
+    bandwidth_penalty: float = 1.0
+    partition: bool = False
+    flap_interval: float = 60.0
 
     def __post_init__(self):
         if self.at < 0:
@@ -57,6 +64,12 @@ class ScheduledAction:
             count=self.count,
             colocation=self.colocation,
             corruption=self.corruption,
+            factor=self.factor,
+            loss=self.loss,
+            latency=self.latency,
+            bandwidth_penalty=self.bandwidth_penalty,
+            partition=self.partition,
+            flap_interval=self.flap_interval,
         )
 
     def to_dict(self) -> Dict[str, Any]:

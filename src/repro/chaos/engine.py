@@ -102,6 +102,12 @@ def run_campaign(
     # the budget runs out - the final check then reports the stall).
     deadline = env.now + spec.settle_time
     while env.now < deadline:
+        # A flap-dampening pin holds its OSD down past the restore; its
+        # expiry is a known, bounded future event, so the settle clock
+        # restarts there instead of charging the pin against the budget.
+        pins = cluster.monitor.active_pins()
+        if pins:
+            deadline = max(deadline, max(pins.values()) + spec.settle_time)
         env.run(until=min(env.now + SETTLE_POLL, deadline))
         step += 1
         suite.check_step(step)
@@ -129,6 +135,11 @@ def _quiescent(cluster: CephCluster) -> bool:
     if not all(osd.is_up() for osd in cluster.osds.values()):
         return False
     if cluster.monitor.out_osds:
+        return False
+    # A flap-dampening pin holds its OSD monitor-down even though the
+    # daemon itself is healthy again; converged means the pin expired
+    # and the OSD was marked back up.
+    if cluster.monitor.active_pins():
         return False
     if not cluster.recovery.idle:
         return False
@@ -177,6 +188,11 @@ def outcome_digest(cluster: CephCluster) -> Dict[str, Any]:
         },
         "recovery": asdict(cluster.recovery.stats),
         "scrub": asdict(cluster.scrub.stats),
+        "monitor": {
+            "markdowns": cluster.monitor.markdowns_total,
+            "pins": cluster.monitor.pins_total,
+            "active_pins": sorted(cluster.monitor.active_pins()),
+        },
         "ledger": asdict(cluster.ledger),
         "corrupt_chunks": cluster.integrity.corrupted_chunk_count(),
         "logs": [
@@ -230,16 +246,19 @@ def run_chaos(
     extra_checks: Tuple = (),
     on_campaign=None,
     stop_on_failure: bool = False,
+    levels: Optional[Tuple[str, ...]] = None,
 ) -> ChaosReport:
     """Sample and run ``campaigns`` campaigns derived from ``root_seed``.
 
     ``on_campaign(index, spec, result_or_none, error_or_none)`` is called
     after each campaign (result is None for invalid ones) — the CLI uses
-    it for progress output, tests for introspection.
+    it for progress output, tests for introspection.  ``levels``
+    restricts which fault levels the sampler may draw (the CI gray-chaos
+    job sweeps only the gray ones).
     """
     report = ChaosReport(root_seed=root_seed)
     for index in range(campaigns):
-        spec = sample_campaign(campaign_seed(root_seed, index))
+        spec = sample_campaign(campaign_seed(root_seed, index), levels=levels)
         report.campaigns += 1
         try:
             result: Optional[CampaignResult] = run_campaign(spec, extra_checks)

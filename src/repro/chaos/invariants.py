@@ -193,6 +193,16 @@ def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
                 at_time=now,
             )
         )
+    pins = sorted(cluster.monitor.active_pins())
+    if pins:
+        violations.append(
+            InvariantViolation(
+                "health-convergence",
+                f"flap-dampening pins still active after settle: "
+                f"{[f'osd.{osd_id}' for osd_id in pins]}",
+                at_time=now,
+            )
+        )
     report = check_health(cluster)
     if report.status != HealthStatus.OK:
         violations.append(

@@ -13,9 +13,10 @@ engine classifies those as *invalid*, not failing.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..cluster.bluestore import CACHE_SCHEMES
+from ..core.fault_injector import FAULT_LEVELS, GRAY_LEVELS
 from ..sim.rng import SeedSequence
 from .campaign import CampaignSpec, ScheduledAction
 
@@ -66,8 +67,26 @@ def _tolerance(plugin: str, params: Tuple[Tuple[str, int], ...]) -> int:
     return values["m"]
 
 
-def sample_campaign(seed: int) -> CampaignSpec:
-    """Sample one valid campaign; same seed, same campaign, always."""
+def sample_campaign(
+    seed: int, levels: Optional[Sequence[str]] = None
+) -> CampaignSpec:
+    """Sample one valid campaign; same seed, same campaign, always.
+
+    ``levels`` restricts which fault levels the schedule may draw (any
+    subset of :data:`~repro.core.fault_injector.FAULT_LEVELS`); the
+    default allows all of them.  The CI gray-chaos job passes
+    ``("slow_device", "net_degrade", "flap")`` to sweep the gray axis in
+    isolation.
+    """
+    chosen = tuple(levels) if levels is not None else FAULT_LEVELS
+    if not chosen:
+        raise ValueError("levels must name at least one fault level")
+    unknown = sorted(set(chosen) - set(FAULT_LEVELS))
+    if unknown:
+        raise ValueError(
+            f"unknown fault levels {unknown}; allowed: {FAULT_LEVELS}"
+        )
+
     rng = SeedSequence(seed).stream("chaos-sampler")
 
     plugin, params = rng.choice(_EC_CHOICES)
@@ -80,9 +99,13 @@ def sample_campaign(seed: int) -> CampaignSpec:
     num_hosts = n + tolerance + rng.randrange(1, 4)
 
     scrub_on = rng.random() < 0.5
+    if set(chosen) == {"corrupt"}:
+        # Corruption is the only level allowed: scrub must be on or no
+        # campaign could ever schedule (or heal) anything.
+        scrub_on = True
     scrub_interval = float(rng.choice((200, 400, 800))) if scrub_on else 0.0
 
-    actions = _sample_schedule(rng, tolerance, osds_per_host, scrub_on)
+    actions = _sample_schedule(rng, tolerance, osds_per_host, scrub_on, chosen)
 
     return CampaignSpec(
         seed=seed,
@@ -105,17 +128,35 @@ def sample_campaign(seed: int) -> CampaignSpec:
 
 
 def _sample_schedule(
-    rng, tolerance: int, osds_per_host: int, scrub_on: bool
+    rng,
+    tolerance: int,
+    osds_per_host: int,
+    scrub_on: bool,
+    levels: Tuple[str, ...],
 ) -> List[ScheduledAction]:
     """A budget-tracked schedule of fault rounds.
 
     Each round either crashes OSDs/hosts (total failure-domain buckets
-    within the tolerance budget) or silently corrupts chunks (only when
-    scrubbing is on to detect them), then restores, so every campaign is
-    *expected* to converge back to HEALTH_OK.  Restore timing straddles
-    the down->out interval on purpose: some rounds restore before the
-    monitor reacts, some mid-recovery, some after.
+    within the tolerance budget), silently corrupts chunks (only when
+    scrubbing is on to detect them), or degrades grayly (slow devices,
+    lossy/partitioned NICs, flapping daemons), then restores, so every
+    campaign is *expected* to converge back to HEALTH_OK.  Gray faults
+    that can make an OSD unavailable (net_degrade, flap) consume a
+    tolerance slot exactly like a crash, mirroring the injector's
+    white-box guard; slow_device is budget-free.  Restore timing
+    straddles the down->out interval on purpose: some rounds restore
+    before the monitor reacts, some mid-recovery, some after.
     """
+    crash_levels = [level for level in ("node", "device") if level in levels]
+    gray_levels = [level for level in GRAY_LEVELS if level in levels]
+    corrupt_ok = scrub_on and "corrupt" in levels
+    # With crash/corrupt rounds available, gray is a sometimes-prelude;
+    # restricted to gray-only levels it is the whole campaign.
+    gray_chance = 0.4 if crash_levels or corrupt_ok else 1.0
+    # When corruption is the only non-gray level, make every eligible
+    # round corrupt (a 30% roll would leave most campaigns empty).
+    corrupt_chance = 0.3 if crash_levels else 1.0
+
     actions: List[ScheduledAction] = []
     t = 100.0
     # Corrupt chunks stay damaged until a deep scrub repairs them, at a
@@ -126,11 +167,21 @@ def _sample_schedule(
     for _ in range(rng.randrange(1, 4)):
         crashed = False
         budget = tolerance - outstanding_corrupt
+        if gray_levels and rng.random() < gray_chance:
+            action, cost = _gray_action(rng, t, gray_levels, budget)
+            if action is not None:
+                actions.append(action)
+                budget -= cost
+                if cost:
+                    # An unavailable-ish gray target counts as damage for
+                    # the corruption guard, same as a crash.
+                    crashed = True
+                t += rng.choice((0.0, 5.0, 20.0))
         for _ in range(rng.randrange(1, 3)):
             if budget <= 0:
                 break
             roll = rng.random()
-            if scrub_on and not crashed and roll < 0.3:
+            if corrupt_ok and not crashed and roll < corrupt_chance:
                 # Corruption round: daemons stay up, scrub must find it.
                 # Kept to crash-free rounds so the per-stripe white-box
                 # guard (down shards + corrupt shards <= tolerance) holds
@@ -149,7 +200,11 @@ def _sample_schedule(
                 )
                 outstanding_corrupt += count
                 break  # one corruption burst per round
-            if roll < 0.6 or budget < 2:
+            if not crash_levels:
+                break
+            if "node" in crash_levels and (
+                "device" not in crash_levels or roll < 0.6 or budget < 2
+            ):
                 actions.append(
                     ScheduledAction(at=t, kind="inject", level="node", count=1)
                 )
@@ -185,3 +240,55 @@ def _sample_schedule(
         actions.append(ScheduledAction(at=t, kind="restore"))
         t += rng.choice((150.0, 300.0, 600.0))
     return actions
+
+
+def _gray_action(
+    rng, at: float, gray_levels: List[str], budget: int
+) -> Tuple[Optional[ScheduledAction], int]:
+    """One sampled gray inject plus its tolerance cost (0 = free).
+
+    ``net_degrade`` and ``flap`` can render an OSD unavailable, so each
+    costs one tolerance slot; when the budget is spent the sampler falls
+    back to ``slow_device`` (which only degrades service) or skips the
+    prelude entirely.
+    """
+    pick = rng.choice(gray_levels)
+    if pick != "slow_device" and budget < 1:
+        if "slow_device" not in gray_levels:
+            return None, 0
+        pick = "slow_device"
+    if pick == "slow_device":
+        action = ScheduledAction(
+            at=at,
+            kind="inject",
+            level="slow_device",
+            factor=float(rng.choice((4, 8, 16))),
+        )
+        return action, 0
+    if pick == "net_degrade":
+        if rng.random() < 0.25:
+            return (
+                ScheduledAction(
+                    at=at, kind="inject", level="net_degrade", partition=True
+                ),
+                1,
+            )
+        return (
+            ScheduledAction(
+                at=at,
+                kind="inject",
+                level="net_degrade",
+                loss=rng.choice((0.05, 0.2)),
+                latency=rng.choice((0.0, 0.002)),
+            ),
+            1,
+        )
+    return (
+        ScheduledAction(
+            at=at,
+            kind="inject",
+            level="flap",
+            flap_interval=float(rng.choice((15.0, 40.0))),
+        ),
+        1,
+    )

@@ -3,6 +3,7 @@
 Subcommands::
 
     ecfault run          one fault-injection experiment
+    ecfault inject       a gray-failure experiment under client load
     ecfault scrub        a silent-corruption + deep-scrub experiment
     ecfault sweep        a configuration sweep, persisted as JSON
     ecfault analyze      sensitivity analysis over saved sweep results
@@ -28,7 +29,12 @@ from typing import List, Optional
 from .analysis.sensitivity import rank_axes, recommend_configuration
 from .cluster.autoscale import autoscale_advice
 from .core.experiment import run_experiment
-from .core.fault_injector import Colocation, CorruptionModel, FaultSpec
+from .core.fault_injector import (
+    GRAY_LEVELS,
+    Colocation,
+    CorruptionModel,
+    FaultSpec,
+)
 from .core.profile import ExperimentProfile
 from .core.report import format_table
 from .core.sweep import SweepRunner, SweepSpec
@@ -116,6 +122,72 @@ def cmd_run(args) -> int:
     print(f"write amplification: {outcome.wa.actual:.3f} "
           f"(theoretical {outcome.wa.theoretical:.3f})")
     return 0
+
+
+def cmd_inject(args) -> int:
+    from .cluster.osd import CephConfig
+    from .core.gray import run_gray_experiment
+
+    profile = _profile_from_args(args).with_overrides(
+        ceph=CephConfig(
+            client_op_timeout=args.op_timeout,
+            client_hedge_delay=args.hedge_delay,
+            mon_osd_markdown_count=args.markdown_count,
+        )
+    )
+    spec = FaultSpec(
+        level=args.level,
+        count=args.fault_count,
+        colocation=args.colocation,
+        factor=args.factor,
+        loss=args.loss,
+        latency=args.latency,
+        bandwidth_penalty=args.bandwidth_penalty,
+        partition=args.partition,
+        flap_interval=args.flap_interval,
+    )
+    workload = Workload(num_objects=args.objects, object_size=args.object_size)
+    outcome = run_gray_experiment(
+        profile,
+        workload,
+        [spec],
+        seed=args.seed,
+        fault_duration=args.duration,
+        load_interval=args.read_interval,
+    )
+    print(f"profile: {profile.describe()}")
+    print(f"fault: level={args.level} count={args.fault_count} "
+          f"for {args.duration:g} s "
+          f"(defenses: op_timeout={args.op_timeout:g}s "
+          f"hedge_delay={args.hedge_delay:g}s)")
+    if outcome.slowed_osds:
+        print(f"slowed osds:       {outcome.slowed_osds}")
+    if outcome.injected_osds:
+        print(f"affected osds:     {outcome.injected_osds}")
+    stats = outcome.read_stats
+    if stats.count:
+        print(f"client reads:      {stats.count} ok, {stats.failures} failed, "
+              f"{stats.degraded_fraction * 100:.1f}% degraded")
+        print(f"read latency p50:  {stats.latency_percentile(50):9.4f} s")
+        print(f"read latency p99:  {stats.latency_percentile(99):9.4f} s")
+    ops = outcome.client_stats
+    print(f"retries/timeouts:  {ops.retries} / {ops.timeouts} "
+          f"(drops seen: {ops.drops_seen})")
+    if ops.hedges_issued:
+        print(f"hedged fetches:    {ops.hedges_issued} issued, "
+              f"{ops.hedges_won} won, "
+              f"{ops.hedge_wasted_bytes / MB:.1f} MB duplicated")
+    print(f"monitor markdowns: {outcome.markdowns} ({outcome.pins} pins)")
+    recovery = outcome.recovery_stats
+    if recovery.op_retries or recovery.ops_abandoned:
+        print(f"recovery retries:  {recovery.op_retries} "
+              f"({recovery.ops_abandoned} ops abandoned)")
+    if outcome.flap_timeline is not None:
+        for offset, label in outcome.flap_timeline.annotations():
+            print(f"  t+{offset:9.1f} s  {label}")
+    print(f"final health:      {outcome.health}"
+          + ("" if outcome.converged else " (NOT converged)"))
+    return 0 if outcome.converged else 1
 
 
 def cmd_scrub(args) -> int:
@@ -411,11 +483,13 @@ def cmd_chaos(args) -> int:
                   f"({spec.ec_plugin}, {len(spec.actions)} actions)",
                   file=sys.stderr)
 
+    levels = tuple(args.levels.split(",")) if args.levels else None
     report = run_chaos(
         args.seed,
         args.campaigns,
         on_campaign=progress,
         stop_on_failure=args.stop_on_failure,
+        levels=levels,
     )
     print(f"chaos: {report.campaigns} campaigns from seed {report.root_seed}: "
           f"{report.passed} passed, {report.invalid} invalid, "
@@ -493,6 +567,40 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-count", type=int, default=1)
     run.add_argument("--colocation", choices=list(Colocation.ALL), default="any")
     run.set_defaults(func=cmd_run)
+
+    inject = sub.add_parser(
+        "inject",
+        help="gray-failure experiment (slow disk / flaky net / flap) "
+             "under client read load",
+    )
+    _add_profile_arguments(inject)
+    inject.add_argument("--level", choices=list(GRAY_LEVELS), default="slow_device")
+    inject.add_argument("--fault-count", type=int, default=1)
+    inject.add_argument("--colocation", choices=list(Colocation.ALL), default="any")
+    inject.add_argument("--factor", type=float, default=16.0,
+                        help="slow_device service-time inflation (x)")
+    inject.add_argument("--loss", type=float, default=0.0,
+                        help="net_degrade per-host packet-loss probability")
+    inject.add_argument("--latency", type=float, default=0.0,
+                        help="net_degrade added one-way latency (s)")
+    inject.add_argument("--bandwidth-penalty", type=float, default=1.0,
+                        help="net_degrade bandwidth divisor (>= 1)")
+    inject.add_argument("--partition", action="store_true",
+                        help="net_degrade: full partition instead of loss")
+    inject.add_argument("--flap-interval", type=float, default=60.0,
+                        help="flap half-period base (s)")
+    inject.add_argument("--duration", type=float, default=600.0,
+                        help="how long the fault stays injected (s)")
+    inject.add_argument("--read-interval", type=float, default=2.0,
+                        help="client load: seconds between reads")
+    inject.add_argument("--op-timeout", type=float, default=0.0,
+                        help="client per-op timeout (0 = off)")
+    inject.add_argument("--hedge-delay", type=float, default=0.0,
+                        help="client hedged-read delay (0 = off)")
+    inject.add_argument("--markdown-count", type=int, default=5,
+                        help="markdowns within the period before flap "
+                             "dampening pins an OSD down")
+    inject.set_defaults(func=cmd_inject)
 
     scrub = sub.add_parser(
         "scrub", help="silent-corruption + deep-scrub experiment"
@@ -586,6 +694,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="root seed; campaign i uses substream 'campaign-i'")
     chaos.add_argument("--artifact-dir", default="chaos-artifacts",
                        help="where shrunk repro artifacts are written")
+    chaos.add_argument("--levels", default=None,
+                       help="comma list restricting sampled fault levels, "
+                            "e.g. slow_device,net_degrade,flap")
     chaos.add_argument("--stop-on-failure", action="store_true",
                        help="stop at the first failing campaign")
     chaos.add_argument("--verbose", action="store_true",

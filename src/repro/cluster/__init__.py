@@ -9,18 +9,34 @@ detection, and the peering + recovery state machine.
 from .autoscale import AutoscaleAdvice, autoscale_advice, recommended_pg_num
 from .bluestore import CACHE_SCHEMES, BlueStore, BlueStoreCacheModel, CacheConfig
 from .ceph import CephCluster
-from .client import ClientLoadGenerator, RadosClient, ReadSample, ReadStats
+from .client import (
+    ClientLoadGenerator,
+    ClientOpStats,
+    RadosClient,
+    ReadFailedError,
+    ReadSample,
+    ReadStats,
+)
 from .crush import CrushMap, PlacementError
 from .health import HealthReport, HealthStatus, check_health
 from .devices import GP_SSD, NEARLINE_HDD, Disk, DiskFailedError, DiskSpec
 from .logs import LogRecord, NodeLog
 from .monitor import Monitor
-from .network import M5_NIC, Fabric, Nic, NicSpec
+from .network import (
+    M5_NIC,
+    Fabric,
+    NetDegradation,
+    NetworkPartitionedError,
+    Nic,
+    NicSpec,
+    TransferDroppedError,
+)
 from .nvme import NvmeSubsystem, NvmeTarget, SubsystemNotFoundError, default_nqn
 from .objectstore import ChunkLayout, block_checksums, blocks_in, crc32c, layout_object
 from .osd import CephConfig, OsdDaemon
 from .pool import PlacementGroup, Pool, StoredObject
 from .recovery import RecoveryManager, RecoveryStats
+from .retry import DEFAULT_BACKOFF_CAP, retry_backoff, retry_schedule
 from .scrub import (
     CorruptionModel,
     IntegrityConfig,
@@ -43,7 +59,9 @@ __all__ = [
     "CacheConfig",
     "CephCluster",
     "ClientLoadGenerator",
+    "ClientOpStats",
     "RadosClient",
+    "ReadFailedError",
     "ReadSample",
     "ReadStats",
     "CrushMap",
@@ -61,8 +79,11 @@ __all__ = [
     "Monitor",
     "M5_NIC",
     "Fabric",
+    "NetDegradation",
+    "NetworkPartitionedError",
     "Nic",
     "NicSpec",
+    "TransferDroppedError",
     "NvmeSubsystem",
     "NvmeTarget",
     "SubsystemNotFoundError",
@@ -79,6 +100,9 @@ __all__ = [
     "StoredObject",
     "RecoveryManager",
     "RecoveryStats",
+    "DEFAULT_BACKOFF_CAP",
+    "retry_backoff",
+    "retry_schedule",
     "CorruptionModel",
     "IntegrityConfig",
     "IntegrityStore",

@@ -72,6 +72,12 @@ class WaLedger:
         self.repair_bytes += allocated
         self.metadata_bytes += metadata
 
+    def debit_repair(self, allocated: int, metadata: int) -> None:
+        """Roll back a speculative repair reservation (push lost to a
+        gray fault before the bytes ever landed on the target)."""
+        self.repair_bytes -= allocated
+        self.metadata_bytes -= metadata
+
 
 class CephCluster:
     """An assembled cluster with one erasure-coded pool."""
@@ -123,7 +129,16 @@ class CephCluster:
             stripe_unit=stripe_unit,
             failure_domain=failure_domain,
         )
-        self.monitor = Monitor(env, self.osds, self.config, log=self.mon_log)
+        self.monitor = Monitor(
+            env,
+            self.osds,
+            self.config,
+            log=self.mon_log,
+            nics={
+                osd_id: self.topology.nic_of(osd_id)
+                for osd_id in self.topology.osds
+            },
+        )
         self.ledger = WaLedger()
         self.recovery = RecoveryManager(
             env,

@@ -9,6 +9,23 @@ fly, instead of streaming the k data chunks directly.  Degraded reads are
 slower, burn extra disk/network bandwidth, and compete with recovery I/O
 once it starts — all visible through :class:`ClientLoadGenerator`'s
 latency samples.
+
+The gray-failure defenses live here too:
+
+* **Per-op timeouts + retry/backoff** — when ``client_op_timeout`` is
+  set, a read attempt that outlives it is abandoned and retried with
+  seeded exponential backoff + jitter, up to ``client_retry_max`` times
+  (:func:`repro.cluster.retry.retry_backoff`).
+* **Hedged reads** — when ``client_hedge_delay`` is set, a shard fetch
+  still in flight after the delay is *re-issued* to another surviving
+  shard; whichever copy arrives first serves the read, and the loser's
+  bytes are accounted as hedge waste (:class:`ClientOpStats`).  The
+  abandoned fetch still drains its disk/NIC resources — exactly the
+  duplicated I/O cost real hedging pays.
+
+All defenses default OFF and the retry RNG is consumed only on actual
+retries, so healthy baseline runs are byte-identical to the undefended
+model.
 """
 
 from __future__ import annotations
@@ -20,9 +37,18 @@ from typing import Generator, List, Optional
 from ..sim import Event
 from ..sim.rng import SeedSequence
 from .ceph import CephCluster
+from .devices import DiskFailedError
+from .network import TransferDroppedError
 from .pool import PlacementGroup
+from .retry import retry_backoff
 
-__all__ = ["ReadSample", "ReadStats", "RadosClient", "ClientLoadGenerator"]
+__all__ = [
+    "ReadSample",
+    "ReadStats",
+    "ClientOpStats",
+    "RadosClient",
+    "ClientLoadGenerator",
+]
 
 
 class ObjectNotFoundError(KeyError):
@@ -30,7 +56,7 @@ class ObjectNotFoundError(KeyError):
 
 
 class ReadFailedError(RuntimeError):
-    """Too few shards available to serve the read at all."""
+    """The read could not be served within the client's retry budget."""
 
 
 @dataclass(frozen=True)
@@ -42,6 +68,10 @@ class ReadSample:
     latency: float
     degraded: bool
     bytes_read: int
+    #: 1 for a first-try success; grows with timeout/drop retries.
+    attempts: int = 1
+    #: True when a hedged duplicate fetch was issued for this read.
+    hedged: bool = False
 
 
 @dataclass
@@ -49,6 +79,8 @@ class ReadStats:
     """Aggregate over a load generator's samples."""
 
     samples: List[ReadSample] = field(default_factory=list)
+    #: Reads abandoned after the retry budget (no sample recorded).
+    failures: int = 0
 
     def add(self, sample: ReadSample) -> None:
         self.samples.append(sample)
@@ -90,6 +122,47 @@ class ReadStats:
         return statistics.fmean(values)
 
 
+@dataclass
+class ClientOpStats:
+    """Defense-layer counters of one client (retries, hedges, waste)."""
+
+    reads_ok: int = 0
+    reads_failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    drops_seen: int = 0
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    #: Retry attempts served through a different primary than the first
+    #: choice (the read was *redirected* around a degraded coordinator).
+    redirects: int = 0
+    #: Bytes of duplicate shard fetches whose result went unused — the
+    #: price of hedging.  Never enters ReadSample.bytes_read or the WA
+    #: ledger (reads allocate nothing), so client-visible byte counts
+    #: are not double-counted.
+    hedge_wasted_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class _FetchResult:
+    """Outcome of one guarded shard fetch (processes never fail)."""
+
+    ok: bool
+    shard: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class _AttemptResult:
+    """Outcome of one full read attempt."""
+
+    ok: bool
+    degraded: bool = False
+    hedged: bool = False
+    needs_decode: bool = False
+    reason: str = ""
+
+
 class RadosClient:
     """Reads whole objects from the cluster's EC pool.
 
@@ -102,9 +175,18 @@ class RadosClient:
     #: Client-visible protocol overhead per read.
     request_overhead = 0.001
 
-    def __init__(self, cluster: CephCluster, name: str = "client.0"):
+    def __init__(
+        self,
+        cluster: CephCluster,
+        name: str = "client.0",
+        seeds: Optional[SeedSequence] = None,
+    ):
         self.cluster = cluster
         self.name = name
+        self.stats = ClientOpStats()
+        #: Consumed only when a retry actually backs off, so healthy
+        #: runs never draw from it.
+        self._retry_rng = (seeds or SeedSequence(0)).stream("client-retry")
 
     def read_object(self, object_name: str) -> Event:
         """Read one object; the event's value is a :class:`ReadSample`."""
@@ -120,9 +202,40 @@ class RadosClient:
         raise ObjectNotFoundError(f"object {object_name!r} not in pool")
 
     def _read(self, object_name: str) -> Generator:
+        """Retry loop around read attempts (timeouts, drops, flaps)."""
         env = self.cluster.env
+        config = self.cluster.config
         issued_at = env.now
         pg, obj = self._lookup(object_name)
+        attempt = 0
+        while True:
+            result = yield from self._read_attempt(pg, obj, attempt)
+            if result.ok:
+                self.stats.reads_ok += 1
+                return ReadSample(
+                    object_name=object_name,
+                    issued_at=issued_at,
+                    latency=env.now - issued_at,
+                    degraded=result.degraded,
+                    bytes_read=obj.size,
+                    attempts=attempt + 1,
+                    hedged=result.hedged,
+                )
+            attempt += 1
+            if attempt > config.client_retry_max:
+                self.stats.reads_failed += 1
+                raise ReadFailedError(
+                    f"object {object_name!r}: {result.reason} "
+                    f"(gave up after {attempt} attempts)"
+                )
+            self.stats.retries += 1
+            yield env.timeout(
+                retry_backoff(attempt, config.client_retry_base, self._retry_rng)
+            )
+
+    def _read_attempt(self, pg: PlacementGroup, obj, attempt: int = 0) -> Generator:
+        env = self.cluster.env
+        config = self.cluster.config
         code = self.cluster.pool.code
         layout = obj.layout
 
@@ -136,24 +249,56 @@ class RadosClient:
         if degraded:
             shards = up[: code.k]
             if len(shards) < code.k:
-                raise ReadFailedError(
-                    f"object {object_name!r}: only {len(up)} shards up"
+                return _AttemptResult(
+                    ok=False, degraded=True,
+                    reason=f"only {len(up)} shards up",
                 )
         else:
             shards = data_shards
+        #: Surviving shards not already being read — the hedge targets.
+        spares = [s for s in up if s not in shards]
 
-        primary_osd = next(
-            pg.acting[s] for s in range(code.n) if s in up
-        )
-        primary = self.cluster.osds[primary_osd]
+        # Redirect: a retry rotates the coordinating primary to the next
+        # surviving shard, so a read stuck behind a degraded primary's NIC
+        # does not time out against the same path forever.  Attempt 0
+        # always picks the first up shard — byte-identical to the
+        # undefended model on healthy runs (retries never happen there).
+        primary_shard = up[attempt % len(up)]
+        if primary_shard != up[0]:
+            self.stats.redirects += 1
+        primary = self.cluster.osds[pg.acting[primary_shard]]
         yield env.timeout(self.request_overhead)
-        yield env.all_of(
-            [
-                env.process(self._fetch_shard(pg, shard, primary, layout))
-                for shard in shards
-            ]
-        )
-        if degraded:
+        fetches = [
+            env.process(
+                self._fetch_with_hedge(pg, shard, primary, layout, spares)
+            )
+            for shard in shards
+        ]
+        gather = env.all_of(fetches)
+        if config.client_op_timeout > 0:
+            timer = env.timeout(config.client_op_timeout)
+            yield env.any_of([gather, timer])
+            if not gather.triggered:
+                # Abandon the attempt; the in-flight fetches drain on
+                # their own (guarded processes never fail the engine).
+                self.stats.timeouts += 1
+                return _AttemptResult(
+                    ok=False, degraded=degraded,
+                    reason=f"op timed out after {config.client_op_timeout:g}s",
+                )
+            results = gather.value
+        else:
+            results = yield gather
+        hedged = any(r.shard not in shards for r in results)
+        bad = [r for r in results if not r.ok]
+        if bad:
+            return _AttemptResult(
+                ok=False, degraded=degraded, hedged=hedged,
+                reason=bad[0].reason,
+            )
+        served = {r.shard for r in results}
+        needs_decode = degraded or served != set(data_shards)
+        if needs_decode:
             # On-the-fly decode of the missing data shards at the primary.
             decode = primary.decode_time(
                 output_bytes=layout.chunk_stored_bytes,
@@ -162,25 +307,79 @@ class RadosClient:
                 cpu_cost_factor=getattr(code, "cpu_cost_factor", 1.0),
             )
             yield primary.cpu.request(decode)
-        return ReadSample(
-            object_name=object_name,
-            issued_at=issued_at,
-            latency=env.now - issued_at,
-            degraded=degraded,
-            bytes_read=obj.size,
+        return _AttemptResult(
+            ok=True, degraded=degraded, hedged=hedged,
+            needs_decode=needs_decode,
         )
 
-    def _fetch_shard(self, pg: PlacementGroup, shard: int, primary, layout) -> Generator:
+    def _fetch_with_hedge(
+        self, pg: PlacementGroup, shard: int, primary, layout, spares: List[int]
+    ) -> Generator:
+        """One shard fetch, re-issued to a spare survivor if it straggles.
+
+        The loser of the race is *abandoned*, not interrupted: it keeps
+        draining its disk and NIC time (the true cost of hedging) but its
+        result is discarded and its bytes counted as hedge waste.
+        """
+        env = self.cluster.env
+        hedge_delay = self.cluster.config.client_hedge_delay
+        proc = env.process(self._guarded_fetch(pg, shard, primary, layout))
+        if hedge_delay <= 0:
+            result = yield proc
+            return result
+        timer = env.timeout(hedge_delay)
+        yield env.any_of([proc, timer])
+        if proc.triggered:
+            return proc.value
+        spare = spares.pop(0) if spares else None
+        if spare is None:
+            result = yield proc
+            return result
+        self.stats.hedges_issued += 1
+        hedge = env.process(self._guarded_fetch(pg, spare, primary, layout))
+        first = yield env.any_of([proc, hedge])
+        if first.ok:
+            winner = first
+        else:
+            # First arrival failed (drop); fall back to the other copy.
+            other = hedge if proc.triggered else proc
+            winner = yield other
+        # Exactly one copy serves the read; the duplicate's bytes are
+        # waste whether it already landed or is still in flight.
+        self.stats.hedge_wasted_bytes += layout.chunk_stored_bytes
+        if winner.ok and winner.shard == spare:
+            self.stats.hedges_won += 1
+        return winner
+
+    def _guarded_fetch(self, pg: PlacementGroup, shard: int, primary, layout) -> Generator:
+        """Fetch one shard; never fails the process (returns a result).
+
+        Every failure mode — source down (flap), failed disk, dropped or
+        partitioned transfer — is caught here and reported by value, so
+        abandoned fetches can safely drain without a waiter.
+        """
         source = self.cluster.osds[pg.acting[shard]]
         nbytes = layout.chunk_stored_bytes
-        yield source.disk.submit(
-            source.sequential_ops(nbytes), nbytes, write=False
-        )
-        yield self.cluster.topology.fabric.transfer(
-            self.cluster.topology.nic_of(source.osd_id),
-            self.cluster.topology.nic_of(primary.osd_id),
-            nbytes,
-        )
+        try:
+            if not source.is_up():
+                return _FetchResult(
+                    ok=False, shard=shard,
+                    reason=f"shard {shard} source {source.name} is down",
+                )
+            yield source.disk.submit(
+                source.sequential_ops(nbytes), nbytes, write=False
+            )
+            yield self.cluster.topology.fabric.transfer(
+                self.cluster.topology.nic_of(source.osd_id),
+                self.cluster.topology.nic_of(primary.osd_id),
+                nbytes,
+            )
+        except TransferDroppedError as exc:
+            self.stats.drops_seen += 1
+            return _FetchResult(ok=False, shard=shard, reason=str(exc))
+        except DiskFailedError as exc:
+            return _FetchResult(ok=False, shard=shard, reason=str(exc))
+        return _FetchResult(ok=True, shard=shard)
 
 
 class ClientLoadGenerator:
@@ -188,7 +387,9 @@ class ClientLoadGenerator:
 
     Issues one read every ``interval`` seconds at uniformly random
     objects, for ``duration`` seconds, collecting the latency/degraded
-    samples into :attr:`stats`.
+    samples into :attr:`stats`.  Reads that exhaust the client's retry
+    budget are counted in ``stats.failures`` instead of killing the
+    generator — under gray faults some failures are expected.
     """
 
     def __init__(
@@ -233,5 +434,9 @@ class ClientLoadGenerator:
             yield env.all_of(pending)
 
     def _one_read(self, name: str) -> Generator:
-        sample = yield self.client.read_object(name)
+        try:
+            sample = yield self.client.read_object(name)
+        except ReadFailedError:
+            self.stats.failures += 1
+            return
         self.stats.add(sample)

@@ -86,11 +86,21 @@ class Disk:
         self.name = name or spec.name
         self.center = ServiceCenter(env, servers=queue_depth, name=self.name)
         self.failed = False
+        #: Gray-failure state: a limping disk serves every request xN
+        #: slower than its spec without ever failing I/O (slow_device
+        #: fault level).  1.0 means healthy.
+        self.slow_factor = 1.0
         self.used_bytes = 0
         self.read_bytes = 0
         self.written_bytes = 0
         self.read_ops = 0
         self.write_ops = 0
+
+    def set_slow_factor(self, factor: float) -> None:
+        """Inflate (or restore, factor=1.0) this disk's service times."""
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1.0, got {factor}")
+        self.slow_factor = factor
 
     def service_time(self, ops: int, nbytes: int, write: bool) -> float:
         """Completion time of an aggregate request on an idle device."""
@@ -100,7 +110,8 @@ class Disk:
             raise ValueError("negative byte count")
         bandwidth = self.spec.write_bandwidth if write else self.spec.read_bandwidth
         iops = self.spec.write_iops if write else self.spec.read_iops
-        return self.spec.latency + max(nbytes / bandwidth, ops / iops)
+        base = self.spec.latency + max(nbytes / bandwidth, ops / iops)
+        return base * self.slow_factor
 
     def submit(self, ops: int, nbytes: int, write: bool) -> Event:
         """Queue an aggregate I/O; the event fires on completion."""

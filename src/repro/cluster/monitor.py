@@ -8,6 +8,23 @@ before marking it **out**, which finally changes the CRUSH map and lets
 peering and recovery begin.  The monitor logs every step with the same
 phrasing the paper's Figure 3 annotates, so the timeline analysis in
 ``repro.core.timeline`` can segment the recovery cycle from logs alone.
+
+Two gray-failure mechanics live here:
+
+* **Delivery-based detection** — an OSD is marked down after *silence*,
+  not after a liveness probe: heartbeats from a partitioned or lossy
+  host never arrive (``net_degrade``), so an up-but-unreachable daemon
+  is detected exactly like a dead one.
+* **Flap dampening** — an OSD marked down more than
+  ``mon_osd_markdown_count`` times within ``mon_osd_markdown_period``
+  is *pinned* down for ``mon_osd_markdown_pin`` seconds: the monitor
+  ignores its heartbeats instead of thrashing osdmap epochs, the
+  down->out clock keeps running, and the pin expires on its own so
+  health always converges after the fault is restored.
+
+Each OSD heartbeats with a deterministic seeded phase offset (not in
+lockstep at t=0, k·interval), so grace-expiry ordering across OSDs is
+realistic.
 """
 
 from __future__ import annotations
@@ -15,7 +32,9 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional, Set
 
 from ..sim import Environment
+from ..sim.rng import SeedSequence
 from .logs import NodeLog
+from .network import Nic
 from .osd import CephConfig, OsdDaemon
 
 __all__ = ["Monitor"]
@@ -30,12 +49,15 @@ class Monitor:
         osds: Dict[int, OsdDaemon],
         config: CephConfig,
         log: Optional[NodeLog] = None,
+        nics: Optional[Dict[int, Nic]] = None,
     ):
         self.env = env
         self.osds = osds
         self.config = config
         # `log if log is not None` — an empty NodeLog is falsy (__len__).
         self.log = log if log is not None else NodeLog("mon.0")
+        #: Per-OSD NIC map for heartbeat delivery (None => always delivered).
+        self.nics = nics
         self.last_heartbeat: Dict[int, float] = {i: 0.0 for i in osds}
         self.down_since: Dict[int, float] = {}
         self.out_osds: Set[int] = set()
@@ -46,6 +68,23 @@ class Monitor:
         self.on_in: List[Callable[[Set[int]], None]] = []
         #: Last health status broadcast via :meth:`record_health`.
         self.health_status = "HEALTH_OK"
+        #: Flap-dampening state: recent markdown timestamps per OSD and
+        #: the pin expiry times, plus lifetime counters for digests.
+        self.markdown_history: Dict[int, List[float]] = {}
+        self.pinned_until: Dict[int, float] = {}
+        self.markdowns_total = 0
+        self.pins_total = 0
+        # Deterministic per-OSD heartbeat phase: a seeded draw per OSD in
+        # id order, bounded by the interval so the first beat lands well
+        # inside the grace window.  Same cluster, same phases, always.
+        phase_rng = SeedSequence(0).stream("hb-phase")
+        self._phase: Dict[int, float] = {
+            osd_id: phase_rng.uniform(0.0, config.osd_heartbeat_interval)
+            for osd_id in sorted(osds)
+        }
+        # Consumed only while a lossy degradation is active, so healthy
+        # runs never draw from it (baseline determinism).
+        self._loss_rng = SeedSequence(0).stream("hb-loss")
         self._heartbeat_procs = [
             env.process(self._heartbeat_loop(osd_id)) for osd_id in sorted(osds)
         ]
@@ -55,18 +94,42 @@ class Monitor:
 
     def _heartbeat_loop(self, osd_id: int) -> Generator:
         """Each OSD pings the monitor every heartbeat interval while up."""
+        phase = self._phase[osd_id]
+        if phase > 0.0:
+            yield self.env.timeout(phase)
         while True:
             osd = self.osds[osd_id]
-            if osd.is_up():
+            if osd.is_up() and self._heartbeat_delivered(osd_id):
                 self.last_heartbeat[osd_id] = self.env.now
-                if osd_id in self.down_since:
-                    del self.down_since[osd_id]
-                    self.log.emit(
-                        self.env.now, "mon", "osd boot: marking up", osd=osd.name
-                    )
-                if osd_id in self.out_osds:
-                    self._mark_in(osd_id)
+                if self.is_pinned(osd_id):
+                    # Dampened: the monitor no longer believes this
+                    # OSD's heartbeats until the pin expires.
+                    pass
+                else:
+                    self.pinned_until.pop(osd_id, None)
+                    if osd_id in self.down_since:
+                        del self.down_since[osd_id]
+                        self.log.emit(
+                            self.env.now, "mon", "osd boot: marking up",
+                            osd=osd.name,
+                        )
+                    if osd_id in self.out_osds:
+                        self._mark_in(osd_id)
             yield self.env.timeout(self.config.osd_heartbeat_interval)
+
+    def _heartbeat_delivered(self, osd_id: int) -> bool:
+        """Did this beat cross the host's (possibly degraded) NIC?"""
+        if self.nics is None:
+            return True
+        nic = self.nics.get(osd_id)
+        if nic is None or nic.degradation is None:
+            return True
+        if nic.degradation.partition:
+            return False
+        loss = nic.degradation.loss
+        if loss <= 0.0:
+            return True
+        return self._loss_rng.random() >= loss
 
     def _mark_in(self, osd_id: int) -> None:
         """An auto-marked-out OSD that boots is marked in again.
@@ -99,9 +162,10 @@ class Monitor:
             if osd_id in self.down_since or osd_id in self.out_osds:
                 continue
             silent_for = now - self.last_heartbeat[osd_id]
-            if not osd.is_up() and silent_for > self.config.osd_heartbeat_grace:
+            if silent_for > self.config.osd_heartbeat_grace:
                 self.down_since[osd_id] = now
                 self.osdmap_epoch += 1
+                self.markdowns_total += 1
                 self.log.emit(
                     now,
                     "mon",
@@ -114,6 +178,32 @@ class Monitor:
                     now, "mgr", "receiving heartbeats from surviving osds",
                     waiting=len(self.down_since),
                 )
+                self._note_markdown(osd_id, now)
+
+    def _note_markdown(self, osd_id: int, now: float) -> None:
+        """Track markdown frequency and pin a flapping OSD down.
+
+        The markdown budget (count within period) consumed, the OSD is
+        pinned: its heartbeats are disbelieved for ``pin`` seconds so
+        the down->out clock runs to completion instead of resetting on
+        every flap-up.  The history is cleared on pin, so re-pinning
+        needs a fresh burst of markdowns.
+        """
+        history = self.markdown_history.setdefault(osd_id, [])
+        history.append(now)
+        cutoff = now - self.config.mon_osd_markdown_period
+        while history and history[0] < cutoff:
+            history.pop(0)
+        if len(history) >= self.config.mon_osd_markdown_count:
+            self.pinned_until[osd_id] = now + self.config.mon_osd_markdown_pin
+            self.pins_total += 1
+            self.log.emit(
+                now, "mon", "flapping osd pinned down",
+                osd=self.osds[osd_id].name,
+                markdowns=len(history),
+                pin=self.config.mon_osd_markdown_pin,
+            )
+            history.clear()
 
     def _check_down_out(self) -> None:
         now = self.env.now
@@ -157,6 +247,19 @@ class Monitor:
         )
 
     # -- queries -------------------------------------------------------------------
+
+    def is_pinned(self, osd_id: int) -> bool:
+        """Is this OSD's markdown currently dampening-pinned?"""
+        return self.env.now < self.pinned_until.get(osd_id, float("-inf"))
+
+    def active_pins(self) -> Dict[int, float]:
+        """OSDs with a pin still in force (id -> expiry time)."""
+        now = self.env.now
+        return {
+            osd_id: until
+            for osd_id, until in self.pinned_until.items()
+            if now < until
+        }
 
     def detection_time(self, osd_id: int) -> Optional[float]:
         """When the OSD was marked down, if it has been."""

@@ -6,16 +6,44 @@ ingress, and a fixed propagation latency; intra-host transfers are free
 (loopback), which is how the failure-locality effects of Figure 2d enter
 the simulation — recovery flows that fan into a single surviving host
 serialise on that host's ingress.
+
+Gray failures enter here too: a NIC can carry a
+:class:`NetDegradation` — packet-loss probability, extra latency, a
+bandwidth penalty, or a full partition — and every transfer touching a
+degraded endpoint pays for it (``net_degrade`` fault level).  Transfers
+through a partitioned or lossy NIC fail with
+:class:`NetworkPartitionedError` / :class:`TransferDroppedError`, which
+the client and recovery retry machinery catch and back off on.  When no
+endpoint is degraded the fast path is byte-identical to the healthy
+model — no RNG draws, no extra events — so baseline experiments stay
+deterministic across versions.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional
 
 from ..sim import Environment, Event, ServiceCenter
 
-__all__ = ["NicSpec", "M5_NIC", "Nic", "Fabric"]
+__all__ = [
+    "NicSpec",
+    "M5_NIC",
+    "NetDegradation",
+    "Nic",
+    "Fabric",
+    "TransferDroppedError",
+    "NetworkPartitionedError",
+]
+
+
+class TransferDroppedError(RuntimeError):
+    """A transfer was lost to packet loss on a degraded link."""
+
+
+class NetworkPartitionedError(TransferDroppedError):
+    """A transfer touched a fully partitioned host."""
 
 
 @dataclass(frozen=True)
@@ -42,6 +70,35 @@ M5_NIC = NicSpec(
 )
 
 
+@dataclass(frozen=True)
+class NetDegradation:
+    """Gray-failure state of one NIC (the ``net_degrade`` fault payload).
+
+    ``loss`` is the per-transfer drop probability, ``latency`` an extra
+    one-way propagation delay, ``bandwidth_penalty`` a divisor on
+    effective throughput, and ``partition`` isolates the host entirely
+    (every non-loopback transfer fails).
+    """
+
+    loss: float = 0.0
+    latency: float = 0.0
+    bandwidth_penalty: float = 1.0
+    partition: bool = False
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {self.loss}")
+        if self.latency < 0.0:
+            raise ValueError("extra latency must be non-negative")
+        if self.bandwidth_penalty < 1.0:
+            raise ValueError(
+                f"bandwidth penalty must be >= 1.0, got {self.bandwidth_penalty}"
+            )
+        if not (self.partition or self.loss > 0.0 or self.latency > 0.0
+                or self.bandwidth_penalty > 1.0):
+            raise ValueError("degradation must degrade something")
+
+
 class Nic:
     """One host's network interface: independent egress/ingress queues."""
 
@@ -53,11 +110,28 @@ class Nic:
         self.ingress = ServiceCenter(env, servers=1, name=f"{self.name}:rx")
         self.sent_bytes = 0
         self.received_bytes = 0
+        #: Active gray degradation, or None when the NIC is healthy.
+        self.degradation: Optional[NetDegradation] = None
+
+    def degrade(self, degradation: NetDegradation) -> None:
+        """Apply a gray network fault to this NIC (net_degrade level)."""
+        self.degradation = degradation
+
+    def restore_network(self) -> None:
+        """Clear any gray degradation (fault restore)."""
+        self.degradation = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self.degradation is not None and self.degradation.partition
 
     def wire_time(self, nbytes: int) -> float:
         if nbytes < 0:
             raise ValueError("negative byte count")
-        return self.spec.message_overhead + nbytes / self.spec.bandwidth
+        bandwidth = self.spec.bandwidth
+        if self.degradation is not None:
+            bandwidth /= self.degradation.bandwidth_penalty
+        return self.spec.message_overhead + nbytes / bandwidth
 
 
 class Fabric:
@@ -65,14 +139,27 @@ class Fabric:
 
     The paper's testbed is a single 25 Gb AWS network; host NICs are the
     bottleneck, so the fabric itself only adds propagation latency.
+
+    Packet loss is drawn from ``rng`` (reseedable by the Controller);
+    the stream is consumed *only* while a degradation is active, so
+    healthy runs never touch it and stay byte-identical.
     """
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, rng: Optional[random.Random] = None):
         self.env = env
         self.transfers = 0
+        self.drops = 0
+        self.partition_refusals = 0
+        self.rng = rng if rng is not None else random.Random(0)
 
     def transfer(self, src: Nic, dst: Nic, nbytes: int) -> Event:
-        """Move ``nbytes`` from src host to dst host; fires on delivery."""
+        """Move ``nbytes`` from src host to dst host; fires on delivery.
+
+        On a degraded path the event *fails* with
+        :class:`TransferDroppedError` (loss) or
+        :class:`NetworkPartitionedError` (partition) — the exception is
+        raised at the waiter's ``yield``.
+        """
         self.transfers += 1
         return self.env.process(self._run(src, dst, nbytes))
 
@@ -81,8 +168,30 @@ class Fabric:
             # Loopback: no NIC time, a token cost for the software path.
             yield self.env.timeout(src.spec.message_overhead)
             return
+        if src.partitioned or dst.partitioned:
+            self.partition_refusals += 1
+            # The sender only learns by timeout; charge one propagation
+            # delay before failing so detection is not instantaneous.
+            yield self.env.timeout(src.spec.latency)
+            raise NetworkPartitionedError(
+                f"transfer {src.name} -> {dst.name} crossed a partition"
+            )
+        loss = 0.0
+        extra_latency = 0.0
+        for nic in (src, dst):
+            if nic.degradation is not None:
+                loss = 1.0 - (1.0 - loss) * (1.0 - nic.degradation.loss)
+                extra_latency += nic.degradation.latency
         src.sent_bytes += nbytes
         yield src.egress.request(src.wire_time(nbytes))
-        yield self.env.timeout(src.spec.latency)
+        yield self.env.timeout(src.spec.latency + extra_latency)
+        if loss > 0.0 and self.rng.random() < loss:
+            # The sender burned its egress time for nothing; the
+            # receiver never sees the bytes.
+            self.drops += 1
+            raise TransferDroppedError(
+                f"transfer {src.name} -> {dst.name} dropped "
+                f"(loss={loss:.3f})"
+            )
         dst.received_bytes += nbytes
         yield dst.ingress.request(dst.wire_time(nbytes))

@@ -85,6 +85,24 @@ class NvmeTarget:
         subsystem.backing.restore()
         self.subsystems[subsystem.nqn] = subsystem
 
+    def degrade_subsystem(self, nqn: str, factor: float) -> NvmeSubsystem:
+        """Gray device fault: the namespace limps instead of dying.
+
+        Service times of the backing device inflate by ``factor`` while
+        I/O keeps succeeding — the classic slow-disk gray failure.  The
+        namespace stays exported and the consuming OSD keeps
+        heartbeating, so nothing in the control plane reacts.
+        """
+        subsystem = self._lookup(nqn)
+        subsystem.backing.set_slow_factor(factor)
+        return subsystem
+
+    def restore_subsystem_speed(self, nqn: str) -> NvmeSubsystem:
+        """Clear a slow-device degradation (experiment teardown)."""
+        subsystem = self._lookup(nqn)
+        subsystem.backing.set_slow_factor(1.0)
+        return subsystem
+
     def _lookup(self, nqn: str) -> NvmeSubsystem:
         try:
             return self.subsystems[nqn]

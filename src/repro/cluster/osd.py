@@ -65,6 +65,25 @@ class CephConfig:
     min_io_bytes: int = 4096
     #: Per-OSD BlueStore cache (autotuned or ratio-split per profile).
     osd_cache_bytes: float = 2.5e9
+    #: Flap dampening (Ceph's ``osd_max_markdown_*``): an OSD marked
+    #: down more than ``count`` times within ``period`` seconds is
+    #: *pinned* down for ``pin`` seconds — the monitor stops believing
+    #: its heartbeats instead of thrashing osdmap epochs.
+    mon_osd_markdown_count: int = 5
+    mon_osd_markdown_period: float = 600.0
+    mon_osd_markdown_pin: float = 120.0
+    #: Client-side defenses: per-op timeout (0 disables), bounded
+    #: exponential-backoff retries, and the hedge delay after which a
+    #: straggling shard fetch is re-issued to another survivor
+    #: (0 disables hedging).
+    client_op_timeout: float = 0.0
+    client_retry_max: int = 5
+    client_retry_base: float = 0.25
+    client_hedge_delay: float = 0.0
+    #: Recovery-side retry budget for transient gray windows
+    #: (dropped transfers, flapped helper sources).
+    recovery_retry_max: int = 6
+    recovery_retry_base: float = 0.5
 
     def __post_init__(self):
         if self.osd_heartbeat_interval <= 0 or self.osd_heartbeat_grace <= 0:
@@ -73,6 +92,16 @@ class CephConfig:
             raise ValueError("down/out interval must be non-negative")
         if self.osd_recovery_max_active < 1 or self.osd_max_backfills < 1:
             raise ValueError("recovery throttles must be >= 1")
+        if self.mon_osd_markdown_count < 1:
+            raise ValueError("markdown count must be >= 1")
+        if self.mon_osd_markdown_period <= 0 or self.mon_osd_markdown_pin <= 0:
+            raise ValueError("markdown period/pin must be positive")
+        if self.client_op_timeout < 0 or self.client_hedge_delay < 0:
+            raise ValueError("client timeout/hedge delay must be non-negative")
+        if self.client_retry_max < 0 or self.recovery_retry_max < 0:
+            raise ValueError("retry budgets must be non-negative")
+        if self.client_retry_base <= 0 or self.recovery_retry_base <= 0:
+            raise ValueError("retry backoff bases must be positive")
 
 
 @dataclass(frozen=True)
@@ -105,6 +134,9 @@ class OsdDaemon:
         self.config = config
         self.backend = BlueStore(cache_config, cache_bytes=config.osd_cache_bytes)
         self.host_running = True
+        #: Gray-failure state: a flapping daemon oscillates this flag
+        #: while its host and device stay healthy (flap fault level).
+        self.daemon_up = True
         #: Throttles mirroring Ceph's: concurrent recovery ops and the
         #: per-OSD backfill reservation that caps simultaneous PGs.
         self.recovery_ops = Resource(env, config.osd_recovery_max_active)
@@ -133,8 +165,8 @@ class OsdDaemon:
         return self.device.disk
 
     def is_up(self) -> bool:
-        """Daemon answers heartbeats: host running and device healthy."""
-        return self.host_running and not self.disk.failed
+        """Daemon answers heartbeats: host running, daemon alive, device healthy."""
+        return self.host_running and self.daemon_up and not self.disk.failed
 
     # -- durable state ---------------------------------------------------------
 

@@ -16,6 +16,14 @@ intersects them goes through the Ceph-like cycle this module models:
 All repair I/O amounts come from the erasure code's own
 :meth:`~repro.ec.base.ErasureCode.repair_plan`, so RS-vs-Clay differences
 in Figures 2c/2d are produced by the codes, not by per-code constants.
+
+Recovery ops are *gray-fault tolerant*: pulls and pushes that hit a
+dropped transfer, a partitioned host, or a flapped-down helper are
+retried with seeded backoff and a fresh repair plan (surviving helpers
+re-enumerated per attempt), up to ``recovery_retry_max`` times.  An op
+that exhausts its budget is abandoned — the PG stays degraded on its old
+acting set rather than wedging the whole recovery cycle, and partial
+pushes are rolled back so byte conservation stays exact.
 """
 
 from __future__ import annotations
@@ -25,10 +33,14 @@ from typing import Dict, Generator, List, Optional, Set
 
 from ..ec.base import ErasureCode
 from ..sim import Environment, Event
+from ..sim.rng import SeedSequence
 from .crush import PlacementError
+from .devices import DiskFailedError
 from .logs import NodeLog
+from .network import TransferDroppedError
 from .osd import CephConfig, OsdDaemon
 from .pool import PlacementGroup, Pool, StoredObject
+from .retry import retry_backoff
 from .topology import ClusterTopology
 
 __all__ = ["RecoveryStats", "RecoveryManager"]
@@ -46,6 +58,12 @@ class RecoveryStats:
     chunks_toofull: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    #: Object-op retries forced by gray faults (drops, flapped helpers).
+    op_retries: int = 0
+    #: Object ops abandoned after exhausting the retry budget.
+    ops_abandoned: int = 0
+    #: PGs left degraded because at least one op was abandoned.
+    pgs_abandoned: int = 0
     started_at: Optional[float] = None
     io_started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -76,6 +94,9 @@ class RecoveryManager:
         #: cluster-wide byte-conservation invariant stays exact.
         self.ledger = ledger
         self.stats = RecoveryStats()
+        # Consumed only when a gray fault actually forces a retry, so
+        # healthy recovery cycles never draw from it.
+        self._retry_rng = SeedSequence(0).stream("recovery-retry")
         self.out_osds: Set[int] = set()
         self._active_pgs = 0
         self._all_done: Optional[Event] = None
@@ -187,11 +208,22 @@ class RecoveryManager:
                 )
                 for obj in pg.objects
             ]
-            if ops:
-                yield self.env.all_of(ops)
+            results = (yield self.env.all_of(ops)) if ops else []
         finally:
             for osd_id in reversed(reservation_osds):
                 self.osds[osd_id].backfill_slots.release()
+
+        if not all(results):
+            # At least one object op was abandoned: the rebuilt state is
+            # incomplete, so the PG keeps its old acting set and stays
+            # degraded instead of claiming a clean map it cannot serve.
+            self.stats.pgs_abandoned += 1
+            self._log_for(primary).emit(
+                self.env.now, "osd", "recovery abandoned, pg remains degraded",
+                pg=pg.pgid, failed=sum(1 for ok in results if not ok),
+            )
+            self._pg_finished()
+            return
 
         pg.acting = new_acting
         self.stats.pgs_recovered += 1
@@ -216,47 +248,99 @@ class RecoveryManager:
     ) -> Generator:
         code = self.pool.code
         primary = self.osds[new_acting[0]]
+        layout = obj.layout
         yield primary.recovery_ops.acquire()
         try:
             # Messaging/commit round trips of the pull+push op pair.
             yield self.env.timeout(self.config.recovery_op_overhead)
-            alive_shards = [
-                shard
-                for shard, osd_id in enumerate(old_acting)
-                if shard not in lost_shards and self.osds[osd_id].is_up()
-            ]
-            plan = code.repair_plan(lost_shards, alive_shards)
-            layout = obj.layout
-            yield self.env.all_of(
-                [
-                    self.env.process(
-                        self._pull_shard(read, old_acting, primary, layout)
+            attempt = 0
+            #: Shards already persisted on their targets — never
+            #: re-pushed across retries (no double-stored bytes).
+            pushed: Set[int] = set()
+            while True:
+                ok = yield from self._attempt_object(
+                    code, pg, obj, lost_shards, old_acting, new_acting,
+                    primary, layout, pushed,
+                )
+                if ok:
+                    self.stats.objects_recovered += 1
+                    self.stats.chunks_rebuilt += len(lost_shards)
+                    if self.config.osd_recovery_sleep:
+                        yield self.env.timeout(self.config.osd_recovery_sleep)
+                    return True
+                attempt += 1
+                if attempt > self.config.recovery_retry_max:
+                    self.stats.ops_abandoned += 1
+                    self._log_for(primary.osd_id).emit(
+                        self.env.now, "osd",
+                        "recovery op abandoned after retries",
+                        pg=pg.pgid, object=obj.name, attempts=attempt,
                     )
-                    for read in plan.reads
-                ]
-            )
-            fragments = layout.units * code.sub_chunk_count * len(lost_shards)
-            decode = primary.decode_time(
-                output_bytes=layout.chunk_stored_bytes * len(lost_shards),
-                decode_work=plan.decode_work,
-                fragments=fragments,
-                cpu_cost_factor=getattr(code, "cpu_cost_factor", 1.0),
-            )
-            yield primary.cpu.request(decode)
-            yield self.env.all_of(
-                [
-                    self.env.process(
-                        self._push_shard(shard, new_acting, primary, layout)
+                    return False
+                self.stats.op_retries += 1
+                yield self.env.timeout(
+                    retry_backoff(
+                        attempt, self.config.recovery_retry_base, self._retry_rng
                     )
-                    for shard in lost_shards
-                ]
-            )
-            self.stats.objects_recovered += 1
-            self.stats.chunks_rebuilt += len(lost_shards)
-            if self.config.osd_recovery_sleep:
-                yield self.env.timeout(self.config.osd_recovery_sleep)
+                )
         finally:
             primary.recovery_ops.release()
+
+    def _attempt_object(
+        self,
+        code: ErasureCode,
+        pg: PlacementGroup,
+        obj: StoredObject,
+        lost_shards: List[int],
+        old_acting: List[int],
+        new_acting: List[int],
+        primary: OsdDaemon,
+        layout,
+        pushed: Set[int],
+    ) -> Generator:
+        """One pull+decode+push attempt; False on any gray-fault loss.
+
+        Survivors are re-enumerated on every attempt, so a helper that
+        flapped down (or a host whose network was restored) changes the
+        repair plan between attempts rather than failing the op outright.
+        """
+        alive_shards = [
+            shard
+            for shard, osd_id in enumerate(old_acting)
+            if shard not in lost_shards and self.osds[osd_id].is_up()
+        ]
+        try:
+            plan = code.repair_plan(lost_shards, alive_shards)
+        except ValueError:
+            # Too few helpers up right now (flap window) — retryable.
+            return False
+        pulls = [
+            self.env.process(self._pull_shard(read, old_acting, primary, layout))
+            for read in plan.reads
+        ]
+        pull_results = yield self.env.all_of(pulls)
+        if not all(pull_results):
+            return False
+        fragments = layout.units * code.sub_chunk_count * len(lost_shards)
+        decode = primary.decode_time(
+            output_bytes=layout.chunk_stored_bytes * len(lost_shards),
+            decode_work=plan.decode_work,
+            fragments=fragments,
+            cpu_cost_factor=getattr(code, "cpu_cost_factor", 1.0),
+        )
+        yield primary.cpu.request(decode)
+        pushes = {
+            shard: self.env.process(
+                self._push_shard(shard, new_acting, primary, layout)
+            )
+            for shard in lost_shards
+            if shard not in pushed
+        }
+        push_results = yield self.env.all_of(list(pushes.values()))
+        for shard, ok in zip(pushes, push_results):
+            if ok:
+                pushed.add(shard)
+        return all(push_results)
 
     def _pull_shard(self, read, old_acting, primary: OsdDaemon, layout) -> Generator:
         """Read one helper shard and ship it to the primary.
@@ -264,47 +348,66 @@ class RecoveryManager:
         The read first waits for the source's recovery-QoS grant (the
         scheduler share — usually the binding constraint), then performs
         the device I/O, then crosses the network.
+
+        Never fails its process: a flapped-down source, failed disk, or
+        dropped/partitioned transfer returns ``False`` so the object op
+        can replan and retry.  Disk bytes already read when a transfer
+        drops stay counted — that I/O really happened.
         """
         source = self.osds[old_acting[read.chunk_index]]
-        if read.fraction >= 1.0:
-            nbytes = layout.chunk_stored_bytes
-            yield source.recovery_read_grant(nbytes)
-            yield source.read_chunk(nbytes, layout.units)
-        else:
-            nbytes = int(layout.chunk_stored_bytes * read.fraction)
-            profile = source.subchunk_profile(
-                layout.units, layout.stripe_unit, read.fraction, read.io_ops
+        try:
+            if not source.is_up():
+                return False
+            if read.fraction >= 1.0:
+                nbytes = layout.chunk_stored_bytes
+                yield source.recovery_read_grant(nbytes)
+                yield source.read_chunk(nbytes, layout.units)
+            else:
+                nbytes = int(layout.chunk_stored_bytes * read.fraction)
+                profile = source.subchunk_profile(
+                    layout.units, layout.stripe_unit, read.fraction, read.io_ops
+                )
+                # The grant covers what the device must move (full extents
+                # when the read degenerated); only the wanted sub-chunks
+                # cross the network.
+                yield source.recovery_read_grant(
+                    profile.disk_bytes, runs=profile.scatter_runs
+                )
+                yield source.read_subchunks(
+                    layout.units, layout.stripe_unit, read.fraction, read.io_ops
+                )
+                # Software cost of extracting the sub-chunk ranges.
+                ranges = layout.units * read.io_ops
+                yield source.cpu.request(
+                    ranges * self.config.subchunk_range_overhead
+                )
+            self.stats.bytes_read += nbytes
+            yield self.topology.fabric.transfer(
+                self.topology.nic_of(source.osd_id),
+                self.topology.nic_of(primary.osd_id),
+                nbytes,
             )
-            # The grant covers what the device must move (full extents
-            # when the read degenerated); only the wanted sub-chunks
-            # cross the network.
-            yield source.recovery_read_grant(
-                profile.disk_bytes, runs=profile.scatter_runs
-            )
-            yield source.read_subchunks(
-                layout.units, layout.stripe_unit, read.fraction, read.io_ops
-            )
-            # Software cost of extracting the sub-chunk ranges.
-            ranges = layout.units * read.io_ops
-            yield source.cpu.request(
-                ranges * self.config.subchunk_range_overhead
-            )
-        self.stats.bytes_read += nbytes
-        yield self.topology.fabric.transfer(
-            self.topology.nic_of(source.osd_id),
-            self.topology.nic_of(primary.osd_id),
-            nbytes,
-        )
+        except (TransferDroppedError, DiskFailedError):
+            return False
+        return True
 
     def _push_shard(self, shard: int, new_acting, primary: OsdDaemon, layout) -> Generator:
         """Ship one rebuilt shard from the primary and persist it.
 
         A target without capacity headroom behaves like Ceph's
         ``backfill_toofull``: the shard stays degraded rather than
-        overfilling the device.
+        overfilling the device (returns True — not retryable).
+
+        Never fails its process.  If the wire transfer or the device
+        write is lost to a gray fault, the speculative space reservation
+        is rolled back (chunk removed, ledger debited) and ``False`` is
+        returned, so a retry re-pushes from a clean accounting state.
         """
         target = self.osds[new_acting[shard]]
         nbytes = layout.chunk_stored_bytes
+        if not target.is_up():
+            # Flapped-down target: retry once it oscillates back up.
+            return False
         allocated, metadata = target.backend.chunk_allocation(nbytes, layout.units)
         if target.disk.used_bytes + allocated + metadata > target.disk.spec.capacity_bytes:
             self.stats.chunks_toofull += 1
@@ -312,17 +415,24 @@ class RecoveryManager:
                 self.env.now, "mgr", "backfill toofull, shard stays degraded",
                 osd=target.name,
             )
-            return
+            return True
         # Reserve the space synchronously with the check (concurrent
         # pushes to one target must not race past the headroom test).
         target.store_chunk(nbytes, layout.units)
         if self.ledger is not None:
             self.ledger.credit_repair(allocated, metadata)
-        yield self.topology.fabric.transfer(
-            self.topology.nic_of(primary.osd_id),
-            self.topology.nic_of(target.osd_id),
-            nbytes,
-        )
-        yield target.recovery_write_grant(nbytes)
-        yield target.write_chunk(nbytes, layout.units)
+        try:
+            yield self.topology.fabric.transfer(
+                self.topology.nic_of(primary.osd_id),
+                self.topology.nic_of(target.osd_id),
+                nbytes,
+            )
+            yield target.recovery_write_grant(nbytes)
+            yield target.write_chunk(nbytes, layout.units)
+        except (TransferDroppedError, DiskFailedError):
+            target.remove_chunk(nbytes, layout.units)
+            if self.ledger is not None:
+                self.ledger.debit_repair(allocated, metadata)
+            return False
         self.stats.bytes_written += nbytes
+        return True

@@ -44,9 +44,13 @@ import numpy as np
 
 from ..ec.repair import traffic_for_plan
 from ..sim import Environment
+from ..sim.rng import SeedSequence
+from .devices import DiskFailedError
 from .logs import NodeLog
+from .network import TransferDroppedError
 from .objectstore import block_checksums, blocks_in, crc32c
 from .pool import PlacementGroup, Pool, StoredObject
+from .retry import retry_backoff
 
 __all__ = [
     "CorruptionModel",
@@ -370,6 +374,10 @@ class ScrubStats:
     chunks_repaired: int = 0
     repair_bytes_read: int = 0
     repair_bytes_written: int = 0
+    #: Chunk-repair retries forced by gray faults (drops, flapped peers).
+    repair_retries: int = 0
+    #: Repairs deferred to a later scrub cycle after the retry budget.
+    repairs_deferred: int = 0
 
 
 class ScrubManager:
@@ -397,6 +405,9 @@ class ScrubManager:
         self.mgr_log = mgr_log
         self.monitor = monitor
         self.stats = ScrubStats()
+        # Consumed only when a gray fault forces a repair retry, so runs
+        # without degradation never draw from it.
+        self._retry_rng = SeedSequence(0).stream("scrub-retry")
         self.pg_states: Dict[int, str] = {
             pg_id: ScrubPhase.CLEAN for pg_id in pool.pgs
         }
@@ -506,10 +517,25 @@ class ScrubManager:
             self.env.now, "osd", "scrub repair started",
             pg=pg.pgid, chunks=len(errors),
         )
+        deferred = 0
         for obj, shard, bad in errors:
-            yield from self._repair_chunk(pg, obj, shard, bad)
-        self.pg_states[pg.pg_id] = ScrubPhase.CLEAN
+            repaired = yield from self._repair_chunk(pg, obj, shard, bad)
+            if not repaired:
+                deferred += 1
         self.stats.pgs_scrubbed += 1
+        if deferred:
+            # Gray faults starved the repair of helpers or transfers;
+            # leave the PG inconsistent so the next scrub cycle retries
+            # once the fault window has passed.
+            self.pg_states[pg.pg_id] = ScrubPhase.INCONSISTENT
+            self.stats.repairs_deferred += deferred
+            self._log_for(primary).emit(
+                self.env.now, "osd",
+                "scrub repair incomplete, deferring to next cycle",
+                pg=pg.pgid, deferred=deferred,
+            )
+            return
+        self.pg_states[pg.pg_id] = ScrubPhase.CLEAN
         self._log_for(primary).emit(
             self.env.now, "osd", "scrub repair completed", pg=pg.pgid
         )
@@ -527,7 +553,32 @@ class ScrubManager:
         the scrubber *which* blocks are bad, so fine granularity shrinks
         repair traffic) and follow the code's own repair plan, then the
         rebuilt region is decoded on the primary and rewritten in place.
+
+        Attempts lost to gray faults (dropped transfers, flapped peers)
+        are retried with seeded backoff; past the budget the repair is
+        deferred — returns False and the chunk stays corrupted until the
+        next scrub cycle finds it again.
         """
+        primary = self.osds[pg.acting[0]]
+        attempt = 0
+        while True:
+            ok = yield from self._attempt_repair(pg, obj, shard, bad_blocks)
+            if ok:
+                return True
+            attempt += 1
+            if attempt > primary.config.recovery_retry_max:
+                return False
+            self.stats.repair_retries += 1
+            yield self.env.timeout(
+                retry_backoff(
+                    attempt, primary.config.recovery_retry_base, self._retry_rng
+                )
+            )
+
+    def _attempt_repair(
+        self, pg: PlacementGroup, obj: StoredObject, shard: int, bad_blocks: List[int]
+    ) -> Generator:
+        """One pull+decode+rewrite attempt; False on any gray-fault loss."""
         code = self.pool.code
         layout = obj.layout
         chunk_bytes = layout.chunk_stored_bytes
@@ -545,7 +596,11 @@ class ScrubManager:
             for s, osd_id in enumerate(pg.acting)
             if s != shard and s not in corrupted and self.osds[osd_id].is_up()
         ]
-        plan = code.repair_plan([shard], alive)
+        try:
+            plan = code.repair_plan([shard], alive)
+        except ValueError:
+            # Too few helpers up right now (flap window) — retryable.
+            return False
         traffic = traffic_for_plan(plan, region, region_units)
         primary = self.osds[pg.acting[0]]
         pulls = [
@@ -553,7 +608,9 @@ class ScrubManager:
             for read in plan.reads
         ]
         if pulls:
-            yield self.env.all_of(pulls)
+            results = yield self.env.all_of(pulls)
+            if not all(results):
+                return False
         fragments = region_units * code.sub_chunk_count
         decode = primary.decode_time(
             output_bytes=region,
@@ -563,13 +620,18 @@ class ScrubManager:
         )
         yield primary.cpu.request(decode)
         target = self.osds[pg.acting[shard]]
-        yield self.topology.fabric.transfer(
-            self.topology.nic_of(primary.osd_id),
-            self.topology.nic_of(target.osd_id),
-            region,
-        )
-        yield target.recovery_write_grant(region)
-        yield target.write_chunk(region, region_units)
+        if not target.is_up():
+            return False
+        try:
+            yield self.topology.fabric.transfer(
+                self.topology.nic_of(primary.osd_id),
+                self.topology.nic_of(target.osd_id),
+                region,
+            )
+            yield target.recovery_write_grant(region)
+            yield target.write_chunk(region, region_units)
+        except (TransferDroppedError, DiskFailedError):
+            return False
         self.integrity.repair(pg.pgid, obj.name, shard)
         self.stats.chunks_repaired += 1
         self.stats.repair_bytes_written += region
@@ -577,17 +639,27 @@ class ScrubManager:
             self.env.now, "osd", "scrub repair rewrote chunk",
             pg=pg.pgid, shard=shard, bytes=region,
         )
+        return True
 
     def _pull_region(
         self, pg: PlacementGroup, read, traffic, primary
     ) -> Generator:
+        """Never fails its process; False signals a retryable loss."""
         source = self.osds[pg.acting[read.chunk_index]]
         nbytes = traffic.read_bytes_by_chunk[read.chunk_index]
-        yield source.recovery_read_grant(nbytes)
-        yield source.read_chunk(nbytes, max(1, traffic.read_ops_by_chunk[read.chunk_index]))
-        self.stats.repair_bytes_read += nbytes
-        yield self.topology.fabric.transfer(
-            self.topology.nic_of(source.osd_id),
-            self.topology.nic_of(primary.osd_id),
-            nbytes,
-        )
+        try:
+            if not source.is_up():
+                return False
+            yield source.recovery_read_grant(nbytes)
+            yield source.read_chunk(
+                nbytes, max(1, traffic.read_ops_by_chunk[read.chunk_index])
+            )
+            self.stats.repair_bytes_read += nbytes
+            yield self.topology.fabric.transfer(
+                self.topology.nic_of(source.osd_id),
+                self.topology.nic_of(primary.osd_id),
+                nbytes,
+            )
+        except (TransferDroppedError, DiskFailedError):
+            return False
+        return True

@@ -10,21 +10,26 @@ from .controller import Controller
 from .coordinator import Coordinator, ExperimentOutcome, ExperimentTimeout
 from .experiment import RepeatedResult, repeat_experiment, run_experiment
 from .fault_injector import (
+    FAULT_LEVELS,
+    GRAY_LEVELS,
     Colocation,
     CorruptionModel,
     FaultInjector,
     FaultSpec,
     FaultToleranceError,
 )
+from .gray import GrayOutcome, run_gray_experiment
 from .logbus import BusMessage, LogBus
 from .logger import ClassifiedRecord, LogCollector, NodeLogger, classify
 from .profile import PAPER_CLAY_PROFILE, PAPER_RS_PROFILE, ExperimentProfile
 from .report import Series, format_grouped_bars, format_table, normalise
 from .sweep import SweepRunner, SweepSpec, SweepResult, run_cell
 from .timeline import (
+    FlapTimeline,
     RecoveryTimeline,
     ScrubTimeline,
     TimelineError,
+    build_flap_timeline,
     build_scrub_timeline,
     build_timeline,
 )
@@ -47,11 +52,15 @@ __all__ = [
     "RepeatedResult",
     "repeat_experiment",
     "run_experiment",
+    "FAULT_LEVELS",
+    "GRAY_LEVELS",
     "Colocation",
     "CorruptionModel",
     "FaultInjector",
     "FaultSpec",
     "FaultToleranceError",
+    "GrayOutcome",
+    "run_gray_experiment",
     "BusMessage",
     "LogBus",
     "ClassifiedRecord",
@@ -75,11 +84,13 @@ __all__ = [
     "export_timeline_csv",
     "find_anomalies",
     "pg_recovery_spans",
+    "FlapTimeline",
     "RecoveryTimeline",
     "ScrubTimeline",
     "TimelineError",
     "build_timeline",
     "build_scrub_timeline",
+    "build_flap_timeline",
     "WaReport",
     "chunk_stored_size",
     "estimate_wa",

@@ -54,6 +54,10 @@ class Controller:
             integrity=profile.integrity_config(),
             scrub=profile.scrub_config(),
         )
+        # The fabric's drop lottery draws only while a net_degrade fault
+        # is active; seeding it here makes degraded runs reproducible
+        # per experiment seed without touching healthy-run determinism.
+        self.cluster.topology.fabric.rng = self.seeds.stream("fabric")
         self.workers: Dict[int, Worker] = deploy_workers(self.cluster)
         self.bus = LogBus()
         self.fault_injector = FaultInjector(self.cluster, self.workers, self.seeds)

@@ -141,6 +141,9 @@ class Coordinator:
         # Phase 3: fault injection.  Crash faults (node/device) take the
         # victims down and are tracked through the monitor; corrupt
         # faults leave every daemon up — only deep scrub will find them.
+        # Gray faults degrade without a guaranteed mark-out (a flapping
+        # or partitioned OSD may never *stay* out), so the cycle does not
+        # block on them.
         injected: List[int] = []
         crash_victims: List[int] = []
         has_corrupt = False
@@ -149,7 +152,7 @@ class Coordinator:
             injected.extend(affected)
             if spec.level == "corrupt":
                 has_corrupt = True
-            else:
+            elif spec.level in ("node", "device"):
                 crash_victims.extend(affected)
         if has_corrupt and not self.cluster.scrub.config.enabled:
             raise ValueError(

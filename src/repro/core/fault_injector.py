@@ -7,6 +7,24 @@ failure domain), so every injected fault exercises EC recovery rather
 than causing data loss.  It is *topology-aware*: concurrent device
 failures can be forced onto the same storage node or spread across
 different nodes — the Figure 2d axis.
+
+Beyond fail-stop (node/device) and silent (corrupt) faults, the injector
+speaks three **gray-failure** levels — faults that degrade without
+killing:
+
+* ``slow_device`` — inflate an NVMe device's service times ×``factor``;
+  the OSD stays up and heartbeating, it just limps.
+* ``net_degrade`` — give a host's NIC packet loss, extra latency, a
+  bandwidth penalty, or a full partition; transfers through it can slow
+  down or drop, and so can the host's heartbeats.
+* ``flap`` — oscillate an OSD daemon up/down on a seeded cadence,
+  thrashing the monitor's failure detector until flap dampening pins it.
+
+The white-box guard extends to gray faults: ``flap`` and ``net_degrade``
+make shards (intermittently) unavailable, so they count against the
+code's tolerance budget exactly like crash faults; ``slow_device`` never
+costs availability and is budget-free, tracked only to prevent
+double-slowing one device.
 """
 
 from __future__ import annotations
@@ -15,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..cluster.ceph import CephCluster
+from ..cluster.network import NetDegradation
 from ..cluster.scrub import CorruptionModel
 from ..sim.rng import SeedSequence
 from .worker import Worker
@@ -25,10 +44,15 @@ __all__ = [
     "FaultSpec",
     "FaultToleranceError",
     "FaultInjector",
+    "FAULT_LEVELS",
+    "GRAY_LEVELS",
 ]
 
+#: Gray-failure levels: the fault degrades service but kills nothing.
+GRAY_LEVELS = ("slow_device", "net_degrade", "flap")
+
 #: The fault levels the injector understands.
-FAULT_LEVELS = ("node", "device", "corrupt")
+FAULT_LEVELS = ("node", "device", "corrupt") + GRAY_LEVELS
 
 
 class Colocation:
@@ -45,12 +69,16 @@ class FaultSpec:
     """A fault-injection request.
 
     ``level`` is ``"node"`` (shut a host down), ``"device"`` (remove NVMe
-    subsystems) or ``"corrupt"`` (silently damage stored chunks — found
-    only by deep scrub).  ``count`` is how many targets; ``colocation``
-    constrains device faults; ``corruption`` picks the damage model for
-    corrupt-level faults; explicit ``targets`` (host ids for node faults,
-    OSD ids for device faults, stripe shard indices for corrupt faults)
-    override selection.
+    subsystems), ``"corrupt"`` (silently damage stored chunks — found
+    only by deep scrub), or a gray level: ``"slow_device"`` (inflate
+    service times by ``factor``), ``"net_degrade"`` (apply ``loss`` /
+    ``latency`` / ``bandwidth_penalty`` / ``partition`` to host NICs) or
+    ``"flap"`` (oscillate OSD daemons with half-periods around
+    ``flap_interval``).  ``count`` is how many targets; ``colocation``
+    constrains device-scoped faults; ``corruption`` picks the damage
+    model for corrupt-level faults; explicit ``targets`` (host ids for
+    node/net_degrade faults, OSD ids for device/slow_device/flap faults,
+    stripe shard indices for corrupt faults) override selection.
     """
 
     level: str = "node"
@@ -58,6 +86,18 @@ class FaultSpec:
     colocation: str = Colocation.ANY
     targets: Optional[Sequence[int]] = None
     corruption: str = CorruptionModel.BIT_ROT
+    #: slow_device: multiplier on the device's service times.
+    factor: float = 4.0
+    #: net_degrade: per-transfer drop probability at the host's NIC.
+    loss: float = 0.0
+    #: net_degrade: extra one-way propagation latency (seconds).
+    latency: float = 0.0
+    #: net_degrade: divisor on the NIC's usable bandwidth.
+    bandwidth_penalty: float = 1.0
+    #: net_degrade: sever the host from the fabric entirely.
+    partition: bool = False
+    #: flap: nominal half-period of the up/down oscillation (seconds).
+    flap_interval: float = 60.0
 
     def __post_init__(self):
         if self.level not in FAULT_LEVELS:
@@ -72,9 +112,11 @@ class FaultSpec:
                 f"unknown colocation {self.colocation!r}; "
                 f"allowed colocations: {', '.join(Colocation.ALL)}"
             )
-        if self.colocation == Colocation.SAME_HOST and self.level == "node":
+        if self.colocation == Colocation.SAME_HOST and self.level in (
+            "node", "net_degrade",
+        ):
             raise ValueError(
-                "same-host colocation applies to device faults, "
+                "same-host colocation applies to device-scoped faults, "
                 f"not level={self.level!r}"
             )
         if self.corruption not in CorruptionModel.ALL:
@@ -82,6 +124,27 @@ class FaultSpec:
                 f"unknown corruption model {self.corruption!r}; "
                 f"allowed models: {', '.join(CorruptionModel.ALL)}"
             )
+        if self.level == "slow_device" and self.factor <= 1.0:
+            raise ValueError(
+                f"slow_device needs factor > 1.0, got {self.factor}"
+            )
+        if self.level == "net_degrade":
+            # Constructing the degradation validates ranges and rejects
+            # a spec that degrades nothing.
+            self.net_degradation()
+        if self.level == "flap" and self.flap_interval <= 0:
+            raise ValueError(
+                f"flap needs flap_interval > 0, got {self.flap_interval}"
+            )
+
+    def net_degradation(self) -> NetDegradation:
+        """The NIC degradation a net_degrade spec applies."""
+        return NetDegradation(
+            loss=self.loss,
+            latency=self.latency,
+            bandwidth_penalty=self.bandwidth_penalty,
+            partition=self.partition,
+        )
 
 
 class FaultToleranceError(ValueError):
@@ -101,6 +164,10 @@ class FaultInjector:
         self.workers = workers
         self.seeds = seeds or SeedSequence(0)
         self.injected_osds: Set[int] = set()
+        #: OSDs whose device is currently slowed.  Not part of the
+        #: tolerance budget (a slow disk costs no availability) — only
+        #: tracked so one device is never slowed twice.
+        self.slowed_osds: Set[int] = set()
 
     # -- white-box validation ---------------------------------------------------------
 
@@ -119,6 +186,12 @@ class FaultInjector:
                     f"exceed the guaranteed tolerance m={tolerance} of "
                     f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
                 )
+            return
+        if spec.level == "slow_device":
+            # A limping device costs performance, not availability: it
+            # consumes none of the tolerance budget.  Selection still
+            # enforces that enough un-slowed candidates exist.
+            self._select_slow_devices(spec)
             return
         domain = pool.failure_domain
         hit = {
@@ -146,8 +219,14 @@ class FaultInjector:
             )
 
     def _osds_for(self, spec: FaultSpec) -> Set[int]:
-        """OSDs a spec will take down (resolving target selection)."""
-        if spec.level == "node":
+        """OSDs a spec can make unavailable (resolving target selection).
+
+        ``net_degrade`` is host-scoped like ``node`` (the NIC is shared);
+        ``flap`` is device-scoped like ``device``.  Both count in full —
+        an intermittently-unavailable shard must be assumed unavailable
+        for the tolerance guarantee to hold.
+        """
+        if spec.level in ("node", "net_degrade"):
             hosts = self._select_hosts(spec)
             out: Set[int] = set()
             for host_id in hosts:
@@ -163,8 +242,17 @@ class FaultInjector:
             osd_id
             for osd_id in self.cluster.osds_with_data()
             if osd_id not in self.injected_osds
+            and osd_id not in self.slowed_osds
             and self.cluster.osds[osd_id].is_up()
         ]
+
+    def _select_slow_devices(self, spec: FaultSpec) -> List[int]:
+        """Targets for a slow_device fault (device-scoped selection)."""
+        devices = self._select_devices(spec)
+        already = [osd_id for osd_id in devices if osd_id in self.slowed_osds]
+        if already:
+            raise ValueError(f"devices already slowed: {sorted(already)}")
+        return devices
 
     def _data_hosts(self) -> List[int]:
         """Hosts that store chunks (so faults actually trigger recovery)."""
@@ -343,6 +431,15 @@ class FaultInjector:
         # down must still count against the tolerance budget — otherwise a
         # later validate() under-counts live damage and can authorise a
         # fault combination that exceeds the code's guarantee.
+        if spec.level == "slow_device":
+            devices = self._select_slow_devices(spec)
+            affected = []
+            for osd_id in devices:
+                host_id = self.cluster.topology.osds[osd_id].host_id
+                self.workers[host_id].slow_device(osd_id, spec.factor)
+                affected.append(osd_id)
+                self.slowed_osds.add(osd_id)
+            return sorted(affected)
         if spec.level == "node":
             hosts = self._select_hosts(spec)
             affected: List[int] = []
@@ -351,6 +448,27 @@ class FaultInjector:
                 host_osds = self.cluster.topology.hosts[host_id].osd_ids
                 affected.extend(host_osds)
                 self.injected_osds |= set(host_osds)
+        elif spec.level == "net_degrade":
+            hosts = self._select_hosts(spec)
+            degradation = spec.net_degradation()
+            affected = []
+            for host_id in hosts:
+                self.workers[host_id].degrade_network(degradation)
+                host_osds = self.cluster.topology.hosts[host_id].osd_ids
+                affected.extend(host_osds)
+                self.injected_osds |= set(host_osds)
+        elif spec.level == "flap":
+            devices = self._select_devices(spec)
+            affected = []
+            for osd_id in devices:
+                host_id = self.cluster.topology.osds[osd_id].host_id
+                # One seeded stream per target keeps flap phasing
+                # deterministic and independent across OSDs.
+                self.workers[host_id].start_flap(
+                    osd_id, spec.flap_interval, self.seeds.stream(f"flap-{osd_id}")
+                )
+                affected.append(osd_id)
+                self.injected_osds.add(osd_id)
         else:
             devices = self._select_devices(spec)
             affected = []
@@ -372,3 +490,4 @@ class FaultInjector:
         for worker in self.workers.values():
             worker.restore()
             self.injected_osds -= set(worker.host.osd_ids)
+            self.slowed_osds -= set(worker.host.osd_ids)

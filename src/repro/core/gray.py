@@ -1,0 +1,179 @@
+"""Gray-failure experiments: degrade the DSS, measure what clients pay.
+
+Crash experiments (:func:`~repro.core.experiment.run_experiment`) ask
+"how long until redundancy is restored?".  Gray experiments ask the
+*other* question the paper's fault axis leaves open: what do slow disks,
+flaky networks, and flapping daemons cost while the cluster is neither
+healthy nor failed — and how much do the defenses (flap dampening, op
+timeouts, retry/backoff, hedged reads) buy back?
+
+:func:`run_gray_experiment` drives one cycle: ingest the workload, warm
+up, inject the gray (and/or crash) faults, run an open-loop client read
+load through the degraded window, restore, and settle until health
+converges.  The returned :class:`GrayOutcome` carries client latency
+samples, defense counters, monitor dampening counters, and a canonical
+:meth:`~GrayOutcome.digest` that is byte-identical across same-seed runs
+— the determinism contract the examples assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..cluster.client import (
+    ClientLoadGenerator,
+    ClientOpStats,
+    RadosClient,
+    ReadStats,
+)
+from ..cluster.health import HealthStatus, check_health
+from ..cluster.recovery import RecoveryStats
+from ..workload.generator import Workload
+from .controller import Controller
+from .fault_injector import FaultSpec
+from .logger import LogCollector
+from .profile import ExperimentProfile
+from .timeline import FlapTimeline, TimelineError, build_flap_timeline
+
+__all__ = ["GrayOutcome", "run_gray_experiment"]
+
+#: Sim-seconds between settle-phase polls of the convergence predicate.
+SETTLE_POLL = 25.0
+
+
+@dataclass
+class GrayOutcome:
+    """Everything one gray-failure experiment produced."""
+
+    read_stats: ReadStats
+    client_stats: ClientOpStats
+    recovery_stats: RecoveryStats
+    #: OSDs the injected faults made (intermittently) unavailable.
+    injected_osds: List[int]
+    #: OSDs whose devices were merely slowed (never counted as damage).
+    slowed_osds: List[int]
+    #: Monitor-side dampening counters over the whole run.
+    markdowns: int
+    pins: int
+    health: str
+    converged: bool
+    finished_at: float
+    collector: LogCollector
+    flap_timeline: Optional[FlapTimeline] = None
+
+    def digest(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable snapshot (the determinism contract)."""
+        return {
+            "finished_at": self.finished_at,
+            "health": str(self.health),
+            "converged": self.converged,
+            "injected_osds": list(self.injected_osds),
+            "slowed_osds": list(self.slowed_osds),
+            "markdowns": self.markdowns,
+            "pins": self.pins,
+            "client": asdict(self.client_stats),
+            "recovery": asdict(self.recovery_stats),
+            "read_failures": self.read_stats.failures,
+            "samples": [
+                [s.object_name, s.issued_at, s.latency, s.degraded,
+                 s.bytes_read, s.attempts, s.hedged]
+                for s in self.read_stats.samples
+            ],
+        }
+
+    def digest_json(self) -> str:
+        """The digest as canonical JSON — byte-comparable across runs."""
+        return json.dumps(
+            self.digest(), sort_keys=True, separators=(",", ":"),
+            ensure_ascii=True,
+        )
+
+
+def run_gray_experiment(
+    profile: ExperimentProfile,
+    workload: Workload,
+    faults: Sequence[FaultSpec],
+    seed: int = 0,
+    warmup: float = 50.0,
+    fault_duration: float = 600.0,
+    load_interval: float = 2.0,
+    settle_time: float = 20_000.0,
+) -> GrayOutcome:
+    """Run one gray-failure cycle and return its outcome.
+
+    The client load runs open-loop for ``fault_duration`` seconds while
+    the faults are active, then every fault is restored and the cluster
+    given ``settle_time`` to converge (pins expire, flapped daemons are
+    marked back up, recovery drains).  Defenses are configured through
+    ``profile.ceph`` (``client_op_timeout``, ``client_hedge_delay``,
+    retry knobs); all of them default off.
+    """
+    if fault_duration <= 0:
+        raise ValueError("fault_duration must be positive")
+    controller = Controller(profile, seed=seed)
+    env = controller.env
+    cluster = controller.cluster
+    coordinator = controller.coordinator
+
+    coordinator.ingest_workload(workload)
+    client = RadosClient(cluster, seeds=controller.seeds)
+    load = ClientLoadGenerator(
+        client, interval=load_interval, seeds=controller.seeds
+    )
+
+    env.run(until=env.now + warmup)
+    injected: List[int] = []
+    for spec in faults:
+        injected.extend(controller.fault_injector.inject(spec))
+    slowed = sorted(controller.fault_injector.slowed_osds)
+
+    load_proc = load.run_for(fault_duration)
+    env.run(until=env.now + fault_duration)
+    controller.fault_injector.restore_all()
+    # Drain in-flight reads (their retries may outlive the fault window).
+    env.run_until_process(load_proc)
+
+    deadline = env.now + settle_time
+    converged = _converged(cluster)
+    while not converged and env.now < deadline:
+        env.run(until=min(env.now + SETTLE_POLL, deadline))
+        converged = _converged(cluster)
+
+    for logger in coordinator.loggers:
+        logger.flush()
+    coordinator.collector.collect()
+    flap_timeline: Optional[FlapTimeline] = None
+    try:
+        flap_timeline = build_flap_timeline(coordinator.collector)
+    except TimelineError:
+        pass
+
+    return GrayOutcome(
+        read_stats=load.stats,
+        client_stats=client.stats,
+        recovery_stats=cluster.recovery.stats,
+        injected_osds=sorted(injected),
+        slowed_osds=slowed,
+        markdowns=cluster.monitor.markdowns_total,
+        pins=cluster.monitor.pins_total,
+        health=str(check_health(cluster).status),
+        converged=converged,
+        finished_at=env.now,
+        collector=coordinator.collector,
+        flap_timeline=flap_timeline,
+    )
+
+
+def _converged(cluster) -> bool:
+    """Same convergence bar as the chaos engine: everything healed."""
+    if not all(osd.is_up() for osd in cluster.osds.values()):
+        return False
+    if cluster.monitor.out_osds:
+        return False
+    if cluster.monitor.active_pins():
+        return False
+    if not cluster.recovery.idle:
+        return False
+    return check_health(cluster).status == HealthStatus.OK

@@ -22,8 +22,17 @@ __all__ = ["ClassifiedRecord", "NodeLogger", "LogCollector", "KEYWORD_CLASSES"]
 #: paper's examples ("decoding, failure, recovery, etc.").
 KEYWORD_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("failure", ("marking down", "no heartbeats", "shutdown", "removed nvme")),
-    ("osdmap", ("marking osd out", "osdmap changed", "marking up")),
+    ("osdmap", ("marking osd out", "osdmap changed", "marking up", "marking in")),
     ("corruption", ("silent corruption",)),
+    ("gray", (
+        "nvme service degraded",
+        "network degraded",
+        "flapped down",
+        "flapped up",
+        "flapping osd pinned",
+        "recovery op abandoned",
+        "recovery abandoned",
+    )),
     ("scrub", (
         "deep-scrub",
         "scrub error",

@@ -21,9 +21,11 @@ from .logger import LogCollector
 __all__ = [
     "RecoveryTimeline",
     "ScrubTimeline",
+    "FlapTimeline",
     "TimelineError",
     "build_timeline",
     "build_scrub_timeline",
+    "build_flap_timeline",
     "first_nonmonotone",
 ]
 
@@ -161,6 +163,60 @@ class ScrubTimeline:
         return marks
 
 
+@dataclass(frozen=True)
+class FlapTimeline:
+    """Timestamps of one flapping-OSD cycle: flap -> dampening -> settle.
+
+    The Fig-3-style breakdown gains a *gray band*: an oscillating daemon
+    thrashes the failure detector (each flap-down eventually costs a
+    markdown and an osdmap epoch) until the monitor's markdown budget
+    runs out and flap dampening pins the OSD down.  From the pin onward
+    the cycle looks like an ordinary crash: down->out interval, optional
+    mark-out and recovery, then mark-in and convergence after restore.
+    """
+
+    flap_started: Optional[float]
+    first_markdown: float
+    pinned: float
+    markdowns_before_pin: int
+    marked_out: Optional[float] = None
+    marked_in: Optional[float] = None
+    health_ok: Optional[float] = None
+
+    @property
+    def thrash_period(self) -> float:
+        """First markdown -> dampening pin (the detector-thrash window)."""
+        return self.pinned - self.first_markdown
+
+    def annotations(self) -> List[Tuple[float, str]]:
+        """(relative time, label) pairs for a Figure-3-style gray band."""
+        zero = (
+            self.flap_started
+            if self.flap_started is not None
+            else self.first_markdown
+        )
+        marks: List[Tuple[float, str]] = []
+        if self.flap_started is not None:
+            marks.append((0.0, "OSD daemon started flapping"))
+        marks.extend(
+            [
+                (self.first_markdown - zero, "First markdown (detector thrash)"),
+                (
+                    self.pinned - zero,
+                    f"Flap dampening pinned OSD down "
+                    f"({self.markdowns_before_pin} markdowns)",
+                ),
+            ]
+        )
+        if self.marked_out is not None:
+            marks.append((self.marked_out - zero, "OSD marked out (osdmap change)"))
+        if self.marked_in is not None:
+            marks.append((self.marked_in - zero, "OSD marked in after restore"))
+        if self.health_ok is not None:
+            marks.append((self.health_ok - zero, "HEALTH_OK restored"))
+        return marks
+
+
 def build_timeline(collector: LogCollector) -> RecoveryTimeline:
     """Extract the recovery timeline from collected logs.
 
@@ -230,4 +286,44 @@ def build_scrub_timeline(collector: LogCollector) -> ScrubTimeline:
         repair_started=repair_started.time,
         repair_finished=repair_finished.time,
         health_ok=health_ok.time,
+    )
+
+
+def build_flap_timeline(collector: LogCollector) -> FlapTimeline:
+    """Extract the flapping-OSD cycle from collected logs.
+
+    Raises :class:`TimelineError` when the cycle is incomplete — the OSD
+    never flapped long enough to be marked down, or the markdown budget
+    never ran out so dampening never pinned it.
+    """
+    flap_started = collector.first_matching("flapped down")
+    first_markdown = collector.first_matching("marking down")
+    pinned = collector.first_matching("flapping osd pinned")
+    missing = [
+        name
+        for name, record in (
+            ("first markdown", first_markdown),
+            ("dampening pin", pinned),
+        )
+        if record is None
+    ]
+    if missing:
+        raise TimelineError(f"incomplete flap cycle; missing: {missing}")
+    markdowns_before_pin = sum(
+        1
+        for record in collector.records
+        if "marking down" in record.record.message.lower()
+        and record.time <= pinned.time
+    )
+    marked_out = collector.first_matching("marking osd out")
+    marked_in = collector.last_matching("marking in")
+    health_ok = collector.last_matching("cluster health now health_ok")
+    return FlapTimeline(
+        flap_started=flap_started.time if flap_started else None,
+        first_markdown=first_markdown.time,
+        pinned=pinned.time,
+        markdowns_before_pin=markdowns_before_pin,
+        marked_out=marked_out.time if marked_out else None,
+        marked_in=marked_in.time if marked_in else None,
+        health_ok=health_ok.time if health_ok else None,
     )

@@ -6,16 +6,21 @@ One Worker runs on every DataNode of the target DSS and does two things:
   NVMe-oF target and connects them to the local OSDs, replacing physical
   disks so device state is under framework control (§3.1).
 * **DSS manipulation**: applies the faults the Controller requests —
-  shutting the node down (node-level fault) or removing an NVMe
-  subsystem (device-level fault) — and restores state afterwards (§3.2).
+  shutting the node down (node-level fault), removing an NVMe subsystem
+  (device-level fault), or degrading the node *without* killing it
+  (gray faults: slow device, lossy/partitioned network, flapping
+  daemon) — and restores state afterwards (§3.2).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import random
+from typing import Dict, Generator, List, Optional
 
 from ..cluster.ceph import CephCluster
+from ..cluster.network import NetDegradation
 from ..cluster.nvme import NvmeSubsystem, NvmeTarget, default_nqn
+from ..sim import Interrupt
 
 __all__ = ["Worker", "deploy_workers"]
 
@@ -30,6 +35,10 @@ class Worker:
         self.log = cluster.host_logs[host_id]
         self._removed: Dict[int, NvmeSubsystem] = {}
         self._was_shutdown = False
+        #: Gray-fault state this worker applied (rolled back by restore).
+        self._slowed: Dict[int, float] = {}
+        self._flapping: Dict[int, object] = {}
+        self._net_degraded = False
 
     # -- provisioning (§3.1) --------------------------------------------------------
 
@@ -98,6 +107,74 @@ class Worker:
         )
         return blocks
 
+    # -- gray faults (degrade, don't kill) ---------------------------------------------
+
+    def slow_device(self, osd_id: int, factor: float) -> None:
+        """Gray fault: inflate one device's service times by ``factor``.
+
+        The OSD stays up and heartbeating — the disk just limps, the way
+        an NVMe device with a failing die or a saturated controller does.
+        """
+        if osd_id in self._slowed:
+            raise ValueError(f"osd.{osd_id} is already slowed")
+        nqn = self.nqn_of(osd_id)
+        self.target.degrade_subsystem(nqn, factor)
+        self._slowed[osd_id] = factor
+        self.log.emit(
+            self.cluster.env.now, "client", "nvme service degraded",
+            nqn=nqn, osd=f"osd.{osd_id}", factor=factor,
+        )
+
+    def degrade_network(self, degradation: NetDegradation) -> None:
+        """Gray fault: make this host's NIC lossy, slow, or partitioned."""
+        if self._net_degraded:
+            raise ValueError(f"{self.host.name} network is already degraded")
+        self.host.nic.degrade(degradation)
+        self._net_degraded = True
+        self.log.emit(
+            self.cluster.env.now, "client", "network degraded",
+            host=self.host.name,
+            loss=degradation.loss,
+            latency=degradation.latency,
+            bandwidth_penalty=degradation.bandwidth_penalty,
+            partition=degradation.partition,
+        )
+
+    def start_flap(self, osd_id: int, interval: float, rng: random.Random) -> None:
+        """Gray fault: oscillate one OSD daemon up/down until restored.
+
+        Each half-period lasts ``interval * [0.5, 1.5)`` drawn from the
+        injector's seeded per-target stream, so flap phasing is
+        deterministic per seed but not synchronised across targets.
+        """
+        if osd_id in self._flapping:
+            raise ValueError(f"osd.{osd_id} is already flapping")
+        if interval <= 0:
+            raise ValueError(f"flap interval must be positive, got {interval}")
+        self._flapping[osd_id] = self.cluster.env.process(
+            self._flap_loop(osd_id, interval, rng)
+        )
+
+    def _flap_loop(self, osd_id: int, interval: float, rng: random.Random) -> Generator:
+        osd = self.cluster.osds[osd_id]
+        try:
+            while True:
+                osd.daemon_up = False
+                self.log.emit(
+                    self.cluster.env.now, "client", "osd daemon flapped down",
+                    osd=osd.name,
+                )
+                yield self.cluster.env.timeout(interval * (0.5 + rng.random()))
+                osd.daemon_up = True
+                self.log.emit(
+                    self.cluster.env.now, "client", "osd daemon flapped up",
+                    osd=osd.name,
+                )
+                yield self.cluster.env.timeout(interval * (0.5 + rng.random()))
+        except Interrupt:
+            # restore() stops the oscillation; it re-raises the daemon.
+            return
+
     def restore(self) -> None:
         """Undo all faults this worker applied (experiment teardown).
 
@@ -113,6 +190,16 @@ class Worker:
             if subsystem.nqn not in self.target.subsystems:
                 self.target.restore_subsystem(subsystem)
             del self._removed[osd_id]
+        for osd_id in list(self._slowed):
+            self.target.restore_subsystem_speed(self.nqn_of(osd_id))
+            del self._slowed[osd_id]
+        for osd_id, proc in list(self._flapping.items()):
+            proc.interrupt()
+            self.cluster.osds[osd_id].daemon_up = True
+            del self._flapping[osd_id]
+        if self._net_degraded:
+            self.host.nic.restore_network()
+            self._net_degraded = False
 
 
 def deploy_workers(cluster: CephCluster, provision: bool = True) -> Dict[int, Worker]:

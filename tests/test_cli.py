@@ -109,7 +109,7 @@ def test_bad_ec_params_message():
 
 @pytest.mark.parametrize("command", [
     "run", "scrub", "sweep", "analyze", "repair-plan",
-    "wa", "autoscale", "chaos", "replay", "tune",
+    "wa", "autoscale", "chaos", "replay", "tune", "inject",
 ])
 def test_every_subcommand_has_help(capsys, command):
     with pytest.raises(SystemExit) as excinfo:
@@ -137,6 +137,8 @@ def test_no_subcommand_is_an_error(capsys):
     ["tune", "--budget", "lots"],            # not an int
     ["tune", "--strategy", "psychic"],       # not a strategy
     ["tune", "--ec-variants", "k=9,m=3"],    # missing plugin: prefix
+    ["inject", "--level", "node"],           # not a gray fault level
+    ["inject", "--factor", "fast"],          # not a float
 ])
 def test_malformed_arguments_exit_2(capsys, argv):
     with pytest.raises(SystemExit) as excinfo:

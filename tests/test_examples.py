@@ -78,3 +78,11 @@ def test_silent_corruption_example():
     assert "bit_rot" in proc.stdout
     assert "misdirected_write" in proc.stdout
     assert "HEALTH_OK restored" in proc.stdout
+
+
+def test_gray_failures_example():
+    proc = run_example("gray_failures.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "byte-identical" in proc.stdout
+    assert "Flap dampening pinned OSD down" in proc.stdout
+    assert "cut p99" in proc.stdout
