@@ -102,6 +102,17 @@ class CampaignSpec:
     num_objects: int = 20
     object_size: int = 1048576
     size_jitter: float = 0.0
+    # -- client write load ----------------------------------------------------
+    #: Mean seconds between client ops while the mixed load runs.  0.0
+    #: (the default) means no client load: the campaign is read-only and
+    #: byte-identical to the pre-write-path model.
+    write_interval: float = 0.0
+    #: Fraction of client ops that are writes (rest are reads).
+    write_fraction: float = 0.5
+    #: Fraction of writes that are partial-stripe RMWs (rest full).
+    rmw_fraction: float = 0.5
+    #: How long (sim-seconds, from campaign start) the mixed load runs.
+    write_duration: float = 0.0
     # -- fault schedule -------------------------------------------------------
     actions: Tuple[ScheduledAction, ...] = field(default_factory=tuple)
     #: Sim-time budget for the final settle phase (recovery + scrub drain).
@@ -110,6 +121,17 @@ class CampaignSpec:
     def __post_init__(self):
         if self.settle_time <= 0:
             raise ValueError("settle_time must be positive")
+        if self.write_interval < 0:
+            raise ValueError("write_interval must be >= 0")
+        for name in ("write_fraction", "rmw_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.write_interval > 0 and self.write_duration <= 0:
+            raise ValueError(
+                "a write-enabled campaign (write_interval > 0) needs "
+                "write_duration > 0"
+            )
         times = [action.at for action in self.actions]
         if times != sorted(times):
             raise ValueError("schedule actions must be time-ordered")

@@ -16,8 +16,10 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..cluster.ceph import CephCluster
+from ..cluster.ceph import OVERWRITE_LEDGER_KEYS, CephCluster
+from ..cluster.client import ClientLoadGenerator, RadosClient
 from ..cluster.health import HealthStatus, check_health
+from ..cluster.recovery import DELTA_STAT_KEYS
 from ..core.controller import Controller
 from ..core.fault_injector import FaultInjector, FaultToleranceError
 from ..sim.rng import substream_seed
@@ -80,6 +82,25 @@ def run_campaign(
     suite = InvariantSuite(cluster, extra_checks=tuple(extra_checks))
 
     controller.coordinator.ingest_workload(spec.to_workload())
+
+    # Write-enabled campaigns run a mixed read-write client load through
+    # the whole fault schedule, so restores race live degraded writes —
+    # the arc the pg_log delta-recovery invariants exercise.  Read-only
+    # campaigns (write_interval == 0) construct none of this and stay
+    # byte-identical to the pre-write-path model.
+    load = None
+    load_proc = None
+    if spec.write_interval > 0:
+        client = RadosClient(cluster, seeds=controller.seeds)
+        load = ClientLoadGenerator(
+            client,
+            interval=spec.write_interval,
+            seeds=controller.seeds,
+            write_fraction=spec.write_fraction,
+            rmw_fraction=spec.rmw_fraction,
+        )
+        load_proc = load.run_for(spec.write_duration)
+
     step = 0
     suite.check_step(step)
 
@@ -97,6 +118,11 @@ def run_campaign(
             injector.restore_all()
         step += 1
         suite.check_step(step)
+
+    if load_proc is not None:
+        # Drain the client load (retries may outlive the fault window)
+        # before judging convergence.
+        env.run_until_process(load_proc)
 
     # Settle: poll until the cluster converges (or provably cannot, or
     # the budget runs out - the final check then reports the stall).
@@ -119,7 +145,7 @@ def run_campaign(
     step += 1
     suite.check_final(step)
 
-    digest = outcome_digest(cluster)
+    digest = outcome_digest(cluster, load=load)
     return CampaignResult(
         spec=spec,
         outcome_hash=hash_digest(digest),
@@ -144,6 +170,11 @@ def _quiescent(cluster: CephCluster) -> bool:
     if not cluster.recovery.idle:
         return False
     if cluster.scrub.config.enabled and not cluster.scrub.quiescent():
+        return False
+    # Staleness with no down->up trigger (an OSD back within heartbeat
+    # grace never looked down to the monitor) is caught here: kick delta
+    # recovery for any dirty pg_log before judging health.
+    if cluster.recovery.kick_stale():
         return False
     return check_health(cluster).status == HealthStatus.OK
 
@@ -171,10 +202,25 @@ def _stalled(cluster: CephCluster, injector: FaultInjector) -> bool:
 # -- the outcome hash (the replay contract) -----------------------------------
 
 
-def outcome_digest(cluster: CephCluster) -> Dict[str, Any]:
+def _prune_zero(payload: Dict[str, Any], keys) -> Dict[str, Any]:
+    """Drop keys whose value is exactly 0 (write-path counter pruning).
+
+    The write path added counters to stats that predate it; pruning them
+    at zero keeps read-only outcome digests byte-identical to the
+    pre-write-path model while write-enabled runs see every counter.
+    """
+    for key in keys:
+        if payload.get(key) == 0:
+            del payload[key]
+    return payload
+
+
+def outcome_digest(
+    cluster: CephCluster, load: Optional[ClientLoadGenerator] = None
+) -> Dict[str, Any]:
     """Canonical, JSON-serialisable snapshot of everything observable."""
     health = check_health(cluster)
-    return {
+    digest = {
         "sim_now": cluster.env.now,
         "sim_steps": cluster.env.steps,
         "health": {"status": health.status, "checks": list(health.checks)},
@@ -186,14 +232,16 @@ def outcome_digest(cluster: CephCluster) -> Dict[str, Any]:
             }
             for osd in cluster.osds.values()
         },
-        "recovery": asdict(cluster.recovery.stats),
+        "recovery": _prune_zero(
+            asdict(cluster.recovery.stats), DELTA_STAT_KEYS
+        ),
         "scrub": asdict(cluster.scrub.stats),
         "monitor": {
             "markdowns": cluster.monitor.markdowns_total,
             "pins": cluster.monitor.pins_total,
             "active_pins": sorted(cluster.monitor.active_pins()),
         },
-        "ledger": asdict(cluster.ledger),
+        "ledger": _prune_zero(asdict(cluster.ledger), OVERWRITE_LEDGER_KEYS),
         "corrupt_chunks": cluster.integrity.corrupted_chunk_count(),
         "logs": [
             [
@@ -207,6 +255,20 @@ def outcome_digest(cluster: CephCluster) -> Dict[str, Any]:
             for record in log.records
         ],
     }
+    if load is not None:
+        writes = load.write_stats
+        digest["writes"] = {
+            "ok": len(writes.samples),
+            "failed": writes.failures,
+            "degraded": writes.degraded_count,
+            "logical_bytes": writes.logical_bytes,
+            "samples": [
+                [s.object_name, s.issued_at, s.latency, s.kind, s.degraded,
+                 s.bytes_written, s.attempts]
+                for s in writes.samples
+            ],
+        }
+    return digest
 
 
 def hash_digest(digest: Dict[str, Any]) -> str:
@@ -247,6 +309,7 @@ def run_chaos(
     on_campaign=None,
     stop_on_failure: bool = False,
     levels: Optional[Tuple[str, ...]] = None,
+    writes: bool = False,
 ) -> ChaosReport:
     """Sample and run ``campaigns`` campaigns derived from ``root_seed``.
 
@@ -254,11 +317,15 @@ def run_chaos(
     after each campaign (result is None for invalid ones) — the CLI uses
     it for progress output, tests for introspection.  ``levels``
     restricts which fault levels the sampler may draw (the CI gray-chaos
-    job sweeps only the gray ones).
+    job sweeps only the gray ones).  ``writes=True`` makes the sampler
+    add a mixed read-write client load to every campaign, exercising the
+    degraded write path and pg_log delta recovery.
     """
     report = ChaosReport(root_seed=root_seed)
     for index in range(campaigns):
-        spec = sample_campaign(campaign_seed(root_seed, index), levels=levels)
+        spec = sample_campaign(
+            campaign_seed(root_seed, index), levels=levels, writes=writes
+        )
         report.campaigns += 1
         try:
             result: Optional[CampaignResult] = run_campaign(spec, extra_checks)

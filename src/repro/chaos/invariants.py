@@ -22,7 +22,9 @@ __all__ = [
     "check_durability",
     "check_wa_conservation",
     "check_log_monotonicity",
+    "check_log_bounded_repair",
     "check_converged",
+    "check_version_convergence",
     "InvariantSuite",
 ]
 
@@ -80,7 +82,13 @@ def check_durability(cluster: CephCluster) -> List[InvariantViolation]:
         down = _damaged_shards(cluster, pg)
         for obj in pg.objects:
             corrupt = cluster.integrity.corrupt_shards(pg.pgid, obj.name)
-            damaged = down | corrupt
+            # Stale shards (missed a degraded write) hold old content:
+            # they cannot serve reads or repairs, so they count as
+            # damage exactly like corruption until delta-repaired.
+            stale = (
+                pg.log.stale_shards(obj.name) if pg.log is not None else set()
+            )
+            damaged = down | corrupt | stale
             if not damaged:
                 continue
             if len(damaged) > tolerance:
@@ -151,6 +159,63 @@ def check_log_monotonicity(cluster: CephCluster) -> List[InvariantViolation]:
     return violations
 
 
+def check_log_bounded_repair(cluster: CephCluster) -> List[InvariantViolation]:
+    """Delta recovery never moves more bytes than its accrued allowance.
+
+    Every delta attempt credits its planned pull+push bytes to
+    ``delta_budget_bytes`` *before* the I/O runs, and the budget only
+    grows with objects actually dirtied during an outage (plus
+    gray-fault retries).  Spent bytes overtaking the budget means delta
+    recovery is doing work the log never justified — e.g. silently
+    degenerating into a full sweep while still counting as "delta".
+    """
+    stats = cluster.recovery.stats
+    spent = stats.delta_bytes_read + stats.delta_bytes_written
+    if spent <= stats.delta_budget_bytes:
+        return []
+    return [
+        InvariantViolation(
+            "log-bounded-repair",
+            f"delta recovery moved {spent} B "
+            f"(read={stats.delta_bytes_read} written={stats.delta_bytes_written}) "
+            f"> accrued dirty-object allowance {stats.delta_budget_bytes} B",
+            at_time=cluster.env.now,
+        )
+    ]
+
+
+def check_version_convergence(cluster: CephCluster) -> List[InvariantViolation]:
+    """After settle, every live shard agrees on each object's version.
+
+    The pg_log tracks the last version each shard applied.  Once all
+    faults are restored and repair has drained, a shard on an up OSD
+    still behind the committed object version means a write was lost:
+    neither the write path (refresh on overwrite), delta recovery, nor
+    backfill brought it current.
+    """
+    violations: List[InvariantViolation] = []
+    now = cluster.env.now
+    for pg in cluster.pool.pgs.values():
+        log = pg.log
+        if log is None:
+            continue
+        for name, version in log.object_version.items():
+            for shard, shard_version in enumerate(log.shard_versions[name]):
+                if not cluster.osds[pg.acting[shard]].is_up():
+                    continue
+                if shard_version != version:
+                    violations.append(
+                        InvariantViolation(
+                            "version-convergence",
+                            f"object {pg.pgid}/{name} shard {shard} applied "
+                            f"version {shard_version} != committed {version} "
+                            f"after settle",
+                            at_time=now,
+                        )
+                    )
+    return violations
+
+
 def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
     """End-of-campaign convergence: restore + recovery + scrub => HEALTH_OK.
 
@@ -215,11 +280,12 @@ def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
     return violations
 
 
-#: The step-wise checkers (convergence is end-of-campaign only).
+#: The step-wise checkers (convergence checks are end-of-campaign only).
 STEP_CHECKS = (
     check_durability,
     check_wa_conservation,
     check_log_monotonicity,
+    check_log_bounded_repair,
 )
 
 
@@ -252,12 +318,14 @@ class InvariantSuite:
         return found
 
     def check_final(self, step: int) -> List[InvariantViolation]:
-        """Run the end-of-campaign convergence check on top of a step check."""
+        """Run the end-of-campaign convergence checks on top of a step check."""
         found = self.check_step(step)
-        for violation in check_converged(self.cluster):
-            stamped = InvariantViolation(
-                violation.invariant, violation.detail, violation.at_time, step=step
-            )
-            found.append(stamped)
-            self.violations.append(stamped)
+        for checker in (check_converged, check_version_convergence):
+            for violation in checker(self.cluster):
+                stamped = InvariantViolation(
+                    violation.invariant, violation.detail, violation.at_time,
+                    step=step,
+                )
+                found.append(stamped)
+                self.violations.append(stamped)
         return found

@@ -13,6 +13,7 @@ engine classifies those as *invalid*, not failing.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..cluster.bluestore import CACHE_SCHEMES
@@ -68,7 +69,7 @@ def _tolerance(plugin: str, params: Tuple[Tuple[str, int], ...]) -> int:
 
 
 def sample_campaign(
-    seed: int, levels: Optional[Sequence[str]] = None
+    seed: int, levels: Optional[Sequence[str]] = None, writes: bool = False
 ) -> CampaignSpec:
     """Sample one valid campaign; same seed, same campaign, always.
 
@@ -77,6 +78,12 @@ def sample_campaign(
     default allows all of them.  The CI gray-chaos job passes
     ``("slow_device", "net_degrade", "flap")`` to sweep the gray axis in
     isolation.
+
+    ``writes=True`` additionally samples a mixed read-write client load
+    that runs through the whole fault schedule.  The write draws happen
+    last and only when enabled, so ``writes=False`` consumes exactly the
+    same RNG stream as before the write path existed — read-only
+    campaigns stay byte-identical.
     """
     chosen = tuple(levels) if levels is not None else FAULT_LEVELS
     if not chosen:
@@ -107,7 +114,7 @@ def sample_campaign(
 
     actions = _sample_schedule(rng, tolerance, osds_per_host, scrub_on, chosen)
 
-    return CampaignSpec(
+    spec = CampaignSpec(
         seed=seed,
         ec_plugin=plugin,
         ec_params=params,
@@ -125,6 +132,20 @@ def sample_campaign(
         size_jitter=rng.choice((0.0, 0.0, 0.2)),
         actions=tuple(actions),
     )
+    if writes:
+        # Drawn strictly after every read-only field so the writes=False
+        # stream is untouched.  The load outlives the last scheduled
+        # action, so restores (and the recovery they trigger) race live
+        # writes — the scenario delta recovery exists for.
+        last_at = actions[-1].at if actions else 100.0
+        spec = replace(
+            spec,
+            write_interval=float(rng.choice((1, 2, 4))),
+            write_fraction=rng.choice((0.3, 0.5, 0.7)),
+            rmw_fraction=rng.choice((0.0, 0.5, 1.0)),
+            write_duration=last_at + float(rng.choice((50, 150))),
+        )
+    return spec
 
 
 def _sample_schedule(

@@ -154,6 +154,8 @@ def cmd_inject(args) -> int:
         seed=args.seed,
         fault_duration=args.duration,
         load_interval=args.read_interval,
+        write_fraction=args.write_fraction,
+        rmw_fraction=args.rmw_fraction,
     )
     print(f"profile: {profile.describe()}")
     print(f"fault: level={args.level} count={args.fault_count} "
@@ -170,6 +172,12 @@ def cmd_inject(args) -> int:
               f"{stats.degraded_fraction * 100:.1f}% degraded")
         print(f"read latency p50:  {stats.latency_percentile(50):9.4f} s")
         print(f"read latency p99:  {stats.latency_percentile(99):9.4f} s")
+    writes = outcome.write_stats
+    if writes is not None and (writes.count or writes.failures):
+        print(f"client writes:     {writes.count} ok, {writes.failures} failed, "
+              f"{writes.degraded_fraction * 100:.1f}% degraded")
+        if writes.count:
+            print(f"write latency avg: {writes.mean_latency():9.4f} s")
     ops = outcome.client_stats
     print(f"retries/timeouts:  {ops.retries} / {ops.timeouts} "
           f"(drops seen: {ops.drops_seen})")
@@ -490,6 +498,7 @@ def cmd_chaos(args) -> int:
         on_campaign=progress,
         stop_on_failure=args.stop_on_failure,
         levels=levels,
+        writes=args.writes,
     )
     print(f"chaos: {report.campaigns} campaigns from seed {report.root_seed}: "
           f"{report.passed} passed, {report.invalid} invalid, "
@@ -592,7 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--duration", type=float, default=600.0,
                         help="how long the fault stays injected (s)")
     inject.add_argument("--read-interval", type=float, default=2.0,
-                        help="client load: seconds between reads")
+                        help="client load: seconds between ops")
+    inject.add_argument("--write-fraction", type=float, default=0.0,
+                        help="client load: fraction of ops that are writes "
+                             "(0 = pure reads)")
+    inject.add_argument("--rmw-fraction", type=float, default=0.5,
+                        help="fraction of writes that are partial-stripe "
+                             "RMWs (rest are full overwrites)")
     inject.add_argument("--op-timeout", type=float, default=0.0,
                         help="client per-op timeout (0 = off)")
     inject.add_argument("--hedge-delay", type=float, default=0.0,
@@ -697,6 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--levels", default=None,
                        help="comma list restricting sampled fault levels, "
                             "e.g. slow_device,net_degrade,flap")
+    chaos.add_argument("--writes", action="store_true",
+                       help="add a sampled mixed read-write client load to "
+                            "every campaign (degraded writes, pg_log delta "
+                            "recovery, version-convergence invariants)")
     chaos.add_argument("--stop-on-failure", action="store_true",
                        help="stop at the first failing campaign")
     chaos.add_argument("--verbose", action="store_true",

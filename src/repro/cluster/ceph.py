@@ -27,7 +27,7 @@ from .recovery import RecoveryManager
 from .scrub import IntegrityConfig, IntegrityStore, ScrubConfig, ScrubManager
 from .topology import ClusterTopology
 
-__all__ = ["WaLedger", "CephCluster"]
+__all__ = ["WaLedger", "CephCluster", "OVERWRITE_LEDGER_KEYS"]
 
 
 @dataclass
@@ -52,6 +52,12 @@ class WaLedger:
     parity_padding_bytes: int = 0
     metadata_bytes: int = 0
     repair_bytes: int = 0
+    #: In-place overwrite volume (full-stripe rewrites and RMW deltas).
+    #: Overwrites allocate nothing — BlueStore rewrites the extents in
+    #: place — so neither bucket enters :attr:`device_bytes`; they exist
+    #: so write-path WA (stored/logical per overwrite) stays observable.
+    overwrite_client_bytes: int = 0
+    overwrite_stored_bytes: int = 0
 
     @property
     def device_bytes(self) -> int:
@@ -77,6 +83,41 @@ class WaLedger:
         gray fault before the bytes ever landed on the target)."""
         self.repair_bytes -= allocated
         self.metadata_bytes -= metadata
+
+    def credit_chunk(self, allocated: int, metadata: int) -> None:
+        """Credit one client-pushed chunk the instant it is stored.
+
+        Degraded writes land chunk by chunk, and the conservation
+        invariant is checked at arbitrary instants, so each allocation is
+        credited synchronously with ``store_chunk`` (into the padding
+        bucket); :meth:`reclassify_ingest` moves the logical share to
+        ``client_bytes`` once the whole write commits.
+        """
+        self.parity_padding_bytes += allocated
+        self.metadata_bytes += metadata
+
+    def debit_chunk(self, allocated: int, metadata: int) -> None:
+        """Roll back one speculative chunk credit (push failed/aborted)."""
+        self.parity_padding_bytes -= allocated
+        self.metadata_bytes -= metadata
+
+    def reclassify_ingest(self, object_size: int) -> None:
+        """A committed client write: move its logical bytes from the
+        padding bucket (where per-chunk credits parked them) to the
+        client bucket.  Device totals are untouched, so conservation
+        holds across the reclassification."""
+        self.client_bytes += object_size
+        self.parity_padding_bytes -= object_size
+
+    def credit_overwrite(self, client_bytes: int, stored_bytes: int) -> None:
+        """Record an in-place overwrite (no allocation changes)."""
+        self.overwrite_client_bytes += client_bytes
+        self.overwrite_stored_bytes += stored_bytes
+
+
+#: WaLedger fields added with the write path — pruned from digests when
+#: zero so read-only runs hash identically to the pre-write-path model.
+OVERWRITE_LEDGER_KEYS = ("overwrite_client_bytes", "overwrite_stored_bytes")
 
 
 class CephCluster:
@@ -128,6 +169,8 @@ class CephCluster:
             pg_num=pg_num,
             stripe_unit=stripe_unit,
             failure_domain=failure_domain,
+            pg_log_max_entries=self.config.osd_pg_log_max_entries,
+            pg_log_hard_limit=self.config.osd_pg_log_hard_limit,
         )
         self.monitor = Monitor(
             env,
@@ -152,6 +195,7 @@ class CephCluster:
         )
         self.monitor.on_out.append(self.recovery.on_osds_out)
         self.monitor.on_in.append(self.recovery.on_osds_in)
+        self.monitor.on_up.append(self.recovery.on_osds_up)
         self.integrity = IntegrityStore(self.pool, integrity or IntegrityConfig())
         self.scrub = ScrubManager(
             env,
@@ -195,6 +239,17 @@ class CephCluster:
             if shard in csums:
                 osd.backend.put_chunk_checksums((pg.pgid, obj.name, shard), csums[shard])
         self.ledger.credit_ingest(size, alloc_total, meta_total)
+        if pg.log is not None:
+            # Ingest is a state operation on a healthy cluster: every
+            # shard landed, so the create entry carries no missing set.
+            pg.log.commit(
+                name,
+                "create",
+                touched=tuple(range(self.pool.code.n)),
+                missing=(),
+                at=self.env.now,
+                staged=False,
+            )
 
     # -- queries ------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Client read path: normal and degraded reads against the EC pool.
+"""Client I/O paths: reads (normal + degraded) and writes (full + RMW).
 
 The paper measures how long the system takes to restore redundancy; this
 module measures what the outage *costs clients meanwhile*.  During the
@@ -26,28 +26,48 @@ The gray-failure defenses live here too:
 All defenses default OFF and the retry RNG is consumed only on actual
 retries, so healthy baseline runs are byte-identical to the undefended
 model.
+
+**The write path** (the transient-failure axis's other half) also lives
+here.  :meth:`RadosClient.write_object` encodes a full stripe at the
+coordinating primary and pushes every shard; :meth:`write_stripe_unit`
+is the partial-stripe read-modify-write (read old units, re-encode the
+parity deltas, write the touched shards in place).  Writes succeed
+*degraded* — shards may be down, up to the code's guaranteed fault
+tolerance (``fault_tolerance()``) — and every commit appends a
+:class:`~repro.cluster.pglog.PgLog` entry recording exactly which shards
+missed the write, which is what makes pg_log delta recovery possible
+when the absent OSD returns.  A write that exhausts its retry budget
+rolls its staged log entry back and undoes (or marks divergent) its
+partial pushes, so an abandoned op never leaves a torn stripe.  Stale
+shards never serve reads or RMW source fetches; a *full* overwrite may
+land on a stale shard (refreshing it).  Write RNG streams and stats
+fields are consumed/emitted only when writes actually run, so read-only
+runs stay byte-identical to the read-only model.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from ..sim import Event
 from ..sim.rng import SeedSequence
 from .ceph import CephCluster
 from .devices import DiskFailedError
 from .network import TransferDroppedError
-from .pool import PlacementGroup
+from .pool import PlacementGroup, StoredObject
 from .retry import retry_backoff
 
 __all__ = [
     "ReadSample",
     "ReadStats",
+    "WriteSample",
+    "WriteStats",
     "ClientOpStats",
     "RadosClient",
     "ClientLoadGenerator",
+    "WRITE_STAT_KEYS",
 ]
 
 
@@ -57,6 +77,10 @@ class ObjectNotFoundError(KeyError):
 
 class ReadFailedError(RuntimeError):
     """The read could not be served within the client's retry budget."""
+
+
+class WriteFailedError(RuntimeError):
+    """The write could not commit within the client's retry budget."""
 
 
 @dataclass(frozen=True)
@@ -122,6 +146,60 @@ class ReadStats:
         return statistics.fmean(values)
 
 
+@dataclass(frozen=True)
+class WriteSample:
+    """One committed client write."""
+
+    object_name: str
+    issued_at: float
+    latency: float
+    #: ``create`` / ``full`` (whole-stripe overwrite) / ``rmw``.
+    kind: str
+    #: True when the commit recorded missing shards (degraded write).
+    degraded: bool
+    #: Logical bytes the client handed over (object size, or one
+    #: stripe unit for an RMW) — not the encoded/stored volume.
+    bytes_written: int
+    attempts: int = 1
+
+
+@dataclass
+class WriteStats:
+    """Aggregate over a load generator's write samples."""
+
+    samples: List[WriteSample] = field(default_factory=list)
+    #: Writes abandoned after the retry budget (no sample recorded).
+    failures: int = 0
+
+    def add(self, sample: WriteSample) -> None:
+        self.samples.append(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for s in self.samples if s.degraded)
+
+    @property
+    def degraded_fraction(self) -> float:
+        return self.degraded_count / self.count if self.samples else 0.0
+
+    @property
+    def logical_bytes(self) -> int:
+        """Total logical volume committed (the outage-write workload size)."""
+        return sum(s.bytes_written for s in self.samples)
+
+    def mean_latency(self, kind: Optional[str] = None) -> float:
+        values = [
+            s.latency for s in self.samples if kind is None or s.kind == kind
+        ]
+        if not values:
+            raise ValueError("no samples match the filter")
+        return statistics.fmean(values)
+
+
 @dataclass
 class ClientOpStats:
     """Defense-layer counters of one client (retries, hedges, waste)."""
@@ -141,6 +219,16 @@ class ClientOpStats:
     #: ledger (reads allocate nothing), so client-visible byte counts
     #: are not double-counted.
     hedge_wasted_bytes: int = 0
+    #: Write-path counters (stay zero on read-only runs and are pruned
+    #: from digests then — see :data:`WRITE_STAT_KEYS`).
+    writes_ok: int = 0
+    writes_failed: int = 0
+    write_retries: int = 0
+
+
+#: ClientOpStats fields added with the write path — pruned from digests
+#: when zero so read-only runs hash identically to the prior model.
+WRITE_STAT_KEYS = ("writes_ok", "writes_failed", "write_retries")
 
 
 @dataclass(frozen=True)
@@ -160,6 +248,23 @@ class _AttemptResult:
     degraded: bool = False
     hedged: bool = False
     needs_decode: bool = False
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class _PushResult:
+    """Outcome of one guarded chunk/unit push (processes never fail)."""
+
+    ok: bool
+    shard: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class _WriteAttempt:
+    """Outcome of one full write attempt."""
+
+    ok: bool
     reason: str = ""
 
 
@@ -191,6 +296,30 @@ class RadosClient:
     def read_object(self, object_name: str) -> Event:
         """Read one object; the event's value is a :class:`ReadSample`."""
         return self.cluster.env.process(self._read(object_name))
+
+    def write_object(self, object_name: str, size: Optional[int] = None) -> Event:
+        """Full-stripe write; the event's value is a :class:`WriteSample`.
+
+        Creates the object (``size`` required) if the pool does not hold
+        it, otherwise overwrites every shard in place.  Succeeds degraded
+        with missing shards up to the code's guaranteed fault tolerance;
+        the commit records the missing set in the PG's write log.
+        """
+        return self.cluster.env.process(
+            self._write(object_name, size=size, data_shard=None)
+        )
+
+    def write_stripe_unit(self, object_name: str, data_shard: int = 0) -> Event:
+        """Partial-stripe read-modify-write of one stripe unit.
+
+        Reads the old data/parity units, re-encodes the ``m`` parity
+        deltas at the primary, and writes the touched shards (the data
+        shard plus every parity) in place.  The event's value is a
+        :class:`WriteSample`.
+        """
+        return self.cluster.env.process(
+            self._write(object_name, size=None, data_shard=data_shard)
+        )
 
     # -- internals --------------------------------------------------------------
 
@@ -240,10 +369,14 @@ class RadosClient:
         layout = obj.layout
 
         data_shards = list(range(code.k))
+        # Stale shards (missed a write while briefly down) hold old
+        # content: they never serve reads, exactly like down shards.
+        stale = pg.log.stale_shards(obj.name) if pg.log is not None else set()
         up = [
             shard
             for shard in range(code.n)
-            if self.cluster.osds[pg.acting[shard]].is_up()
+            if shard not in stale
+            and self.cluster.osds[pg.acting[shard]].is_up()
         ]
         degraded = any(shard not in up for shard in data_shards)
         if degraded:
@@ -381,15 +514,470 @@ class RadosClient:
             return _FetchResult(ok=False, shard=shard, reason=str(exc))
         return _FetchResult(ok=True, shard=shard)
 
+    # -- write path -------------------------------------------------------------
+
+    def _write(
+        self, object_name: str, size: Optional[int], data_shard: Optional[int]
+    ) -> Generator:
+        """Retry loop shared by full-stripe writes and RMWs.
+
+        The write is *staged* on the PG log before any I/O and either
+        commits exactly once (assigning the next PG version) or rolls
+        back: allocations made for chunks that never existed are undone,
+        and in-place pushes that landed before the abort are marked
+        divergent so repair re-syncs them — the rollback rule that keeps
+        an abandoned op from leaving a torn stripe.
+        """
+        env = self.cluster.env
+        config = self.cluster.config
+        pool = self.cluster.pool
+        issued_at = env.now
+        pg = pool.pg_of(object_name)
+        log = pg.log
+        if log is None:
+            raise RuntimeError("pool has no pg_log; writes are unsupported")
+        obj = next((o for o in pg.objects if o.name == object_name), None)
+        rmw = data_shard is not None
+        if rmw:
+            if obj is None:
+                raise ObjectNotFoundError(
+                    f"object {object_name!r} not in pool"
+                )
+            if not 0 <= data_shard < pool.code.k:
+                raise ValueError(
+                    f"data_shard must be in [0, {pool.code.k}), got {data_shard}"
+                )
+            layout = obj.layout
+            kind = "rmw"
+            logical = layout.stripe_unit
+        elif obj is None:
+            if size is None:
+                raise ValueError(
+                    f"size required to create object {object_name!r}"
+                )
+            layout = pool.layout_for(size)
+            kind = "create"
+            logical = size
+        else:
+            layout = obj.layout
+            size = obj.size
+            kind = "full"
+            logical = size
+        log.stage()
+        #: Shards persisted by this write (survives across attempts).
+        landed: Set[int] = set()
+        #: shard -> (allocated, metadata, csum_blocks) for chunks this
+        #: write brought into existence — the abort rollback set.
+        allocs: Dict[int, Tuple[int, int, int]] = {}
+        attempt = 0
+        while True:
+            if rmw:
+                result = yield from self._rmw_attempt(
+                    pg, obj, data_shard, landed, attempt
+                )
+            else:
+                result = yield from self._full_write_attempt(
+                    pg, object_name, layout, kind == "create",
+                    landed, allocs, attempt,
+                )
+            if result.ok:
+                sample = self._commit_write(
+                    pg, object_name, kind, size, layout,
+                    data_shard, landed, allocs, issued_at, attempt + 1,
+                )
+                self.stats.writes_ok += 1
+                return sample
+            attempt += 1
+            if attempt > config.client_write_retry_max:
+                self._abort_write(pg, object_name, kind, layout, landed, allocs)
+                self.stats.writes_failed += 1
+                raise WriteFailedError(
+                    f"object {object_name!r}: {result.reason} "
+                    f"(gave up after {attempt} attempts)"
+                )
+            self.stats.write_retries += 1
+            yield env.timeout(
+                retry_backoff(attempt, config.client_retry_base, self._retry_rng)
+            )
+
+    def _full_write_attempt(
+        self,
+        pg: PlacementGroup,
+        object_name: str,
+        layout,
+        create: bool,
+        landed: Set[int],
+        allocs: Dict[int, Tuple[int, int, int]],
+        attempt: int,
+    ) -> Generator:
+        """Encode the stripe at the primary and push every reachable shard.
+
+        A stale shard *is* a valid target — the full overwrite refreshes
+        it.  Fails (retryably) only when more shards would end up without
+        the write than the code's *guaranteed* fault tolerance (``m``
+        for RS/Clay, ``r + 1`` for LRC, 1 for SHEC) — acking beyond that
+        could leave an object the recovery path cannot promise to heal.
+        """
+        env = self.cluster.env
+        code = self.cluster.pool.code
+        up = [
+            shard for shard in range(code.n)
+            if self.cluster.osds[pg.acting[shard]].is_up()
+        ]
+        if not up:
+            return _WriteAttempt(ok=False, reason="no shards up")
+        missing_now = [
+            s for s in range(code.n) if s not in landed and s not in up
+        ]
+        if len(missing_now) > code.fault_tolerance():
+            return _WriteAttempt(
+                ok=False, reason=f"only {len(up)} shards up"
+            )
+        primary_shard = up[attempt % len(up)]
+        if primary_shard != up[0]:
+            self.stats.redirects += 1
+        primary = self.cluster.osds[pg.acting[primary_shard]]
+        yield env.timeout(self.request_overhead)
+        encode = primary.encode_time(
+            parity_bytes=layout.chunk_stored_bytes * code.m,
+            fragments=layout.units * code.sub_chunk_count * code.m,
+            cpu_cost_factor=getattr(code, "cpu_cost_factor", 1.0),
+        )
+        yield primary.cpu.request(encode)
+        targets = [s for s in up if s not in landed]
+        pushes = [
+            env.process(
+                self._guarded_push(
+                    pg, shard, primary, layout, object_name, create, allocs
+                )
+            )
+            for shard in targets
+        ]
+        results = yield env.all_of(pushes)
+        for result in results:
+            if result.ok:
+                landed.add(result.shard)
+        still_missing = [s for s in range(code.n) if s not in landed]
+        if len(still_missing) > code.fault_tolerance():
+            bad = [r for r in results if not r.ok]
+            return _WriteAttempt(
+                ok=False,
+                reason=bad[0].reason if bad else "too many shards missing",
+            )
+        return _WriteAttempt(ok=True)
+
+    def _rmw_attempt(
+        self,
+        pg: PlacementGroup,
+        obj: StoredObject,
+        data_shard: int,
+        landed: Set[int],
+        attempt: int,
+    ) -> Generator:
+        """Read-modify-write one stripe unit: read, re-encode, push deltas.
+
+        Sources and targets are restricted to clean (up, non-stale)
+        shards — a partial write landing on stale content would tear the
+        stripe.  The preferred read set is the old data unit plus the
+        parities (the classic RMW); when any of those is unavailable the
+        old unit is reconstructed from ``k`` clean shards instead.
+        """
+        env = self.cluster.env
+        code = self.cluster.pool.code
+        log = pg.log
+        layout = obj.layout
+        unit = layout.stripe_unit
+        stale = log.stale_shards(obj.name)
+        clean_up = [
+            shard for shard in range(code.n)
+            if shard not in stale
+            and self.cluster.osds[pg.acting[shard]].is_up()
+        ]
+        if len(clean_up) < code.k:
+            return _WriteAttempt(
+                ok=False, reason=f"only {len(clean_up)} clean shards up"
+            )
+        touched = [data_shard, *range(code.k, code.n)]
+        targets = [
+            s for s in touched if s not in landed and s in clean_up
+        ]
+        prospective = stale | {
+            s for s in touched if s not in landed and s not in targets
+        }
+        if len(prospective) > code.fault_tolerance():
+            return _WriteAttempt(
+                ok=False, reason="write would exceed parity tolerance"
+            )
+        primary_shard = clean_up[attempt % len(clean_up)]
+        if primary_shard != clean_up[0]:
+            self.stats.redirects += 1
+        primary = self.cluster.osds[pg.acting[primary_shard]]
+        yield env.timeout(self.request_overhead)
+        if all(s in clean_up for s in touched):
+            sources, needs_decode = list(touched), False
+        else:
+            sources, needs_decode = clean_up[: code.k], True
+        fetches = [
+            env.process(self._guarded_unit_io(pg, s, primary, unit, write=False))
+            for s in sources
+        ]
+        results = yield env.all_of(fetches)
+        bad = [r for r in results if not r.ok]
+        if bad:
+            return _WriteAttempt(ok=False, reason=bad[0].reason)
+        cost_factor = getattr(code, "cpu_cost_factor", 1.0)
+        if needs_decode:
+            decode = primary.decode_time(
+                output_bytes=unit,
+                decode_work=1.0,
+                fragments=code.sub_chunk_count,
+                cpu_cost_factor=cost_factor,
+            )
+            yield primary.cpu.request(decode)
+        encode = primary.encode_time(
+            parity_bytes=unit * code.m,
+            fragments=code.sub_chunk_count * code.m,
+            cpu_cost_factor=cost_factor,
+        )
+        yield primary.cpu.request(encode)
+        pushes = [
+            env.process(self._guarded_unit_io(pg, s, primary, unit, write=True))
+            for s in targets
+        ]
+        write_results = yield env.all_of(pushes)
+        for result in write_results:
+            if result.ok:
+                landed.add(result.shard)
+        still_missing = {s for s in touched if s not in landed}
+        if len(stale | still_missing) > code.fault_tolerance():
+            bad = [r for r in write_results if not r.ok]
+            return _WriteAttempt(
+                ok=False,
+                reason=bad[0].reason if bad else "too many shards missing",
+            )
+        return _WriteAttempt(ok=True)
+
+    def _guarded_push(
+        self,
+        pg: PlacementGroup,
+        shard: int,
+        primary,
+        layout,
+        object_name: str,
+        create: bool,
+        allocs: Dict[int, Tuple[int, int, int]],
+    ) -> Generator:
+        """Push one full chunk to its target; never fails the process.
+
+        Chunks that do not physically exist yet (a create, or a shard a
+        degraded create skipped) are allocated — with the space reserved
+        and the ledger credited synchronously, so the byte-conservation
+        invariant holds at every instant mid-write.  Existing chunks are
+        overwritten in place (no allocation change).  A push lost to a
+        gray fault rolls its speculative allocation back.
+        """
+        target = self.cluster.osds[pg.acting[shard]]
+        nbytes = layout.chunk_stored_bytes
+        if not target.is_up():
+            return _PushResult(
+                ok=False, shard=shard,
+                reason=f"shard {shard} target {target.name} is down",
+            )
+        log = pg.log
+        allocate = create or log.is_unstored(object_name, shard)
+        allocated = metadata = csum_blocks = 0
+        if allocate:
+            integrity = self.cluster.integrity
+            if integrity.config.enabled:
+                csum_blocks = integrity.csum_blocks_for(nbytes)
+            allocated, metadata = target.backend.chunk_allocation(
+                nbytes, layout.units, csum_blocks
+            )
+            if (
+                target.disk.used_bytes + allocated + metadata
+                > target.disk.spec.capacity_bytes
+            ):
+                return _PushResult(
+                    ok=False, shard=shard,
+                    reason=f"target {target.name} toofull",
+                )
+            # Reserve synchronously with the headroom check, and credit
+            # the ledger in the same instant (commit reclassifies).
+            target.store_chunk(nbytes, layout.units, csum_blocks)
+            self.cluster.ledger.credit_chunk(allocated, metadata)
+            allocs[shard] = (allocated, metadata, csum_blocks)
+        try:
+            yield self.cluster.topology.fabric.transfer(
+                self.cluster.topology.nic_of(primary.osd_id),
+                self.cluster.topology.nic_of(target.osd_id),
+                nbytes,
+            )
+            yield target.write_chunk(nbytes, layout.units)
+        except (TransferDroppedError, DiskFailedError) as exc:
+            if isinstance(exc, TransferDroppedError):
+                self.stats.drops_seen += 1
+            if allocate:
+                target.remove_chunk(nbytes, layout.units, csum_blocks)
+                self.cluster.ledger.debit_chunk(allocated, metadata)
+                allocs.pop(shard, None)
+            return _PushResult(ok=False, shard=shard, reason=str(exc))
+        return _PushResult(ok=True, shard=shard)
+
+    def _guarded_unit_io(
+        self, pg: PlacementGroup, shard: int, primary, unit: int, write: bool
+    ) -> Generator:
+        """One stripe-unit read or in-place write for an RMW; never fails."""
+        osd = self.cluster.osds[pg.acting[shard]]
+        try:
+            if not osd.is_up():
+                return _PushResult(
+                    ok=False, shard=shard,
+                    reason=f"shard {shard} osd {osd.name} is down",
+                )
+            if write:
+                yield self.cluster.topology.fabric.transfer(
+                    self.cluster.topology.nic_of(primary.osd_id),
+                    self.cluster.topology.nic_of(osd.osd_id),
+                    unit,
+                )
+                yield osd.disk.submit(1, unit, write=True)
+            else:
+                yield osd.disk.submit(1, unit, write=False)
+                yield self.cluster.topology.fabric.transfer(
+                    self.cluster.topology.nic_of(osd.osd_id),
+                    self.cluster.topology.nic_of(primary.osd_id),
+                    unit,
+                )
+        except TransferDroppedError as exc:
+            self.stats.drops_seen += 1
+            return _PushResult(ok=False, shard=shard, reason=str(exc))
+        except DiskFailedError as exc:
+            return _PushResult(ok=False, shard=shard, reason=str(exc))
+        return _PushResult(ok=True, shard=shard)
+
+    def _commit_write(
+        self,
+        pg: PlacementGroup,
+        object_name: str,
+        kind: str,
+        size: Optional[int],
+        layout,
+        data_shard: Optional[int],
+        landed: Set[int],
+        allocs: Dict[int, Tuple[int, int, int]],
+        issued_at: float,
+        attempts: int,
+    ) -> WriteSample:
+        """Assign the next PG version and settle all the bookkeeping."""
+        env = self.cluster.env
+        code = self.cluster.pool.code
+        log = pg.log
+        if kind == "rmw":
+            touched = tuple(sorted((data_shard, *range(code.k, code.n))))
+            unit = layout.stripe_unit
+            logical = unit
+        else:
+            touched = tuple(range(code.n))
+            logical = size
+        missing = tuple(s for s in touched if s not in landed)
+        log.commit(object_name, kind, touched=touched, missing=missing, at=env.now)
+        ledger = self.cluster.ledger
+        if kind == "create":
+            obj = StoredObject(name=object_name, size=size, layout=layout)
+            pg.objects.append(obj)
+            for shard in missing:
+                log.note_unstored(object_name, shard)
+            # Per-chunk credits parked the landed bytes in the padding
+            # bucket; the committed logical volume moves to the client
+            # bucket (device totals untouched — conservation is exact).
+            ledger.reclassify_ingest(size)
+            self._refresh_checksums(pg, obj, landed)
+        elif kind == "full":
+            # In-place rewrites allocate nothing; chunks brought into
+            # existence by this write (previously unstored) were already
+            # credited as allocations.
+            overwritten = len(landed) - len(allocs)
+            ledger.credit_overwrite(size, layout.chunk_stored_bytes * overwritten)
+            obj = next(o for o in pg.objects if o.name == object_name)
+            self._refresh_checksums(pg, obj, landed)
+        else:
+            ledger.credit_overwrite(logical, unit * len(landed))
+        return WriteSample(
+            object_name=object_name,
+            issued_at=issued_at,
+            latency=env.now - issued_at,
+            kind=kind,
+            degraded=bool(missing),
+            bytes_written=logical,
+            attempts=attempts,
+        )
+
+    def _refresh_checksums(
+        self, pg: PlacementGroup, obj: StoredObject, landed: Set[int]
+    ) -> None:
+        """(Re)register write-time crc32c arrays for the landed shards.
+
+        Only the shards the write physically reached are re-registered:
+        a chunk the write rewrote whole also sheds any silent corruption
+        it carried (the bad bytes are physically gone), while missing
+        shards keep their old integrity state for scrub to judge.
+        """
+        integrity = self.cluster.integrity
+        if not integrity.config.enabled:
+            return
+        csums = integrity.register_object(pg, obj, shards=landed)
+        for shard in landed:
+            if shard in csums:
+                self.cluster.osds[pg.acting[shard]].backend.put_chunk_checksums(
+                    (pg.pgid, obj.name, shard), csums[shard]
+                )
+
+    def _abort_write(
+        self,
+        pg: PlacementGroup,
+        object_name: str,
+        kind: str,
+        layout,
+        landed: Set[int],
+        allocs: Dict[int, Tuple[int, int, int]],
+    ) -> None:
+        """Roll the staged write back without ever entering the log.
+
+        Chunks this write allocated are removed (space and ledger
+        credits undone).  In-place pushes that landed on pre-existing
+        chunks cannot be physically unwritten — those shards are marked
+        *divergent* (stale at the committed version) so repair re-syncs
+        them; the log itself never learns the write happened.
+        """
+        log = pg.log
+        log.rollback()
+        for shard, (allocated, metadata, csum_blocks) in allocs.items():
+            osd = self.cluster.osds[pg.acting[shard]]
+            osd.remove_chunk(layout.chunk_stored_bytes, layout.units, csum_blocks)
+            self.cluster.ledger.debit_chunk(allocated, metadata)
+        if kind != "create":
+            for shard in landed:
+                if shard not in allocs:
+                    log.note_divergent(object_name, shard)
+
 
 class ClientLoadGenerator:
-    """Open-loop read load over the pool's objects.
+    """Open-loop (by default read-only) load over the pool's objects.
 
-    Issues one read every ``interval`` seconds at uniformly random
+    Issues one op every ``interval`` seconds at uniformly random
     objects, for ``duration`` seconds, collecting the latency/degraded
-    samples into :attr:`stats`.  Reads that exhaust the client's retry
-    budget are counted in ``stats.failures`` instead of killing the
-    generator — under gray faults some failures are expected.
+    samples into :attr:`stats` (reads) and :attr:`write_stats` (writes).
+    Ops that exhaust the client's retry budget are counted in the
+    respective ``failures`` instead of killing the generator — under
+    gray faults some failures are expected.
+
+    With ``write_fraction > 0`` each op is a write with that
+    probability; a write is an RMW of a random data shard's stripe unit
+    with probability ``rmw_fraction`` and a full-stripe overwrite
+    otherwise.  The write draws happen *after* the object-name draw and
+    only when the respective fraction is positive, so a read-only
+    generator consumes exactly the same RNG stream as before the write
+    path existed (digest compatibility).
     """
 
     def __init__(
@@ -397,13 +985,22 @@ class ClientLoadGenerator:
         client: RadosClient,
         interval: float,
         seeds: Optional[SeedSequence] = None,
+        write_fraction: float = 0.0,
+        rmw_fraction: float = 0.5,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 <= rmw_fraction <= 1.0:
+            raise ValueError("rmw_fraction must be in [0, 1]")
         self.client = client
         self.interval = interval
+        self.write_fraction = write_fraction
+        self.rmw_fraction = rmw_fraction
         self.rng = (seeds or SeedSequence(0)).stream("client-load")
         self.stats = ReadStats()
+        self.write_stats = WriteStats()
         self._running = False
 
     def run_for(self, duration: float) -> Event:
@@ -428,7 +1025,20 @@ class ClientLoadGenerator:
         pending = []
         while env.now < deadline:
             name = self.rng.choice(names)
-            pending.append(env.process(self._one_read(name)))
+            if (
+                self.write_fraction > 0.0
+                and self.rng.random() < self.write_fraction
+            ):
+                if (
+                    self.rmw_fraction > 0.0
+                    and self.rng.random() < self.rmw_fraction
+                ):
+                    shard = self.rng.randrange(self.client.cluster.pool.code.k)
+                    pending.append(env.process(self._one_rmw(name, shard)))
+                else:
+                    pending.append(env.process(self._one_write(name)))
+            else:
+                pending.append(env.process(self._one_read(name)))
             yield env.timeout(self.interval)
         if pending:
             yield env.all_of(pending)
@@ -440,3 +1050,19 @@ class ClientLoadGenerator:
             self.stats.failures += 1
             return
         self.stats.add(sample)
+
+    def _one_write(self, name: str) -> Generator:
+        try:
+            sample = yield self.client.write_object(name)
+        except WriteFailedError:
+            self.write_stats.failures += 1
+            return
+        self.write_stats.add(sample)
+
+    def _one_rmw(self, name: str, shard: int) -> Generator:
+        try:
+            sample = yield self.client.write_stripe_unit(name, data_shard=shard)
+        except WriteFailedError:
+            self.write_stats.failures += 1
+            return
+        self.write_stats.add(sample)

@@ -57,6 +57,9 @@ class HealthReport:
     checks: tuple
     pgs_inconsistent: int = 0
     pgs_repairing: int = 0
+    #: PGs whose pg_log still records stale shards (writes that missed a
+    #: replica and have not been delta-repaired yet).
+    pgs_dirty_log: int = 0
 
     def summary(self) -> str:
         lines = [self.status]
@@ -96,7 +99,10 @@ def check_health(cluster: CephCluster) -> HealthReport:
     degraded = 0
     undersized = 0
     clean = 0
+    dirty_log = 0
     for pg in cluster.pool.pgs.values():
+        if pg.log is not None and pg.log.dirty_shards():
+            dirty_log += 1
         up_shards = sum(
             1 for osd_id in pg.acting if cluster.osds[osd_id].is_up()
         )
@@ -136,6 +142,8 @@ def check_health(cluster: CephCluster) -> HealthReport:
         checks.append(f"{inconsistent} pgs inconsistent (scrub errors)")
     if repairing:
         checks.append(f"{repairing} pgs repairing (scrub auto-repair)")
+    if dirty_log:
+        checks.append(f"{dirty_log} pgs have unrepaired writes (pg_log dirty)")
 
     if undersized or full or inconsistent:
         status = HealthStatus.ERR
@@ -158,4 +166,5 @@ def check_health(cluster: CephCluster) -> HealthReport:
         checks=tuple(checks),
         pgs_inconsistent=inconsistent,
         pgs_repairing=repairing,
+        pgs_dirty_log=dirty_log,
     )

@@ -66,6 +66,10 @@ class Monitor:
         self.on_out: List[Callable[[Set[int]], None]] = []
         #: Callbacks invoked with the set of newly-in (rebooted) OSDs.
         self.on_in: List[Callable[[Set[int]], None]] = []
+        #: Callbacks invoked when a *down* OSD is marked back up before
+        #: the down->out interval elapsed — the transient-restart arc
+        #: that triggers pg_log delta recovery instead of backfill.
+        self.on_up: List[Callable[[Set[int]], None]] = []
         #: Last health status broadcast via :meth:`record_health`.
         self.health_status = "HEALTH_OK"
         #: Flap-dampening state: recent markdown timestamps per OSD and
@@ -106,13 +110,26 @@ class Monitor:
                     # OSD's heartbeats until the pin expires.
                     pass
                 else:
-                    self.pinned_until.pop(osd_id, None)
+                    expired_pin = self.pinned_until.pop(osd_id, None)
+                    if expired_pin is not None:
+                        # A dampening pin ran out with the daemon healthy:
+                        # the rejoin is an osdmap event, not a silent one —
+                        # the timeline band and the chaos engine both key
+                        # off this transition.
+                        self.osdmap_epoch += 1
+                        self.log.emit(
+                            self.env.now, "mon",
+                            "flap pin expired, osd rejoining",
+                            osd=osd.name, epoch=self.osdmap_epoch,
+                        )
                     if osd_id in self.down_since:
                         del self.down_since[osd_id]
                         self.log.emit(
                             self.env.now, "mon", "osd boot: marking up",
                             osd=osd.name,
                         )
+                        for callback in self.on_up:
+                            callback({osd_id})
                     if osd_id in self.out_osds:
                         self._mark_in(osd_id)
             yield self.env.timeout(self.config.osd_heartbeat_interval)

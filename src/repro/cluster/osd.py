@@ -84,6 +84,16 @@ class CephConfig:
     #: (dropped transfers, flapped helper sources).
     recovery_retry_max: int = 6
     recovery_retry_base: float = 0.5
+    #: PG write log bound (Ceph's ``osd_min_pg_log_entries`` family):
+    #: the log trims to ``osd_pg_log_max_entries`` but never past the
+    #: oldest entry a stale shard still needs for delta recovery —
+    #: unless it would exceed the hard limit, at which point the shard
+    #: is marked backfill-required and delta falls back to backfill.
+    osd_pg_log_max_entries: int = 3000
+    osd_pg_log_hard_limit: int = 6000
+    #: Client write retry budget (mirrors the read-side defenses; the
+    #: write path shares client_op_timeout and client_retry_base).
+    client_write_retry_max: int = 5
 
     def __post_init__(self):
         if self.osd_heartbeat_interval <= 0 or self.osd_heartbeat_grace <= 0:
@@ -102,6 +112,12 @@ class CephConfig:
             raise ValueError("retry budgets must be non-negative")
         if self.client_retry_base <= 0 or self.recovery_retry_base <= 0:
             raise ValueError("retry backoff bases must be positive")
+        if self.osd_pg_log_max_entries < 1:
+            raise ValueError("pg log max entries must be >= 1")
+        if self.osd_pg_log_hard_limit < self.osd_pg_log_max_entries:
+            raise ValueError("pg log hard limit must be >= max entries")
+        if self.client_write_retry_max < 0:
+            raise ValueError("retry budgets must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -286,6 +302,20 @@ class OsdDaemon:
         """
         base = nbytes / self.config.recovery_write_rate
         return self.recovery_writes.request(base * self.backend.write_coalescing())
+
+    def encode_time(
+        self, parity_bytes: int, fragments: int, cpu_cost_factor: float,
+    ) -> float:
+        """CPU time to encode ``parity_bytes`` of parity for one write.
+
+        Encoding and decoding run the same GF(256) kernels, so the cost
+        model is shared: parity output through the decode bandwidth plus
+        the per-(unit x plane) fragment overhead that punishes
+        sub-packetised codes at small stripe units.
+        """
+        byte_time = parity_bytes * cpu_cost_factor / self.config.decode_bandwidth
+        fragment_time = fragments * self.config.decode_fragment_overhead
+        return byte_time + fragment_time
 
     def decode_time(
         self, output_bytes: int, decode_work: float, fragments: int,

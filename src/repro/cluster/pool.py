@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from ..ec.base import ErasureCode
 from .crush import CrushMap
 from .objectstore import ChunkLayout, layout_object
+from .pglog import PgLog
 
 __all__ = ["StoredObject", "PlacementGroup", "Pool"]
 
@@ -37,6 +38,9 @@ class PlacementGroup:
     pg_id: int
     acting: List[int]
     objects: List[StoredObject] = field(default_factory=list)
+    #: Versioned write log driving delta recovery (None only for PGs
+    #: constructed outside a Pool, e.g. in unit tests).
+    log: Optional[PgLog] = None
 
     @property
     def pgid(self) -> str:
@@ -71,6 +75,8 @@ class Pool:
         pg_num: int = 256,
         stripe_unit: int = 4096,
         failure_domain: str = "host",
+        pg_log_max_entries: int = 3000,
+        pg_log_hard_limit: Optional[int] = None,
     ):
         if pg_num < 1:
             raise ValueError(f"pg_num must be >= 1, got {pg_num}")
@@ -88,7 +94,16 @@ class Pool:
             acting = crush.place_pg(
                 pool_id, pg_id, code.n, failure_domain
             )
-            self.pgs[pg_id] = PlacementGroup(pool_id, pg_id, acting)
+            self.pgs[pg_id] = PlacementGroup(
+                pool_id,
+                pg_id,
+                acting,
+                log=PgLog(
+                    code.n,
+                    max_entries=pg_log_max_entries,
+                    hard_limit=pg_log_hard_limit,
+                ),
+            )
 
     def pg_of(self, object_name: str) -> PlacementGroup:
         """Hash an object name to its placement group (stable)."""

@@ -23,7 +23,20 @@ retried with seeded backoff and a fresh repair plan (surviving helpers
 re-enumerated per attempt), up to ``recovery_retry_max`` times.  An op
 that exhausts its budget is abandoned — the PG stays degraded on its old
 acting set rather than wedging the whole recovery cycle, and partial
-pushes are rolled back so byte conservation stays exact.
+pushes are rolled back so byte conservation stays exact.  Abandoned PGs
+are remembered and *requeued* the next time a helper OSD rejoins the
+map, so a healed cluster converges instead of staying wedged.
+
+**Delta recovery** (the transient half of the failure-mode axis): when
+an OSD comes back *up* before ``mon_osd_down_out_interval`` — the
+monitor fires ``on_up`` instead of ``on_out`` — the PG's write log
+(:mod:`repro.cluster.pglog`) already knows exactly which objects each
+stale shard missed.  Peering diffs shard versions against the log and
+repairs only those objects, in place, with no backfill reservation
+storm; a shard whose divergence outlived the log's hard cap falls back
+to a full per-shard sweep (Ceph's "log too short, backfilling").  Delta
+bytes are accounted separately and bounded by an accrued budget so the
+chaos harness can assert log-bounded repair as a step invariant.
 """
 
 from __future__ import annotations
@@ -43,7 +56,7 @@ from .pool import PlacementGroup, Pool, StoredObject
 from .retry import retry_backoff
 from .topology import ClusterTopology
 
-__all__ = ["RecoveryStats", "RecoveryManager"]
+__all__ = ["RecoveryStats", "RecoveryManager", "DELTA_STAT_KEYS"]
 
 
 @dataclass
@@ -64,9 +77,35 @@ class RecoveryStats:
     ops_abandoned: int = 0
     #: PGs left degraded because at least one op was abandoned.
     pgs_abandoned: int = 0
+    #: Abandoned-degraded PGs requeued after a helper OSD rejoined.
+    pgs_requeued: int = 0
+    #: pg_log delta-recovery counters (transient down->up restarts).
+    pgs_delta_recovered: int = 0
+    objects_delta_recovered: int = 0
+    delta_bytes_read: int = 0
+    delta_bytes_written: int = 0
+    #: Shard sweeps forced because the log trimmed past divergence.
+    delta_fallback_backfills: int = 0
+    #: Accrued delta allowance: the planned pull+push bytes of every
+    #: delta attempt, credited *before* the I/O runs.  The log-bounded
+    #: repair invariant asserts delta bytes spent never exceed it.
+    delta_budget_bytes: int = 0
     started_at: Optional[float] = None
     io_started_at: Optional[float] = None
     finished_at: Optional[float] = None
+
+
+#: RecoveryStats fields added with the write path — pruned from digests
+#: when zero so read-only runs hash identically to the prior model.
+DELTA_STAT_KEYS = (
+    "pgs_requeued",
+    "pgs_delta_recovered",
+    "objects_delta_recovered",
+    "delta_bytes_read",
+    "delta_bytes_written",
+    "delta_fallback_backfills",
+    "delta_budget_bytes",
+)
 
 
 class RecoveryManager:
@@ -100,6 +139,11 @@ class RecoveryManager:
         self.out_osds: Set[int] = set()
         self._active_pgs = 0
         self._all_done: Optional[Event] = None
+        #: PGs whose recovery was abandoned (or unplaceable): candidates
+        #: for requeueing the next time an OSD rejoins the map.
+        self._abandoned_pgs: Set[int] = set()
+        #: PGs with a delta-recovery process in flight (dedupe guard).
+        self._delta_busy: Set[int] = set()
 
     @property
     def idle(self) -> bool:
@@ -131,8 +175,84 @@ class RecoveryManager:
         Dropping them from the exclusion set lets later placement and
         fault rounds reuse them — without this, a restore leaves the set
         permanently poisoned and repeated fault/restore campaigns starve.
+
+        PGs whose recovery was abandoned (gray faults exhausted the
+        retry budget) or unplaceable are requeued here: a rejoining
+        helper is exactly the event that can make them recoverable, and
+        without the requeue a healed cluster stays wedged degraded.
         """
         self.out_osds -= set(newly_in)
+        if self._abandoned_pgs:
+            requeue = sorted(self._abandoned_pgs)
+            self._abandoned_pgs.clear()
+            for pg_id in requeue:
+                pg = self.pool.pgs[pg_id]
+                lost_shards = pg.shards_on(self.out_osds)
+                if not lost_shards:
+                    # Every OSD this PG was missing is back in the map:
+                    # nothing to rebuild (any staleness is delta's job).
+                    continue
+                self._active_pgs += 1
+                self.stats.pgs_queued += 1
+                self.stats.pgs_requeued += 1
+                self.mgr_log.emit(
+                    self.env.now, "mgr",
+                    "helper rejoined, requeueing degraded pg", pg=pg.pgid,
+                )
+                self.env.process(self._recover_pg(pg, lost_shards))
+        self._queue_delta(set(newly_in))
+
+    # -- entry point (wired to Monitor.on_up): pg_log delta recovery ----------------
+
+    def on_osds_up(self, newly_up: Set[int]) -> None:
+        """A transient restart: down->up *before* the down-out interval.
+
+        No osdmap placement changed, so there is nothing to backfill —
+        but the rejoining OSD missed every write committed while it was
+        away.  The PG logs know exactly which objects those were; queue
+        delta recovery for the affected PGs.
+        """
+        self._queue_delta(set(newly_up))
+
+    def _queue_delta(self, osd_ids: Set[int]) -> None:
+        for pg in self.pool.pgs_using_osd(osd_ids):
+            self._maybe_queue_delta_pg(pg)
+
+    def _maybe_queue_delta_pg(self, pg: PlacementGroup) -> bool:
+        """Queue delta recovery if the PG has dirty shards on live OSDs."""
+        if pg.log is None or pg.pg_id in self._delta_busy:
+            return False
+        dirty = [
+            shard
+            for shard in sorted(pg.log.dirty_shards())
+            if pg.acting[shard] not in self.out_osds
+            and self.osds[pg.acting[shard]].is_up()
+        ]
+        if not dirty:
+            return False
+        self._delta_busy.add(pg.pg_id)
+        self._active_pgs += 1
+        self.stats.pgs_queued += 1
+        if self.stats.started_at is None:
+            self.stats.started_at = self.env.now
+        self.env.process(self._delta_recover_pg(pg))
+        return True
+
+    def kick_stale(self) -> bool:
+        """Queue delta recovery for every PG with live dirty shards.
+
+        Convergence predicates (gray driver, chaos settle loop) call
+        this to catch staleness with no down->up trigger: an OSD whose
+        fault was restored within the heartbeat grace was never marked
+        down, so no monitor event fires, yet its shards may have missed
+        writes.  Returns True if anything was queued (=> not converged).
+        No-op on read-only runs — nothing is ever dirty.
+        """
+        queued = False
+        for pg_id in sorted(self.pool.pgs):
+            if self._maybe_queue_delta_pg(self.pool.pgs[pg_id]):
+                queued = True
+        return queued
 
     def wait_all_recovered(self) -> Event:
         """Event firing when every queued PG finished recovery."""
@@ -163,6 +283,7 @@ class RecoveryManager:
             )
         except PlacementError:
             self.stats.pgs_unplaceable += 1
+            self._abandoned_pgs.add(pg.pg_id)
             self.mgr_log.emit(
                 self.env.now, "mgr", "pg remains degraded, no placement",
                 pg=pg.pgid,
@@ -218,6 +339,7 @@ class RecoveryManager:
             # incomplete, so the PG keeps its old acting set and stays
             # degraded instead of claiming a clean map it cannot serve.
             self.stats.pgs_abandoned += 1
+            self._abandoned_pgs.add(pg.pg_id)
             self._log_for(primary).emit(
                 self.env.now, "osd", "recovery abandoned, pg remains degraded",
                 pg=pg.pgid, failed=sum(1 for ok in results if not ok),
@@ -234,7 +356,180 @@ class RecoveryManager:
             self.env.now, "mgr", "report recovery I/O",
             pg=pg.pgid, phase="pg-done",
         )
+        # Backfill rebuilt the lost shards current, but staleness on
+        # *other* positions (writes that raced the rebuild, shards that
+        # missed writes without ever failing) is delta's job.
+        if pg.log is not None and pg.log.dirty_shards():
+            self._maybe_queue_delta_pg(pg)
         self._pg_finished()
+
+    # -- pg_log delta recovery (transient down->up restarts) --------------------------
+
+    def _delta_recover_pg(self, pg: PlacementGroup) -> Generator:
+        """Repair a PG's stale shards in place, guided by its pg_log.
+
+        Loops until the log shows no live dirty shard: writes racing a
+        round (``record_repair`` refuses a stale version) or landing
+        mid-round simply dirty the log again and are picked up by the
+        next round.  Pure delta rounds take *no* backfill reservations —
+        that absence is the reservation-storm half of the transient-vs-
+        permanent cost gap; only the trimmed-log fallback sweeps reserve.
+        """
+        log = pg.log
+        assert log is not None
+        primary_id = pg.acting[0]
+        announced = False
+        try:
+            while True:
+                acting = list(pg.acting)
+                live_dirty = [
+                    shard
+                    for shard in sorted(log.dirty_shards())
+                    if acting[shard] not in self.out_osds
+                    and self.osds[acting[shard]].is_up()
+                ]
+                if not live_dirty:
+                    break
+                primary_id = next(
+                    (osd_id for osd_id in acting if self.osds[osd_id].is_up()),
+                    acting[0],
+                )
+                fallback = [
+                    shard for shard in live_dirty
+                    if log.delta_objects(shard) is None
+                ]
+                delta_shards = [s for s in live_dirty if s not in fallback]
+                by_name = {obj.name: obj for obj in pg.objects}
+                dirty_objs: Dict[str, Set[int]] = {}
+                first_miss: Dict[str, int] = {}
+                for shard in delta_shards:
+                    for name in log.delta_objects(shard):
+                        dirty_objs.setdefault(name, set()).add(shard)
+                        since = log.stale_since(name, shard)
+                        if name not in first_miss or since < first_miss[name]:
+                            first_miss[name] = since
+                if not announced:
+                    announced = True
+                    self._log_for(primary_id).emit(
+                        self.env.now, "osd", "pg_log peering: delta recovery",
+                        pg=pg.pgid, dirty=len(live_dirty),
+                        objects=len(dirty_objs),
+                    )
+                # Peering cost scales with the log diff, not the census.
+                yield self.env.timeout(
+                    self.config.peering_base
+                    + self.config.peering_per_object * len(dirty_objs)
+                )
+                if self.stats.io_started_at is None:
+                    self.stats.io_started_at = self.env.now
+                    self.mgr_log.emit(
+                        self.env.now, "mgr", "report recovery I/O",
+                        phase="start",
+                    )
+                before = log.dirty_state()
+                ok = True
+                if dirty_objs:
+                    order = sorted(
+                        dirty_objs, key=lambda name: (first_miss[name], name)
+                    )
+                    ops = [
+                        self.env.process(
+                            self._recover_object(
+                                pg, by_name[name], sorted(dirty_objs[name]),
+                                acting, acting,
+                                in_place=True, delta=True,
+                                primary_id=primary_id,
+                            )
+                        )
+                        for name in order
+                    ]
+                    results = yield self.env.all_of(ops)
+                    ok = all(results)
+                if fallback:
+                    swept = yield from self._sweep_shards(
+                        pg, acting, fallback, primary_id
+                    )
+                    ok = ok and swept
+                if not ok:
+                    # Retry budgets exhausted mid-gray-fault: leave the
+                    # staleness recorded; the next monitor event or
+                    # convergence kick requeues this PG.
+                    self._log_for(primary_id).emit(
+                        self.env.now, "osd",
+                        "delta recovery abandoned, pg remains stale",
+                        pg=pg.pgid,
+                    )
+                    return
+                if log.dirty_state() == before:
+                    # No repair landed and no write raced (head is
+                    # unchanged): another round would do exactly the
+                    # same work (e.g. toofull targets).  Bail rather
+                    # than loop; the next osdmap event retries.
+                    self._log_for(primary_id).emit(
+                        self.env.now, "osd",
+                        "delta recovery stalled, pg remains stale",
+                        pg=pg.pgid,
+                    )
+                    return
+            if announced:
+                self.stats.pgs_delta_recovered += 1
+                self._log_for(primary_id).emit(
+                    self.env.now, "osd", "delta recovery completed",
+                    pg=pg.pgid,
+                )
+                self.mgr_log.emit(
+                    self.env.now, "mgr", "report recovery I/O",
+                    pg=pg.pgid, phase="delta-done",
+                )
+        finally:
+            self._delta_busy.discard(pg.pg_id)
+            self._pg_finished()
+
+    def _sweep_shards(
+        self,
+        pg: PlacementGroup,
+        acting: List[int],
+        shards: List[int],
+        primary_id: int,
+    ) -> Generator:
+        """Full in-place sweep of shards whose log window was trimmed.
+
+        Ceph's "log too short, backfilling" arc: the log can no longer
+        enumerate what these shards missed, so every object is rebuilt
+        in place, under backfill reservations, with the bytes counted as
+        ordinary recovery traffic — this *is* a backfill, merely one
+        that keeps the acting set.
+        """
+        log = pg.log
+        for shard in shards:
+            self.stats.delta_fallback_backfills += 1
+            self._log_for(primary_id).emit(
+                self.env.now, "osd",
+                "pg_log trimmed past divergence, falling back to backfill",
+                pg=pg.pgid, shard=shard,
+            )
+        reservation_osds = sorted({primary_id, *(acting[s] for s in shards)})
+        for osd_id in reservation_osds:
+            yield self.osds[osd_id].backfill_slots.acquire()
+        try:
+            ops = [
+                self.env.process(
+                    self._recover_object(
+                        pg, obj, list(shards), acting, acting,
+                        in_place=True, delta=False, primary_id=primary_id,
+                    )
+                )
+                for obj in pg.objects
+            ]
+            results = (yield self.env.all_of(ops)) if ops else []
+        finally:
+            for osd_id in reversed(reservation_osds):
+                self.osds[osd_id].backfill_slots.release()
+        if all(results):
+            for shard in shards:
+                log.clear_backfill(shard)
+            return True
+        return False
 
     # -- per-object recovery op ---------------------------------------------------------
 
@@ -245,9 +540,14 @@ class RecoveryManager:
         lost_shards: List[int],
         old_acting: List[int],
         new_acting: List[int],
+        in_place: bool = False,
+        delta: bool = False,
+        primary_id: Optional[int] = None,
     ) -> Generator:
         code = self.pool.code
-        primary = self.osds[new_acting[0]]
+        primary = self.osds[
+            primary_id if primary_id is not None else new_acting[0]
+        ]
         layout = obj.layout
         yield primary.recovery_ops.acquire()
         try:
@@ -260,10 +560,13 @@ class RecoveryManager:
             while True:
                 ok = yield from self._attempt_object(
                     code, pg, obj, lost_shards, old_acting, new_acting,
-                    primary, layout, pushed,
+                    primary, layout, pushed, in_place=in_place, delta=delta,
                 )
                 if ok:
-                    self.stats.objects_recovered += 1
+                    if delta:
+                        self.stats.objects_delta_recovered += 1
+                    else:
+                        self.stats.objects_recovered += 1
                     self.stats.chunks_rebuilt += len(lost_shards)
                     if self.config.osd_recovery_sleep:
                         yield self.env.timeout(self.config.osd_recovery_sleep)
@@ -297,25 +600,54 @@ class RecoveryManager:
         primary: OsdDaemon,
         layout,
         pushed: Set[int],
+        in_place: bool = False,
+        delta: bool = False,
     ) -> Generator:
         """One pull+decode+push attempt; False on any gray-fault loss.
 
         Survivors are re-enumerated on every attempt, so a helper that
         flapped down (or a host whose network was restored) changes the
         repair plan between attempts rather than failing the op outright.
+        Shards the pg_log knows to be stale never serve as sources, and
+        the object version captured *before* the pulls is what
+        ``record_repair`` asserts against — a write racing the repair
+        leaves the shard stale and a later round redoes it.
         """
+        log = pg.log
+        stale = log.stale_shards(obj.name) if log is not None else set()
+        captured_version = (
+            log.object_version.get(obj.name) if log is not None else None
+        )
         alive_shards = [
             shard
             for shard, osd_id in enumerate(old_acting)
-            if shard not in lost_shards and self.osds[osd_id].is_up()
+            if shard not in lost_shards
+            and shard not in stale
+            and self.osds[osd_id].is_up()
         ]
         try:
             plan = code.repair_plan(lost_shards, alive_shards)
         except ValueError:
             # Too few helpers up right now (flap window) — retryable.
             return False
+        to_push = [shard for shard in lost_shards if shard not in pushed]
+        if delta:
+            # Accrue the attempt's allowance before any I/O runs, so the
+            # log-bounded-repair invariant is monotone-safe: bytes spent
+            # can never overtake budget at any observation instant.
+            planned_reads = sum(
+                layout.chunk_stored_bytes
+                if read.fraction >= 1.0
+                else int(layout.chunk_stored_bytes * read.fraction)
+                for read in plan.reads
+            )
+            self.stats.delta_budget_bytes += (
+                planned_reads + layout.chunk_stored_bytes * len(to_push)
+            )
         pulls = [
-            self.env.process(self._pull_shard(read, old_acting, primary, layout))
+            self.env.process(
+                self._pull_shard(read, old_acting, primary, layout, delta=delta)
+            )
             for read in plan.reads
         ]
         pull_results = yield self.env.all_of(pulls)
@@ -331,18 +663,35 @@ class RecoveryManager:
         yield primary.cpu.request(decode)
         pushes = {
             shard: self.env.process(
-                self._push_shard(shard, new_acting, primary, layout)
+                self._push_shard(
+                    shard, new_acting, primary, layout,
+                    delta=delta,
+                    # In-place repair overwrites the existing extents;
+                    # allocation happens only for chunks a degraded
+                    # create never physically stored.
+                    allocate=(not in_place)
+                    or (log is not None and log.is_unstored(obj.name, shard)),
+                )
             )
-            for shard in lost_shards
-            if shard not in pushed
+            for shard in to_push
         }
         push_results = yield self.env.all_of(list(pushes.values()))
-        for shard, ok in zip(pushes, push_results):
-            if ok:
+        for shard, result in zip(pushes, push_results):
+            if result:
                 pushed.add(shard)
+                if log is None:
+                    continue
+                if result == "stored":
+                    # The chunk physically exists now, whatever version
+                    # its content reflects — never allocate it again.
+                    log.unstored.discard((obj.name, shard))
+                if result != "toofull":
+                    log.record_repair(obj.name, shard, captured_version)
         return all(push_results)
 
-    def _pull_shard(self, read, old_acting, primary: OsdDaemon, layout) -> Generator:
+    def _pull_shard(
+        self, read, old_acting, primary: OsdDaemon, layout, delta: bool = False
+    ) -> Generator:
         """Read one helper shard and ship it to the primary.
 
         The read first waits for the source's recovery-QoS grant (the
@@ -381,7 +730,10 @@ class RecoveryManager:
                 yield source.cpu.request(
                     ranges * self.config.subchunk_range_overhead
                 )
-            self.stats.bytes_read += nbytes
+            if delta:
+                self.stats.delta_bytes_read += nbytes
+            else:
+                self.stats.bytes_read += nbytes
             yield self.topology.fabric.transfer(
                 self.topology.nic_of(source.osd_id),
                 self.topology.nic_of(primary.osd_id),
@@ -391,12 +743,25 @@ class RecoveryManager:
             return False
         return True
 
-    def _push_shard(self, shard: int, new_acting, primary: OsdDaemon, layout) -> Generator:
+    def _push_shard(
+        self,
+        shard: int,
+        new_acting,
+        primary: OsdDaemon,
+        layout,
+        delta: bool = False,
+        allocate: bool = True,
+    ) -> Generator:
         """Ship one rebuilt shard from the primary and persist it.
 
-        A target without capacity headroom behaves like Ceph's
+        With ``allocate`` (backfill to a fresh target, or a chunk a
+        degraded create never stored) the space is reserved up front; a
+        target without capacity headroom behaves like Ceph's
         ``backfill_toofull``: the shard stays degraded rather than
-        overfilling the device (returns True — not retryable).
+        overfilling the device (returns ``"toofull"`` — truthy, not
+        retryable, but the caller must not mark the shard repaired).
+        Without it the push overwrites the chunk's existing extents in
+        place (delta repair of stale-but-stored data).
 
         Never fails its process.  If the wire transfer or the device
         write is lost to a gray fault, the speculative space reservation
@@ -408,19 +773,21 @@ class RecoveryManager:
         if not target.is_up():
             # Flapped-down target: retry once it oscillates back up.
             return False
-        allocated, metadata = target.backend.chunk_allocation(nbytes, layout.units)
-        if target.disk.used_bytes + allocated + metadata > target.disk.spec.capacity_bytes:
-            self.stats.chunks_toofull += 1
-            self.mgr_log.emit(
-                self.env.now, "mgr", "backfill toofull, shard stays degraded",
-                osd=target.name,
-            )
-            return True
-        # Reserve the space synchronously with the check (concurrent
-        # pushes to one target must not race past the headroom test).
-        target.store_chunk(nbytes, layout.units)
-        if self.ledger is not None:
-            self.ledger.credit_repair(allocated, metadata)
+        allocated = metadata = 0
+        if allocate:
+            allocated, metadata = target.backend.chunk_allocation(nbytes, layout.units)
+            if target.disk.used_bytes + allocated + metadata > target.disk.spec.capacity_bytes:
+                self.stats.chunks_toofull += 1
+                self.mgr_log.emit(
+                    self.env.now, "mgr", "backfill toofull, shard stays degraded",
+                    osd=target.name,
+                )
+                return "toofull"
+            # Reserve the space synchronously with the check (concurrent
+            # pushes to one target must not race past the headroom test).
+            target.store_chunk(nbytes, layout.units)
+            if self.ledger is not None:
+                self.ledger.credit_repair(allocated, metadata)
         try:
             yield self.topology.fabric.transfer(
                 self.topology.nic_of(primary.osd_id),
@@ -430,9 +797,13 @@ class RecoveryManager:
             yield target.recovery_write_grant(nbytes)
             yield target.write_chunk(nbytes, layout.units)
         except (TransferDroppedError, DiskFailedError):
-            target.remove_chunk(nbytes, layout.units)
-            if self.ledger is not None:
-                self.ledger.debit_repair(allocated, metadata)
+            if allocate:
+                target.remove_chunk(nbytes, layout.units)
+                if self.ledger is not None:
+                    self.ledger.debit_repair(allocated, metadata)
             return False
-        self.stats.bytes_written += nbytes
-        return True
+        if delta:
+            self.stats.delta_bytes_written += nbytes
+        else:
+            self.stats.bytes_written += nbytes
+        return "stored"

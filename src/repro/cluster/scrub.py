@@ -140,8 +140,19 @@ class IntegrityStore:
         """Checksum blocks (hence onode csum values) one chunk carries."""
         return blocks_in(chunk_stored_bytes, self.config.csum_block_size)
 
-    def register_object(self, pg: PlacementGroup, obj: StoredObject) -> Dict[int, Tuple[int, ...]]:
-        """Compute write-time checksums for every shard of one object.
+    def register_object(
+        self,
+        pg: PlacementGroup,
+        obj: StoredObject,
+        shards: Optional[Set[int]] = None,
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Compute write-time checksums for shards of one object.
+
+        ``shards`` limits registration to the shard positions a write
+        physically reached (``None`` — the ingest path — covers all of
+        them).  A registered shard's chunk was just rewritten whole, so
+        any silent corruption it carried is physically gone: its
+        corruption state is cleared along with the new record.
 
         Returns ``{shard: csum_tuple}`` for persistence with each acting
         OSD's onode metadata.  In data-plane mode the tuple holds real
@@ -151,22 +162,35 @@ class IntegrityStore:
         """
         if not self.config.enabled:
             return {}
+        targets = (
+            list(range(len(pg.acting))) if shards is None else sorted(shards)
+        )
         out: Dict[int, Tuple[int, ...]] = {}
         if self.config.data_plane:
             payload = self._payload_for(obj.name, obj.size)
             chunks = self.pool.code.encode(payload)
-            for shard, chunk in enumerate(chunks):
-                data = np.asarray(chunk, dtype=np.uint8).tobytes()
+            for shard in targets:
+                data = np.asarray(chunks[shard], dtype=np.uint8).tobytes()
                 expected = block_checksums(data, self.config.csum_block_size)
                 self._chunks[(pg.pgid, obj.name, shard)] = _ChunkRecord(
                     blocks=len(expected), expected=expected, data=data
                 )
                 out[shard] = expected
+                self._note_rewritten(pg.pgid, obj.name, shard)
         else:
             blocks = self.csum_blocks_for(obj.layout.chunk_stored_bytes)
-            for shard in range(len(pg.acting)):
+            for shard in targets:
                 self._chunks[(pg.pgid, obj.name, shard)] = _ChunkRecord(blocks=blocks)
+                self._note_rewritten(pg.pgid, obj.name, shard)
         return out
+
+    def _note_rewritten(self, pgid: str, object_name: str, shard: int) -> None:
+        """A full-chunk overwrite physically replaced this shard's data."""
+        shards = self._corrupted.get((pgid, object_name))
+        if shards is not None:
+            shards.discard(shard)
+            if not shards:
+                del self._corrupted[(pgid, object_name)]
 
     # -- corruption (applied by the fault injector through the Workers) -----------
 

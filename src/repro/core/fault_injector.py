@@ -217,6 +217,48 @@ class FaultInjector:
                 f"guaranteed tolerance m={tolerance} of "
                 f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
             )
+        # Crash-over-staleness guard: shards that missed a degraded write
+        # hold old content and cannot serve repairs, so they are damage
+        # just like corruption until delta recovery catches them up.
+        # Per-stripe *union* with the (planned + live) crash damage — a
+        # stale shard inside an already-doomed bucket adds nothing.
+        dirty = self._max_dirty_damage(hit, domain)
+        if dirty > tolerance:
+            raise FaultToleranceError(
+                f"{dirty} damaged chunks in one stripe (crashed buckets + "
+                f"stale/corrupt shards from degraded writes) would exceed "
+                f"the guaranteed tolerance m={tolerance} of "
+                f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+            )
+
+    def _max_dirty_damage(self, hit: Set, domain: str) -> int:
+        """Worst-case per-stripe damage once ``hit`` buckets are down.
+
+        For every stripe with a stale shard: shards unavailable now or
+        standing in a hit bucket, unioned with the stripe's stale and
+        corrupt shards.  Returns 0 when no writes have gone degraded
+        (read-only experiments never pay beyond the ``dirty_shards``
+        check per PG).
+        """
+        worst = 0
+        integrity = self.cluster.integrity
+        topology = self.cluster.topology
+        for pg in self.cluster.pool.pgs.values():
+            if pg.log is None or not pg.objects or not pg.log.dirty_shards():
+                continue
+            unavailable = {
+                s
+                for s, osd_id in enumerate(pg.acting)
+                if not self.cluster.osds[osd_id].is_up()
+                or topology.bucket_of(osd_id, domain) in hit
+            }
+            for obj in pg.objects:
+                stale = pg.log.stale_shards(obj.name)
+                if not stale:
+                    continue
+                corrupt = integrity.corrupt_shards(pg.pgid, obj.name)
+                worst = max(worst, len(unavailable | stale | corrupt))
+        return worst
 
     def _osds_for(self, spec: FaultSpec) -> Set[int]:
         """OSDs a spec can make unavailable (resolving target selection).
@@ -397,7 +439,13 @@ class FaultInjector:
             for s, osd_id in enumerate(pg.acting)
             if not self.cluster.osds[osd_id].is_up()
         }
-        damaged = unavailable | integrity.corrupt_shards(pg.pgid, obj.name) | set(shards)
+        stale = pg.log.stale_shards(obj.name) if pg.log is not None else set()
+        damaged = (
+            unavailable
+            | stale
+            | integrity.corrupt_shards(pg.pgid, obj.name)
+            | set(shards)
+        )
         if len(damaged) > tolerance:
             raise FaultToleranceError(
                 f"{len(damaged)} damaged chunks in stripe {pg.pgid}/{obj.name} "

@@ -23,13 +23,15 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..cluster.client import (
+    WRITE_STAT_KEYS,
     ClientLoadGenerator,
     ClientOpStats,
     RadosClient,
     ReadStats,
+    WriteStats,
 )
 from ..cluster.health import HealthStatus, check_health
-from ..cluster.recovery import RecoveryStats
+from ..cluster.recovery import DELTA_STAT_KEYS, RecoveryStats
 from ..workload.generator import Workload
 from .controller import Controller
 from .fault_injector import FaultSpec
@@ -62,10 +64,25 @@ class GrayOutcome:
     finished_at: float
     collector: LogCollector
     flap_timeline: Optional[FlapTimeline] = None
+    write_stats: Optional[WriteStats] = None
 
     def digest(self) -> Dict[str, Any]:
-        """Canonical JSON-serialisable snapshot (the determinism contract)."""
-        return {
+        """Canonical JSON-serialisable snapshot (the determinism contract).
+
+        Write-path keys appear only when the run actually wrote: the
+        new counters are pruned at zero and the write-sample section is
+        omitted entirely, so read-only digests stay byte-identical to
+        the pre-write-path model.
+        """
+        client = asdict(self.client_stats)
+        for key in WRITE_STAT_KEYS:
+            if client.get(key) == 0:
+                del client[key]
+        recovery = asdict(self.recovery_stats)
+        for key in DELTA_STAT_KEYS:
+            if recovery.get(key) == 0:
+                del recovery[key]
+        payload = {
             "finished_at": self.finished_at,
             "health": str(self.health),
             "converged": self.converged,
@@ -73,8 +90,8 @@ class GrayOutcome:
             "slowed_osds": list(self.slowed_osds),
             "markdowns": self.markdowns,
             "pins": self.pins,
-            "client": asdict(self.client_stats),
-            "recovery": asdict(self.recovery_stats),
+            "client": client,
+            "recovery": recovery,
             "read_failures": self.read_stats.failures,
             "samples": [
                 [s.object_name, s.issued_at, s.latency, s.degraded,
@@ -82,6 +99,15 @@ class GrayOutcome:
                 for s in self.read_stats.samples
             ],
         }
+        writes = self.write_stats
+        if writes is not None and (writes.samples or writes.failures):
+            payload["write_failures"] = writes.failures
+            payload["write_samples"] = [
+                [s.object_name, s.issued_at, s.latency, s.kind, s.degraded,
+                 s.bytes_written, s.attempts]
+                for s in writes.samples
+            ]
+        return payload
 
     def digest_json(self) -> str:
         """The digest as canonical JSON — byte-comparable across runs."""
@@ -100,6 +126,8 @@ def run_gray_experiment(
     fault_duration: float = 600.0,
     load_interval: float = 2.0,
     settle_time: float = 20_000.0,
+    write_fraction: float = 0.0,
+    rmw_fraction: float = 0.5,
 ) -> GrayOutcome:
     """Run one gray-failure cycle and return its outcome.
 
@@ -109,6 +137,11 @@ def run_gray_experiment(
     marked back up, recovery drains).  Defenses are configured through
     ``profile.ceph`` (``client_op_timeout``, ``client_hedge_delay``,
     retry knobs); all of them default off.
+
+    ``write_fraction`` of client ops are writes (``rmw_fraction`` of
+    those partial-stripe RMWs, the rest full overwrites); at the default
+    0.0 the load is pure reads and the run is byte-identical to the
+    read-only model.
     """
     if fault_duration <= 0:
         raise ValueError("fault_duration must be positive")
@@ -120,7 +153,8 @@ def run_gray_experiment(
     coordinator.ingest_workload(workload)
     client = RadosClient(cluster, seeds=controller.seeds)
     load = ClientLoadGenerator(
-        client, interval=load_interval, seeds=controller.seeds
+        client, interval=load_interval, seeds=controller.seeds,
+        write_fraction=write_fraction, rmw_fraction=rmw_fraction,
     )
 
     env.run(until=env.now + warmup)
@@ -163,6 +197,7 @@ def run_gray_experiment(
         finished_at=env.now,
         collector=coordinator.collector,
         flap_timeline=flap_timeline,
+        write_stats=load.write_stats,
     )
 
 
@@ -175,5 +210,10 @@ def _converged(cluster) -> bool:
     if cluster.monitor.active_pins():
         return False
     if not cluster.recovery.idle:
+        return False
+    # Staleness with no down->up trigger (an OSD restored within the
+    # heartbeat grace never went down in the monitor's eyes) is caught
+    # here: kick delta recovery for any dirty pg_log before judging.
+    if cluster.recovery.kick_stale():
         return False
     return check_health(cluster).status == HealthStatus.OK

@@ -22,7 +22,14 @@ from dataclasses import dataclass
 
 from ..cluster.ceph import CephCluster
 
-__all__ = ["WaReport", "theoretical_wa", "chunk_stored_size", "estimate_wa", "measure_wa"]
+__all__ = [
+    "WaReport",
+    "theoretical_wa",
+    "chunk_stored_size",
+    "estimate_wa",
+    "measure_wa",
+    "overwrite_amplification",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +96,22 @@ def estimate_wa(
         raise ValueError("meta_bytes must be non-negative")
     s_chunk = chunk_stored_size(object_size, k, stripe_unit)
     return (n * s_chunk + meta_bytes) / object_size
+
+
+def overwrite_amplification(cluster: CephCluster) -> float:
+    """Device bytes rewritten per logical overwrite byte.
+
+    Overwrites are ledgered separately from ingest (they change no
+    allocation, so they are excluded from the conservation identity);
+    this is their amplification factor.  A full-stripe overwrite pays
+    ~n/k like ingest; a partial-stripe RMW of one stripe unit rewrites
+    the unit plus every parity unit, amplifying by ~(1 + m).  Returns
+    0.0 when the workload never overwrote anything.
+    """
+    ledger = cluster.ledger
+    if ledger.overwrite_client_bytes == 0:
+        return 0.0
+    return ledger.overwrite_stored_bytes / ledger.overwrite_client_bytes
 
 
 def measure_wa(cluster: CephCluster, workload_bytes: int, label: str = "") -> WaReport:

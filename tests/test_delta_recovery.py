@@ -1,0 +1,222 @@
+"""Log-based delta recovery vs full backfill for transient failures.
+
+An OSD that comes back *up* before the down->out interval elapses is
+repaired by pg_log delta recovery — peering diffs shard versions and
+replays only the objects dirtied during the outage — instead of the
+reservation-and-full-rebuild backfill path an *out* OSD pays for.
+"""
+
+import pytest
+
+from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig, RadosClient
+from repro.ec import ReedSolomon
+from repro.sim import Environment
+
+MB = 1024 * 1024
+
+
+def build(down_out=10_000.0, num_hosts=10, pg_num=8, objects=16, **ceph):
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        ReedSolomon(4, 2),
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(mon_osd_down_out_interval=down_out, **ceph),
+        num_hosts=num_hosts,
+        pg_num=pg_num,
+    )
+    for i in range(objects):
+        cluster.ingest_object(f"obj-{i}", 1 * MB)
+    return env, cluster, RadosClient(cluster)
+
+
+def set_host(cluster, host_id, running):
+    for osd_id in cluster.topology.hosts[host_id].osd_ids:
+        cluster.osds[osd_id].host_running = running
+
+
+def host_of_shard(cluster, pg, shard):
+    return cluster.topology.osds[pg.acting[shard]].host_id
+
+
+def dirty_objects_on(cluster, pg):
+    return {
+        obj.name for obj in pg.objects if pg.log.stale_shards(obj.name)
+    }
+
+
+def drain(env, cluster, limit):
+    env.run(until=limit)
+    while cluster.recovery.kick_stale():
+        env.run(until=env.now + 500.0)
+
+
+def converged(cluster):
+    return all(
+        not pg.log.dirty_shards() for pg in cluster.pool.pgs.values()
+    )
+
+
+def test_transient_outage_is_delta_recovered_not_backfilled():
+    env, cluster, client = build()
+    env.run(until=10)
+    pg = cluster.pool.pg_of("obj-0")
+    victim = host_of_shard(cluster, pg, 0)
+    set_host(cluster, victim, False)
+    # Let the monitor mark it down (grace 20 s + tick), then write a few
+    # objects degraded while it is out of service.
+    env.run(until=60)
+    assert any(
+        osd_id in cluster.monitor.down_since
+        for osd_id in cluster.topology.hosts[victim].osd_ids
+    )
+    written = []
+    for i in range(5):
+        env.run_until_process(client.write_object(f"obj-{i}"))
+        written.append(f"obj-{i}")
+    dirtied = {
+        name for name in written
+        if cluster.pool.pg_of(name).log.stale_shards(name)
+    }
+    assert dirtied, "no write went degraded — victim host holds no shards"
+    backfill_before = cluster.recovery.stats.bytes_written
+    # Back up well before the 10_000 s down->out interval.
+    set_host(cluster, victim, True)
+    drain(env, cluster, env.now + 2000)
+    stats = cluster.recovery.stats
+    assert stats.pgs_delta_recovered > 0
+    assert stats.objects_delta_recovered >= len(dirtied)
+    assert stats.delta_bytes_written > 0
+    # Delta recovery, not backfill: no full-rebuild bytes were moved.
+    assert stats.bytes_written == backfill_before
+    # The log-bounded-repair invariant: spent <= accrued allowance.
+    assert stats.delta_bytes_read + stats.delta_bytes_written \
+        <= stats.delta_budget_bytes
+    assert converged(cluster)
+    for name in dirtied:
+        log = cluster.pool.pg_of(name).log
+        assert all(v == log.object_version[name]
+                   for v in log.shard_versions[name])
+
+
+def test_outage_past_down_out_interval_backfills():
+    env, cluster, client = build(down_out=60.0)
+    env.run(until=10)
+    pg = cluster.pool.pg_of("obj-0")
+    victim = host_of_shard(cluster, pg, 0)
+    set_host(cluster, victim, False)
+    env.run(until=60)
+    env.run_until_process(client.write_object("obj-0"))
+    # Stay down past the interval: the monitor marks the OSDs out and
+    # recovery takes the full backfill path.
+    env.run(until=400)
+    assert all(
+        cluster.monitor.is_out(osd_id)
+        for osd_id in cluster.topology.hosts[victim].osd_ids
+    )
+    set_host(cluster, victim, True)
+    drain(env, cluster, 3000)
+    stats = cluster.recovery.stats
+    assert stats.pgs_recovered > 0
+    assert stats.bytes_written > 0
+    assert converged(cluster)
+
+
+def test_trimmed_log_falls_back_to_backfill_per_shard():
+    # A tiny log: the writes during the outage overflow the hard cap,
+    # the victim's delta claim is surrendered, and recovery reports the
+    # per-shard fallback instead of replaying the log.
+    env, cluster, client = build(
+        osd_pg_log_max_entries=2, osd_pg_log_hard_limit=4, pg_num=2,
+        objects=8,
+    )
+    env.run(until=10)
+    pg = cluster.pool.pg_of("obj-0")
+    victim = host_of_shard(cluster, pg, 0)
+    set_host(cluster, victim, False)
+    env.run(until=60)
+    on_pg = [obj.name for obj in pg.objects]
+    for _ in range(3):
+        for name in on_pg:
+            env.run_until_process(client.write_object(name))
+    assert pg.log.backfill_shards, "hard cap never tripped"
+    set_host(cluster, victim, True)
+    drain(env, cluster, env.now + 4000)
+    stats = cluster.recovery.stats
+    assert stats.delta_fallback_backfills > 0
+    assert converged(cluster)
+    messages = [r.message for log in cluster.all_logs() for r in log]
+    assert any("falling back to backfill" in m for m in messages)
+
+
+def test_kick_stale_repairs_silent_staleness():
+    # The host comes back within the heartbeat grace: the monitor never
+    # marks it down, so no down->up event fires — kick_stale() is the
+    # only path that notices the dirty log.
+    env, cluster, client = build()
+    env.run(until=10)
+    pg = cluster.pool.pg_of("obj-0")
+    victim = host_of_shard(cluster, pg, 0)
+    set_host(cluster, victim, False)
+    env.run_until_process(client.write_object("obj-0"))
+    set_host(cluster, victim, True)
+    env.run(until=20)
+    assert not cluster.monitor.down_since
+    assert pg.log.stale_shards("obj-0")
+    assert cluster.recovery.kick_stale() is True
+    env.run(until=1000)
+    assert not pg.log.stale_shards("obj-0")
+    assert cluster.recovery.stats.pgs_delta_recovered >= 1
+
+
+def test_helper_rejoin_requeues_abandoned_pgs():
+    # RS(4,2) on 7 hosts: losing two hosts leaves 5 < n = 6 up buckets,
+    # so PG recovery is unplaceable and abandoned.  One host rejoining
+    # (marked in) must requeue those PGs against the still-out host.
+    env, cluster, client = build(down_out=60.0, num_hosts=7, pg_num=4)
+    env.run(until=10)
+    pg = cluster.pool.pg_of("obj-0")
+    host_a = host_of_shard(cluster, pg, 0)
+    host_b = host_of_shard(cluster, pg, 1)
+    assert host_a != host_b
+    set_host(cluster, host_a, False)
+    set_host(cluster, host_b, False)
+    env.run(until=400)  # both marked out; recovery abandoned (5 hosts)
+    assert cluster.recovery.stats.pgs_unplaceable > 0 \
+        or cluster.recovery.stats.pgs_abandoned > 0
+    set_host(cluster, host_b, True)
+    env.run(until=3000)
+    stats = cluster.recovery.stats
+    assert stats.pgs_requeued > 0
+    assert stats.pgs_recovered > 0
+    # The still-out host's shards were rebuilt elsewhere.
+    out = set(cluster.monitor.out_osds)
+    for pg in cluster.pool.pgs.values():
+        if pg.objects:
+            assert not out & set(pg.acting)
+
+
+def test_pin_expiry_bumps_epoch_and_logs_rejoin():
+    env, cluster, client = build(
+        mon_osd_markdown_count=2, mon_osd_markdown_period=10_000.0,
+        mon_osd_markdown_pin=200.0,
+    )
+    env.run(until=10)
+    pg = cluster.pool.pg_of("obj-0")
+    victim_osd = pg.acting[0]
+    # Flap the daemon until the monitor pins it.
+    for _ in range(3):
+        cluster.osds[victim_osd].daemon_up = False
+        env.run(until=env.now + 40)
+        cluster.osds[victim_osd].daemon_up = True
+        env.run(until=env.now + 40)
+        if cluster.monitor.pinned_until.get(victim_osd):
+            break
+    assert cluster.monitor.pins_total >= 1
+    epoch_before = cluster.monitor.osdmap_epoch
+    env.run(until=env.now + 500)  # pin expires, daemon healthy
+    assert not cluster.monitor.active_pins()
+    assert victim_osd not in cluster.monitor.pinned_until
+    assert cluster.monitor.osdmap_epoch > epoch_before
+    messages = [r.message for r in cluster.monitor.log]
+    assert "flap pin expired, osd rejoining" in messages

@@ -1,0 +1,223 @@
+"""Client write path: creates, full overwrites, RMWs, degraded writes.
+
+Every test asserts the WA ledger's exact byte-conservation identity
+afterwards — the write path maintains the ledger at its write sites and
+the BlueStore counters inside the backends independently, so any drift
+is a bug one side would hide.
+"""
+
+import pytest
+
+from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig, RadosClient
+from repro.cluster.client import (
+    ClientLoadGenerator,
+    WriteFailedError,
+    WriteSample,
+)
+from repro.ec import ReedSolomon
+from repro.sim import Environment
+
+MB = 1024 * 1024
+
+
+def build(num_hosts=10, pg_num=8, down_out=10_000.0, objects=12):
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        ReedSolomon(4, 2),
+        CACHE_SCHEMES["autotune"],
+        config=CephConfig(mon_osd_down_out_interval=down_out),
+        num_hosts=num_hosts,
+        pg_num=pg_num,
+    )
+    for i in range(objects):
+        cluster.ingest_object(f"obj-{i}", 4 * MB)
+    return env, cluster, RadosClient(cluster)
+
+
+def run(env, process):
+    return env.run_until_process(process)
+
+
+def assert_conserved(cluster):
+    ledger = cluster.ledger
+    assert ledger.device_bytes == cluster.used_bytes_total(), (
+        f"ledger {ledger.device_bytes} != OSD usage "
+        f"{cluster.used_bytes_total()}"
+    )
+
+
+def fail_hosts_of_shards(cluster, pg, shards):
+    """Take down the hosts holding the given shard positions of a PG."""
+    downed = set()
+    for shard in shards:
+        host = cluster.topology.osds[pg.acting[shard]].host_id
+        if host in downed:
+            continue
+        downed.add(host)
+        for osd_id in cluster.topology.hosts[host].osd_ids:
+            cluster.osds[osd_id].host_running = False
+    return downed
+
+
+def test_create_write_stores_object_and_conserves_bytes():
+    env, cluster, client = build()
+    used_before = cluster.used_bytes_total()
+    sample = run(env, client.write_object("fresh", size=4 * MB))
+    assert isinstance(sample, WriteSample)
+    assert sample.kind == "create"
+    assert not sample.degraded
+    assert sample.latency > 0
+    pg = cluster.pool.pg_of("fresh")
+    assert any(obj.name == "fresh" for obj in pg.objects)
+    entry = pg.log.entries[-1]
+    assert entry.kind == "create" and entry.object_name == "fresh"
+    assert cluster.used_bytes_total() > used_before
+    assert_conserved(cluster)
+
+
+def test_full_overwrite_allocates_nothing_new():
+    env, cluster, client = build()
+    used_before = cluster.used_bytes_total()
+    sample = run(env, client.write_object("obj-3"))
+    assert sample.kind == "full"
+    # In-place rewrite: the chunks already exist, usage is unchanged.
+    assert cluster.used_bytes_total() == used_before
+    assert cluster.ledger.overwrite_client_bytes == 4 * MB
+    assert cluster.ledger.overwrite_stored_bytes > 4 * MB
+    assert_conserved(cluster)
+
+
+def test_rmw_touches_unit_plus_parities():
+    env, cluster, client = build()
+    pg = cluster.pool.pg_of("obj-3")
+    unit = cluster.pool.stripe_unit
+    sample = run(env, client.write_stripe_unit("obj-3", data_shard=1))
+    assert sample.kind == "rmw"
+    assert sample.bytes_written == unit
+    # The data unit plus both parity units were rewritten (m = 2).
+    assert cluster.ledger.overwrite_client_bytes == unit
+    assert cluster.ledger.overwrite_stored_bytes == 3 * unit
+    entry = pg.log.entries[-1]
+    assert entry.kind == "rmw"
+    assert set(entry.touched) == {1, 4, 5}
+    assert_conserved(cluster)
+
+
+def test_degraded_write_succeeds_and_marks_stale():
+    env, cluster, client = build()
+    pg = cluster.pool.pg_of("obj-3")
+    fail_hosts_of_shards(cluster, pg, [0])
+    down = {
+        s for s, osd_id in enumerate(pg.acting)
+        if not cluster.osds[osd_id].is_up()
+    }
+    assert 1 <= len(down) <= 2
+    sample = run(env, client.write_object("obj-3"))
+    assert sample.degraded
+    assert pg.log.stale_shards("obj-3") == down
+    for shard in down:
+        assert pg.log.shard_versions["obj-3"][shard] < \
+            pg.log.object_version["obj-3"]
+    assert_conserved(cluster)
+
+
+def test_write_beyond_tolerance_fails_and_rolls_back():
+    env, cluster, client = build()
+    pg = cluster.pool.pg_of("obj-3")
+    fail_hosts_of_shards(cluster, pg, [0, 1, 2])
+    down = sum(
+        1 for osd_id in pg.acting if not cluster.osds[osd_id].is_up()
+    )
+    assert down > 2
+    head_before = pg.log.head
+    with pytest.raises(WriteFailedError):
+        run(env, client.write_object("obj-3"))
+    # The aborted write never entered the log (rollback rule)...
+    assert pg.log.head == head_before
+    assert pg.log.inflight == 0
+    assert client.stats.writes_failed == 1
+    # ...and whatever partially landed is flagged divergent for repair,
+    # never left silently torn.
+    stale = pg.log.stale_shards("obj-3")
+    for shard in stale:
+        assert cluster.osds[pg.acting[shard]].is_up()
+    assert_conserved(cluster)
+
+
+def test_degraded_create_tracks_unstored_chunks():
+    env, cluster, client = build()
+    sample = run(env, client.write_object("fresh", size=4 * MB))
+    pg = cluster.pool.pg_of("fresh")
+    del sample
+    fail_hosts_of_shards(cluster, pg, [0])
+    down = {
+        s for s, osd_id in enumerate(pg.acting)
+        if not cluster.osds[osd_id].is_up()
+    }
+    if len(down) > 2:
+        pytest.skip("host holds too many shards of this pg")
+    sample = run(env, client.write_object("fresh2", size=4 * MB))
+    pg2 = cluster.pool.pg_of("fresh2")
+    if pg2 is not pg:
+        pytest.skip("second object landed on an unaffected pg")
+    assert sample.degraded
+    missing = pg2.log.stale_shards("fresh2")
+    for shard in missing:
+        assert pg2.log.is_unstored("fresh2", shard)
+    assert_conserved(cluster)
+
+
+def test_reads_avoid_stale_shards():
+    env, cluster, client = build()
+    pg = cluster.pool.pg_of("obj-3")
+    fail_hosts_of_shards(cluster, pg, [0])
+    down = {
+        s for s, osd_id in enumerate(pg.acting)
+        if not cluster.osds[osd_id].is_up()
+    }
+    run(env, client.write_object("obj-3"))
+    # Bring the host back: the shards are up again but hold old data.
+    for osd_id in pg.acting:
+        cluster.osds[osd_id].host_running = True
+    assert pg.log.stale_shards("obj-3") == down
+    sample = run(env, client.read_object("obj-3"))
+    # The read had to treat the stale shards as unavailable.
+    assert sample.degraded == bool(down & set(range(4)))
+
+
+def test_mixed_load_generator_reads_and_writes():
+    env, cluster, client = build()
+    load = ClientLoadGenerator(
+        client, interval=1.0, write_fraction=0.5, rmw_fraction=0.5
+    )
+    proc = load.run_for(120.0)
+    env.run_until_process(proc)
+    assert load.stats.count > 0
+    assert load.write_stats.count > 0
+    kinds = {s.kind for s in load.write_stats.samples}
+    assert kinds <= {"full", "rmw"}
+    assert load.write_stats.failures == 0
+    assert_conserved(cluster)
+
+
+def test_load_generator_validates_fractions():
+    env, cluster, client = build(objects=1)
+    with pytest.raises(ValueError):
+        ClientLoadGenerator(client, interval=1.0, write_fraction=1.5)
+    with pytest.raises(ValueError):
+        ClientLoadGenerator(client, interval=1.0, rmw_fraction=-0.1)
+
+
+def test_read_only_generator_draws_no_write_randomness():
+    """write_fraction=0 must consume the same RNG stream as the
+    pre-write-path generator: reads pick identical objects."""
+    env_a, cluster_a, client_a = build()
+    load_a = ClientLoadGenerator(client_a, interval=1.0)
+    env_a.run_until_process(load_a.run_for(60.0))
+    env_b, cluster_b, client_b = build()
+    load_b = ClientLoadGenerator(client_b, interval=1.0, write_fraction=0.0,
+                                 rmw_fraction=0.7)
+    env_b.run_until_process(load_b.run_for(60.0))
+    assert [s.object_name for s in load_a.stats.samples] == \
+        [s.object_name for s in load_b.stats.samples]
