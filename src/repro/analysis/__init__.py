@@ -18,6 +18,7 @@ from .stats import (
     impact_range_percent,
     mean_and_stdev,
     normalised_series,
+    percentile,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "impact_range_percent",
     "mean_and_stdev",
     "normalised_series",
+    "percentile",
 ]

@@ -7,15 +7,37 @@ series (Figure 2's presentation), configuration-impact ranges (the
 
 from __future__ import annotations
 
+import math
 import statistics
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 __all__ = [
+    "percentile",
     "mean_and_stdev",
     "normalised_series",
     "impact_range_percent",
     "crossover_points",
 ]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Ceil-based nearest-rank percentile of ``values``.
+
+    The nearest-rank definition: the smallest value such that at least
+    ``pct`` percent of the sample is <= it, i.e. index
+    ``ceil(pct/100 * n) - 1`` into the sorted sample.  (A ``round()``
+    based rank is biased low for small samples — p99 of 50 values would
+    read the 50th value's *predecessor* half the time.)  This is the one
+    audited implementation; client and tenant latency accounting both
+    delegate here.
+    """
+    if not 0 < pct <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    index = max(0, math.ceil(pct / 100 * len(ordered)) - 1)
+    return ordered[index]
 
 
 def mean_and_stdev(values: Sequence[float]) -> Tuple[float, float]:

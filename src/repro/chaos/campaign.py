@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..cluster.osd import CephConfig
 from ..core.fault_injector import FaultSpec
 from ..core.profile import ExperimentProfile
+from ..tenancy.spec import TenantFleetSpec
 from ..workload.generator import Workload
 
 __all__ = ["ScheduledAction", "CampaignSpec"]
@@ -113,6 +114,14 @@ class CampaignSpec:
     rmw_fraction: float = 0.5
     #: How long (sim-seconds, from campaign start) the mixed load runs.
     write_duration: float = 0.0
+    # -- tenant fleet ---------------------------------------------------------
+    #: Optional multi-tenant client fleet (with per-tenant QoS tags and
+    #: SLOs) driving the load instead of the single anonymous stream.
+    #: Exclusive with ``write_interval > 0`` — the fleet *replaces* the
+    #: legacy client, it does not run beside it.
+    tenant_fleet: Optional[TenantFleetSpec] = None
+    #: How long (sim-seconds, from campaign start) the fleet runs.
+    tenant_duration: float = 0.0
     # -- fault schedule -------------------------------------------------------
     actions: Tuple[ScheduledAction, ...] = field(default_factory=tuple)
     #: Sim-time budget for the final settle phase (recovery + scrub drain).
@@ -132,6 +141,17 @@ class CampaignSpec:
                 "a write-enabled campaign (write_interval > 0) needs "
                 "write_duration > 0"
             )
+        if self.tenant_fleet is not None:
+            if self.tenant_duration <= 0:
+                raise ValueError(
+                    "a tenant campaign (tenant_fleet set) needs "
+                    "tenant_duration > 0"
+                )
+            if self.write_interval > 0:
+                raise ValueError(
+                    "tenant_fleet and write_interval are exclusive: the "
+                    "fleet replaces the single client stream"
+                )
         times = [action.at for action in self.actions]
         if times != sorted(times):
             raise ValueError("schedule actions must be time-ordered")
@@ -182,6 +202,9 @@ class CampaignSpec:
         data = asdict(self)
         data["ec_params"] = {key: value for key, value in self.ec_params}
         data["actions"] = [action.to_dict() for action in self.actions]
+        data["tenant_fleet"] = (
+            self.tenant_fleet.to_dict() if self.tenant_fleet is not None else None
+        )
         return data
 
     @classmethod
@@ -192,5 +215,9 @@ class CampaignSpec:
         )
         payload["actions"] = tuple(
             ScheduledAction.from_dict(action) for action in payload["actions"]
+        )
+        fleet = payload.get("tenant_fleet")
+        payload["tenant_fleet"] = (
+            TenantFleetSpec.from_dict(fleet) if fleet else None
         )
         return cls(**payload)

@@ -23,8 +23,10 @@ from ..cluster.recovery import DELTA_STAT_KEYS
 from ..core.controller import Controller
 from ..core.fault_injector import FaultInjector, FaultToleranceError
 from ..sim.rng import substream_seed
+from ..tenancy.accounting import fleet_reports
+from ..tenancy.fleet import TenantFleet
 from .campaign import CampaignSpec
-from .invariants import InvariantSuite, InvariantViolation
+from .invariants import InvariantSuite, InvariantViolation, check_tenant_fairness
 from .sampler import sample_campaign
 
 __all__ = [
@@ -101,6 +103,23 @@ def run_campaign(
         )
         load_proc = load.run_for(spec.write_duration)
 
+    # Tenant campaigns replace the single stream with a QoS-arbitrated
+    # fleet and arm the fairness oracle: after settle, no reservation may
+    # be starved and every SLO violation must be attributable to the
+    # faulty portion of the run.
+    fleet = None
+    fleet_proc = None
+    if spec.tenant_fleet is not None:
+        fleet = TenantFleet(cluster, spec.tenant_fleet, seeds=controller.seeds)
+        fleet_proc = fleet.run_for(spec.tenant_duration)
+        first_inject = next(
+            (action.at for action in spec.actions if action.kind == "inject"),
+            None,
+        )
+        suite.extra_final_checks = (
+            lambda c: check_tenant_fairness(c, fleet, first_inject),
+        )
+
     step = 0
     suite.check_step(step)
 
@@ -123,6 +142,8 @@ def run_campaign(
         # Drain the client load (retries may outlive the fault window)
         # before judging convergence.
         env.run_until_process(load_proc)
+    if fleet_proc is not None:
+        env.run_until_process(fleet_proc)
 
     # Settle: poll until the cluster converges (or provably cannot, or
     # the budget runs out - the final check then reports the stall).
@@ -145,7 +166,7 @@ def run_campaign(
     step += 1
     suite.check_final(step)
 
-    digest = outcome_digest(cluster, load=load)
+    digest = outcome_digest(cluster, load=load, fleet=fleet)
     return CampaignResult(
         spec=spec,
         outcome_hash=hash_digest(digest),
@@ -216,7 +237,9 @@ def _prune_zero(payload: Dict[str, Any], keys) -> Dict[str, Any]:
 
 
 def outcome_digest(
-    cluster: CephCluster, load: Optional[ClientLoadGenerator] = None
+    cluster: CephCluster,
+    load: Optional[ClientLoadGenerator] = None,
+    fleet: Optional[TenantFleet] = None,
 ) -> Dict[str, Any]:
     """Canonical, JSON-serialisable snapshot of everything observable."""
     health = check_health(cluster)
@@ -268,6 +291,35 @@ def outcome_digest(
                 for s in writes.samples
             ],
         }
+    if fleet is not None:
+        tenants: Dict[str, Any] = {}
+        for name in sorted(fleet.tenants):
+            runtime = fleet.tenants[name]
+            reads = runtime.load.stats
+            tenant_writes = runtime.load.write_stats
+            entry: Dict[str, Any] = {
+                "reads_ok": len(reads.samples),
+                "read_failures": reads.failures,
+                "samples": [
+                    [s.object_name, s.issued_at, s.latency, s.degraded,
+                     s.bytes_read, s.attempts, s.hedged]
+                    for s in reads.samples
+                ],
+            }
+            if tenant_writes.samples or tenant_writes.failures:
+                entry["write_failures"] = tenant_writes.failures
+                entry["write_samples"] = [
+                    [s.object_name, s.issued_at, s.latency, s.kind, s.degraded,
+                     s.bytes_written, s.attempts]
+                    for s in tenant_writes.samples
+                ]
+            tenants[name] = entry
+        for report in fleet_reports(fleet):
+            tenants[report.name]["slo_violations"] = [
+                list(window) for window in report.slo_violations
+            ]
+        digest["tenants"] = tenants
+        digest["qos"] = fleet.qos_class_totals()
     return digest
 
 
@@ -310,6 +362,7 @@ def run_chaos(
     stop_on_failure: bool = False,
     levels: Optional[Tuple[str, ...]] = None,
     writes: bool = False,
+    tenants: bool = False,
 ) -> ChaosReport:
     """Sample and run ``campaigns`` campaigns derived from ``root_seed``.
 
@@ -319,12 +372,17 @@ def run_chaos(
     restricts which fault levels the sampler may draw (the CI gray-chaos
     job sweeps only the gray ones).  ``writes=True`` makes the sampler
     add a mixed read-write client load to every campaign, exercising the
-    degraded write path and pg_log delta recovery.
+    degraded write path and pg_log delta recovery.  ``tenants=True``
+    instead drives every campaign with a sampled QoS-enabled tenant
+    fleet and arms the fairness invariant (exclusive with ``writes``).
     """
     report = ChaosReport(root_seed=root_seed)
     for index in range(campaigns):
         spec = sample_campaign(
-            campaign_seed(root_seed, index), levels=levels, writes=writes
+            campaign_seed(root_seed, index),
+            levels=levels,
+            writes=writes,
+            tenants=tenants,
         )
         report.campaigns += 1
         try:

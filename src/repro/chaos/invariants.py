@@ -11,11 +11,13 @@ either side trips the oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..cluster.ceph import CephCluster
 from ..cluster.health import HealthStatus, check_health
 from ..core.timeline import first_nonmonotone
+from ..tenancy.accounting import fleet_reports
+from ..tenancy.fleet import TenantFleet
 
 __all__ = [
     "InvariantViolation",
@@ -25,6 +27,7 @@ __all__ = [
     "check_log_bounded_repair",
     "check_converged",
     "check_version_convergence",
+    "check_tenant_fairness",
     "InvariantSuite",
 ]
 
@@ -280,6 +283,74 @@ def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
     return violations
 
 
+def check_tenant_fairness(
+    cluster: CephCluster,
+    fleet: TenantFleet,
+    fault_start: Optional[float],
+) -> List[InvariantViolation]:
+    """QoS kept its promises: no starved reservation, violations attributable.
+
+    Checked once after settle, when the fleet has drained and every
+    restored fault has had time to heal:
+
+    * **No starvation** — no request is still queued in any scheduler,
+      and every QoS class that enqueued work was fully served.  A class
+      holding a nonzero reservation that still has a backlog means
+      mClock let other classes eat its guaranteed share.
+    * **Attributability** — every tenant SLO-violation window must
+      overlap the faulty portion of the run (first injection onward;
+      recovery competition legitimately outlives the restore).  A
+      violation in the fault-free prefix means QoS alone — with the
+      cluster healthy — failed the tenant's declared SLO.
+    """
+    violations: List[InvariantViolation] = []
+    now = cluster.env.now
+    pending = fleet.qos_pending()
+    if pending:
+        violations.append(
+            InvariantViolation(
+                "qos-starvation",
+                f"{pending} requests still queued in QoS schedulers after "
+                f"settle",
+                at_time=now,
+            )
+        )
+    reservations = {
+        qos_class.name: qos_class.reservation
+        for qos_class in fleet.spec.read_classes()
+    }
+    for name, totals in sorted(fleet.qos_class_totals().items()):
+        backlog = totals["enqueued"] - totals["served"]
+        if backlog > 0:
+            violations.append(
+                InvariantViolation(
+                    "qos-starvation",
+                    f"class {name} (reservation "
+                    f"{reservations.get(name, 0.0):g}) still has {backlog:g} "
+                    f"unserved requests after settle",
+                    at_time=now,
+                )
+            )
+    if fleet.started_at is not None:
+        for report in fleet_reports(fleet):
+            for start, end in report.slo_violations:
+                if fault_start is None or end < fault_start:
+                    violations.append(
+                        InvariantViolation(
+                            "slo-attribution",
+                            f"tenant {report.name} violated its SLO in "
+                            f"[{start:g}, {end:g}] "
+                            + (
+                                "with no fault ever injected"
+                                if fault_start is None
+                                else f"before the first fault at {fault_start:g}"
+                            ),
+                            at_time=now,
+                        )
+                    )
+    return violations
+
+
 #: The step-wise checkers (convergence checks are end-of-campaign only).
 STEP_CHECKS = (
     check_durability,
@@ -295,10 +366,14 @@ class InvariantSuite:
 
     ``extra_checks`` lets tests (and the shrinker's harness) plug in
     additional oracles with the same ``cluster -> [violation]`` shape.
+    ``extra_final_checks`` are run only by :meth:`check_final` — for
+    oracles that would false-positive mid-run (e.g. tenant fairness,
+    which must wait for the fleet and the schedulers to drain).
     """
 
     cluster: CephCluster
     extra_checks: tuple = ()
+    extra_final_checks: tuple = ()
     violations: List[InvariantViolation] = field(default_factory=list)
 
     def check_step(self, step: int) -> List[InvariantViolation]:
@@ -320,7 +395,11 @@ class InvariantSuite:
     def check_final(self, step: int) -> List[InvariantViolation]:
         """Run the end-of-campaign convergence checks on top of a step check."""
         found = self.check_step(step)
-        for checker in (check_converged, check_version_convergence):
+        for checker in (
+            check_converged,
+            check_version_convergence,
+            *self.extra_final_checks,
+        ):
             for violation in checker(self.cluster):
                 stamped = InvariantViolation(
                     violation.invariant, violation.detail, violation.at_time,

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..cluster.bluestore import CACHE_SCHEMES
 from ..core.fault_injector import FAULT_LEVELS, GRAY_LEVELS
 from ..sim.rng import SeedSequence
+from ..tenancy.spec import SloSpec, TenantFleetSpec, TenantSpec
 from .campaign import CampaignSpec, ScheduledAction
 
 __all__ = ["sample_campaign"]
@@ -69,7 +70,10 @@ def _tolerance(plugin: str, params: Tuple[Tuple[str, int], ...]) -> int:
 
 
 def sample_campaign(
-    seed: int, levels: Optional[Sequence[str]] = None, writes: bool = False
+    seed: int,
+    levels: Optional[Sequence[str]] = None,
+    writes: bool = False,
+    tenants: bool = False,
 ) -> CampaignSpec:
     """Sample one valid campaign; same seed, same campaign, always.
 
@@ -84,7 +88,19 @@ def sample_campaign(
     last and only when enabled, so ``writes=False`` consumes exactly the
     same RNG stream as before the write path existed — read-only
     campaigns stay byte-identical.
+
+    ``tenants=True`` instead samples a three-tenant QoS-enabled fleet
+    (a reserved latency tenant with an SLO, a rate-limited writing batch
+    tenant, a poisson scan tenant) that replaces the single client
+    stream, enabling the fairness invariant.  Exclusive with ``writes``;
+    the tenant draws happen after every other field so ``tenants=False``
+    streams are untouched.
     """
+    if tenants and writes:
+        raise ValueError(
+            "tenants and writes are exclusive: the fleet replaces the "
+            "single client stream"
+        )
     chosen = tuple(levels) if levels is not None else FAULT_LEVELS
     if not chosen:
         raise ValueError("levels must name at least one fault level")
@@ -144,6 +160,47 @@ def sample_campaign(
             write_fraction=rng.choice((0.3, 0.5, 0.7)),
             rmw_fraction=rng.choice((0.0, 0.5, 1.0)),
             write_duration=last_at + float(rng.choice((50, 150))),
+        )
+    if tenants:
+        # Drawn strictly after every other field (the writes draws never
+        # run on a tenant campaign) so tenants=False streams stay
+        # byte-identical.  The fleet outlives the last scheduled action,
+        # so the fairness invariant judges SLO windows that straddle
+        # injects, restores and the recovery they trigger.
+        last_at = actions[-1].at if actions else 100.0
+        fleet = TenantFleetSpec(
+            tenants=(
+                TenantSpec(
+                    name="latency",
+                    interval=float(rng.choice((1, 2))),
+                    reservation=rng.choice((0.1, 0.2)),
+                    weight=4.0,
+                    slo=SloSpec(
+                        p99_latency=rng.choice((0.25, 0.5)), window=60.0
+                    ),
+                ),
+                TenantSpec(
+                    name="batch",
+                    interval=float(rng.choice((0.5, 1))),
+                    arrival="poisson",
+                    write_fraction=rng.choice((0.3, 0.5)),
+                    rmw_fraction=rng.choice((0.0, 0.5)),
+                    weight=1.0,
+                    limit=rng.choice((0.0, 0.25)),
+                ),
+                TenantSpec(
+                    name="scan",
+                    interval=float(rng.choice((2, 4))),
+                    arrival="poisson",
+                    weight=2.0,
+                ),
+            ),
+            qos_enabled=True,
+        )
+        spec = replace(
+            spec,
+            tenant_fleet=fleet,
+            tenant_duration=last_at + float(rng.choice((50, 150))),
         )
     return spec
 

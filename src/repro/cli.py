@@ -13,6 +13,7 @@ Subcommands::
     ecfault autoscale    pg_num advice for a pool/cluster shape
     ecfault chaos        seeded randomized fault campaigns with invariants
     ecfault replay       re-execute a chaos repro artifact exactly
+    ecfault tenants      a multi-tenant QoS fleet experiment with SLO bill
 
 Every command prints plain text; ``sweep`` and ``tune`` write
 machine-readable JSON so results can be analysed later or elsewhere.
@@ -315,6 +316,7 @@ def cmd_tune(args) -> int:
         RandomSearch,
         ReadProbe,
         SuccessiveHalving,
+        TenantProbe,
         TuningArtifactError,
         TuningSpace,
         default_objectives,
@@ -354,6 +356,9 @@ def cmd_tune(args) -> int:
     )
 
     probe_enabled = args.probe_reads or args.p99_budget is not None
+    tenant_probe_enabled = (
+        args.probe_tenants or args.tenant_p99_budget is not None
+    )
     full = Fidelity(args.objects, runs=args.runs, label="full")
     screen_objects = args.screen_objects or max(1, args.objects // 8)
     if args.strategy == "halving":
@@ -391,10 +396,13 @@ def cmd_tune(args) -> int:
             budget=args.budget,
             workers=args.workers,
             probe=ReadProbe() if probe_enabled else None,
+            tenant_probe=TenantProbe() if tenant_probe_enabled else None,
             objectives=default_objectives(
                 wa_budget=args.wa_budget,
                 p99_budget=args.p99_budget,
                 include_p99=probe_enabled,
+                tenant_p99_budget=args.tenant_p99_budget,
+                include_tenant_p99=tenant_probe_enabled,
             ),
             artifact_path=args.output,
             resume=args.resume,
@@ -405,7 +413,9 @@ def cmd_tune(args) -> int:
         return 2
 
     exhaustive = len(space.enumerate()) * (
-        full.cost + (ReadProbe().cost if probe_enabled else 0)
+        full.cost
+        + (ReadProbe().cost if probe_enabled else 0)
+        + (TenantProbe().cost if tenant_probe_enabled else 0)
     )
     print(f"tuned {space.size()} -> {len(space.enumerate())} valid "
           f"configurations with {strategy.name}: {outcome.simulations} "
@@ -491,6 +501,10 @@ def cmd_chaos(args) -> int:
                   f"({spec.ec_plugin}, {len(spec.actions)} actions)",
                   file=sys.stderr)
 
+    if args.tenants and args.writes:
+        print("chaos: --tenants and --writes are exclusive (the fleet "
+              "replaces the single client stream)", file=sys.stderr)
+        return 2
     levels = tuple(args.levels.split(",")) if args.levels else None
     report = run_chaos(
         args.seed,
@@ -499,6 +513,7 @@ def cmd_chaos(args) -> int:
         stop_on_failure=args.stop_on_failure,
         levels=levels,
         writes=args.writes,
+        tenants=args.tenants,
     )
     print(f"chaos: {report.campaigns} campaigns from seed {report.root_seed}: "
           f"{report.passed} passed, {report.invalid} invalid, "
@@ -551,6 +566,126 @@ def cmd_replay(args) -> int:
     print(f"replay: OUTCOME DIVERGED — expected {artifact.outcome_hash} "
           f"got {result.outcome_hash}", file=sys.stderr)
     return 1
+
+
+def cmd_tenants(args) -> int:
+    from .tenancy import (
+        SloSpec,
+        TenantFleetSpec,
+        TenantSpec,
+        run_tenant_experiment,
+    )
+
+    if args.spec is not None:
+        try:
+            with open(args.spec) as handle:
+                blob = json.load(handle)
+            fleet_spec = TenantFleetSpec.from_dict(blob)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+            print(f"tenants: bad fleet spec: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # Stock demo fleet: a reserved latency tenant with an SLO beside
+        # a rate-limited poisson batch writer, QoS on.
+        fleet_spec = TenantFleetSpec(
+            tenants=(
+                TenantSpec(name="latency", interval=1.0, reservation=0.15,
+                           weight=4.0, slo=SloSpec(p99_latency=0.25)),
+                TenantSpec(name="batch", interval=0.5, arrival="poisson",
+                           write_fraction=0.5, limit=0.25),
+            ),
+            qos_enabled=True,
+        )
+
+    profile = _profile_from_args(args)
+    workload = Workload(num_objects=args.objects, object_size=args.object_size)
+    faults = []
+    if args.fault != "none":
+        spec = (
+            FaultSpec(level="slow_device", factor=16.0, count=args.fault_count)
+            if args.fault == "slow_device"
+            else FaultSpec(level=args.fault, count=args.fault_count)
+        )
+        faults.append(spec)
+
+    outcome = run_tenant_experiment(
+        profile,
+        workload,
+        fleet_spec,
+        faults,
+        seed=args.seed,
+        warmup=args.warmup,
+        fault_duration=args.duration,
+    )
+
+    if args.json:
+        payload = {
+            "fleet": fleet_spec.to_dict(),
+            "converged": outcome.converged,
+            "health": outcome.health,
+            "injected_osds": outcome.injected_osds,
+            "tenants": [report.to_dict() for report in outcome.reports],
+        }
+        if fleet_spec.qos_enabled:
+            payload["qos"] = outcome.fleet.qos_class_totals()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"profile: {profile.describe()}")
+    print(f"fleet: {len(fleet_spec.tenants)} tenant(s), "
+          f"QoS {'on' if fleet_spec.qos_enabled else 'off'}, "
+          f"converged={outcome.converged}, health={outcome.health}")
+
+    def fmt_latency(value):
+        return f"{value * 1000:.1f}" if value is not None else "-"
+
+    rows = []
+    for report in outcome.reports:
+        slo_cell = "-"
+        if report.slo is not None:
+            slo_cell = "met" if report.slo_met else (
+                f"VIOLATED x{len(report.slo_violations)}"
+            )
+        rows.append([
+            report.name,
+            report.reads_ok,
+            report.read_failures,
+            fmt_latency(report.p50),
+            fmt_latency(report.p99),
+            fmt_latency(report.p999),
+            f"{report.throughput / MB:.2f}",
+            report.writes_ok,
+            f"{report.wa_attributed:.2f}" if report.writes_ok else "-",
+            slo_cell,
+        ])
+    print()
+    print(
+        format_table(
+            "per-tenant accounting",
+            ["tenant", "reads", "fail", "p50 (ms)", "p99 (ms)", "p999 (ms)",
+             "MB/s", "writes", "WA", "SLO"],
+            rows,
+        )
+    )
+    if fleet_spec.qos_enabled:
+        print()
+        totals = outcome.fleet.qos_class_totals()
+        print(
+            format_table(
+                "QoS classes (all OSD schedulers)",
+                ["class", "enqueued", "served", "busy (s)", "max wait (ms)"],
+                [
+                    [name, int(t["enqueued"]), int(t["served"]),
+                     f"{t['busy_time']:.1f}", f"{t['max_wait'] * 1000:.1f}"]
+                    for name, t in sorted(totals.items())
+                ],
+            )
+        )
+    violated = [r.name for r in outcome.reports if r.slo_met is False]
+    if violated:
+        print(f"\nSLO violated for: {', '.join(violated)}")
+        return 1
+    return 0
 
 
 def cmd_autoscale(args) -> int:
@@ -681,6 +816,12 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--p99-budget", type=float, default=None,
                       help="degraded-read p99 budget in seconds "
                            "(implies --probe-reads)")
+    tune.add_argument("--probe-tenants", action="store_true",
+                      help="also measure a reserved SLO tenant's p99 under "
+                           "QoS during an outage per point")
+    tune.add_argument("--tenant-p99-budget", type=float, default=None,
+                      help="tenant SLO p99 budget in seconds "
+                           "(implies --probe-tenants)")
     tune.add_argument("--output", default="tuning.json")
     tune.add_argument("--resume", action="store_true",
                       help="continue from an existing --output artifact")
@@ -716,6 +857,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add a sampled mixed read-write client load to "
                             "every campaign (degraded writes, pg_log delta "
                             "recovery, version-convergence invariants)")
+    chaos.add_argument("--tenants", action="store_true",
+                       help="drive every campaign with a sampled QoS-enabled "
+                            "tenant fleet and check the fairness invariant "
+                            "(exclusive with --writes)")
     chaos.add_argument("--stop-on-failure", action="store_true",
                        help="stop at the first failing campaign")
     chaos.add_argument("--verbose", action="store_true",
@@ -727,6 +872,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("artifact", help="JSON written by 'ecfault chaos'")
     replay.set_defaults(func=cmd_replay)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="multi-tenant QoS fleet experiment with per-tenant SLO bill",
+    )
+    _add_profile_arguments(tenants)
+    tenants.add_argument("--spec", default=None,
+                         help="JSON fleet spec (TenantFleetSpec.to_dict "
+                              "shape); default: a stock two-tenant QoS fleet")
+    tenants.add_argument("--fault",
+                         choices=["node", "device", "slow_device", "none"],
+                         default="node")
+    tenants.add_argument("--fault-count", type=int, default=1)
+    tenants.add_argument("--warmup", type=float, default=50.0,
+                         help="seconds before the fault is injected")
+    tenants.add_argument("--duration", type=float, default=600.0,
+                         help="how long the fleet runs under the fault (s)")
+    tenants.add_argument("--json", action="store_true",
+                         help="emit the per-tenant report as JSON")
+    tenants.set_defaults(func=cmd_tenants)
 
     autoscale = sub.add_parser("autoscale", help="pg_num advice")
     autoscale.add_argument("--plugin", default="jerasure")

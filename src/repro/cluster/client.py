@@ -121,19 +121,25 @@ class ReadStats:
     def degraded_fraction(self) -> float:
         return self.degraded_count / self.count if self.samples else 0.0
 
-    def latency_percentile(self, percentile: float, degraded: Optional[bool] = None) -> float:
-        """p50/p99-style latency; optionally filtered by degraded flag."""
-        if not 0 < percentile <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        values = sorted(
+    def latency_percentile(self, pct: float, degraded: Optional[bool] = None) -> float:
+        """p50/p99-style latency; optionally filtered by degraded flag.
+
+        Delegates to the audited ceil-based nearest-rank implementation
+        in :func:`repro.analysis.stats.percentile`.
+        """
+        # Imported at call time: the analysis package pulls in the sweep
+        # machinery, which imports the cluster back (a top-level import
+        # here would be a cycle).
+        from ..analysis.stats import percentile
+
+        values = [
             s.latency
             for s in self.samples
             if degraded is None or s.degraded == degraded
-        )
+        ]
         if not values:
             raise ValueError("no samples match the filter")
-        index = max(0, round(percentile / 100 * len(values)) - 1)
-        return values[index]
+        return percentile(values, pct)
 
     def mean_latency(self, degraded: Optional[bool] = None) -> float:
         values = [
@@ -161,6 +167,10 @@ class WriteSample:
     #: stripe unit for an RMW) — not the encoded/stored volume.
     bytes_written: int
     attempts: int = 1
+    #: Physical bytes this commit put on devices (allocations plus
+    #: in-place rewrites) — the per-tenant WA-attribution numerator.
+    #: Stays 0 only for a degraded write that landed nothing new.
+    stored_bytes: int = 0
 
 
 @dataclass
@@ -190,6 +200,11 @@ class WriteStats:
     def logical_bytes(self) -> int:
         """Total logical volume committed (the outage-write workload size)."""
         return sum(s.bytes_written for s in self.samples)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total physical volume committed (WA-attribution numerator)."""
+        return sum(s.stored_bytes for s in self.samples)
 
     def mean_latency(self, kind: Optional[str] = None) -> float:
         values = [
@@ -285,13 +300,28 @@ class RadosClient:
         cluster: CephCluster,
         name: str = "client.0",
         seeds: Optional[SeedSequence] = None,
+        qos_class: Optional[str] = None,
     ):
         self.cluster = cluster
         self.name = name
+        #: QoS class this client's shard I/O is tagged with at each OSD
+        #: (``tenant:<name>`` for fleet tenants).  ``None`` — or an OSD
+        #: without an attached scheduler — skips admission entirely, so
+        #: non-tenant runs stay byte-identical to the pre-QoS model.
+        self.qos_class = qos_class
         self.stats = ClientOpStats()
         #: Consumed only when a retry actually backs off, so healthy
         #: runs never draw from it.
         self._retry_rng = (seeds or SeedSequence(0)).stream("client-retry")
+
+    def _admit(self, osd, nbytes: int, write: bool) -> Optional[Event]:
+        """The QoS admission grant for one shard I/O, or None when off."""
+        if self.qos_class is None:
+            return None
+        qos = osd.qos_writes if write else osd.qos_reads
+        if qos is None:
+            return None
+        return qos.submit(self.qos_class, qos.client_cost(nbytes))
 
     def read_object(self, object_name: str) -> Event:
         """Read one object; the event's value is a :class:`ReadSample`."""
@@ -499,6 +529,9 @@ class RadosClient:
                     ok=False, shard=shard,
                     reason=f"shard {shard} source {source.name} is down",
                 )
+            grant = self._admit(source, nbytes, write=False)
+            if grant is not None:
+                yield grant
             yield source.disk.submit(
                 source.sequential_ops(nbytes), nbytes, write=False
             )
@@ -807,6 +840,9 @@ class RadosClient:
             self.cluster.ledger.credit_chunk(allocated, metadata)
             allocs[shard] = (allocated, metadata, csum_blocks)
         try:
+            grant = self._admit(target, nbytes, write=True)
+            if grant is not None:
+                yield grant
             yield self.cluster.topology.fabric.transfer(
                 self.cluster.topology.nic_of(primary.osd_id),
                 self.cluster.topology.nic_of(target.osd_id),
@@ -834,6 +870,9 @@ class RadosClient:
                     ok=False, shard=shard,
                     reason=f"shard {shard} osd {osd.name} is down",
                 )
+            grant = self._admit(osd, unit, write=write)
+            if grant is not None:
+                yield grant
             if write:
                 yield self.cluster.topology.fabric.transfer(
                     self.cluster.topology.nic_of(primary.osd_id),
@@ -882,6 +921,13 @@ class RadosClient:
         missing = tuple(s for s in touched if s not in landed)
         log.commit(object_name, kind, touched=touched, missing=missing, at=env.now)
         ledger = self.cluster.ledger
+        #: Physical bytes this commit put on devices: fresh allocations
+        #: (data + metadata) plus in-place rewrites of existing chunks.
+        stored = sum(a + m for a, m, _ in allocs.values())
+        if kind == "full":
+            stored += layout.chunk_stored_bytes * (len(landed) - len(allocs))
+        elif kind == "rmw":
+            stored += layout.stripe_unit * len(landed)
         if kind == "create":
             obj = StoredObject(name=object_name, size=size, layout=layout)
             pg.objects.append(obj)
@@ -910,6 +956,7 @@ class RadosClient:
             degraded=bool(missing),
             bytes_written=logical,
             attempts=attempts,
+            stored_bytes=stored,
         )
 
     def _refresh_checksums(

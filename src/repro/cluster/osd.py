@@ -167,6 +167,15 @@ class OsdDaemon:
         self.recovery_writes = ServiceCenter(
             env, servers=1, name=f"{device.name}.rec-wr"
         )
+        #: Optional mClock QoS schedulers, attached externally by the
+        #: tenancy layer (``repro.tenancy.install_qos``).  When attached,
+        #: the grant methods below route admission through them instead
+        #: of the plain per-purpose service centers, so client, recovery
+        #: and scrub I/O compete under reservation/limit/weight tags.
+        #: ``None`` (the default) keeps the pre-tenancy model
+        #: byte-identical.
+        self.qos_reads = None
+        self.qos_writes = None
 
     @property
     def osd_id(self) -> int:
@@ -280,6 +289,8 @@ class OsdDaemon:
             * self.config.metadata_op_cost
         )
         scatter = runs * self.config.recovery_range_cost
+        if self.qos_reads is not None:
+            return self.qos_reads.submit("recovery", base + meta + scatter)
         return self.recovery_reads.request(base + meta + scatter)
 
     def scrub_read_grant(self, nbytes: int, rate: float) -> Event:
@@ -291,6 +302,8 @@ class OsdDaemon:
         Facebook study), which is exactly the interaction the scrub axis
         benchmark measures.
         """
+        if self.qos_reads is not None:
+            return self.qos_reads.submit("scrub", nbytes / rate)
         return self.recovery_reads.request(nbytes / rate)
 
     def recovery_write_grant(self, nbytes: int) -> Event:
@@ -301,7 +314,10 @@ class OsdDaemon:
         mechanism.
         """
         base = nbytes / self.config.recovery_write_rate
-        return self.recovery_writes.request(base * self.backend.write_coalescing())
+        service = base * self.backend.write_coalescing()
+        if self.qos_writes is not None:
+            return self.qos_writes.submit("recovery", service)
+        return self.recovery_writes.request(service)
 
     def encode_time(
         self, parity_bytes: int, fragments: int, cpu_cost_factor: float,

@@ -1,0 +1,211 @@
+"""Tenant-fleet experiments: faults + a multi-tenant load, per-tenant bill.
+
+:func:`run_tenant_experiment` is the fleet generalisation of
+:func:`repro.core.gray.run_gray_experiment`: ingest, warm up, inject the
+faults, run every tenant's stream through the degraded window, restore,
+settle, then fold each tenant's samples into a
+:class:`~repro.tenancy.accounting.TenantReport`.
+
+The outcome digest honours the seed-stability contract: a
+legacy-equivalent fleet (one default tenant, uniform arrivals, QoS off)
+produces a digest **byte-identical** to :class:`GrayOutcome`'s for the
+same profile/workload/faults/seed — the regression test pins this.  Any
+real fleet instead reports a ``tenants`` section (per-tenant samples and
+counters) plus, when QoS is on, the per-class scheduler totals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.client import WRITE_STAT_KEYS
+from ..cluster.health import check_health
+from ..cluster.recovery import DELTA_STAT_KEYS, RecoveryStats
+from ..core.controller import Controller
+from ..core.fault_injector import FaultSpec
+from ..core.gray import SETTLE_POLL, _converged
+from ..core.logger import LogCollector
+from ..core.profile import ExperimentProfile
+from ..core.timeline import TenantSloTimeline, build_tenant_slo_timeline
+from ..workload.generator import Workload
+from .accounting import TenantReport, fleet_reports
+from .fleet import TenantFleet
+from .spec import TenantFleetSpec
+
+__all__ = ["TenantOutcome", "run_tenant_experiment"]
+
+
+@dataclass
+class TenantOutcome:
+    """Everything one tenant-fleet experiment produced."""
+
+    fleet_spec: TenantFleetSpec
+    fleet: TenantFleet
+    reports: List[TenantReport]
+    recovery_stats: RecoveryStats
+    injected_osds: List[int]
+    slowed_osds: List[int]
+    markdowns: int
+    pins: int
+    health: str
+    converged: bool
+    finished_at: float
+    collector: LogCollector
+    #: Fault-active window of the run: first injection to restore (None
+    #: when no fault was injected) — the attribution window SLO
+    #: violations are judged against.
+    fault_window: Optional[Tuple[float, float]] = None
+
+    def slo_timeline(self) -> TenantSloTimeline:
+        """The per-tenant SLO-violation band (Figure-3 style)."""
+        return build_tenant_slo_timeline(
+            [(report.name, list(report.slo_violations)) for report in self.reports],
+            started_at=self.fleet.started_at or 0.0,
+            duration=self.fleet.duration,
+            fault_window=self.fault_window,
+        )
+
+    def digest(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable snapshot (the determinism contract).
+
+        Legacy-equivalent fleets reproduce :class:`GrayOutcome`'s digest
+        byte-for-byte; real fleets replace the single-client sections
+        with a per-tenant map and (under QoS) the scheduler totals.
+        """
+        recovery = asdict(self.recovery_stats)
+        for key in DELTA_STAT_KEYS:
+            if recovery.get(key) == 0:
+                del recovery[key]
+        payload: Dict[str, Any] = {
+            "finished_at": self.finished_at,
+            "health": str(self.health),
+            "converged": self.converged,
+            "injected_osds": list(self.injected_osds),
+            "slowed_osds": list(self.slowed_osds),
+            "markdowns": self.markdowns,
+            "pins": self.pins,
+            "recovery": recovery,
+        }
+        if self.fleet_spec.is_legacy_equivalent():
+            runtime = next(iter(self.fleet.tenants.values()))
+            payload.update(_legacy_client_sections(runtime))
+            return payload
+        payload["tenants"] = {
+            runtime.spec.name: _tenant_section(runtime)
+            for runtime in self.fleet.tenants.values()
+        }
+        if self.fleet_spec.qos_enabled:
+            payload["qos"] = self.fleet.qos_class_totals()
+        return payload
+
+    def digest_json(self) -> str:
+        """The digest as canonical JSON — byte-comparable across runs."""
+        return json.dumps(
+            self.digest(), sort_keys=True, separators=(",", ":"),
+            ensure_ascii=True,
+        )
+
+
+def _legacy_client_sections(runtime) -> Dict[str, Any]:
+    """The exact single-client sections of :meth:`GrayOutcome.digest`."""
+    client = asdict(runtime.client.stats)
+    for key in WRITE_STAT_KEYS:
+        if client.get(key) == 0:
+            del client[key]
+    payload: Dict[str, Any] = {
+        "client": client,
+        "read_failures": runtime.load.stats.failures,
+        "samples": [
+            [s.object_name, s.issued_at, s.latency, s.degraded,
+             s.bytes_read, s.attempts, s.hedged]
+            for s in runtime.load.stats.samples
+        ],
+    }
+    writes = runtime.load.write_stats
+    if writes.samples or writes.failures:
+        payload["write_failures"] = writes.failures
+        payload["write_samples"] = [
+            [s.object_name, s.issued_at, s.latency, s.kind, s.degraded,
+             s.bytes_written, s.attempts]
+            for s in writes.samples
+        ]
+    return payload
+
+
+def _tenant_section(runtime) -> Dict[str, Any]:
+    """One tenant's digest entry (client counters + raw samples)."""
+    section = _legacy_client_sections(runtime)
+    writes = runtime.load.write_stats
+    if writes.samples:
+        section["stored_write_bytes"] = writes.stored_bytes
+    return section
+
+
+def run_tenant_experiment(
+    profile: ExperimentProfile,
+    workload: Workload,
+    fleet_spec: TenantFleetSpec,
+    faults: Sequence[FaultSpec] = (),
+    seed: int = 0,
+    warmup: float = 50.0,
+    fault_duration: float = 600.0,
+    settle_time: float = 20_000.0,
+) -> TenantOutcome:
+    """Run one fleet cycle and return the per-tenant outcome.
+
+    Mirrors :func:`~repro.core.gray.run_gray_experiment`: the fleet runs
+    open-loop for ``fault_duration`` seconds while the faults are
+    active, every fault is restored, and the cluster settles until
+    health converges.  With no ``faults`` the fleet simply runs against
+    a healthy cluster (the QoS-off/on baseline comparisons).
+    """
+    if fault_duration <= 0:
+        raise ValueError("fault_duration must be positive")
+    controller = Controller(profile, seed=seed)
+    env = controller.env
+    cluster = controller.cluster
+    coordinator = controller.coordinator
+
+    coordinator.ingest_workload(workload)
+    fleet = TenantFleet(cluster, fleet_spec, seeds=controller.seeds)
+
+    env.run(until=env.now + warmup)
+    injected: List[int] = []
+    fault_start = env.now if faults else None
+    for spec in faults:
+        injected.extend(controller.fault_injector.inject(spec))
+    slowed = sorted(controller.fault_injector.slowed_osds)
+
+    fleet_proc = fleet.run_for(fault_duration)
+    env.run(until=env.now + fault_duration)
+    controller.fault_injector.restore_all()
+    # Drain every tenant's in-flight ops (retries may outlive the window).
+    env.run_until_process(fleet_proc)
+
+    deadline = env.now + settle_time
+    converged = _converged(cluster)
+    while not converged and env.now < deadline:
+        env.run(until=min(env.now + SETTLE_POLL, deadline))
+        converged = _converged(cluster)
+
+    for logger in coordinator.loggers:
+        logger.flush()
+    coordinator.collector.collect()
+
+    return TenantOutcome(
+        fleet_spec=fleet_spec,
+        fleet=fleet,
+        reports=fleet_reports(fleet),
+        recovery_stats=cluster.recovery.stats,
+        injected_osds=sorted(injected),
+        slowed_osds=slowed,
+        markdowns=cluster.monitor.markdowns_total,
+        pins=cluster.monitor.pins_total,
+        health=str(check_health(cluster).status),
+        converged=converged,
+        finished_at=env.now,
+        collector=coordinator.collector,
+        fault_window=(fault_start, env.now) if fault_start is not None else None,
+    )

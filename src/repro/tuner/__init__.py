@@ -30,11 +30,14 @@ from .evaluator import (
     Fidelity,
     Measurement,
     ReadProbe,
+    TenantProbe,
     measure_degraded_p99,
+    measure_tenant_slo_p99,
 )
 from .pareto import (
     DEGRADED_P99,
     RECOVERY_TIME,
+    TENANT_SLO_P99,
     WRITE_AMPLIFICATION,
     Objective,
     ParetoRecommendation,
@@ -74,9 +77,12 @@ __all__ = [
     "Fidelity",
     "Measurement",
     "ReadProbe",
+    "TenantProbe",
     "measure_degraded_p99",
+    "measure_tenant_slo_p99",
     "DEGRADED_P99",
     "RECOVERY_TIME",
+    "TENANT_SLO_P99",
     "WRITE_AMPLIFICATION",
     "Objective",
     "ParetoRecommendation",

@@ -35,16 +35,20 @@ from ..core.profile import ExperimentProfile
 from ..core.sweep import SweepResult, run_cell
 from ..sim import Environment
 from ..sim.rng import SeedSequence
+from ..tenancy.fleet import TenantFleet
+from ..tenancy.spec import SloSpec, TenantFleetSpec, TenantSpec
 from ..workload.generator import Workload
 from .space import TuningSpace
 
 __all__ = [
     "Fidelity",
     "ReadProbe",
+    "TenantProbe",
     "Measurement",
     "BudgetExhaustedError",
     "Evaluator",
     "measure_degraded_p99",
+    "measure_tenant_slo_p99",
 ]
 
 MB = 1024 * 1024
@@ -129,6 +133,50 @@ class ReadProbe:
 
 
 @dataclass(frozen=True)
+class TenantProbe:
+    """Settings for the multi-tenant QoS side measurement.
+
+    When attached to an evaluator, every simulated point also runs a
+    fixed-scale tenancy probe: ingest ``objects`` objects, fail one
+    host, and drive a QoS-enabled two-tenant fleet — a reserved
+    latency-sensitive tenant beside a saturating batch tenant — through
+    the outage window.  The recorded metric is the latency tenant's p99
+    read latency, i.e. how well this configuration (with mClock
+    arbitration on) protects an SLO tenant during recovery pressure.
+    Like :class:`ReadProbe`, the probe is fixed-scale and charged as
+    ``cost`` extra object-runs per evaluation.
+    """
+
+    objects: int = 32
+    object_size: int = 4 * MB
+    window: float = 40.0
+    interval: float = 0.5
+    #: The latency tenant's mClock reservation (share of each OSD).
+    reservation: float = 0.2
+
+    def __post_init__(self):
+        if self.objects < 1 or self.object_size < 1:
+            raise ValueError("probe objects and object_size must be positive")
+        if self.window <= 0 or self.interval <= 0:
+            raise ValueError("probe window and interval must be positive")
+        if not 0.0 < self.reservation <= 0.3:
+            raise ValueError("reservation must be in (0, 0.3]")
+
+    @property
+    def cost(self) -> int:
+        return self.objects
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "objects": self.objects,
+            "object_size": self.object_size,
+            "window": self.window,
+            "interval": self.interval,
+            "reservation": self.reservation,
+        }
+
+
+@dataclass(frozen=True)
 class Measurement:
     """One evaluated configuration at one fidelity."""
 
@@ -140,6 +188,10 @@ class Measurement:
     wa_actual: float
     degraded_p99: Optional[float]
     cost: int
+    #: The tenancy probe's metric: the reserved latency tenant's p99
+    #: read latency during an outage with QoS arbitration on.  None when
+    #: the evaluator carries no tenant probe.
+    tenant_slo_p99: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -165,7 +217,7 @@ class Measurement:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "signature": self.signature,
             "settings": self.settings,
             "fidelity": self.fidelity.to_dict(),
@@ -175,6 +227,11 @@ class Measurement:
             "degraded_p99": self.degraded_p99,
             "cost": self.cost,
         }
+        # Pruned at None so artifacts from tenant-probe-free runs stay
+        # byte-identical to the pre-tenancy schema.
+        if self.tenant_slo_p99 is not None:
+            data["tenant_slo_p99"] = self.tenant_slo_p99
+        return data
 
     @classmethod
     def from_dict(cls, blob: Mapping[str, Any]) -> "Measurement":
@@ -187,6 +244,7 @@ class Measurement:
             wa_actual=blob["wa_actual"],
             degraded_p99=blob["degraded_p99"],
             cost=int(blob["cost"]),
+            tenant_slo_p99=blob.get("tenant_slo_p99"),
         )
 
 
@@ -234,9 +292,73 @@ def measure_degraded_p99(
     return stats.latency_percentile(99)
 
 
-def _evaluate_item(args) -> Tuple[float, float, float, Optional[float]]:
+def measure_tenant_slo_p99(
+    profile: ExperimentProfile, probe: TenantProbe, seed: int
+) -> float:
+    """A reserved SLO tenant's p99 read latency through an outage.
+
+    Builds a fresh cluster for ``profile``, ingests the probe's objects,
+    fails one data-holding host, and drives a QoS-enabled two-tenant
+    fleet — a latency tenant holding ``probe.reservation`` of every OSD
+    beside a saturating poisson batch writer — through the outage
+    window.  Returns the latency tenant's p99 over all its reads: how
+    well mClock protects the SLO tenant under this configuration.
+    """
+    seeds = SeedSequence(seed)
+    env = Environment()
+    cluster = CephCluster(
+        env,
+        profile.create_code(),
+        profile.cache_config(),
+        config=profile.ceph,
+        num_hosts=profile.num_hosts,
+        osds_per_host=profile.osds_per_host,
+        num_racks=profile.num_racks,
+        pg_num=profile.pg_num,
+        stripe_unit=profile.stripe_unit,
+        failure_domain=profile.failure_domain,
+        disk_spec=profile.disk_spec(),
+        placement_seed=seeds.stream("tuner-tenant-crush").randrange(2**31),
+    )
+    for index in range(probe.objects):
+        cluster.ingest_object(f"probe-{index}", probe.object_size)
+    victim = cluster.topology.osds[cluster.pool.pgs[0].acting[0]].host_id
+    for osd_id in cluster.topology.hosts[victim].osd_ids:
+        cluster.osds[osd_id].host_running = False
+    fleet_spec = TenantFleetSpec(
+        tenants=(
+            TenantSpec(
+                name="latency",
+                interval=probe.interval,
+                reservation=probe.reservation,
+                weight=4.0,
+                slo=SloSpec(p99_latency=1.0),
+            ),
+            TenantSpec(
+                name="batch",
+                interval=probe.interval / 2,
+                arrival="poisson",
+                write_fraction=0.5,
+                weight=1.0,
+            ),
+        ),
+        qos_enabled=True,
+    )
+    fleet = TenantFleet(
+        cluster,
+        fleet_spec,
+        seeds=SeedSequence(seeds.stream("tuner-tenant-load").randrange(2**31)),
+    )
+    env.run_until_process(fleet.run_for(probe.window))
+    return fleet.tenants["latency"].load.stats.latency_percentile(99)
+
+
+def _evaluate_item(
+    args,
+) -> Tuple[float, float, float, Optional[float], Optional[float]]:
     """One evaluation work item (module-level for process pools)."""
-    run_cell_fn, profile, object_size, faults, fidelity, probe, seed = args
+    (run_cell_fn, profile, object_size, faults, fidelity, probe,
+     tenant_probe, seed) = args
     row = run_cell_fn(
         profile,
         Workload(num_objects=fidelity.objects, object_size=object_size),
@@ -247,7 +369,18 @@ def _evaluate_item(args) -> Tuple[float, float, float, Optional[float]]:
     degraded_p99 = (
         measure_degraded_p99(profile, probe, seed) if probe is not None else None
     )
-    return row.recovery_time, row.checking_fraction, row.wa_actual, degraded_p99
+    tenant_slo_p99 = (
+        measure_tenant_slo_p99(profile, tenant_probe, seed)
+        if tenant_probe is not None
+        else None
+    )
+    return (
+        row.recovery_time,
+        row.checking_fraction,
+        row.wa_actual,
+        degraded_p99,
+        tenant_slo_p99,
+    )
 
 
 class Evaluator:
@@ -270,6 +403,7 @@ class Evaluator:
         budget: Optional[int] = None,
         workers: int = 1,
         probe: Optional[ReadProbe] = None,
+        tenant_probe: Optional[TenantProbe] = None,
         run_cell_fn: Optional[Callable] = None,
         on_result: Optional[Callable[[Measurement], None]] = None,
     ):
@@ -286,6 +420,7 @@ class Evaluator:
         self.budget = budget
         self.workers = workers
         self.probe = probe
+        self.tenant_probe = tenant_probe
         self.run_cell_fn = run_cell_fn or run_cell
         self.on_result = on_result
         #: Object-runs charged so far (restored from artifacts on resume).
@@ -303,7 +438,11 @@ class Evaluator:
 
     def cost_of(self, fidelity: Fidelity) -> int:
         """Budget charge for one fresh evaluation at ``fidelity``."""
-        return fidelity.cost + (self.probe.cost if self.probe is not None else 0)
+        return (
+            fidelity.cost
+            + (self.probe.cost if self.probe is not None else 0)
+            + (self.tenant_probe.cost if self.tenant_probe is not None else 0)
+        )
 
     def affords(self, count: int, fidelity: Fidelity) -> bool:
         """Whether ``count`` fresh evaluations fit the remaining budget."""
@@ -359,6 +498,7 @@ class Evaluator:
                 self.faults,
                 fidelity,
                 self.probe,
+                self.tenant_probe,
                 self.base_seed,
             )
             for _, point in todo
@@ -368,7 +508,9 @@ class Evaluator:
         else:
             with ProcessPoolExecutor(max_workers=self.workers) as executor:
                 raw = list(executor.map(_evaluate_item, items))
-        for (key, point), (recovery, fraction, wa, p99) in zip(todo, raw):
+        for (key, point), (recovery, fraction, wa, p99, tenant_p99) in zip(
+            todo, raw
+        ):
             measurement = Measurement(
                 signature=key[0],
                 settings=self.space.settings(point),
@@ -378,6 +520,7 @@ class Evaluator:
                 wa_actual=wa,
                 degraded_p99=p99,
                 cost=self.cost_of(fidelity),
+                tenant_slo_p99=tenant_p99,
             )
             self._cache[key] = measurement
             self.spent += measurement.cost

@@ -25,6 +25,7 @@ __all__ = [
     "RECOVERY_TIME",
     "WRITE_AMPLIFICATION",
     "DEGRADED_P99",
+    "TENANT_SLO_P99",
     "default_objectives",
     "dominates",
     "pareto_front",
@@ -99,17 +100,29 @@ class Objective:
 RECOVERY_TIME = Objective("recovery_time")
 WRITE_AMPLIFICATION = Objective("wa_actual")
 DEGRADED_P99 = Objective("degraded_p99")
+TENANT_SLO_P99 = Objective("tenant_slo_p99")
 
 
 def default_objectives(
     wa_budget: Optional[float] = None,
     p99_budget: Optional[float] = None,
     include_p99: bool = False,
+    tenant_p99_budget: Optional[float] = None,
+    include_tenant_p99: bool = False,
 ) -> Tuple[Objective, ...]:
-    """The tuner's stock objective set (recovery first, WA second)."""
+    """The tuner's stock objective set (recovery first, WA second).
+
+    The tenant objective — the reserved SLO tenant's p99 during an
+    outage, from the evaluator's :class:`~.evaluator.TenantProbe` —
+    joins the set when requested or budgeted, scoring how well each
+    configuration lets mClock protect a latency tenant under recovery
+    pressure.
+    """
     objectives = [RECOVERY_TIME, WRITE_AMPLIFICATION.with_budget(wa_budget)]
     if include_p99 or p99_budget is not None:
         objectives.append(DEGRADED_P99.with_budget(p99_budget))
+    if include_tenant_p99 or tenant_p99_budget is not None:
+        objectives.append(TENANT_SLO_P99.with_budget(tenant_p99_budget))
     return tuple(objectives)
 
 

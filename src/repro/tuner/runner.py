@@ -19,7 +19,7 @@ from .artifact import (
     load_tuning_artifact,
     save_tuning_artifact,
 )
-from .evaluator import Evaluator, Measurement, ReadProbe
+from .evaluator import Evaluator, Measurement, ReadProbe, TenantProbe
 from .pareto import Objective, ParetoRecommendation, default_objectives, recommend
 from .space import TuningSpace
 from .strategies import Strategy
@@ -71,6 +71,7 @@ def tune(
     budget: Optional[int] = None,
     workers: int = 1,
     probe: Optional[ReadProbe] = None,
+    tenant_probe: Optional[TenantProbe] = None,
     objectives: Optional[Sequence[Objective]] = None,
     artifact_path=None,
     resume: bool = False,
@@ -86,7 +87,10 @@ def tune(
     artifact must match this run's space, seed and strategy.
     """
     if objectives is None:
-        objectives = default_objectives(include_p99=probe is not None)
+        objectives = default_objectives(
+            include_p99=probe is not None,
+            include_tenant_p99=tenant_probe is not None,
+        )
     objectives = tuple(objectives)
 
     prior: Optional[TuningArtifact] = None
@@ -142,6 +146,7 @@ def tune(
         budget=budget,
         workers=workers,
         probe=probe,
+        tenant_probe=tenant_probe,
         run_cell_fn=run_cell_fn,
         on_result=record,
     )

@@ -109,7 +109,7 @@ def test_bad_ec_params_message():
 
 @pytest.mark.parametrize("command", [
     "run", "scrub", "sweep", "analyze", "repair-plan",
-    "wa", "autoscale", "chaos", "replay", "tune", "inject",
+    "wa", "autoscale", "chaos", "replay", "tune", "inject", "tenants",
 ])
 def test_every_subcommand_has_help(capsys, command):
     with pytest.raises(SystemExit) as excinfo:
@@ -291,3 +291,74 @@ def test_replay_rejects_malformed_artifact(tmp_path, capsys):
     code, _, err = run_cli(capsys, "replay", str(tmp_path / "missing.json"))
     assert code == 2
     assert "cannot read" in err
+
+
+# -- tenants --------------------------------------------------------------------
+
+
+def tenants_small(capsys, *extra):
+    return run_cli(
+        capsys, "tenants", "--hosts", "8", "--osds-per-host", "2",
+        "--pg-num", "8", "--ec-params", "k=4,m=2", "--stripe-unit", "1MB",
+        "--objects", "12", "--object-size", "1MB", "--duration", "120",
+        *extra,
+    )
+
+
+def test_tenants_command_table_output(capsys):
+    code, out, _ = tenants_small(capsys)
+    assert code == 0
+    assert "per-tenant accounting" in out
+    assert "QoS classes" in out
+    assert "latency" in out and "batch" in out
+
+
+def test_tenants_json_schema(capsys):
+    code, out, _ = tenants_small(capsys, "--json")
+    assert code == 0
+    blob = json.loads(out)
+    assert {"fleet", "converged", "health", "injected_osds",
+            "tenants", "qos"} <= set(blob)
+    assert {t["name"] for t in blob["tenants"]} == {"latency", "batch"}
+    for row in blob["tenants"]:
+        assert {"name", "reads_ok", "read_failures", "p50", "p99", "p999",
+                "throughput", "wa_attributed", "slo", "slo_met",
+                "slo_violations"} <= set(row)
+    assert {"recovery", "scrub"} <= set(blob["qos"])
+
+
+def test_tenants_custom_spec_round_trip(tmp_path, capsys):
+    from repro.tenancy import TenantFleetSpec, TenantSpec
+
+    spec = TenantFleetSpec(tenants=(TenantSpec(name="solo", interval=1.0),))
+    path = tmp_path / "fleet.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    code, out, _ = tenants_small(
+        capsys, "--spec", str(path), "--fault", "none", "--json",
+    )
+    assert code == 0
+    blob = json.loads(out)
+    assert [t["name"] for t in blob["tenants"]] == ["solo"]
+    assert "qos" not in blob  # this fleet runs without QoS
+
+
+def test_tenants_rejects_bad_spec(tmp_path, capsys):
+    bad = tmp_path / "fleet.json"
+    bad.write_text('{"tenants": "nope"}')
+    code, _, err = tenants_small(capsys, "--spec", str(bad))
+    assert code == 2
+    assert "bad fleet spec" in err
+
+    code, _, err = tenants_small(
+        capsys, "--spec", str(tmp_path / "missing.json"),
+    )
+    assert code == 2
+    assert "bad fleet spec" in err
+
+
+def test_chaos_tenants_and_writes_are_exclusive(capsys):
+    code, _, err = run_cli(
+        capsys, "chaos", "--campaigns", "1", "--tenants", "--writes",
+    )
+    assert code == 2
+    assert "exclusive" in err
