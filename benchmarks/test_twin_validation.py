@@ -1,0 +1,40 @@
+"""Twin calibration: the analytical model against the DES, at scale.
+
+The tier-1 differential test (``tests/test_twin_differential.py``) runs
+the same harness on a small fast grid; this benchmark re-validates at
+benchmark scale — 1000 x 64MB objects, the magnitude the figure panels
+sweep — and checks in the rendered calibration report so the documented
+error envelope travels with the code.
+"""
+
+import time
+
+from conftest import MB, emit
+
+from repro.twin import default_grid, render_report, run_differential
+
+
+def run_sweep():
+    started = time.perf_counter()
+    report = run_differential(
+        cases=default_grid(num_objects=1000, object_size=64 * MB)
+    )
+    return report, time.perf_counter() - started
+
+
+def test_twin_calibration(benchmark, capsys):
+    report, elapsed = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rendered = render_report(report)
+    emit(
+        capsys,
+        "twin_calibration",
+        rendered
+        + f"\n\ngrid: {len(report.results)} cases at 1000 x 64MB objects, "
+        f"swept (DES + twin) in {elapsed:.0f}s",
+    )
+    assert report.passed, rendered
+    # The envelope the docs advertise, revalidated at benchmark scale.
+    summaries = report.summaries
+    assert summaries["wa_actual"].max_rel_error <= 0.01
+    assert summaries["recovery_time"].max_rel_error <= 0.05
+    assert summaries["recovery_time"].rank_spearman >= 0.9

@@ -19,6 +19,7 @@ from .stats import (
     mean_and_stdev,
     normalised_series,
     percentile,
+    spearman,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "mean_and_stdev",
     "normalised_series",
     "percentile",
+    "spearman",
 ]

@@ -17,6 +17,7 @@ __all__ = [
     "normalised_series",
     "impact_range_percent",
     "crossover_points",
+    "spearman",
 ]
 
 
@@ -71,6 +72,45 @@ def impact_range_percent(values: Mapping[str, float]) -> float:
     if lo <= 0:
         raise ValueError("values must be positive")
     return hi / lo * 100.0
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation with average ranks for ties.
+
+    Hand-rolled (Pearson over midranks) because the toolchain has numpy
+    but not scipy.  Returns 0.0 for degenerate inputs (fewer than two
+    points, or a constant sequence).  The differential-validation
+    harness (:mod:`repro.twin.validate`) uses this to assert the twin
+    *orders* configurations the way the DES does.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+
+    def midranks(values: Sequence[float]) -> List[float]:
+        order = sorted(range(n), key=lambda i: values[i])
+        ranks = [0.0] * n
+        i = 0
+        while i < n:
+            j = i
+            while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            rank = (i + j) / 2.0 + 1.0
+            for t in range(i, j + 1):
+                ranks[order[t]] = rank
+            i = j + 1
+        return ranks
+
+    rx, ry = midranks(xs), midranks(ys)
+    mean = (n + 1) / 2.0
+    cov = sum((a - mean) * (b - mean) for a, b in zip(rx, ry))
+    var_x = sum((a - mean) ** 2 for a in rx)
+    var_y = sum((b - mean) ** 2 for b in ry)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
 
 
 def crossover_points(

@@ -8,6 +8,7 @@ Subcommands::
     ecfault sweep        a configuration sweep, persisted as JSON
     ecfault analyze      sensitivity analysis over saved sweep results
     ecfault tune         budgeted configuration search (resumable)
+    ecfault twin         analytical twin prediction (instant, no DES run)
     ecfault repair-plan  repair I/O a code performs for a loss pattern
     ecfault wa           write-amplification estimate (the §4.4 formula)
     ecfault autoscale    pg_num advice for a pool/cluster shape
@@ -361,13 +362,16 @@ def cmd_tune(args) -> int:
     )
     full = Fidelity(args.objects, runs=args.runs, label="full")
     screen_objects = args.screen_objects or max(1, args.objects // 8)
+    screen_backend = "twin" if args.twin_screen else "des"
     if args.strategy == "halving":
         mid_objects = max(
             screen_objects + 1, int(round((screen_objects * args.objects) ** 0.5))
         )
-        rungs = [Fidelity(screen_objects, runs=args.runs, label="screen")]
+        rungs = [Fidelity(screen_objects, runs=args.runs, label="screen",
+                          backend=screen_backend)]
         if screen_objects < mid_objects < args.objects:
-            rungs.append(Fidelity(mid_objects, runs=args.runs, label="mid"))
+            rungs.append(Fidelity(mid_objects, runs=args.runs, label="mid",
+                                  backend=screen_backend))
         rungs.append(full)
         strategy = SuccessiveHalving(rungs, eta=args.eta)
     elif args.strategy == "random":
@@ -450,6 +454,56 @@ def cmd_tune(args) -> int:
         return 1
     print(f"\ntuning report saved to {args.output} "
           f"(resume with: ecfault tune ... --resume)")
+    return 0
+
+
+def cmd_twin(args) -> int:
+    from .twin import AnalyticalTwin
+
+    profile = _profile_from_args(args)
+    workload = Workload(num_objects=args.objects, object_size=args.object_size)
+    faults = []
+    if args.fault != "none":
+        faults.append(
+            FaultSpec(level=args.fault, count=args.fault_count,
+                      colocation=args.colocation)
+        )
+    twin = AnalyticalTwin()
+    prediction = twin.predict(profile, workload, faults)
+    if args.json:
+        print(json.dumps(prediction.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"profile: {profile.describe()}")
+    print(f"checking period:   {prediction.checking_period:9.1f} s")
+    print(f"EC recovery:       {prediction.ec_recovery_period:9.1f} s")
+    print(f"total recovery:    {prediction.recovery_time:9.1f} s")
+    print(f"checking fraction: {prediction.checking_fraction * 100:8.1f} %")
+    print(f"write amplification: {prediction.wa_actual:.3f}")
+    print(f"repair bytes: {prediction.repair_bytes_read / MB:.1f} MB read, "
+          f"{prediction.repair_bytes_written / MB:.1f} MB written "
+          f"({prediction.affected_objects:.1f} objects, "
+          f"{prediction.lost_chunks:.1f} lost chunks)")
+    print(f"prediction digest: {prediction.digest()[:16]}")
+    if args.compare:
+        outcome = run_experiment(profile, workload, faults, seed=args.seed)
+        des_recovery = (
+            outcome.timeline.total_recovery if outcome.timeline else 0.0
+        )
+        des_wa = outcome.wa.actual
+        rows = []
+        for metric, twin_value, des_value in (
+            ("recovery_time", prediction.recovery_time, des_recovery),
+            ("wa_actual", prediction.wa_actual, des_wa),
+        ):
+            err = (
+                abs(twin_value - des_value) / des_value if des_value
+                else (0.0 if not twin_value else float("inf"))
+            )
+            rows.append([metric, f"{twin_value:.3f}", f"{des_value:.3f}",
+                         f"{err * 100:.1f}%"])
+        print()
+        print(format_table("twin vs DES (one seed)",
+                           ["metric", "twin", "DES", "rel err"], rows))
     return 0
 
 
@@ -803,6 +857,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "'jerasure:k=9,m=3;clay:k=9,m=3,d=11'")
     tune.add_argument("--screen-objects", type=int, default=None,
                       help="low-fidelity object count (default: objects/8)")
+    tune.add_argument("--twin-screen", action="store_true",
+                      help="serve the halving screen/mid rungs from the "
+                           "analytical twin (free) so the budget buys only "
+                           "full-fidelity DES finalist runs")
     tune.add_argument("--eta", type=int, default=4,
                       help="successive-halving promotion ratio")
     tune.add_argument("--samples", type=int, default=12,
@@ -826,6 +884,23 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--resume", action="store_true",
                       help="continue from an existing --output artifact")
     tune.set_defaults(func=cmd_tune)
+
+    twin = sub.add_parser(
+        "twin",
+        help="analytical twin prediction (instant, no simulation)",
+    )
+    _add_profile_arguments(twin)
+    twin.add_argument("--fault", choices=["node", "device", "none"],
+                      default="node")
+    twin.add_argument("--fault-count", type=int, default=1)
+    twin.add_argument("--colocation", choices=list(Colocation.ALL),
+                      default="any")
+    twin.add_argument("--compare", action="store_true",
+                      help="also run the DES at --seed and show per-metric "
+                           "relative error")
+    twin.add_argument("--json", action="store_true",
+                      help="print the prediction as JSON")
+    twin.set_defaults(func=cmd_twin)
 
     plan = sub.add_parser("repair-plan", help="repair I/O for a loss pattern")
     plan.add_argument("--plugin", default="clay")

@@ -17,7 +17,13 @@ from .bluestore import BlueStore, CacheConfig
 from .devices import Disk
 from .topology import OsdDevice
 
-__all__ = ["CephConfig", "OsdDaemon", "SubchunkReadProfile"]
+__all__ = [
+    "CephConfig",
+    "OsdDaemon",
+    "SubchunkReadProfile",
+    "sequential_ops",
+    "resolve_subchunk_read",
+]
 
 
 @dataclass(frozen=True)
@@ -135,6 +141,56 @@ class SubchunkReadProfile:
     degenerate: bool
 
 
+def sequential_ops(config: CephConfig, nbytes: int) -> int:
+    """Disk operations for a sequential transfer of ``nbytes``."""
+    return max(1, -(-nbytes // config.max_io_bytes))
+
+
+def resolve_subchunk_read(
+    config: CephConfig,
+    units: int,
+    unit_bytes: int,
+    fraction: float,
+    runs_per_unit: int,
+) -> SubchunkReadProfile:
+    """Resolve a fractional (sub-packetised) read against min-IO.
+
+    Every stripe-unit extent contributes ``unit_bytes * fraction`` wanted
+    bytes spread over ``runs_per_unit`` contiguous runs.  A run reads at
+    least ``min_io_bytes``; when the runs would cover the whole extent
+    anyway, the read *degenerates* to a full sequential extent read —
+    Clay's bandwidth saving evaporates at small stripe units, which is
+    the §4.2 "subpacketization overhead" effect.
+
+    Pure function of the config so the analytical twin
+    (:mod:`repro.twin`) resolves sub-chunk geometry with the identical
+    rule the simulator charges to devices.
+    """
+    if units < 1 or unit_bytes <= 0 or not 0.0 < fraction <= 1.0:
+        raise ValueError("invalid sub-chunk read geometry")
+    wanted_per_unit = unit_bytes * fraction
+    run_len = wanted_per_unit / max(1, runs_per_unit)
+    effective_run = max(run_len, float(config.min_io_bytes))
+    per_unit_bytes = runs_per_unit * effective_run
+    if fraction >= 0.5:
+        # Dense request: readahead makes one sequential full-extent
+        # read cheaper than dozens of scattered ranges.
+        per_unit_bytes = float(unit_bytes)
+    if per_unit_bytes >= unit_bytes:
+        return SubchunkReadProfile(
+            disk_bytes=units * unit_bytes,
+            disk_ops=units * sequential_ops(config, unit_bytes),
+            scatter_runs=0,
+            degenerate=True,
+        )
+    return SubchunkReadProfile(
+        disk_bytes=int(units * per_unit_bytes),
+        disk_ops=units * runs_per_unit,
+        scatter_runs=units * runs_per_unit,
+        degenerate=False,
+    )
+
+
 class OsdDaemon:
     """One ceph-osd: device + backend + recovery reservations."""
 
@@ -215,7 +271,7 @@ class OsdDaemon:
 
     def sequential_ops(self, nbytes: int) -> int:
         """Disk operations for a sequential transfer of ``nbytes``."""
-        return max(1, -(-nbytes // self.config.max_io_bytes))
+        return sequential_ops(self.config, nbytes)
 
     def read_chunk(self, nbytes: int, units: int) -> Event:
         """Sequential recovery read of a full chunk, plus metadata misses."""
@@ -234,28 +290,8 @@ class OsdDaemon:
         extent read — Clay's bandwidth saving evaporates at small stripe
         units, which is the §4.2 "subpacketization overhead" effect.
         """
-        if units < 1 or unit_bytes <= 0 or not 0.0 < fraction <= 1.0:
-            raise ValueError("invalid sub-chunk read geometry")
-        wanted_per_unit = unit_bytes * fraction
-        run_len = wanted_per_unit / max(1, runs_per_unit)
-        effective_run = max(run_len, float(self.config.min_io_bytes))
-        per_unit_bytes = runs_per_unit * effective_run
-        if fraction >= 0.5:
-            # Dense request: readahead makes one sequential full-extent
-            # read cheaper than dozens of scattered ranges.
-            per_unit_bytes = float(unit_bytes)
-        if per_unit_bytes >= unit_bytes:
-            return SubchunkReadProfile(
-                disk_bytes=units * unit_bytes,
-                disk_ops=units * self.sequential_ops(unit_bytes),
-                scatter_runs=0,
-                degenerate=True,
-            )
-        return SubchunkReadProfile(
-            disk_bytes=int(units * per_unit_bytes),
-            disk_ops=units * runs_per_unit,
-            scatter_runs=units * runs_per_unit,
-            degenerate=False,
+        return resolve_subchunk_read(
+            self.config, units, unit_bytes, fraction, runs_per_unit
         )
 
     def read_subchunks(

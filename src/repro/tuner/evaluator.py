@@ -63,29 +63,47 @@ class Fidelity:
     """How much simulation one evaluation buys.
 
     ``cost`` — the budget charge — is ``objects * runs``: the number of
-    simulated object-runs.
+    simulated object-runs.  With ``backend="twin"`` the rung is served by
+    the analytical twin (:mod:`repro.twin`) instead of the DES; twin
+    evaluations are effectively free, so their cost is 0 and a
+    twin-backed halving strategy charges the budget only on the DES
+    rungs it promotes finalists to.
     """
 
     objects: int
     runs: int = 1
     label: str = ""
+    backend: str = "des"
 
     def __post_init__(self):
         if self.objects < 1:
             raise ValueError("objects must be >= 1")
         if self.runs < 1:
             raise ValueError("runs must be >= 1")
+        if self.backend not in ("des", "twin"):
+            raise ValueError(f"backend must be 'des' or 'twin', got {self.backend!r}")
 
     @property
     def cost(self) -> int:
+        if self.backend == "twin":
+            return 0
         return self.objects * self.runs
 
     def key(self) -> str:
         """Cache-key identity (label excluded: it is cosmetic)."""
-        return f"objects={self.objects},runs={self.runs}"
+        # The backend suffix appears only for twin rungs so DES cache
+        # keys — and resumed artifacts from pre-twin runs — are unchanged.
+        base = f"objects={self.objects},runs={self.runs}"
+        if self.backend != "des":
+            base += f",backend={self.backend}"
+        return base
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"objects": self.objects, "runs": self.runs, "label": self.label}
+        data = {"objects": self.objects, "runs": self.runs, "label": self.label}
+        # Emitted only when analytical, keeping DES artifacts byte-stable.
+        if self.backend != "des":
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, blob: Mapping[str, Any]) -> "Fidelity":
@@ -93,6 +111,7 @@ class Fidelity:
             objects=int(blob["objects"]),
             runs=int(blob["runs"]),
             label=str(blob.get("label", "")),
+            backend=str(blob.get("backend", "des")),
         )
 
 
@@ -359,6 +378,50 @@ def _evaluate_item(
     """One evaluation work item (module-level for process pools)."""
     (run_cell_fn, profile, object_size, faults, fidelity, probe,
      tenant_probe, seed) = args
+    if fidelity.backend == "twin":
+        # Analytical rung: same row shape and probe metrics, no DES.
+        # Imported lazily so DES-only tuner runs never load the twin.
+        from ..twin import (
+            predict_degraded_p99,
+            predict_tenant_slo_p99,
+            twin_run_cell,
+        )
+
+        row = twin_run_cell(
+            profile,
+            Workload(num_objects=fidelity.objects, object_size=object_size),
+            faults,
+            fidelity.runs,
+            seed,
+        )
+        degraded_p99 = (
+            predict_degraded_p99(
+                profile,
+                objects=probe.objects,
+                object_size=probe.object_size,
+                interval=probe.interval,
+            )
+            if probe is not None
+            else None
+        )
+        tenant_slo_p99 = (
+            predict_tenant_slo_p99(
+                profile,
+                objects=tenant_probe.objects,
+                object_size=tenant_probe.object_size,
+                interval=tenant_probe.interval,
+                reservation=tenant_probe.reservation,
+            )
+            if tenant_probe is not None
+            else None
+        )
+        return (
+            row.recovery_time,
+            row.checking_fraction,
+            row.wa_actual,
+            degraded_p99,
+            tenant_slo_p99,
+        )
     row = run_cell_fn(
         profile,
         Workload(num_objects=fidelity.objects, object_size=object_size),
@@ -438,6 +501,10 @@ class Evaluator:
 
     def cost_of(self, fidelity: Fidelity) -> int:
         """Budget charge for one fresh evaluation at ``fidelity``."""
+        if fidelity.backend == "twin":
+            # Analytical all the way down — the probes run through the
+            # twin's closed forms too, so nothing hits the simulator.
+            return 0
         return (
             fidelity.cost
             + (self.probe.cost if self.probe is not None else 0)

@@ -1,0 +1,61 @@
+"""Fast analytical twin of the discrete-event simulator.
+
+The DES (:mod:`repro.core.experiment`) is the truth source, but it pays
+per simulated object-run.  This package predicts the same headline
+metrics — recovery time, repair bytes, the WA ledger total, degraded and
+tenant-SLO read p99 — from closed forms and queueing bounds over the
+identical inputs (:class:`~repro.core.profile.ExperimentProfile`,
+workload, fault specs), in microseconds instead of seconds.
+
+Fidelity contract: the twin is validated against the DES by the
+differential harness in :mod:`repro.twin.validate`, which sweeps the
+existing benchmark axes and asserts per-metric relative-error bounds
+plus Spearman rank correlation (the twin must *order* configurations the
+way the DES does).  The tuner uses it as a free low-fidelity rung
+(``Fidelity(..., backend="twin")``) so successive halving spends DES
+object-runs only on finalists.
+"""
+
+from .cell import twin_run_cell
+from .model import (
+    AnalyticalTwin,
+    TwinCalibration,
+    TwinPrediction,
+    predict,
+    predict_degraded_p99,
+    predict_overwrite_amplification,
+    predict_tenant_slo_p99,
+)
+from .validate import (
+    DEFAULT_BOUNDS,
+    SPEARMAN_THRESHOLD,
+    CalibrationReport,
+    CaseResult,
+    DifferentialCase,
+    MetricSummary,
+    default_grid,
+    render_report,
+    run_differential,
+    spearman,
+)
+
+__all__ = [
+    "AnalyticalTwin",
+    "TwinCalibration",
+    "TwinPrediction",
+    "predict",
+    "predict_degraded_p99",
+    "predict_overwrite_amplification",
+    "predict_tenant_slo_p99",
+    "twin_run_cell",
+    "DEFAULT_BOUNDS",
+    "SPEARMAN_THRESHOLD",
+    "CalibrationReport",
+    "CaseResult",
+    "DifferentialCase",
+    "MetricSummary",
+    "default_grid",
+    "render_report",
+    "run_differential",
+    "spearman",
+]

@@ -1,0 +1,136 @@
+"""Property tests: the twin must be monotone where the DES is monotone.
+
+The tuner only needs the twin to *rank* configurations correctly, so
+the invariants worth machine-checking are directional: more parity can
+never shrink repair traffic, faster media can never slow recovery,
+more data can never speed it up, and no output is ever negative.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault_injector import FaultSpec
+from repro.core.profile import ExperimentProfile
+from repro.twin import AnalyticalTwin, predict_overwrite_amplification
+from repro.workload.generator import Workload
+
+MB = 1024 * 1024
+KB = 1024
+
+TWIN = AnalyticalTwin()
+NODE_FAULT = [FaultSpec(level="node", count=1)]
+
+ks = st.integers(min_value=2, max_value=6)
+ms = st.integers(min_value=1, max_value=3)
+pg_nums = st.sampled_from([8, 16, 64, 256])
+stripe_units = st.sampled_from([256 * KB, 1 * MB, 4 * MB])
+object_counts = st.integers(min_value=1, max_value=64)
+object_sizes = st.sampled_from([1 * MB, 4 * MB, 9 * MB])
+fault_levels = st.sampled_from(["node", "device"])
+device_classes = st.sampled_from(["ssd", "hdd"])
+
+
+def make_profile(k, m, pg_num, stripe_unit, device_class="ssd", **extra):
+    return ExperimentProfile(
+        name="twin-prop",
+        ec_plugin="jerasure",
+        ec_params={"k": k, "m": m},
+        num_hosts=12,
+        osds_per_host=2,
+        pg_num=pg_num,
+        stripe_unit=stripe_unit,
+        device_class=device_class,
+        **extra,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(ks, ms, pg_nums, stripe_units, object_counts, object_sizes,
+       fault_levels, device_classes)
+def test_outputs_never_negative(k, m, pg_num, stripe_unit, objects, size,
+                                level, device_class):
+    profile = make_profile(k, m, pg_num, stripe_unit, device_class)
+    workload = Workload(num_objects=objects, object_size=size)
+    prediction = TWIN.predict(profile, workload, [FaultSpec(level=level)])
+    assert prediction.recovery_time >= 0.0
+    assert prediction.checking_period >= 0.0
+    assert prediction.ec_recovery_period >= 0.0
+    assert prediction.repair_bytes_read >= 0.0
+    assert prediction.repair_bytes_written >= 0.0
+    assert prediction.used_bytes >= 0
+    assert 0.0 <= prediction.checking_fraction <= 1.0
+    assert prediction.recovery_time >= prediction.checking_period
+    p99 = TWIN.predict_degraded_p99(profile)
+    assert p99 > 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(ks, pg_nums, stripe_units, object_counts, object_sizes)
+def test_more_parity_never_shrinks_repair_traffic(k, pg_num, stripe_unit,
+                                                  objects, size):
+    workload = Workload(num_objects=objects, object_size=size)
+    written = [
+        TWIN.predict(
+            make_profile(k, m, pg_num, stripe_unit), workload, NODE_FAULT
+        ).repair_bytes_written
+        for m in (1, 2, 3)
+    ]
+    assert written[0] <= written[1] <= written[2]
+    # WA is monotone in parity too: every extra parity chunk is stored.
+    was = [
+        TWIN.predict(
+            make_profile(k, m, pg_num, stripe_unit), workload, []
+        ).wa_actual
+        for m in (1, 2, 3)
+    ]
+    assert was[0] < was[1] < was[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(ks, ms, pg_nums, stripe_units, object_counts, object_sizes)
+def test_faster_disks_never_slow_recovery(k, m, pg_num, stripe_unit,
+                                          objects, size):
+    workload = Workload(num_objects=objects, object_size=size)
+    ssd = TWIN.predict(
+        make_profile(k, m, pg_num, stripe_unit, "ssd"), workload, NODE_FAULT
+    )
+    hdd = TWIN.predict(
+        make_profile(k, m, pg_num, stripe_unit, "hdd"),
+        workload,
+        NODE_FAULT,
+    )
+    assert ssd.ec_recovery_period <= hdd.ec_recovery_period
+    assert ssd.recovery_time <= hdd.recovery_time
+
+
+@settings(max_examples=25, deadline=None)
+@given(ks, ms, pg_nums, stripe_units, object_sizes)
+def test_more_objects_never_speed_recovery(k, m, pg_num, stripe_unit, size):
+    profile = make_profile(k, m, pg_num, stripe_unit)
+    times = [
+        TWIN.predict(
+            profile, Workload(num_objects=count, object_size=size), NODE_FAULT
+        ).recovery_time
+        for count in (8, 32, 128)
+    ]
+    assert times[0] <= times[1] <= times[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(ks, ms, pg_nums, stripe_units)
+def test_tenant_p99_never_beats_uncontended(k, m, pg_num, stripe_unit):
+    profile = make_profile(k, m, pg_num, stripe_unit)
+    base = TWIN.predict_degraded_p99(profile, object_size=4 * MB, interval=0.5)
+    contended = TWIN.predict_tenant_slo_p99(
+        profile, object_size=4 * MB, interval=0.5
+    )
+    assert contended >= base
+
+
+@settings(max_examples=25, deadline=None)
+@given(ks, ms, st.floats(min_value=0.0, max_value=1.0))
+def test_overwrite_amplification_bounded_by_endpoints(k, m, rmw_fraction):
+    profile = make_profile(k, m, 64, 1 * MB)
+    amp = predict_overwrite_amplification(profile, rmw_fraction)
+    lo = min(1.0 + m, (k + m) / k)
+    hi = max(1.0 + m, (k + m) / k)
+    assert lo <= amp <= hi
