@@ -13,8 +13,9 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster.osd import CephConfig
-from ..core.fault_injector import FaultSpec
+from ..core.fault_injector import GEO_LEVELS, FaultSpec
 from ..core.profile import ExperimentProfile
+from ..geo.wan import DEFAULT_WAN
 from ..tenancy.spec import TenantFleetSpec
 from ..workload.generator import Workload
 
@@ -97,6 +98,14 @@ class CampaignSpec:
     osds_per_host: int = 2
     scrub_interval: float = 0.0
     scrub_pgs_per_batch: int = 2
+    # -- stretch-cluster shape ------------------------------------------------
+    #: Regions the hosts are dealt across.  1 (the default) keeps the
+    #: classic single-site cluster: no WAN fabric, byte-identical digests.
+    num_regions: int = 1
+    wan_egress_bandwidth: float = DEFAULT_WAN.egress_bandwidth
+    wan_ingress_bandwidth: float = DEFAULT_WAN.ingress_bandwidth
+    wan_latency: float = DEFAULT_WAN.latency
+    wan_egress_cost_per_gib: float = DEFAULT_WAN.egress_cost_per_gib
     # -- daemon tunables kept fast enough for bulk campaigns -----------------
     mon_osd_down_out_interval: float = 60.0
     # -- workload -------------------------------------------------------------
@@ -155,6 +164,31 @@ class CampaignSpec:
         times = [action.at for action in self.actions]
         if times != sorted(times):
             raise ValueError("schedule actions must be time-ordered")
+        if self.num_regions < 1:
+            raise ValueError("num_regions must be >= 1")
+        if self.num_regions > 1:
+            # Geo campaigns are read-only with scrubbing off so the
+            # cross-region-byte invariant is *exact*: recovery is then
+            # the only subsystem moving bytes over the fabric, and its
+            # counters must equal the WAN fabric's delivered total.
+            if self.scrub_interval > 0:
+                raise ValueError(
+                    "geo campaigns (num_regions > 1) require scrubbing "
+                    "disabled (scrub_interval == 0)"
+                )
+            if self.write_interval > 0 or self.tenant_fleet is not None:
+                raise ValueError(
+                    "geo campaigns (num_regions > 1) are exclusive with "
+                    "client write load and tenant fleets"
+                )
+        elif any(
+            action.kind == "inject" and action.level in GEO_LEVELS
+            for action in self.actions
+        ):
+            raise ValueError(
+                "region-level fault actions require a stretch cluster "
+                "(num_regions > 1)"
+            )
         if self.scrub_interval <= 0 and any(
             action.kind == "inject" and action.level == "corrupt"
             for action in self.actions
@@ -180,6 +214,11 @@ class CampaignSpec:
             osds_per_host=self.osds_per_host,
             scrub_interval=self.scrub_interval,
             scrub_pgs_per_batch=self.scrub_pgs_per_batch,
+            num_regions=self.num_regions,
+            wan_egress_bandwidth=self.wan_egress_bandwidth,
+            wan_ingress_bandwidth=self.wan_ingress_bandwidth,
+            wan_latency=self.wan_latency,
+            wan_egress_cost_per_gib=self.wan_egress_cost_per_gib,
             ceph=CephConfig(
                 mon_osd_down_out_interval=self.mon_osd_down_out_interval
             ),

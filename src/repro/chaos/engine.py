@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..cluster.ceph import OVERWRITE_LEDGER_KEYS, CephCluster
 from ..cluster.client import ClientLoadGenerator, RadosClient
 from ..cluster.health import HealthStatus, check_health
-from ..cluster.recovery import DELTA_STAT_KEYS
+from ..cluster.recovery import DELTA_STAT_KEYS, GEO_STAT_KEYS
 from ..core.controller import Controller
 from ..core.fault_injector import FaultInjector, FaultToleranceError
 from ..sim.rng import substream_seed
@@ -256,7 +256,7 @@ def outcome_digest(
             for osd in cluster.osds.values()
         },
         "recovery": _prune_zero(
-            asdict(cluster.recovery.stats), DELTA_STAT_KEYS
+            asdict(cluster.recovery.stats), DELTA_STAT_KEYS + GEO_STAT_KEYS
         ),
         "scrub": asdict(cluster.scrub.stats),
         "monitor": {
@@ -278,6 +278,22 @@ def outcome_digest(
             for record in log.records
         ],
     }
+    wan = cluster.topology.wan
+    if wan is not None:
+        # Only stretch clusters carry this section: single-region runs
+        # never construct a WanFabric, so their digests are untouched.
+        digest["wan"] = {
+            "cross_region_transfers": wan.cross_region_transfers,
+            "cross_region_bytes": wan.cross_region_bytes,
+            "wan_partition_refusals": wan.wan_partition_refusals,
+            "uplinks": [
+                [up.egress_bytes, up.ingress_bytes] for up in wan.uplinks
+            ],
+            "egress_bytes_by_region": list(
+                wan.ledger.egress_bytes_by_region
+            ),
+            "egress_cost": wan.ledger.total_cost,
+        }
     if load is not None:
         writes = load.write_stats
         digest["writes"] = {
@@ -363,6 +379,7 @@ def run_chaos(
     levels: Optional[Tuple[str, ...]] = None,
     writes: bool = False,
     tenants: bool = False,
+    geo: bool = False,
 ) -> ChaosReport:
     """Sample and run ``campaigns`` campaigns derived from ``root_seed``.
 
@@ -375,6 +392,9 @@ def run_chaos(
     degraded write path and pg_log delta recovery.  ``tenants=True``
     instead drives every campaign with a sampled QoS-enabled tenant
     fleet and arms the fairness invariant (exclusive with ``writes``).
+    ``geo=True`` re-shapes every campaign into a three-region stretch
+    cluster with a region-aware fault schedule, arming the
+    cross-region-byte accounting invariant (exclusive with both).
     """
     report = ChaosReport(root_seed=root_seed)
     for index in range(campaigns):
@@ -383,6 +403,7 @@ def run_chaos(
             levels=levels,
             writes=writes,
             tenants=tenants,
+            geo=geo,
         )
         report.campaigns += 1
         try:

@@ -27,6 +27,7 @@ __all__ = [
     "check_log_bounded_repair",
     "check_converged",
     "check_version_convergence",
+    "check_cross_region_accounting",
     "check_tenant_fairness",
     "InvariantSuite",
 ]
@@ -219,6 +220,44 @@ def check_version_convergence(cluster: CephCluster) -> List[InvariantViolation]:
     return violations
 
 
+def check_cross_region_accounting(cluster: CephCluster) -> List[InvariantViolation]:
+    """Recovery's cross-region byte counters match the WAN fabric's, exactly.
+
+    Two independent bookkeepers watch the same traffic: the recovery
+    manager counts every helper pull and shard push whose endpoints sit
+    in different regions, and the WAN fabric counts every payload byte
+    delivered across an uplink.  On a read-only stretch campaign with
+    scrubbing off, recovery is the *only* subsystem moving bytes between
+    regions — so the two totals must agree to the byte.  Any drift means
+    either a repair transfer dodged the WAN model or the locality
+    accounting misclassified an endpoint.
+
+    Vacuous (returns ``[]``) on single-region clusters and skipped when
+    scrubbing is enabled, since scrub repair pulls ride the same fabric
+    outside recovery's ledger.
+    """
+    wan = cluster.topology.wan
+    if wan is None:
+        return []
+    if cluster.scrub.config.enabled:
+        return []
+    stats = cluster.recovery.stats
+    recovered = stats.cross_region_bytes_read + stats.cross_region_bytes_written
+    if recovered == wan.cross_region_bytes:
+        return []
+    return [
+        InvariantViolation(
+            "cross-region-accounting",
+            f"recovery counted {recovered} cross-region B "
+            f"(read={stats.cross_region_bytes_read} "
+            f"written={stats.cross_region_bytes_written}) but the WAN "
+            f"fabric delivered {wan.cross_region_bytes} B "
+            f"(drift {wan.cross_region_bytes - recovered:+d})",
+            at_time=cluster.env.now,
+        )
+    ]
+
+
 def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
     """End-of-campaign convergence: restore + recovery + scrub => HEALTH_OK.
 
@@ -357,6 +396,7 @@ STEP_CHECKS = (
     check_wa_conservation,
     check_log_monotonicity,
     check_log_bounded_repair,
+    check_cross_region_accounting,
 )
 
 

@@ -50,6 +50,25 @@ _EC_CHOICES: List[Tuple[str, Tuple[Tuple[str, int], ...]]] = [
 _STRIPE_UNITS = (64 * KB, 256 * KB, 1 * MB, 4 * MB)
 _OBJECT_SIZES = (256 * KB, 1 * MB, 4 * MB)
 
+#: Regions every geo campaign spreads across (the classic 3-site stretch).
+_GEO_REGIONS = 3
+
+#: EC choices safe for a 3-region stretch: the per-region shard cap
+#: ``ceil(n / 3)`` must stay within the code's guaranteed tolerance, so
+#: one whole region outage never strands an undecodable stripe.
+_GEO_EC_CHOICES: List[Tuple[str, Tuple[Tuple[str, int], ...]]] = [
+    ("jerasure", (("k", 2), ("m", 1))),
+    ("jerasure", (("k", 3), ("m", 2))),
+    ("jerasure", (("k", 4), ("m", 2))),
+    ("jerasure", (("k", 6), ("m", 3))),
+    ("isa", (("k", 4), ("m", 2))),
+    ("isa", (("k", 5), ("m", 3))),
+    ("clay", (("d", 3), ("k", 2), ("m", 2))),
+    ("clay", (("d", 5), ("k", 4), ("m", 2))),
+    ("clay", (("d", 5), ("k", 3), ("m", 3))),
+    ("lrc", (("k", 4), ("l", 2), ("r", 2))),
+]
+
 
 def _shard_count(params: Tuple[Tuple[str, int], ...]) -> int:
     """n = data + parity shards for any of the sampled plugins."""
@@ -74,6 +93,7 @@ def sample_campaign(
     levels: Optional[Sequence[str]] = None,
     writes: bool = False,
     tenants: bool = False,
+    geo: bool = False,
 ) -> CampaignSpec:
     """Sample one valid campaign; same seed, same campaign, always.
 
@@ -95,11 +115,25 @@ def sample_campaign(
     stream, enabling the fairness invariant.  Exclusive with ``writes``;
     the tenant draws happen after every other field so ``tenants=False``
     streams are untouched.
+
+    ``geo=True`` re-shapes the campaign into a three-region stretch
+    cluster: a geo-safe EC geometry (one region outage never exceeds the
+    code's tolerance), hosts dealt across regions, and a region-aware
+    fault schedule mixing whole-region outages, WAN partitions, and
+    region-local host crashes.  Geo campaigns are read-only with
+    scrubbing off so the cross-region-byte invariant is exact; the geo
+    draws happen strictly after every other field so ``geo=False``
+    streams stay byte-identical.
     """
     if tenants and writes:
         raise ValueError(
             "tenants and writes are exclusive: the fleet replaces the "
             "single client stream"
+        )
+    if geo and (writes or tenants):
+        raise ValueError(
+            "geo campaigns are read-only: exclusive with writes/tenants "
+            "so the cross-region-byte invariant stays exact"
         )
     chosen = tuple(levels) if levels is not None else FAULT_LEVELS
     if not chosen:
@@ -201,6 +235,28 @@ def sample_campaign(
             spec,
             tenant_fleet=fleet,
             tenant_duration=last_at + float(rng.choice((50, 150))),
+        )
+    if geo:
+        # Drawn strictly after every existing field so geo=False streams
+        # are untouched.  The stretch shape replaces the sampled EC
+        # geometry, cluster size, scrub setting and schedule wholesale:
+        # geo-safety (cap <= tolerance) is a property of the EC choice
+        # and region count together, not something the generic draws
+        # can be patched into.
+        plugin, params = rng.choice(_GEO_EC_CHOICES)
+        n = _shard_count(params)
+        cap = -(-n // _GEO_REGIONS)  # ceil
+        hosts_per_region = cap + rng.randrange(1, 3)
+        spec = replace(
+            spec,
+            ec_plugin=plugin,
+            ec_params=params,
+            num_hosts=_GEO_REGIONS * hosts_per_region,
+            num_regions=_GEO_REGIONS,
+            scrub_interval=0.0,
+            wan_latency=rng.choice((0.01, 0.03, 0.08)),
+            wan_egress_bandwidth=rng.choice((2.5e8, 6.25e8, 1.25e9)),
+            actions=tuple(_sample_geo_schedule(rng)),
         )
     return spec
 
@@ -314,6 +370,31 @@ def _sample_schedule(
             t += rng.choice((0.0, 5.0, 20.0))
         # Restore before mark-down (<20 s grace), mid-checking, or well
         # after the down->out interval - each exercises a different arc.
+        t += rng.choice((10.0, 50.0, 200.0, 500.0))
+        actions.append(ScheduledAction(at=t, kind="restore"))
+        t += rng.choice((150.0, 300.0, 600.0))
+    return actions
+
+
+def _sample_geo_schedule(rng) -> List[ScheduledAction]:
+    """A region-aware fault schedule for a stretch campaign.
+
+    One fault per round, each followed by a restore: a whole-region
+    outage (damage = the per-region shard cap, within tolerance by EC
+    choice), a WAN partition (the region stays up but unreachable), or
+    a region-local host crash (damage 1 — the round that actually
+    drives cross-region repair traffic, since recovery must pull
+    helpers from other regions when the home region cannot field ``k``).
+    Restore timing straddles the down->out interval exactly like the
+    generic schedule.
+    """
+    actions: List[ScheduledAction] = []
+    t = 100.0
+    for _ in range(rng.randrange(1, 4)):
+        level = rng.choice(("region_outage", "wan_partition", "node", "node"))
+        actions.append(
+            ScheduledAction(at=t, kind="inject", level=level, count=1)
+        )
         t += rng.choice((10.0, 50.0, 200.0, 500.0))
         actions.append(ScheduledAction(at=t, kind="restore"))
         t += rng.choice((150.0, 300.0, 600.0))

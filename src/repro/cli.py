@@ -15,6 +15,7 @@ Subcommands::
     ecfault chaos        seeded randomized fault campaigns with invariants
     ecfault replay       re-execute a chaos repro artifact exactly
     ecfault tenants      a multi-tenant QoS fleet experiment with SLO bill
+    ecfault geo          a stretch-cluster experiment with WAN egress ledger
 
 Every command prints plain text; ``sweep`` and ``tune`` write
 machine-readable JSON so results can be analysed later or elsewhere.
@@ -559,6 +560,11 @@ def cmd_chaos(args) -> int:
         print("chaos: --tenants and --writes are exclusive (the fleet "
               "replaces the single client stream)", file=sys.stderr)
         return 2
+    if args.geo and (args.writes or args.tenants):
+        print("chaos: --geo campaigns are read-only (exclusive with "
+              "--writes/--tenants so the cross-region-byte invariant "
+              "stays exact)", file=sys.stderr)
+        return 2
     levels = tuple(args.levels.split(",")) if args.levels else None
     report = run_chaos(
         args.seed,
@@ -568,6 +574,7 @@ def cmd_chaos(args) -> int:
         levels=levels,
         writes=args.writes,
         tenants=args.tenants,
+        geo=args.geo,
     )
     print(f"chaos: {report.campaigns} campaigns from seed {report.root_seed}: "
           f"{report.passed} passed, {report.invalid} invalid, "
@@ -739,6 +746,56 @@ def cmd_tenants(args) -> int:
     if violated:
         print(f"\nSLO violated for: {', '.join(violated)}")
         return 1
+    return 0
+
+
+def cmd_geo(args) -> int:
+    from .geo import run_stretch_experiment
+
+    profile = _profile_from_args(args).with_overrides(
+        num_regions=args.regions,
+        wan_latency=args.wan_latency,
+        wan_egress_bandwidth=args.wan_egress_bandwidth,
+        wan_ingress_bandwidth=args.wan_ingress_bandwidth,
+        wan_egress_cost_per_gib=args.wan_egress_cost,
+    )
+    workload = Workload(num_objects=args.objects, object_size=args.object_size)
+    faults = []
+    if args.fault != "none":
+        faults.append(FaultSpec(level=args.fault, count=args.fault_count))
+    outcome = run_stretch_experiment(
+        profile,
+        workload,
+        faults,
+        seed=args.seed,
+        locality_aware=not args.naive,
+        restore_after=args.restore_after,
+    )
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"profile: {profile.describe()}")
+    print(f"stretch: {args.regions} regions, "
+          f"WAN latency {args.wan_latency * 1000:.0f} ms, "
+          f"egress {args.wan_egress_bandwidth / MB:.0f} MB/s @ "
+          f"${args.wan_egress_cost:.3f}/GiB, "
+          f"locality-aware recovery "
+          f"{'off' if args.naive else 'on'}")
+    print(f"total recovery:    {outcome.total_recovery_time:9.1f} s")
+    print(f"objects recovered: {outcome.objects_recovered}")
+    print(f"cross-region repair: "
+          f"{outcome.cross_region_bytes_read / MB:.1f} MB pulled "
+          f"({outcome.cross_region_pulls} pulls), "
+          f"{outcome.cross_region_bytes_written / MB:.1f} MB pushed "
+          f"({outcome.cross_region_pushes} pushes)")
+    print(f"WAN delivered:     {outcome.wan_cross_region_bytes / MB:9.1f} MB "
+          f"in {outcome.wan_cross_region_transfers} transfers"
+          + (f" ({outcome.wan_partition_refusals} refused at severed uplinks)"
+             if outcome.wan_partition_refusals else ""))
+    for region, nbytes in enumerate(outcome.egress_bytes_by_region):
+        print(f"  region {region} egress: {nbytes / MB:9.1f} MB")
+    print(f"egress cost:       ${outcome.egress_cost:9.4f}")
+    print(f"outcome digest:    {outcome.digest()}")
     return 0
 
 
@@ -936,6 +993,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drive every campaign with a sampled QoS-enabled "
                             "tenant fleet and check the fairness invariant "
                             "(exclusive with --writes)")
+    chaos.add_argument("--geo", action="store_true",
+                       help="re-shape every campaign into a three-region "
+                            "stretch cluster with region outages and WAN "
+                            "partitions, checking the cross-region-byte "
+                            "invariant (exclusive with --writes/--tenants)")
     chaos.add_argument("--stop-on-failure", action="store_true",
                        help="stop at the first failing campaign")
     chaos.add_argument("--verbose", action="store_true",
@@ -967,6 +1029,41 @@ def build_parser() -> argparse.ArgumentParser:
     tenants.add_argument("--json", action="store_true",
                          help="emit the per-tenant report as JSON")
     tenants.set_defaults(func=cmd_tenants)
+
+    geo = sub.add_parser(
+        "geo",
+        help="stretch-cluster experiment: regions, WAN repair traffic, "
+             "egress cost ledger",
+    )
+    _add_profile_arguments(geo)
+    geo.add_argument("--regions", type=int, default=3,
+                     help="regions the hosts are dealt across")
+    geo.add_argument("--fault",
+                     choices=["node", "device", "region_outage",
+                              "wan_partition", "none"],
+                     default="node")
+    geo.add_argument("--fault-count", type=int, default=1)
+    geo.add_argument("--wan-latency", type=float, default=0.03,
+                     help="one-way inter-region latency (s)")
+    geo.add_argument("--wan-egress-bandwidth", type=float, default=6.25e8,
+                     help="per-region WAN egress bandwidth (B/s)")
+    geo.add_argument("--wan-ingress-bandwidth", type=float, default=1.25e9,
+                     help="per-region WAN ingress bandwidth (B/s)")
+    geo.add_argument("--wan-egress-cost", type=float, default=0.02,
+                     help="metered egress price (USD per GiB)")
+    geo.add_argument("--restore-after", type=float, default=None,
+                     metavar="SECONDS",
+                     help="restore the fault after this many sim seconds and "
+                          "settle to convergence (required shape for "
+                          "region_outage, whose displaced PGs are "
+                          "unplaceable until the region returns)")
+    geo.add_argument("--naive", action="store_true",
+                     help="disable locality-aware recovery (helpers picked "
+                          "with no regard for regions)")
+    geo.add_argument("--json", action="store_true",
+                     help="emit the geo outcome as JSON")
+    geo.set_defaults(func=cmd_geo, hosts=12, objects=40,
+                     object_size=8 * MB, ec_params="k=4,m=2")
 
     autoscale = sub.add_parser("autoscale", help="pg_num advice")
     autoscale.add_argument("--plugin", default="jerasure")

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..ec.base import ErasureCode
+from ..geo.rules import RegionRule
+from ..geo.wan import WanSpec
 from ..sim import Environment
 from .crush import CrushMap
 from .devices import DiskSpec, GP_SSD
@@ -140,6 +142,9 @@ class CephCluster:
         placement_seed: int = 0,
         integrity: Optional[IntegrityConfig] = None,
         scrub: Optional[ScrubConfig] = None,
+        num_regions: int = 1,
+        wan_spec: Optional[WanSpec] = None,
+        region_rule: Optional[RegionRule] = None,
     ):
         self.env = env
         self.config = config or CephConfig()
@@ -150,7 +155,10 @@ class CephCluster:
             num_racks=num_racks,
             disk_spec=disk_spec,
             nic_spec=nic_spec,
+            num_regions=num_regions,
+            wan_spec=wan_spec,
         )
+        self.region_rule = region_rule
         self.host_logs: Dict[int, NodeLog] = {
             host_id: NodeLog(f"host.{host_id}")
             for host_id in self.topology.hosts
@@ -171,6 +179,7 @@ class CephCluster:
             failure_domain=failure_domain,
             pg_log_max_entries=self.config.osd_pg_log_max_entries,
             pg_log_hard_limit=self.config.osd_pg_log_hard_limit,
+            region_rule=region_rule,
         )
         self.monitor = Monitor(
             env,

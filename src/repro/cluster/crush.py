@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..geo.rules import RegionRule
 from .topology import ClusterTopology, FailureDomain
 
 __all__ = ["CrushMap", "PlacementError"]
@@ -42,6 +43,7 @@ class CrushMap:
         width: int,
         failure_domain: str,
         excluded_osds: Optional[Set[int]] = None,
+        region_rule: Optional[RegionRule] = None,
     ) -> List[int]:
         """Choose an ordered acting set of ``width`` OSDs for one PG.
 
@@ -49,10 +51,24 @@ class CrushMap:
         shard lands per failure-domain bucket; OSDs in ``excluded_osds``
         (down/out devices) are skipped, shifting only the affected shards
         — the straw2 property that keeps remaps minimal.
+
+        With a ``region_rule`` the placement becomes region-spanning:
+        pick ``rule.spread`` regions straw2-style, assign shard slots to
+        them round-robin (so stripes stay balanced and no region exceeds
+        the rule's per-region cap), then place within each region under
+        ``failure_domain`` as usual.
         """
         if failure_domain not in FailureDomain.ALL:
             raise ValueError(f"unknown failure domain {failure_domain!r}")
         excluded = excluded_osds or set()
+        if region_rule is not None:
+            if failure_domain == FailureDomain.REGION:
+                raise ValueError(
+                    "a region rule needs a sub-region failure domain"
+                )
+            return self._place_pg_geo(
+                pool_id, pg_id, width, failure_domain, excluded, region_rule
+            )
         buckets = self.topology.buckets(failure_domain)
         if width > len(buckets):
             raise PlacementError(
@@ -111,6 +127,155 @@ class CrushMap:
             * self.topology.osds[osd].weight,
         )
 
+    # -- region-spanning placement (stretch clusters) ----------------
+
+    def _place_pg_geo(
+        self,
+        pool_id: int,
+        pg_id: int,
+        width: int,
+        failure_domain: str,
+        excluded: Set[int],
+        rule: RegionRule,
+    ) -> List[int]:
+        """Region-spanning straw2 placement under a :class:`RegionRule`.
+
+        Like the flat path, the *base* bucket assignment ignores
+        exclusions so shards unaffected by a failure keep their OSDs;
+        displaced shards retry reserve buckets in their own region first
+        (repair locality), then spill to other regions in straw2 order
+        — never past the rule's per-region shard cap.
+        """
+        topo = self.topology
+        rule.validate_width(width)
+        regions = topo.buckets(FailureDomain.REGION)
+        if rule.spread > len(regions):
+            raise PlacementError(
+                f"pool {pool_id} rule spans {rule.spread} regions, "
+                f"cluster has {len(regions)}"
+            )
+        cap = rule.cap_for(width)
+        scored_regions = sorted(
+            regions,
+            key=lambda r: _draw(self.seed, pool_id, pg_id, "region", r),
+            reverse=True,
+        )
+        chosen = scored_regions[: rule.spread]
+        # Per-region bucket rankings under the sub-region failure domain.
+        rankings: Dict[int, List[int]] = {}
+        for region in regions:
+            region_osds = set(
+                topo.osds_in_bucket(region, FailureDomain.REGION)
+            )
+            buckets = sorted(
+                {
+                    topo.bucket_of(osd, failure_domain)
+                    for osd in region_osds
+                }
+            )
+            rankings[region] = sorted(
+                buckets,
+                key=lambda b: _draw(
+                    self.seed, pool_id, pg_id, failure_domain, b
+                ),
+                reverse=True,
+            )
+        # Base assignment: the rule's affinity maps each shard to a
+        # region slot when the code has sub-stripe locality to protect
+        # (LRC local groups stay whole inside one region); otherwise
+        # contiguous shard runs per region, mirroring a CRUSH rule of
+        # the form `take region / chooseleaf host` which emits each
+        # region's picks as a block.  Buckets are consumed in ranking
+        # order, at most one shard per bucket.
+        if rule.affinity is not None and len(rule.affinity) == width:
+            region_of_shard = [chosen[slot] for slot in rule.affinity]
+        else:
+            quota, extra = divmod(width, rule.spread)
+            region_of_shard = []
+            for index, region in enumerate(chosen):
+                region_of_shard.extend(
+                    [region] * (quota + (1 if index < extra else 0))
+                )
+        used_buckets: Set[Tuple[int, int]] = set()
+        cursors = {region: 0 for region in regions}
+        base: List[Tuple[int, int]] = []
+        counts = {region: 0 for region in regions}
+        for shard in range(width):
+            region = region_of_shard[shard]
+            ranking = rankings[region]
+            cursor = cursors[region]
+            if cursor >= len(ranking):
+                raise PlacementError(
+                    f"pool {pool_id} pg {pg_id}: region {region} has only "
+                    f"{len(ranking)} {failure_domain} buckets"
+                )
+            bucket = ranking[cursor]
+            cursors[region] = cursor + 1
+            used_buckets.add((region, bucket))
+            base.append((region, bucket))
+            counts[region] += 1
+        # Resolve OSDs, spilling displaced shards region-locally first.
+        acting: List[int] = []
+        for shard in range(width):
+            region, bucket = base[shard]
+            osd = self._choose_osd_in_bucket(
+                pool_id, pg_id, bucket, failure_domain, excluded
+            )
+            if osd is None:
+                counts[region] -= 1
+                region, osd = self._geo_fallback(
+                    pool_id,
+                    pg_id,
+                    failure_domain,
+                    excluded,
+                    region,
+                    scored_regions,
+                    rankings,
+                    used_buckets,
+                    counts,
+                    cap,
+                )
+                if osd is None:
+                    raise PlacementError(
+                        f"cannot place pg {pool_id}.{pg_id}: shard {shard} "
+                        f"has no candidate under cap {cap} "
+                        f"(excluded={sorted(excluded)})"
+                    )
+                counts[region] += 1
+            acting.append(osd)
+        return acting
+
+    def _geo_fallback(
+        self,
+        pool_id: int,
+        pg_id: int,
+        failure_domain: str,
+        excluded: Set[int],
+        home_region: int,
+        scored_regions: List[int],
+        rankings: Dict[int, List[int]],
+        used_buckets: Set[Tuple[int, int]],
+        counts: Dict[int, int],
+        cap: int,
+    ) -> Tuple[int, Optional[int]]:
+        """Find a replacement bucket: home region first, then straw2 order."""
+        order = [home_region] + [
+            r for r in scored_regions if r != home_region
+        ]
+        for region in order:
+            if counts[region] >= cap:
+                continue
+            for bucket in rankings[region]:
+                if (region, bucket) in used_buckets:
+                    continue
+                osd = self._choose_osd_in_bucket(
+                    pool_id, pg_id, bucket, failure_domain, excluded
+                )
+                if osd is not None:
+                    used_buckets.add((region, bucket))
+                    return region, osd
+        return home_region, None
+
     def remap(
         self,
         pool_id: int,
@@ -118,15 +283,23 @@ class CrushMap:
         width: int,
         failure_domain: str,
         out_osds: Iterable[int],
+        region_rule: Optional[RegionRule] = None,
     ) -> Tuple[List[int], Dict[int, int]]:
         """Recompute an acting set after OSDs leave the map.
 
         Returns ``(new_acting, moved)`` where ``moved`` maps shard index
         -> replacement OSD for every shard whose OSD changed.
         """
-        before = self.place_pg(pool_id, pg_id, width, failure_domain)
+        before = self.place_pg(
+            pool_id, pg_id, width, failure_domain, region_rule=region_rule
+        )
         after = self.place_pg(
-            pool_id, pg_id, width, failure_domain, excluded_osds=set(out_osds)
+            pool_id,
+            pg_id,
+            width,
+            failure_domain,
+            excluded_osds=set(out_osds),
+            region_rule=region_rule,
         )
         moved = {
             shard: after[shard]

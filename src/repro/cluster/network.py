@@ -168,6 +168,19 @@ class Fabric:
             # Loopback: no NIC time, a token cost for the software path.
             yield self.env.timeout(src.spec.message_overhead)
             return
+        yield from self._charge_endpoints(src, dst, nbytes)
+
+    def _charge_endpoints(
+        self, src: Nic, dst: Nic, nbytes: int, wan_latency: float = 0.0
+    ) -> Generator:
+        """The one-hop charge sequence shared with the WAN fabric.
+
+        Every non-loopback transfer — intra-region or not — pays exactly
+        this sequence: partition check, sender egress, propagation, loss
+        lottery, receiver ingress.  ``wan_latency`` lets a wrapping
+        fabric add propagation delay without duplicating the charge
+        logic (one NIC pair is still one hop, not one hop per NIC).
+        """
         if src.partitioned or dst.partitioned:
             self.partition_refusals += 1
             # The sender only learns by timeout; charge one propagation
@@ -184,7 +197,7 @@ class Fabric:
                 extra_latency += nic.degradation.latency
         src.sent_bytes += nbytes
         yield src.egress.request(src.wire_time(nbytes))
-        yield self.env.timeout(src.spec.latency + extra_latency)
+        yield self.env.timeout(src.spec.latency + extra_latency + wan_latency)
         if loss > 0.0 and self.rng.random() < loss:
             # The sender burned its egress time for nothing; the
             # receiver never sees the bytes.

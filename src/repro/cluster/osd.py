@@ -100,6 +100,12 @@ class CephConfig:
     #: Client write retry budget (mirrors the read-side defenses; the
     #: write path shares client_op_timeout and client_retry_base).
     client_write_retry_max: int = 5
+    #: Stretch clusters: steer repair reads toward helpers in the
+    #: primary's region (and round-robin the rest across surviving
+    #: hosts) whenever the code accepts the substitution at equal cost.
+    #: No effect on single-region topologies.  Disable to measure the
+    #: naive helper choice (the geo benchmark's baseline).
+    recovery_locality_aware: bool = True
 
     def __post_init__(self):
         if self.osd_heartbeat_interval <= 0 or self.osd_heartbeat_grace <= 0:

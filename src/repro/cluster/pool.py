@@ -10,10 +10,11 @@ objects" — the unit of work the recovery state machine operates on.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
 from ..ec.base import ErasureCode
+from ..geo.rules import RegionRule
 from .crush import CrushMap
 from .objectstore import ChunkLayout, layout_object
 from .pglog import PgLog
@@ -77,6 +78,7 @@ class Pool:
         failure_domain: str = "host",
         pg_log_max_entries: int = 3000,
         pg_log_hard_limit: Optional[int] = None,
+        region_rule: Optional[RegionRule] = None,
     ):
         if pg_num < 1:
             raise ValueError(f"pg_num must be >= 1, got {pg_num}")
@@ -89,10 +91,26 @@ class Pool:
         self.pg_num = pg_num
         self.stripe_unit = stripe_unit
         self.failure_domain = failure_domain
+        #: Region-spanning placement contract (stretch clusters only).
+        #: The code's placement affinity is folded in here so the CRUSH
+        #: rule keeps sub-stripe repair sets (LRC local groups)
+        #: region-coherent.
+        if region_rule is not None and region_rule.affinity is None:
+            hint = code.placement_affinity(region_rule.spread)
+            if hint is not None:
+                candidate = replace(region_rule, affinity=tuple(hint))
+                try:
+                    candidate.validate_width(code.n)
+                except ValueError:
+                    pass  # bad hint: keep the contiguous-block layout
+                else:
+                    region_rule = candidate
+        self.region_rule = region_rule
         self.pgs: Dict[int, PlacementGroup] = {}
         for pg_id in range(pg_num):
             acting = crush.place_pg(
-                pool_id, pg_id, code.n, failure_domain
+                pool_id, pg_id, code.n, failure_domain,
+                region_rule=region_rule,
             )
             self.pgs[pg_id] = PlacementGroup(
                 pool_id,

@@ -56,7 +56,12 @@ from .pool import PlacementGroup, Pool, StoredObject
 from .retry import retry_backoff
 from .topology import ClusterTopology
 
-__all__ = ["RecoveryStats", "RecoveryManager", "DELTA_STAT_KEYS"]
+__all__ = [
+    "RecoveryStats",
+    "RecoveryManager",
+    "DELTA_STAT_KEYS",
+    "GEO_STAT_KEYS",
+]
 
 
 @dataclass
@@ -90,6 +95,13 @@ class RecoveryStats:
     #: delta attempt, credited *before* the I/O runs.  The log-bounded
     #: repair invariant asserts delta bytes spent never exceed it.
     delta_budget_bytes: int = 0
+    #: Stretch-cluster counters: repair payload bytes that crossed a
+    #: region boundary (counted only after the WAN delivered them, so
+    #: they mirror the WanFabric's own delivered-byte accounting).
+    cross_region_bytes_read: int = 0
+    cross_region_bytes_written: int = 0
+    cross_region_pulls: int = 0
+    cross_region_pushes: int = 0
     started_at: Optional[float] = None
     io_started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -105,6 +117,15 @@ DELTA_STAT_KEYS = (
     "delta_bytes_written",
     "delta_fallback_backfills",
     "delta_budget_bytes",
+)
+
+#: RecoveryStats fields added with the geo axis — pruned from digests
+#: when zero so single-region runs hash identically to the prior model.
+GEO_STAT_KEYS = (
+    "cross_region_bytes_read",
+    "cross_region_bytes_written",
+    "cross_region_pulls",
+    "cross_region_pushes",
 )
 
 
@@ -144,6 +165,12 @@ class RecoveryManager:
         self._abandoned_pgs: Set[int] = set()
         #: PGs with a delta-recovery process in flight (dedupe guard).
         self._delta_busy: Set[int] = set()
+        #: Deterministic round-robin offset for helper load-balancing on
+        #: stretch clusters (D3 spirit): advanced once per localized
+        #: plan, so successive objects spread their pulls across
+        #: surviving hosts instead of hammering the same straw2 prefix.
+        #: Never advanced on single-region topologies.
+        self._helper_rr = 0
 
     @property
     def idle(self) -> bool:
@@ -280,6 +307,7 @@ class RecoveryManager:
                 self.pool.code.n,
                 self.pool.failure_domain,
                 excluded_osds=self.out_osds,
+                region_rule=self.pool.region_rule,
             )
         except PlacementError:
             self.stats.pgs_unplaceable += 1
@@ -292,6 +320,11 @@ class RecoveryManager:
             return
 
         primary = new_acting[0]
+        if (
+            self.topology.wan is not None
+            and self.config.recovery_locality_aware
+        ):
+            primary = self._geo_primary(old_acting, new_acting, lost_shards)
         targets = sorted({new_acting[shard] for shard in lost_shards})
         self._log_for(primary).emit(
             self.env.now,
@@ -325,7 +358,10 @@ class RecoveryManager:
             )
             ops = [
                 self.env.process(
-                    self._recover_object(pg, obj, lost_shards, old_acting, new_acting)
+                    self._recover_object(
+                        pg, obj, lost_shards, old_acting, new_acting,
+                        primary_id=primary,
+                    )
                 )
                 for obj in pg.objects
             ]
@@ -362,6 +398,65 @@ class RecoveryManager:
         if pg.log is not None and pg.log.dirty_shards():
             self._maybe_queue_delta_pg(pg)
         self._pg_finished()
+
+    def _geo_primary(
+        self,
+        old_acting: List[int],
+        new_acting: List[int],
+        lost_shards: List[int],
+    ) -> int:
+        """Pick the decoding primary in the cheapest region for the WAN.
+
+        On a stretch cluster the primary is where helper pulls converge
+        and pushes originate, so its region decides which legs cross the
+        WAN.  The cheapest region minimises the repair plan's cross
+        bytes: each helper read costs its plan fraction when pulled from
+        another region, each rebuilt shard a full push when its target
+        lives elsewhere.  The split matters — for a single loss the
+        target's region wins (LRC pulls its whole local group in-region,
+        Clay's fractional pulls are cheaper than a full cross push), but
+        for a region-wide rebuild every helper lives elsewhere and
+        decoding next to the helpers beats shipping their full reads
+        into the recovering region, retries included.  Ties prefer the
+        helper-richest region (retried pulls stay local), then the
+        lowest region id — fully deterministic, no RNG draw.
+        """
+        region_of = self.topology.region_of
+        code = self.pool.code
+        alive = [
+            shard
+            for shard, osd_id in enumerate(old_acting)
+            if shard not in lost_shards and self.osds[osd_id].is_up()
+        ]
+        try:
+            plan = code.repair_plan(list(lost_shards), alive)
+            reads = [
+                (region_of(old_acting[read.chunk_index]), read.fraction)
+                for read in plan.reads
+            ]
+        except ValueError:
+            # Not repairable right now (flap window) — approximate with
+            # the conventional any-k read set.
+            reads = [(region_of(old_acting[s]), 1.0) for s in alive[: code.k]]
+        targets = [region_of(new_acting[s]) for s in lost_shards]
+        candidates = sorted({region for region, _ in reads} | set(targets))
+        if not candidates:
+            return new_acting[0]
+
+        def wan_cost(region: int):
+            pulls = sum(f for r, f in reads if r != region)
+            pushes = sum(1.0 for r in targets if r != region)
+            helpers = sum(1 for r, _ in reads if r == region)
+            return (pulls + pushes, -helpers, region)
+
+        home = min(candidates, key=wan_cost)
+        for shard in lost_shards:
+            if region_of(new_acting[shard]) == home:
+                return new_acting[shard]
+        for shard, osd_id in enumerate(new_acting):
+            if shard not in lost_shards and region_of(osd_id) == home:
+                return osd_id
+        return new_acting[0]
 
     # -- pg_log delta recovery (transient down->up restarts) --------------------------
 
@@ -630,6 +725,14 @@ class RecoveryManager:
         except ValueError:
             # Too few helpers up right now (flap window) — retryable.
             return False
+        if (
+            self.topology.wan is not None
+            and self.config.recovery_locality_aware
+            and len(alive_shards) > len(plan.reads)
+        ):
+            plan = self._localize_plan(
+                code, lost_shards, alive_shards, plan, old_acting, primary
+            )
         to_push = [shard for shard in lost_shards if shard not in pushed]
         if delta:
             # Accrue the attempt's allowance before any I/O runs, so the
@@ -689,6 +792,65 @@ class RecoveryManager:
                     log.record_repair(obj.name, shard, captured_version)
         return all(push_results)
 
+    def _localize_plan(
+        self,
+        code: ErasureCode,
+        lost_shards: List[int],
+        alive_shards: List[int],
+        plan,
+        old_acting: List[int],
+        primary: OsdDaemon,
+    ):
+        """Steer the repair plan toward in-region helpers when it's free.
+
+        Every plugin's ``repair_plan`` picks helpers from the *offered*
+        alive set, so locality is injected by offering a subset: helpers
+        in the primary's region first, ties broken by a deterministic
+        round-robin over host ids (D3-style recovery load balancing),
+        truncated to the read count the code already chose.  The
+        candidate plan is accepted only if it is no worse on every cost
+        axis — total read fraction, decode work, and cross-region reads
+        — so codes whose repair sets are rigid (an LRC local group, a
+        SHEC window) simply keep their original plan.  MDS codes accept
+        any k helpers and Clay any d, which is where region-local
+        reconstruction pays off.
+        """
+        home = self.topology.region_of(primary.osd_id)
+        num_hosts = self.topology.num_hosts
+        offset = self._helper_rr
+        self._helper_rr += 1
+
+        def rank(shard: int):
+            osd_id = old_acting[shard]
+            local = 0 if self.topology.region_of(osd_id) == home else 1
+            host = self.osds[osd_id].device.host_id
+            return (local, (host - offset) % num_hosts, shard)
+
+        preferred = sorted(alive_shards, key=rank)[: len(plan.reads)]
+        try:
+            candidate = code.repair_plan(lost_shards, preferred)
+        except ValueError:
+            return plan
+
+        def cross_fraction(p) -> float:
+            return sum(
+                read.fraction
+                for read in p.reads
+                if self.topology.region_of(old_acting[read.chunk_index])
+                != home
+            )
+
+        eps = 1e-9
+        total = sum(read.fraction for read in plan.reads)
+        cand_total = sum(read.fraction for read in candidate.reads)
+        if (
+            cross_fraction(candidate) <= cross_fraction(plan) + eps
+            and cand_total <= total + eps
+            and candidate.decode_work <= plan.decode_work + eps
+        ):
+            return candidate
+        return plan
+
     def _pull_shard(
         self, read, old_acting, primary: OsdDaemon, layout, delta: bool = False
     ) -> Generator:
@@ -739,6 +901,14 @@ class RecoveryManager:
                 self.topology.nic_of(primary.osd_id),
                 nbytes,
             )
+            # Counted only after delivery so the totals stay in lockstep
+            # with the WanFabric's own delivered-byte ledger (the chaos
+            # cross-region-byte invariant compares the two).
+            if self.topology.wan is not None and self.topology.region_of(
+                source.osd_id
+            ) != self.topology.region_of(primary.osd_id):
+                self.stats.cross_region_bytes_read += nbytes
+                self.stats.cross_region_pulls += 1
         except (TransferDroppedError, DiskFailedError):
             return False
         return True
@@ -794,6 +964,14 @@ class RecoveryManager:
                 self.topology.nic_of(target.osd_id),
                 nbytes,
             )
+            # The WAN delivered these bytes even if the device write
+            # below fails — count them here, not after the write, so the
+            # cross-region invariant stays exact under gray faults.
+            if self.topology.wan is not None and self.topology.region_of(
+                primary.osd_id
+            ) != self.topology.region_of(target.osd_id):
+                self.stats.cross_region_bytes_written += nbytes
+                self.stats.cross_region_pushes += 1
             yield target.recovery_write_grant(nbytes)
             yield target.write_chunk(nbytes, layout.units)
         except (TransferDroppedError, DiskFailedError):

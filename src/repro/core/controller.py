@@ -53,6 +53,9 @@ class Controller:
             placement_seed=self.seeds.stream("crush").randrange(2**31),
             integrity=profile.integrity_config(),
             scrub=profile.scrub_config(),
+            num_regions=profile.num_regions,
+            wan_spec=profile.wan_spec(),
+            region_rule=profile.region_rule(),
         )
         # The fabric's drop lottery draws only while a net_degrade fault
         # is active; seeding it here makes degraded runs reproducible

@@ -25,6 +25,20 @@ make shards (intermittently) unavailable, so they count against the
 code's tolerance budget exactly like crash faults; ``slow_device`` never
 costs availability and is budget-free, tracked only to prevent
 double-slowing one device.
+
+Stretch clusters add two **region-level** levels:
+
+* ``region_outage`` — shut down every host in a region at once (the
+  cloud-region-down scenario).
+* ``wan_partition`` — sever a region's WAN uplink; hosts stay up and
+  intra-region traffic flows, but every cross-region transfer fails.
+
+Both are guarded per *stripe*, not per failure-domain bucket: a region
+holds many host buckets, so the bucket count would always overshoot.
+What actually bounds recoverability is how many shards of any one stripe
+live in (or behind) the target regions — the region-spanning CRUSH rule
+caps that, and the guard unions it with live damage (down OSDs, stale
+and corrupt shards) exactly like the crash-over-staleness guard.
 """
 
 from __future__ import annotations
@@ -46,13 +60,17 @@ __all__ = [
     "FaultInjector",
     "FAULT_LEVELS",
     "GRAY_LEVELS",
+    "GEO_LEVELS",
 ]
 
 #: Gray-failure levels: the fault degrades service but kills nothing.
 GRAY_LEVELS = ("slow_device", "net_degrade", "flap")
 
+#: Region-level levels: only valid on multi-region (stretch) topologies.
+GEO_LEVELS = ("wan_partition", "region_outage")
+
 #: The fault levels the injector understands.
-FAULT_LEVELS = ("node", "device", "corrupt") + GRAY_LEVELS
+FAULT_LEVELS = ("node", "device", "corrupt") + GRAY_LEVELS + GEO_LEVELS
 
 
 class Colocation:
@@ -114,7 +132,7 @@ class FaultSpec:
             )
         if self.colocation == Colocation.SAME_HOST and self.level in (
             "node", "net_degrade",
-        ):
+        ) + GEO_LEVELS:
             raise ValueError(
                 "same-host colocation applies to device-scoped faults, "
                 f"not level={self.level!r}"
@@ -168,6 +186,9 @@ class FaultInjector:
         #: tolerance budget (a slow disk costs no availability) — only
         #: tracked so one device is never slowed twice.
         self.slowed_osds: Set[int] = set()
+        #: Regions whose WAN uplink this injector severed; restored by
+        #: :meth:`restore_all` (workers know nothing about uplinks).
+        self.partitioned_regions: Set[int] = set()
 
     # -- white-box validation ---------------------------------------------------------
 
@@ -192,6 +213,9 @@ class FaultInjector:
             # consumes none of the tolerance budget.  Selection still
             # enforces that enough un-slowed candidates exist.
             self._select_slow_devices(spec)
+            return
+        if spec.level in GEO_LEVELS:
+            self._validate_geo(spec)
             return
         domain = pool.failure_domain
         hit = {
@@ -227,6 +251,60 @@ class FaultInjector:
             raise FaultToleranceError(
                 f"{dirty} damaged chunks in one stripe (crashed buckets + "
                 f"stale/corrupt shards from degraded writes) would exceed "
+                f"the guaranteed tolerance m={tolerance} of "
+                f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+            )
+
+    def _validate_geo(self, spec: FaultSpec) -> None:
+        """Stripe-level white-box guard for region faults.
+
+        For every populated PG: the shards standing in (or cut off
+        behind) the target regions, unioned with shards already down,
+        injected, stale, or silently corrupt, must stay within the
+        code's guaranteed tolerance for every stored stripe.
+        """
+        pool = self.cluster.pool
+        tolerance = pool.code.fault_tolerance()
+        topology = self.cluster.topology
+        integrity = self.cluster.integrity
+        hit_regions = set(self._select_regions(spec))
+        worst = 0
+        worst_pg = None
+        for pg in pool.pgs.values():
+            if not pg.objects:
+                continue
+            base = {
+                s
+                for s, osd_id in enumerate(pg.acting)
+                if topology.region_of(osd_id) in hit_regions
+                or topology.region_of(osd_id) in self.partitioned_regions
+                or osd_id in self.injected_osds
+                or not self.cluster.osds[osd_id].is_up()
+            }
+            damage = len(base)
+            if pg.log is not None and pg.log.dirty_shards():
+                for obj in pg.objects:
+                    stale = pg.log.stale_shards(obj.name)
+                    if not stale:
+                        continue
+                    corrupt = integrity.corrupt_shards(pg.pgid, obj.name)
+                    damage = max(damage, len(base | stale | corrupt))
+            if damage > worst:
+                worst, worst_pg = damage, pg.pgid
+        if worst > tolerance:
+            raise FaultToleranceError(
+                f"{worst} damaged chunks in stripe {worst_pg} (regions "
+                f"{sorted(hit_regions)} + live damage) would exceed the "
+                f"guaranteed tolerance m={tolerance} of "
+                f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+            )
+        # Silent corruption can sit in any stripe; a region fault may
+        # remove its repair headroom (same guard as crash levels).
+        corrupt = integrity.max_corrupt_per_stripe()
+        if corrupt and worst + corrupt > tolerance:
+            raise FaultToleranceError(
+                f"{worst} region-damaged chunks on top of {corrupt} "
+                f"unrepaired corrupt chunks in one stripe would exceed "
                 f"the guaranteed tolerance m={tolerance} of "
                 f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
             )
@@ -313,6 +391,43 @@ class FaultInjector:
         if len(candidates) < spec.count:
             raise ValueError(
                 f"only {len(candidates)} hosts hold data, need {spec.count}"
+            )
+        return rng.sample(candidates, spec.count)
+
+    def _select_regions(self, spec: FaultSpec) -> List[int]:
+        """Pick target regions for a geo-level fault.
+
+        Explicit ``targets`` are region ids; otherwise regions are
+        sampled from those still holding reachable data, so the fault
+        actually exercises cross-region recovery.
+        """
+        topology = self.cluster.topology
+        if topology.wan is None:
+            raise ValueError(
+                f"{spec.level} faults need a multi-region topology "
+                "(num_regions > 1)"
+            )
+        all_regions = set(topology.buckets("region"))
+        if spec.targets is not None:
+            regions = list(spec.targets)[: spec.count]
+            bad = sorted(set(regions) - all_regions)
+            if bad:
+                raise ValueError(
+                    f"{spec.level} targets are region ids; {bad} unknown"
+                )
+            return regions
+        rng = self.seeds.stream("fault-regions")
+        candidates = sorted(
+            {
+                topology.region_of(osd_id)
+                for osd_id in self._healthy_data_osds()
+            }
+            - self.partitioned_regions
+        )
+        if len(candidates) < spec.count:
+            raise ValueError(
+                f"only {len(candidates)} regions hold reachable data, "
+                f"need {spec.count}"
             )
         return rng.sample(candidates, spec.count)
 
@@ -505,6 +620,30 @@ class FaultInjector:
                 host_osds = self.cluster.topology.hosts[host_id].osd_ids
                 affected.extend(host_osds)
                 self.injected_osds |= set(host_osds)
+        elif spec.level == "region_outage":
+            regions = self._select_regions(spec)
+            affected = []
+            for region in regions:
+                for host in sorted(
+                    self.cluster.topology.hosts_in_region(region),
+                    key=lambda h: h.host_id,
+                ):
+                    self.workers[host.host_id].shutdown_node()
+                    affected.extend(host.osd_ids)
+                    self.injected_osds |= set(host.osd_ids)
+        elif spec.level == "wan_partition":
+            regions = self._select_regions(spec)
+            wan = self.cluster.topology.wan
+            affected = []
+            for region in regions:
+                wan.partition_region(region)
+                self.partitioned_regions.add(region)
+                # Hosts behind a severed uplink stay up, but their
+                # shards are unreachable for cross-region repair — they
+                # count against the tolerance budget like a partition.
+                for host in self.cluster.topology.hosts_in_region(region):
+                    affected.extend(host.osd_ids)
+                    self.injected_osds |= set(host.osd_ids)
         elif spec.level == "flap":
             devices = self._select_devices(spec)
             affected = []
@@ -535,6 +674,16 @@ class FaultInjector:
         moment its worker restored it — so a restore that raises half-way
         can simply be called again, and a double restore is a no-op.
         """
+        wan = self.cluster.topology.wan
+        if wan is not None:
+            for region in sorted(self.partitioned_regions):
+                wan.restore_region(region)
+                # The uplink is whole again: its hosts' OSDs stop
+                # counting against the budget (unless a worker-level
+                # fault still holds them, which the loop below owns).
+                for host in self.cluster.topology.hosts_in_region(region):
+                    self.injected_osds -= set(host.osd_ids)
+            self.partitioned_regions.clear()
         for worker in self.workers.values():
             worker.restore()
             self.injected_osds -= set(worker.host.osd_ids)

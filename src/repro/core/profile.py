@@ -19,6 +19,8 @@ from ..cluster.osd import CephConfig
 from ..cluster.scrub import IntegrityConfig, ScrubConfig
 from ..cluster.topology import FailureDomain
 from ..ec.base import ErasureCode, available_plugins, create_plugin
+from ..geo.rules import RegionRule
+from ..geo.wan import DEFAULT_WAN, WanSpec
 
 __all__ = ["ExperimentProfile", "PAPER_RS_PROFILE", "PAPER_CLAY_PROFILE"]
 
@@ -67,6 +69,15 @@ class ExperimentProfile:
     num_hosts: int = 30
     osds_per_host: int = 2
     num_racks: int = 1
+    # Stretch-cluster shape.  ``num_regions=1`` is the classic single
+    # site: no WAN fabric is built and every digest stays byte-identical
+    # to pre-geo profiles.  With more regions hosts are dealt round-robin
+    # across regions and inter-region transfers ride a WAN uplink.
+    num_regions: int = 1
+    wan_egress_bandwidth: float = DEFAULT_WAN.egress_bandwidth
+    wan_ingress_bandwidth: float = DEFAULT_WAN.ingress_bandwidth
+    wan_latency: float = DEFAULT_WAN.latency
+    wan_egress_cost_per_gib: float = DEFAULT_WAN.egress_cost_per_gib
     # Scrub & integrity subsystem (the silent-corruption axis).  A zero
     # ``scrub_interval`` disables scrubbing *and* write-time checksums,
     # keeping the baseline experiments byte-for-byte unperturbed.
@@ -104,6 +115,12 @@ class ExperimentProfile:
             raise ValueError("cluster shape must be positive")
         if not 1 <= self.num_racks <= self.num_hosts:
             raise ValueError("num_racks must be in 1..num_hosts")
+        if not 1 <= self.num_regions <= self.num_hosts:
+            raise ValueError("num_regions must be in 1..num_hosts")
+        if self.wan_egress_bandwidth <= 0 or self.wan_ingress_bandwidth <= 0:
+            raise ValueError("WAN bandwidths must be positive")
+        if self.wan_latency < 0 or self.wan_egress_cost_per_gib < 0:
+            raise ValueError("WAN latency and egress cost must be >= 0")
         if self.scrub_interval < 0:
             raise ValueError(
                 f"scrub_interval must be >= 0 (0 disables scrubbing), "
@@ -156,6 +173,30 @@ class ExperimentProfile:
             interval=self.scrub_interval,
             pgs_per_batch=self.scrub_pgs_per_batch,
         )
+
+    def wan_spec(self) -> "WanSpec | None":
+        """The profile's WAN link model (None for single-region runs)."""
+        if self.num_regions <= 1:
+            return None
+        return WanSpec(
+            name=f"wan-{self.name}",
+            egress_bandwidth=self.wan_egress_bandwidth,
+            ingress_bandwidth=self.wan_ingress_bandwidth,
+            latency=self.wan_latency,
+            egress_cost_per_gib=self.wan_egress_cost_per_gib,
+        )
+
+    def region_rule(self) -> "RegionRule | None":
+        """Region-spanning placement contract for stretch clusters.
+
+        Every region gets a shard share, capped at ``ceil(n / regions)``
+        per region so no single region outage can strand more shards
+        than the code's fault tolerance covers (when the EC geometry is
+        chosen accordingly — the profile does not enforce that pairing).
+        """
+        if self.num_regions <= 1:
+            return None
+        return RegionRule(spread=self.num_regions)
 
     def with_overrides(self, **changes) -> "ExperimentProfile":
         """A copy of the profile with the given fields replaced."""

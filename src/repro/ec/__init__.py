@@ -18,7 +18,12 @@ from .base import (
 from .clay import ClayCode
 from .lrc import LocallyRepairableCode
 from .reed_solomon import IsaReedSolomon, ReedSolomon
-from .repair import RepairTraffic, compare_repair_bandwidth, traffic_for_plan
+from .repair import (
+    RepairTraffic,
+    compare_repair_bandwidth,
+    split_traffic_by_region,
+    traffic_for_plan,
+)
 from .shec import ShingledErasureCode
 
 __all__ = [
@@ -37,5 +42,6 @@ __all__ = [
     "ShingledErasureCode",
     "RepairTraffic",
     "compare_repair_bandwidth",
+    "split_traffic_by_region",
     "traffic_for_plan",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Type
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Type
 
 import numpy as np
 
@@ -119,6 +119,19 @@ class ErasureCode(ABC):
     def fault_tolerance(self) -> int:
         """Guaranteed number of tolerated concurrent chunk failures."""
         return self.m
+
+    def placement_affinity(self, spread: int) -> Optional[List[int]]:
+        """Preferred region slot per chunk for a ``spread``-region stripe.
+
+        Codes whose repair sets are sub-stripe-local (LRC local groups)
+        return a slot index in ``[0, spread)`` per chunk so a stretch
+        cluster can keep each repair set inside one region; ``None``
+        (the default) means the placement rule's balanced contiguous
+        blocks are as good as anything.  A returned assignment must use
+        every slot and keep every slot at or under ``ceil(n / spread)``
+        chunks — callers fall back to ``None`` semantics otherwise.
+        """
+        return None
 
     # -- data path ---------------------------------------------------------
 

@@ -12,7 +12,7 @@ Chunk layout (matching Ceph's shard ordering for its LRC plugin):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 import numpy as np
 
@@ -77,6 +77,34 @@ class LocallyRepairableCode(ErasureCode):
         members = list(range(start, start + self.group_size))
         members.append(self.k + group)
         return members
+
+    def placement_affinity(self, spread: int) -> Optional[List[int]]:
+        """Keep each local group in one region slot (Azure-LRC geo layout).
+
+        Group ``g`` goes to slot ``g % spread`` whole — data plus its
+        local parity — so single-chunk repair never leaves the region.
+        Global parities fill the least-loaded slots.  Falls back to
+        ``None`` when the grouped layout would leave a slot empty or
+        overflow the balanced per-region cap (the rule's contiguous
+        blocks are then the only legal layout anyway).
+        """
+        if spread <= 1:
+            return None
+        slots = [0] * self.n
+        counts = [0] * spread
+        for group in range(self.locality):
+            slot = group % spread
+            for idx in self.group_members(group):
+                slots[idx] = slot
+            counts[slot] += self.group_size + 1
+        for idx in range(self.k + self.locality, self.n):
+            slot = min(range(spread), key=lambda s: (counts[s], s))
+            slots[idx] = slot
+            counts[slot] += 1
+        cap = -(-self.n // spread)
+        if max(counts) > cap or min(counts) == 0:
+            return None
+        return slots
 
     # -- data path ---------------------------------------------------------
 

@@ -14,7 +14,12 @@ from typing import Dict, Iterable
 
 from .base import ErasureCode, RepairPlan
 
-__all__ = ["RepairTraffic", "traffic_for_plan", "compare_repair_bandwidth"]
+__all__ = [
+    "RepairTraffic",
+    "traffic_for_plan",
+    "split_traffic_by_region",
+    "compare_repair_bandwidth",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,29 @@ def traffic_for_plan(
         write_ops=write_ops,
         decode_work=plan.decode_work,
     )
+
+
+def split_traffic_by_region(
+    traffic: RepairTraffic,
+    region_by_chunk: Dict[int, int],
+    primary_region: int,
+) -> Dict[str, int]:
+    """Split a stripe repair's read bytes into local vs cross-region.
+
+    ``region_by_chunk`` maps chunk index -> region of the shard's host;
+    reads whose helper sits outside ``primary_region`` must cross the
+    WAN to reach the decoding primary.  This is the analytical side of
+    the cross-region accounting the recovery manager does live — the geo
+    benchmark and example use it to predict what the DES then measures.
+    """
+    local = 0
+    cross = 0
+    for chunk_index, nbytes in traffic.read_bytes_by_chunk.items():
+        if region_by_chunk.get(chunk_index, primary_region) == primary_region:
+            local += nbytes
+        else:
+            cross += nbytes
+    return {"local_read_bytes": local, "cross_region_read_bytes": cross}
 
 
 def compare_repair_bandwidth(

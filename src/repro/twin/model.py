@@ -160,6 +160,9 @@ class TwinPrediction:
     lost_chunks: float
     degraded_p99: Optional[float] = None
     tenant_slo_p99: Optional[float] = None
+    #: Expected repair bytes pulled across regions (stretch clusters
+    #: only; None on single-region profiles so their digests are stable).
+    wan_cross_read_bytes: Optional[float] = None
 
     @property
     def checking_fraction(self) -> float:
@@ -190,6 +193,8 @@ class TwinPrediction:
             data["degraded_p99"] = self.degraded_p99
         if self.tenant_slo_p99 is not None:
             data["tenant_slo_p99"] = self.tenant_slo_p99
+        if self.wan_cross_read_bytes is not None:
+            data["wan_cross_read_bytes"] = self.wan_cross_read_bytes
         return data
 
     def digest_json(self) -> str:
@@ -683,6 +688,34 @@ class AnalyticalTwin:
             (repair_read + repair_written)
             / (surviving_hosts * nic.bandwidth),
         ]
+        # WAN-hop term (stretch clusters only).  With the region rule the
+        # primary's home region holds ~n/R shards of each stripe; every
+        # helper the plan needs beyond the surviving local ones is pulled
+        # over the WAN — serialised on the home region's uplink ingress
+        # and the (R-1) remote uplinks' egress, plus one one-way WAN
+        # latency folded into each affected object's pipeline.
+        wan_cross_bytes: Optional[float] = None
+        if profile.num_regions > 1:
+            local_shards = code.n / profile.num_regions
+            cross_reads = max(
+                0.0,
+                costs.reads_count
+                - max(0.0, local_shards - costs.lost_shards),
+            )
+            cross_frac = (
+                cross_reads / costs.reads_count if costs.reads_count else 0.0
+            )
+            wan_cross_bytes = repair_read * cross_frac
+            bounds.append(wan_cross_bytes / profile.wan_ingress_bandwidth)
+            bounds.append(
+                wan_cross_bytes
+                / (
+                    profile.wan_egress_bandwidth
+                    * max(1, profile.num_regions - 1)
+                )
+            )
+            if cross_reads > 0:
+                op_tail += profile.wan_latency
         ec_period = max(bounds) + op_tail
 
         # Detection to first peering completion: the down/out interval
@@ -706,6 +739,7 @@ class AnalyticalTwin:
             repair_bytes_written=repair_written,
             affected_objects=affected_objects,
             lost_chunks=lost_chunks,
+            wan_cross_read_bytes=wan_cross_bytes,
         )
 
     # -- client-path p99 ---------------------------------------------------------

@@ -362,3 +362,50 @@ def test_chaos_tenants_and_writes_are_exclusive(capsys):
     )
     assert code == 2
     assert "exclusive" in err
+
+
+def geo_small(capsys, *extra):
+    return run_cli(
+        capsys, "geo", "--seed", "3", "--hosts", "12", "--objects", "12",
+        "--object-size", "4MB", "--pg-num", "16", "--stripe-unit", "1MB",
+        *extra,
+    )
+
+
+def test_geo_command_prints_wan_accounting(capsys):
+    code, out, _ = geo_small(capsys)
+    assert code == 0
+    assert "3 regions" in out
+    assert "cross-region repair" in out
+    assert "egress cost" in out
+    assert "outcome digest" in out
+
+
+def test_geo_command_digest_is_deterministic(capsys):
+    _, first, _ = geo_small(capsys, "--json")
+    _, second, _ = geo_small(capsys, "--json")
+    assert json.loads(first) == json.loads(second)
+
+
+def test_geo_naive_flag_changes_the_run(capsys):
+    _, aware, _ = geo_small(capsys, "--json")
+    _, naive, _ = geo_small(capsys, "--json", "--naive")
+    assert json.loads(aware)["locality_aware"] is True
+    assert json.loads(naive)["locality_aware"] is False
+
+
+def test_chaos_geo_is_exclusive_with_writes_and_tenants(capsys):
+    for flag in ("--writes", "--tenants"):
+        code, _, err = run_cli(
+            capsys, "chaos", "--campaigns", "1", "--geo", flag,
+        )
+        assert code == 2
+        assert "exclusive" in err
+
+
+def test_chaos_geo_clean_run(capsys):
+    code, out, _ = run_cli(
+        capsys, "chaos", "--campaigns", "2", "--seed", "0", "--geo",
+    )
+    assert code == 0
+    assert "0 failed" in out

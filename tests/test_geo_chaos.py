@@ -1,0 +1,158 @@
+"""Geo chaos campaigns: sampler stream safety, validation, invariants."""
+
+import pytest
+
+from repro.chaos.campaign import CampaignSpec, ScheduledAction
+from repro.chaos.engine import run_campaign
+from repro.chaos.invariants import check_cross_region_accounting
+from repro.chaos.sampler import sample_campaign
+from repro.core.controller import Controller
+from repro.core.fault_injector import GEO_LEVELS
+from repro.core.profile import ExperimentProfile
+from repro.ec import create_plugin
+
+
+# -- sampler ------------------------------------------------------------------
+
+
+def test_geo_flag_leaves_non_geo_stream_untouched():
+    """geo draws happen strictly after every existing draw, so
+    geo=False campaigns are byte-identical to the pre-geo sampler."""
+    for seed in (0, 3, 99):
+        assert sample_campaign(seed) == sample_campaign(seed, geo=False)
+
+
+def test_geo_sampling_is_deterministic():
+    for seed in (0, 7, 1234):
+        assert sample_campaign(seed, geo=True) == sample_campaign(seed, geo=True)
+
+
+def test_geo_is_exclusive_with_writes_and_tenants():
+    with pytest.raises(ValueError):
+        sample_campaign(0, writes=True, geo=True)
+    with pytest.raises(ValueError):
+        sample_campaign(0, tenants=True, geo=True)
+
+
+def test_geo_campaigns_are_region_outage_safe():
+    """Every sampled geometry keeps ceil(n/3) shards per region at or
+    under the code's tolerance, so a whole-region outage is always a
+    legal fault — campaigns never die on the white-box guard."""
+    for seed in range(25):
+        spec = sample_campaign(seed, geo=True)
+        assert spec.num_regions == 3
+        assert spec.num_hosts % 3 == 0
+        assert spec.scrub_interval == 0.0
+        assert spec.write_interval == 0.0
+        assert spec.tenant_fleet is None
+        code = create_plugin(spec.ec_plugin, **dict(spec.ec_params))
+        assert -(-code.n // 3) <= code.fault_tolerance()
+        for action in spec.actions:
+            if action.kind == "inject":
+                assert action.level in GEO_LEVELS + ("node",)
+
+
+def test_sampled_geo_campaigns_pass(subtests=None):
+    for seed in (0, 5):
+        result = run_campaign(sample_campaign(seed, geo=True))
+        assert result.violations == []
+
+
+def test_same_geo_spec_same_outcome_hash():
+    spec = sample_campaign(11, geo=True)
+    assert run_campaign(spec).outcome_hash == run_campaign(spec).outcome_hash
+
+
+def test_geo_digest_has_wan_section():
+    result = run_campaign(sample_campaign(0, geo=True))
+    wan = result.digest["wan"]
+    assert set(wan) >= {
+        "cross_region_transfers", "cross_region_bytes",
+        "wan_partition_refusals", "egress_bytes_by_region", "egress_cost",
+    }
+    assert "cross_region_bytes_read" not in result.digest["recovery"] or (
+        result.digest["recovery"]["cross_region_bytes_read"] > 0
+    )  # zero-valued geo fields are pruned from the recovery section
+
+
+def test_single_region_digest_has_no_wan_section():
+    result = run_campaign(sample_campaign(0))
+    assert "wan" not in result.digest
+
+
+# -- campaign spec validation -------------------------------------------------
+
+
+def base_spec(**overrides):
+    fields = dict(
+        seed=1,
+        ec_plugin="jerasure",
+        ec_params=(("k", 4), ("m", 2)),
+        num_hosts=12,
+        pg_num=16,
+        num_objects=8,
+        object_size=1 << 22,
+        actions=(ScheduledAction(at=100.0, kind="inject", level="node"),),
+        scrub_interval=0.0,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def test_geo_levels_require_multi_region_spec():
+    with pytest.raises(ValueError):
+        base_spec(
+            actions=(
+                ScheduledAction(at=100.0, kind="inject", level="region_outage"),
+            )
+        )
+
+
+def test_geo_spec_rejects_scrub_and_writes():
+    with pytest.raises(ValueError):
+        base_spec(num_regions=3, scrub_interval=900.0)
+    with pytest.raises(ValueError):
+        base_spec(num_regions=3, write_interval=5.0)
+
+
+def test_geo_spec_round_trips_through_dict():
+    spec = sample_campaign(4, geo=True)
+    clone = CampaignSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.num_regions == 3
+    assert clone.wan_latency == spec.wan_latency
+
+
+def test_pre_geo_artifacts_still_load():
+    """Old saved artifacts have no geo fields; defaults must apply."""
+    payload = base_spec().to_dict()
+    for key in list(payload):
+        if key.startswith("wan_") or key == "num_regions":
+            payload.pop(key)
+    spec = CampaignSpec.from_dict(payload)
+    assert spec.num_regions == 1
+
+
+# -- the cross-region-byte invariant -----------------------------------------
+
+
+def test_cross_region_check_skips_single_region_clusters():
+    profile = ExperimentProfile(
+        name="flat", ec_plugin="jerasure", ec_params={"k": 4, "m": 2},
+        num_hosts=6,
+    )
+    controller = Controller(profile, seed=0)
+    assert check_cross_region_accounting(controller.cluster) == []
+
+
+def test_cross_region_check_reports_drift():
+    profile = ExperimentProfile(
+        name="geo", ec_plugin="jerasure", ec_params={"k": 4, "m": 2},
+        num_hosts=6, num_regions=3, pg_num=8,
+    )
+    controller = Controller(profile, seed=0)
+    cluster = controller.cluster
+    assert check_cross_region_accounting(cluster) == []
+    cluster.recovery.stats.cross_region_bytes_read += 4096  # fake drift
+    violations = check_cross_region_accounting(cluster)
+    assert violations and violations[0].invariant == "cross-region-accounting"

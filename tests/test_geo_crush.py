@@ -1,0 +1,199 @@
+"""Region-aware CRUSH: rule compliance, determinism, remap caps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterTopology, CrushMap, FailureDomain, PlacementError
+from repro.ec import create_plugin
+from repro.geo.rules import RegionRule
+from repro.sim import Environment
+
+
+def make_crush(num_hosts, num_regions, seed=42, osds_per_host=2):
+    topo = ClusterTopology(
+        Environment(),
+        num_hosts=num_hosts,
+        osds_per_host=osds_per_host,
+        num_regions=num_regions,
+    )
+    return CrushMap(topo, seed=seed)
+
+
+def region_counts(crush, acting):
+    counts = {}
+    for osd in acting:
+        region = crush.topology.region_of(osd)
+        counts[region] = counts.get(region, 0) + 1
+    return counts
+
+
+# -- RegionRule contract ------------------------------------------------------
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        RegionRule(spread=0)
+    with pytest.raises(ValueError):
+        RegionRule(spread=2, max_shards_per_region=0)
+    with pytest.raises(ValueError):
+        RegionRule(spread=4).validate_width(3)  # spread > width
+    with pytest.raises(ValueError):
+        RegionRule(spread=3, max_shards_per_region=1).validate_width(6)
+
+
+def test_rule_default_cap_is_balanced_ceiling():
+    assert RegionRule(spread=3).cap_for(7) == 3
+    assert RegionRule(spread=3).cap_for(6) == 2
+    assert RegionRule(spread=3, max_shards_per_region=4).cap_for(6) == 4
+
+
+def test_affinity_validation():
+    with pytest.raises(ValueError):
+        RegionRule(spread=2, affinity=(0, 0, 2))  # slot out of range
+    with pytest.raises(ValueError):
+        RegionRule(spread=3, affinity=(0, 1, 0, 1))  # slot 2 never used
+    with pytest.raises(ValueError):
+        # length mismatch with the stripe width
+        RegionRule(spread=2, affinity=(0, 1)).validate_width(4)
+    with pytest.raises(ValueError):
+        # slot 0 holds 3 shards but the cap for width 4 over 2 regions is 2
+        RegionRule(spread=2, affinity=(0, 0, 0, 1)).validate_width(4)
+    RegionRule(spread=2, affinity=(0, 0, 1, 1)).validate_width(4)
+
+
+# -- property tests -----------------------------------------------------------
+
+WIDTHS = st.sampled_from([5, 6, 7, 9])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**20), pg=st.integers(0, 63), width=WIDTHS)
+def test_placement_respects_region_rule(seed, pg, width):
+    """Every stripe spans `spread` regions, none above the cap, with
+    at most one shard per host."""
+    crush = make_crush(num_hosts=12, num_regions=3, seed=seed)
+    rule = RegionRule(spread=3)
+    acting = crush.place_pg(1, pg, width, FailureDomain.HOST, region_rule=rule)
+    assert len(acting) == width
+    counts = region_counts(crush, acting)
+    assert len(counts) == rule.spread
+    assert max(counts.values()) <= rule.cap_for(width)
+    hosts = [crush.topology.osds[o].host_id for o in acting]
+    assert len(set(hosts)) == width  # host spread within regions
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**20), pg=st.integers(0, 63))
+def test_placement_is_deterministic_per_seed(seed, pg):
+    a = make_crush(12, 3, seed=seed)
+    b = make_crush(12, 3, seed=seed)
+    rule = RegionRule(spread=3)
+    assert a.place_pg(1, pg, 6, FailureDomain.HOST, region_rule=rule) == \
+        b.place_pg(1, pg, 6, FailureDomain.HOST, region_rule=rule)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**20), pg=st.integers(0, 31))
+def test_remap_after_host_loss_stays_under_cap(seed, pg):
+    """Excluding one host's OSDs never concentrates a stripe past the
+    per-region cap, and unaffected shards keep their OSDs."""
+    crush = make_crush(num_hosts=12, num_regions=3, seed=seed)
+    rule = RegionRule(spread=3)
+    base = crush.place_pg(1, pg, 6, FailureDomain.HOST, region_rule=rule)
+    victim_host = crush.topology.osds[base[0]].host_id
+    excluded = {
+        o for o in crush.topology.osds
+        if crush.topology.osds[o].host_id == victim_host
+    }
+    remapped = crush.place_pg(
+        1, pg, 6, FailureDomain.HOST,
+        excluded_osds=excluded, region_rule=rule,
+    )
+    counts = region_counts(crush, remapped)
+    assert max(counts.values()) <= rule.cap_for(6)
+    assert not set(remapped) & excluded
+    for shard, osd in enumerate(base):
+        if osd not in excluded:
+            assert remapped[shard] == osd  # minimal remap
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20), pg=st.integers(0, 31))
+def test_remap_after_region_outage_is_unplaceable_when_cap_is_tight(seed, pg):
+    """With a balanced cap, losing a whole region leaves no legal remap:
+    the two survivors cannot absorb the displaced shards without
+    breaking the rule — the placement must fail, never over-fill."""
+    crush = make_crush(num_hosts=12, num_regions=3, seed=seed)
+    rule = RegionRule(spread=3)
+    excluded = {
+        o for o in crush.topology.osds
+        if crush.topology.region_of(o) == 0
+    }
+    with pytest.raises(PlacementError):
+        crush.place_pg(
+            1, pg, 6, FailureDomain.HOST,
+            excluded_osds=excluded, region_rule=rule,
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20), pg=st.integers(0, 31))
+def test_remap_after_region_outage_respects_relaxed_cap(seed, pg):
+    """A rule that allows degraded concentration places the stripe in
+    the surviving regions without ever exceeding its explicit cap."""
+    crush = make_crush(num_hosts=12, num_regions=3, seed=seed)
+    rule = RegionRule(spread=3, max_shards_per_region=3)
+    excluded = {
+        o for o in crush.topology.osds
+        if crush.topology.region_of(o) == 0
+    }
+    remapped = crush.place_pg(
+        1, pg, 6, FailureDomain.HOST,
+        excluded_osds=excluded, region_rule=rule,
+    )
+    counts = region_counts(crush, remapped)
+    assert 0 not in counts
+    assert max(counts.values()) <= 3
+
+
+# -- code-driven affinity -----------------------------------------------------
+
+
+def test_lrc_affinity_keeps_local_groups_region_coherent():
+    code = create_plugin("lrc", k=4, l=2, r=1)
+    affinity = code.placement_affinity(3)
+    assert affinity is not None
+    # Each local group (data + its local parity) shares one slot.
+    for group in range(2):
+        slots = {affinity[idx] for idx in code.group_members(group)}
+        assert len(slots) == 1
+    # All three slots are used and none exceeds ceil(7/3).
+    assert set(affinity) == {0, 1, 2}
+    assert max(affinity.count(s) for s in set(affinity)) <= 3
+
+
+def test_lrc_affinity_declines_when_layout_cannot_fit():
+    # A single-region stripe has nothing to group.
+    assert create_plugin("lrc", k=4, l=2, r=1).placement_affinity(1) is None
+    # Two groups and no global parities would leave the third slot empty.
+    assert create_plugin("lrc", k=4, l=2, r=0).placement_affinity(3) is None
+    # MDS codes have no sub-stripe locality to protect.
+    assert create_plugin("jerasure", k=4, m=2).placement_affinity(3) is None
+
+
+def test_affinity_placement_lands_groups_in_one_region():
+    """End to end: an LRC stripe placed under a 3-region rule keeps each
+    local group inside a single region."""
+    code = create_plugin("lrc", k=4, l=2, r=1)
+    crush = make_crush(num_hosts=12, num_regions=3, seed=7)
+    rule = RegionRule(spread=3, affinity=tuple(code.placement_affinity(3)))
+    for pg in range(16):
+        acting = crush.place_pg(1, pg, code.n, FailureDomain.HOST,
+                                region_rule=rule)
+        for group in range(2):
+            regions = {
+                crush.topology.region_of(acting[idx])
+                for idx in code.group_members(group)
+            }
+            assert len(regions) == 1

@@ -1,0 +1,117 @@
+"""Region fault levels: selection, white-box guards, inject/restore."""
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.core.fault_injector import FaultSpec, FaultToleranceError, GEO_LEVELS
+from repro.core.profile import ExperimentProfile
+from repro.workload.generator import Workload
+
+
+def make_controller(plugin="jerasure", params=None, num_hosts=12,
+                    num_regions=3, seed=0, **overrides):
+    profile = ExperimentProfile(
+        name="geo-fault-test",
+        ec_plugin=plugin,
+        ec_params=params or {"k": 4, "m": 2},
+        num_hosts=num_hosts,
+        num_regions=num_regions,
+        pg_num=16,
+        stripe_unit=1 << 20,
+        **overrides,
+    )
+    controller = Controller(profile, seed=seed)
+    controller.coordinator.ingest_workload(
+        Workload(num_objects=12, object_size=4 << 20)
+    )
+    return controller
+
+
+def test_geo_levels_registered():
+    assert GEO_LEVELS == ("wan_partition", "region_outage")
+
+
+def test_geo_levels_need_multi_region_topology():
+    controller = make_controller(num_regions=1)
+    for level in GEO_LEVELS:
+        with pytest.raises(ValueError):
+            controller.fault_injector.inject(FaultSpec(level=level))
+
+
+def test_region_outage_downs_every_host_in_region():
+    controller = make_controller()
+    cluster = controller.cluster
+    affected = controller.fault_injector.inject(
+        FaultSpec(level="region_outage", targets=[1])
+    )
+    assert affected
+    for host in cluster.topology.hosts_in_region(1):
+        for osd_id in host.osd_ids:
+            assert not cluster.osds[osd_id].is_up()
+    # Other regions untouched.
+    for host in cluster.topology.hosts_in_region(0):
+        for osd_id in host.osd_ids:
+            assert cluster.osds[osd_id].is_up()
+
+
+def test_wan_partition_severs_uplink_and_restores():
+    controller = make_controller()
+    wan = controller.cluster.topology.wan
+    controller.fault_injector.inject(
+        FaultSpec(level="wan_partition", targets=[2])
+    )
+    assert wan.partitioned_regions() == [2]
+    # Daemons stay up — only the uplink is cut.
+    assert all(o.is_up() for o in controller.cluster.osds.values())
+    controller.fault_injector.restore_all()
+    assert wan.partitioned_regions() == []
+
+
+def test_unknown_region_target_rejected():
+    controller = make_controller()
+    with pytest.raises(ValueError):
+        controller.fault_injector.inject(
+            FaultSpec(level="region_outage", targets=[7])
+        )
+
+
+def test_region_outage_guard_rejects_over_tolerance():
+    """A balanced 3-region RS(4,2) stripe has 2 shards per region: one
+    region outage is exactly tolerable, two at once are not."""
+    controller = make_controller()
+    with pytest.raises(FaultToleranceError):
+        controller.fault_injector.inject(
+            FaultSpec(level="region_outage", count=2, targets=[0, 1])
+        )
+
+
+def test_wan_partition_stacks_with_live_damage():
+    """A second region-level fault must count the first one's damage."""
+    controller = make_controller()
+    controller.fault_injector.inject(
+        FaultSpec(level="wan_partition", targets=[0])
+    )
+    with pytest.raises(FaultToleranceError):
+        controller.fault_injector.inject(
+            FaultSpec(level="region_outage", targets=[1])
+        )
+
+
+def test_region_outage_guard_accounts_for_affinity_layout():
+    """LRC(4,2,1) under code affinity parks 3 shards of some stripes in
+    one region — more than its tolerance of 2, so the white-box guard
+    must refuse the outage outright."""
+    controller = make_controller(
+        plugin="lrc", params={"k": 4, "l": 2, "r": 1}
+    )
+    with pytest.raises(FaultToleranceError):
+        controller.fault_injector.inject(
+            FaultSpec(level="region_outage", targets=[0])
+        )
+
+
+def test_region_selection_is_deterministic():
+    a = make_controller(seed=5)
+    b = make_controller(seed=5)
+    assert a.fault_injector.inject(FaultSpec(level="region_outage")) == \
+        b.fault_injector.inject(FaultSpec(level="region_outage"))

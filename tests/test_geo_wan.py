@@ -1,0 +1,196 @@
+"""WAN fabric: uplink charges, egress ledger, partitions, loopback."""
+
+import pytest
+
+from repro.cluster import Fabric, Nic, NicSpec
+from repro.cluster.network import NetworkPartitionedError
+from repro.geo.wan import DEFAULT_WAN, EgressLedger, WanFabric, WanSpec
+from repro.sim import Environment
+
+
+def make_nic(env, name="n", bandwidth=1e9, latency=0.001, overhead=0.0001):
+    return Nic(env, NicSpec(name, bandwidth, latency, overhead), name=name)
+
+
+def make_wan(env, num_regions=2, **spec_overrides):
+    spec = WanSpec(
+        egress_bandwidth=spec_overrides.pop("egress_bandwidth", 5e8),
+        ingress_bandwidth=spec_overrides.pop("ingress_bandwidth", 1e9),
+        latency=spec_overrides.pop("latency", 0.03),
+        egress_cost_per_gib=spec_overrides.pop("egress_cost_per_gib", 0.02),
+    )
+    return WanFabric(env, spec, num_regions)
+
+
+def run_transfer(env, fabric, src, dst, nbytes):
+    done = []
+
+    def xfer():
+        try:
+            yield fabric.transfer(src, dst, nbytes)
+        except NetworkPartitionedError:
+            done.append(None)
+        else:
+            done.append(env.now)
+
+    env.process(xfer())
+    env.run()
+    return done[0]
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WanSpec(egress_bandwidth=0)
+    with pytest.raises(ValueError):
+        WanSpec(latency=-1.0)
+    with pytest.raises(ValueError):
+        WanSpec(egress_cost_per_gib=-0.01)
+
+
+def test_spec_egress_cost_per_gib():
+    spec = WanSpec(egress_cost_per_gib=0.02)
+    assert spec.egress_cost(1 << 30) == pytest.approx(0.02)
+    assert spec.egress_cost(0) == 0.0
+
+
+def test_loopback_stays_free_on_wan_fabric():
+    """Satellite regression: intra-host loopback never pays WAN charges.
+
+    The endpoint-charge refactor must keep the loopback short-circuit
+    ahead of any region lookup — a same-NIC transfer costs exactly the
+    protocol overhead, moves no NIC bytes, and touches no uplink.
+    """
+    env = Environment()
+    fabric = make_wan(env)
+    a = make_nic(env, "a")
+    fabric.register_nic(a, 1)  # registered in a non-default region
+    finished = run_transfer(env, fabric, a, a, 10**9)
+    assert finished == pytest.approx(a.spec.message_overhead)
+    assert a.sent_bytes == 0
+    assert fabric.cross_region_transfers == 0
+    assert fabric.ledger.total_bytes == 0
+    assert all(u.egress_bytes == 0 for u in fabric.uplinks)
+
+
+def test_intra_region_matches_lan_fabric():
+    """Same-region transfers cost exactly the single-hop LAN sequence."""
+    lan_env = Environment()
+    lan = Fabric(lan_env)
+    a, b = make_nic(lan_env, "a"), make_nic(lan_env, "b")
+    lan_time = run_transfer(lan_env, lan, a, b, 1_000_000)
+
+    wan_env = Environment()
+    fabric = make_wan(wan_env)
+    c, d = make_nic(wan_env, "c"), make_nic(wan_env, "d")
+    fabric.register_nic(c, 1)
+    fabric.register_nic(d, 1)
+    wan_time = run_transfer(wan_env, fabric, c, d, 1_000_000)
+
+    assert wan_time == pytest.approx(lan_time)
+    assert fabric.cross_region_transfers == 0
+    assert fabric.ledger.total_bytes == 0
+
+
+def test_cross_region_pays_uplinks_and_ledger():
+    env = Environment()
+    fabric = make_wan(env)
+    a, b = make_nic(env, "a"), make_nic(env, "b")
+    fabric.register_nic(a, 0)
+    fabric.register_nic(b, 1)
+    nbytes = 1_000_000
+    finished = run_transfer(env, fabric, a, b, nbytes)
+    # LAN endpoint charges (egress 0.0011, prop 0.001 + WAN 0.03,
+    # ingress 0.0011) plus uplink serialisation (tx 0.002, rx 0.001).
+    assert finished == pytest.approx(0.0011 + 0.031 + 0.0011 + 0.002 + 0.001)
+    assert fabric.cross_region_transfers == 1
+    assert fabric.cross_region_bytes == nbytes
+    assert fabric.uplinks[0].egress_bytes == nbytes
+    assert fabric.uplinks[1].ingress_bytes == nbytes
+    assert fabric.ledger.egress_bytes_by_region[0] == nbytes
+    assert fabric.ledger.total_cost == pytest.approx(
+        fabric.spec.egress_cost(nbytes)
+    )
+
+
+def test_asymmetric_uplink_directions():
+    """Egress is the slow direction; reversing regions flips the charge."""
+    env = Environment()
+    fabric = make_wan(env, egress_bandwidth=1e8, ingress_bandwidth=1e9)
+    a, b = make_nic(env, "a"), make_nic(env, "b")
+    fabric.register_nic(a, 0)
+    fabric.register_nic(b, 1)
+    t_ab = run_transfer(env, fabric, a, b, 10_000_000)
+
+    env2 = Environment()
+    fabric2 = make_wan(env2, egress_bandwidth=1e9, ingress_bandwidth=1e8)
+    c, d = make_nic(env2, "c"), make_nic(env2, "d")
+    fabric2.register_nic(c, 0)
+    fabric2.register_nic(d, 1)
+    t_swapped = run_transfer(env2, fabric2, c, d, 10_000_000)
+
+    assert t_ab == pytest.approx(t_swapped)  # symmetric in the pair
+    assert t_ab > 0.1  # dominated by the 100 MB / 1e8 B/s leg
+
+
+def test_partitioned_uplink_refuses_cross_region():
+    env = Environment()
+    fabric = make_wan(env)
+    a, b = make_nic(env, "a"), make_nic(env, "b")
+    fabric.register_nic(a, 0)
+    fabric.register_nic(b, 1)
+    fabric.partition_region(1)
+    assert fabric.partitioned_regions() == [1]
+    assert run_transfer(env, fabric, a, b, 1_000_000) is None
+    assert fabric.wan_partition_refusals == 1
+    assert fabric.cross_region_bytes == 0
+    assert fabric.ledger.total_bytes == 0  # refused bytes are never billed
+
+
+def test_partition_leaves_intra_region_alone():
+    env = Environment()
+    fabric = make_wan(env)
+    a, b = make_nic(env, "a"), make_nic(env, "b")
+    fabric.register_nic(a, 1)
+    fabric.register_nic(b, 1)
+    fabric.partition_region(1)
+    assert run_transfer(env, fabric, a, b, 1_000_000) is not None
+
+
+def test_restore_region_reopens_uplink():
+    env = Environment()
+    fabric = make_wan(env)
+    a, b = make_nic(env, "a"), make_nic(env, "b")
+    fabric.register_nic(a, 0)
+    fabric.register_nic(b, 1)
+    fabric.partition_region(0)
+    fabric.restore_region(0)
+    assert fabric.partitioned_regions() == []
+    assert run_transfer(env, fabric, a, b, 1_000_000) is not None
+    assert fabric.cross_region_transfers == 1
+
+
+def test_unregistered_nic_defaults_to_region_zero():
+    env = Environment()
+    fabric = make_wan(env)
+    a, b = make_nic(env, "a"), make_nic(env, "b")
+    fabric.register_nic(b, 1)
+    run_transfer(env, fabric, a, b, 1_000)
+    assert fabric.ledger.egress_bytes_by_region[0] == 1_000
+
+
+def test_register_nic_rejects_bad_region():
+    env = Environment()
+    fabric = make_wan(env, num_regions=2)
+    with pytest.raises(ValueError):
+        fabric.register_nic(make_nic(env), 2)
+
+
+def test_ledger_accumulates_per_region():
+    ledger = EgressLedger(DEFAULT_WAN)
+    ledger.charge(2, 1000)
+    ledger.charge(0, 500)
+    ledger.charge(2, 250)
+    assert ledger.egress_bytes_by_region == [500, 0, 1250]
+    assert ledger.total_bytes == 1750
+    assert ledger.cost_of(2) == pytest.approx(DEFAULT_WAN.egress_cost(1250))
+    assert ledger.cost_of(9) == 0.0

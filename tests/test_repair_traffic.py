@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.ec import ClayCode, ReedSolomon, compare_repair_bandwidth, traffic_for_plan
+from repro.ec import (
+    ClayCode,
+    ReedSolomon,
+    compare_repair_bandwidth,
+    split_traffic_by_region,
+    traffic_for_plan,
+)
 
 
 def test_rs_traffic_full_chunks():
@@ -61,3 +67,28 @@ def test_multi_loss_write_accounting():
     traffic = traffic_for_plan(plan, chunk_bytes=500, units_per_chunk=2)
     assert traffic.write_bytes == 1000
     assert traffic.write_ops == 4
+
+
+def test_split_traffic_by_region_partitions_reads():
+    code = ReedSolomon(4, 2)
+    plan = code.repair_plan([0], [1, 2, 3, 4, 5])
+    traffic = traffic_for_plan(plan, chunk_bytes=1_000_000, units_per_chunk=1)
+    split = split_traffic_by_region(
+        traffic, region_by_chunk={i: i % 3 for i in range(6)},
+        primary_region=0,
+    )
+    assert split["local_read_bytes"] + split["cross_region_read_bytes"] == \
+        traffic.total_read_bytes
+    # Helpers 1..4: only chunk 3 lives in the primary's region (3 % 3).
+    assert split["local_read_bytes"] == 1_000_000
+    assert split["cross_region_read_bytes"] == 3_000_000
+
+
+def test_split_traffic_defaults_unknown_chunks_to_local():
+    code = ReedSolomon(4, 2)
+    plan = code.repair_plan([0], [1, 2, 3, 4, 5])
+    traffic = traffic_for_plan(plan, chunk_bytes=500_000, units_per_chunk=1)
+    split = split_traffic_by_region(traffic, region_by_chunk={},
+                                    primary_region=1)
+    assert split["cross_region_read_bytes"] == 0
+    assert split["local_read_bytes"] == traffic.total_read_bytes

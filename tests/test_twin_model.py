@@ -205,3 +205,39 @@ def test_twin_is_stateless_across_predictions():
     )
     again = twin.predict(make_profile(), workload, NODE_FAULT)
     assert first.digest_json() == again.digest_json()
+
+
+# -- WAN-hop term (stretch clusters) ------------------------------------------
+
+
+def test_single_region_prediction_has_no_wan_term():
+    prediction = predict(
+        make_profile(), Workload(num_objects=16, object_size=4 * MB),
+        NODE_FAULT,
+    )
+    assert prediction.wan_cross_read_bytes is None
+    assert "wan_cross_read_bytes" not in prediction.to_dict()
+
+
+def test_multi_region_prediction_carries_wan_term():
+    profile = make_profile(num_hosts=12, num_regions=3)
+    prediction = predict(
+        profile, Workload(num_objects=16, object_size=4 * MB), NODE_FAULT,
+    )
+    cross = prediction.wan_cross_read_bytes
+    assert cross is not None
+    # A 3-region RS(4,2) stripe keeps 2 shards at home: with k=4 reads
+    # at least two helpers sit across the WAN, never more than all four.
+    assert 0 < cross <= prediction.repair_bytes_read
+    assert prediction.to_dict()["wan_cross_read_bytes"] == cross
+
+
+def test_wan_term_is_deterministic_and_latency_sensitive():
+    workload = Workload(num_objects=16, object_size=4 * MB)
+    base = make_profile(num_hosts=12, num_regions=3)
+    slow = make_profile(num_hosts=12, num_regions=3, wan_latency=5.0)
+    first = predict(base, workload, NODE_FAULT)
+    again = predict(base, workload, NODE_FAULT)
+    assert first.digest_json() == again.digest_json()
+    assert predict(slow, workload, NODE_FAULT).ec_recovery_period > \
+        first.ec_recovery_period
