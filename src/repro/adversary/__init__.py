@@ -1,0 +1,36 @@
+"""Coverage-guided adversarial fault fuzzing.
+
+Where the chaos harness samples campaigns blindly, the adversary layer
+*learns*: it keeps a corpus of interesting campaigns (novel coverage of
+(fault-level x EC-plugin x PG-state) pairs, or record fitness along any
+axis — repair bytes moved, health-convergence time, WAN egress,
+invariant near-miss margins), mutates them with typed validity-preserving
+operators, and routes every invariant violation through the ddmin
+shrinker into a 1-minimal JSON repro artifact.  See docs/TESTING.md for
+the fuzzer tier contract and ``ecfault fuzz`` for the CLI entry point.
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .fuzzer import (
+    FITNESS_AXES,
+    FuzzReport,
+    MarginProbe,
+    durability_margin,
+    log_trim_margin,
+    run_fuzz,
+)
+from .mutators import MUTATORS, mutate, splice
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "FITNESS_AXES",
+    "FuzzReport",
+    "MUTATORS",
+    "MarginProbe",
+    "durability_margin",
+    "log_trim_margin",
+    "mutate",
+    "run_fuzz",
+    "splice",
+]

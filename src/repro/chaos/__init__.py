@@ -18,7 +18,7 @@ from .engine import (
 )
 from .invariants import InvariantSuite, InvariantViolation
 from .sampler import sample_campaign
-from .shrink import ddmin, shrink_campaign
+from .shrink import ddmin, shrink_campaign, shrink_campaign_by
 
 __all__ = [
     "ArtifactError",
@@ -38,4 +38,5 @@ __all__ = [
     "sample_campaign",
     "save_artifact",
     "shrink_campaign",
+    "shrink_campaign_by",
 ]

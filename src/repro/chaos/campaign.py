@@ -13,7 +13,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster.osd import CephConfig
-from ..core.fault_injector import GEO_LEVELS, FaultSpec
+from ..core.fault_injector import BYZ_LEVELS, GEO_LEVELS, FaultSpec
 from ..core.profile import ExperimentProfile
 from ..geo.wan import DEFAULT_WAN
 from ..tenancy.spec import TenantFleetSpec
@@ -190,13 +190,35 @@ class CampaignSpec:
                 "(num_regions > 1)"
             )
         if self.scrub_interval <= 0 and any(
-            action.kind == "inject" and action.level == "corrupt"
+            action.kind == "inject"
+            and action.level in ("corrupt", "byz_corrupt_data", "byz_false_ack")
             for action in self.actions
         ):
             raise ValueError(
-                "corrupt actions need scrubbing enabled (scrub_interval > 0); "
-                "nothing would ever detect or repair the damage"
+                "corrupt/byz data-plane actions need scrubbing enabled "
+                "(scrub_interval > 0); nothing would ever detect or repair "
+                "the damage"
             )
+        if any(
+            action.kind == "inject" and action.level in BYZ_LEVELS
+            for action in self.actions
+        ):
+            # Byzantine campaigns are read-only and single-region so the
+            # containment invariant is *provable*: with no client ever
+            # constructed there are zero reads to serve wrongly, and the
+            # single-site detection paths (scrub, peering, heartbeat
+            # epoch checks) are the only moving parts under test.
+            if self.write_interval > 0 or self.tenant_fleet is not None:
+                raise ValueError(
+                    "byzantine fault actions are exclusive with client "
+                    "write load and tenant fleets (containment must be "
+                    "judged without racing writers)"
+                )
+            if self.num_regions > 1:
+                raise ValueError(
+                    "byzantine fault actions require a single-region "
+                    "cluster (num_regions == 1)"
+                )
 
     # -- factories ------------------------------------------------------------
 

@@ -192,6 +192,12 @@ def _quiescent(cluster: CephCluster) -> bool:
         return False
     if cluster.scrub.config.enabled and not cluster.scrub.quiescent():
         return False
+    # Byzantine lies outstanding (a stale-map gossip not yet rejected,
+    # or a data-plane lie scrub has not exposed) mean the run has not
+    # converged — keep settling until every lie is detected.
+    byz = getattr(cluster, "byzantine", None)
+    if byz is not None and not byz.quiescent():
+        return False
     # Staleness with no down->up trigger (an OSD back within heartbeat
     # grace never looked down to the monitor) is caught here: kick delta
     # recovery for any dirty pg_log before judging health.
@@ -278,6 +284,10 @@ def outcome_digest(
             for record in log.records
         ],
     }
+    if getattr(cluster, "byzantine", None) is not None:
+        # Present only when a Byzantine fault was actually injected, so
+        # every pre-existing (honest) digest stays byte-identical.
+        digest["byzantine"] = cluster.byzantine.digest_section()
     wan = cluster.topology.wan
     if wan is not None:
         # Only stretch clusters carry this section: single-region runs
@@ -380,6 +390,7 @@ def run_chaos(
     writes: bool = False,
     tenants: bool = False,
     geo: bool = False,
+    byzantine: bool = False,
 ) -> ChaosReport:
     """Sample and run ``campaigns`` campaigns derived from ``root_seed``.
 
@@ -395,6 +406,9 @@ def run_chaos(
     ``geo=True`` re-shapes every campaign into a three-region stretch
     cluster with a region-aware fault schedule, arming the
     cross-region-byte accounting invariant (exclusive with both).
+    ``byzantine=True`` replaces every schedule with lying-OSD faults
+    (forged checksums, stale osdmap gossip, false write acks) and arms
+    the byzantine-containment invariant (exclusive with all three).
     """
     report = ChaosReport(root_seed=root_seed)
     for index in range(campaigns):
@@ -404,6 +418,7 @@ def run_chaos(
             writes=writes,
             tenants=tenants,
             geo=geo,
+            byzantine=byzantine,
         )
         report.campaigns += 1
         try:

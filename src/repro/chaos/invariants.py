@@ -28,6 +28,7 @@ __all__ = [
     "check_converged",
     "check_version_convergence",
     "check_cross_region_accounting",
+    "check_byzantine_containment",
     "check_tenant_fairness",
     "InvariantSuite",
 ]
@@ -92,7 +93,12 @@ def check_durability(cluster: CephCluster) -> List[InvariantViolation]:
             stale = (
                 pg.log.stale_shards(obj.name) if pg.log is not None else set()
             )
-            damaged = down | corrupt | stale
+            # Byzantine shards that lied about applying a write hold no
+            # real data — damage, just silent (forged-checksum shards
+            # already sit in the integrity store's corrupt set).
+            byz = getattr(cluster, "byzantine", None)
+            lied = byz.damaged_shards(pg.pgid, obj.name) if byz else set()
+            damaged = down | corrupt | stale | lied
             if not damaged:
                 continue
             if len(damaged) > tolerance:
@@ -322,6 +328,56 @@ def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
     return violations
 
 
+def check_byzantine_containment(cluster: CephCluster) -> List[InvariantViolation]:
+    """Byzantine lies stay contained: no wrong reads, every lie detected.
+
+    Checked once after settle (detection latency is the point — a lie
+    *mid-run* is not a violation).  Vacuous on honest runs: clusters
+    that never saw a Byzantine fault carry no ``ByzantineState``.
+
+    * **Zero wrong reads** — no client read was ever served from a shard
+      that was still lying (undetected forged checksum or false-acked
+      write) at read time.  Detection ends the lie; reads after that are
+      served from repaired/excluded shards and are fine.
+    * **Total detection** — by end of settle every injected lie must
+      have been caught by some defense (deep-scrub EC cross-check,
+      peering version check, or the monitor's epoch-mismatch rejection)
+      with its time-to-detection recorded in the digest.
+    """
+    byz = getattr(cluster, "byzantine", None)
+    if byz is None:
+        return []
+    violations: List[InvariantViolation] = []
+    now = cluster.env.now
+    if byz.wrong_reads_served > 0:
+        violations.append(
+            InvariantViolation(
+                "byzantine-containment",
+                f"{byz.wrong_reads_served} client reads served from "
+                f"still-lying shards before detection",
+                at_time=now,
+            )
+        )
+    for record in byz.records:
+        if record.detected_at is None:
+            violations.append(
+                InvariantViolation(
+                    "byzantine-containment",
+                    f"{record.level} on osd.{record.osd_id}"
+                    + (
+                        f" ({record.pgid}/{record.object_name} "
+                        f"shard {record.shard})"
+                        if record.pgid
+                        else ""
+                    )
+                    + f" injected at t={record.injected_at:g} "
+                    f"never detected by end of settle",
+                    at_time=now,
+                )
+            )
+    return violations
+
+
 def check_tenant_fairness(
     cluster: CephCluster,
     fleet: TenantFleet,
@@ -438,6 +494,7 @@ class InvariantSuite:
         for checker in (
             check_converged,
             check_version_convergence,
+            check_byzantine_containment,
             *self.extra_final_checks,
         ):
             for violation in checker(self.cluster):

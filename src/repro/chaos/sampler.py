@@ -17,7 +17,7 @@ from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..cluster.bluestore import CACHE_SCHEMES
-from ..core.fault_injector import FAULT_LEVELS, GRAY_LEVELS
+from ..core.fault_injector import BYZ_LEVELS, FAULT_LEVELS, GRAY_LEVELS
 from ..sim.rng import SeedSequence
 from ..tenancy.spec import SloSpec, TenantFleetSpec, TenantSpec
 from .campaign import CampaignSpec, ScheduledAction
@@ -94,6 +94,7 @@ def sample_campaign(
     writes: bool = False,
     tenants: bool = False,
     geo: bool = False,
+    byzantine: bool = False,
 ) -> CampaignSpec:
     """Sample one valid campaign; same seed, same campaign, always.
 
@@ -124,6 +125,16 @@ def sample_campaign(
     scrubbing off so the cross-region-byte invariant is exact; the geo
     draws happen strictly after every other field so ``geo=False``
     streams stay byte-identical.
+
+    ``byzantine=True`` re-arms the campaign with lying-OSD faults only:
+    scrubbing is forced on (the data-plane lies are undetectable without
+    it) and the schedule is replaced with pure Byzantine rounds — forged
+    checksums, stale osdmap gossip, false write acks — so detection is
+    always attributable to a defense, never to a coincident crash.  The
+    byz draws happen strictly after every other field so
+    ``byzantine=False`` streams stay byte-identical.  Exclusive with
+    ``writes``/``tenants``/``geo``: containment must be judged on a
+    read-only single-site cluster, where zero wrong reads is provable.
     """
     if tenants and writes:
         raise ValueError(
@@ -134,6 +145,11 @@ def sample_campaign(
         raise ValueError(
             "geo campaigns are read-only: exclusive with writes/tenants "
             "so the cross-region-byte invariant stays exact"
+        )
+    if byzantine and (writes or tenants or geo):
+        raise ValueError(
+            "byzantine campaigns are read-only and single-region: "
+            "exclusive with writes/tenants/geo so containment is provable"
         )
     chosen = tuple(levels) if levels is not None else FAULT_LEVELS
     if not chosen:
@@ -257,6 +273,19 @@ def sample_campaign(
             wan_latency=rng.choice((0.01, 0.03, 0.08)),
             wan_egress_bandwidth=rng.choice((2.5e8, 6.25e8, 1.25e9)),
             actions=tuple(_sample_geo_schedule(rng)),
+        )
+    if byzantine:
+        # Drawn strictly after every existing field so byzantine=False
+        # streams are untouched.  Scrub is forced on (deep-scrub EC
+        # cross-checks are the only defense that can expose a forged
+        # checksum) and the schedule is replaced wholesale with pure
+        # Byzantine rounds: mixing in crashes would let a lie be
+        # "detected" by the crash recovery path instead of the defense
+        # under test.
+        spec = replace(
+            spec,
+            scrub_interval=float(rng.choice((200, 400, 800))),
+            actions=tuple(_sample_byz_schedule(rng, tolerance, chosen)),
         )
     return spec
 
@@ -396,6 +425,50 @@ def _sample_geo_schedule(rng) -> List[ScheduledAction]:
             ScheduledAction(at=t, kind="inject", level=level, count=1)
         )
         t += rng.choice((10.0, 50.0, 200.0, 500.0))
+        actions.append(ScheduledAction(at=t, kind="restore"))
+        t += rng.choice((150.0, 300.0, 600.0))
+    return actions
+
+
+def _sample_byz_schedule(
+    rng, tolerance: int, levels: Tuple[str, ...]
+) -> List[ScheduledAction]:
+    """A budget-tracked schedule of pure Byzantine rounds.
+
+    Lying shards count against the code's guaranteed tolerance exactly
+    like crashed ones (the injector's white-box guard), so the budget
+    accounting mirrors :func:`_sample_schedule`'s corruption rule:
+    data-plane lies (forged checksums, false acks) stay damaged until a
+    scrub at a time the sampler cannot know, so each cedes its slots to
+    every later round.  Stale-map gossip costs a slot only while live —
+    the restore's epoch sweep (or the next delivered heartbeat) ends it.
+    No crash levels are ever mixed in: every detection in a sampled byz
+    campaign is attributable to a defense, not to ordinary recovery.
+    """
+    byz_levels = [level for level in BYZ_LEVELS if level in levels]
+    if not byz_levels:
+        byz_levels = list(BYZ_LEVELS)
+    actions: List[ScheduledAction] = []
+    t = 100.0
+    outstanding = 0
+    for _ in range(rng.randrange(1, 4)):
+        budget = tolerance - outstanding
+        if budget <= 0:
+            break
+        level = rng.choice(byz_levels)
+        if level == "byz_corrupt_data":
+            count = rng.randrange(1, min(budget, 2) + 1)
+            outstanding += count
+        else:
+            # One liar per round: a false ack damages one shard, a
+            # stale-map gossiper lies about the map, not the data.
+            count = 1
+            if level == "byz_false_ack":
+                outstanding += 1
+        actions.append(
+            ScheduledAction(at=t, kind="inject", level=level, count=count)
+        )
+        t += rng.choice((50.0, 200.0, 500.0))
         actions.append(ScheduledAction(at=t, kind="restore"))
         t += rng.choice((150.0, 300.0, 600.0))
     return actions

@@ -15,7 +15,7 @@ from typing import Callable, List, Sequence, Set, Tuple, TypeVar
 
 from .campaign import CampaignSpec, ScheduledAction
 
-__all__ = ["ddmin", "shrink_campaign"]
+__all__ = ["ddmin", "shrink_campaign", "shrink_campaign_by"]
 
 T = TypeVar("T")
 
@@ -61,6 +61,38 @@ def ddmin(items: Sequence[T], fails: Callable[[List[T]], bool]) -> List[T]:
     return items
 
 
+def shrink_campaign_by(
+    spec: CampaignSpec,
+    failing: Callable[["CampaignResult"], bool],
+    extra_checks: Tuple = (),
+) -> Tuple[CampaignSpec, "CampaignResult"]:
+    """Shrink a campaign to a minimal schedule by a caller-supplied oracle.
+
+    ``failing(result)`` judges whether one campaign run still reproduces
+    the condition being minimised — the fuzzer, for instance, passes a
+    predicate over the violations *it* cares about.  Campaigns that turn
+    :class:`CampaignInvalid` while shrinking count as passing (the goal
+    is the smallest schedule failing the original way, not a schedule
+    that cannot run).  Returns the shrunk spec and its re-run result.
+    """
+    from .engine import CampaignInvalid, CampaignResult, run_campaign
+
+    original = run_campaign(spec, extra_checks)
+    if not failing(original):
+        raise ValueError("shrink_campaign_by: campaign does not fail")
+
+    def fails(actions: List[ScheduledAction]) -> bool:
+        try:
+            result = run_campaign(spec.with_actions(actions), extra_checks)
+        except CampaignInvalid:
+            return False
+        return failing(result)
+
+    minimal = ddmin(list(spec.actions), fails)
+    shrunk = spec.with_actions(minimal)
+    return shrunk, run_campaign(shrunk, extra_checks)
+
+
 def shrink_campaign(
     spec: CampaignSpec,
     extra_checks: Tuple = (),
@@ -73,20 +105,15 @@ def shrink_campaign(
     invariant name, so the shrunk campaign reproduces the same *kind*
     of failure, not an unrelated one uncovered on the way down.
     """
-    from .engine import CampaignInvalid, CampaignResult, run_campaign
+    from .engine import run_campaign
 
     original = run_campaign(spec, extra_checks)
     if original.passed:
         raise ValueError("shrink_campaign: campaign does not fail")
     wanted: Set[str] = {violation.invariant for violation in original.violations}
 
-    def fails(actions: List[ScheduledAction]) -> bool:
-        try:
-            result = run_campaign(spec.with_actions(actions), extra_checks)
-        except CampaignInvalid:
-            return False
-        return any(v.invariant in wanted for v in result.violations)
-
-    minimal = ddmin(list(spec.actions), fails)
-    shrunk = spec.with_actions(minimal)
-    return shrunk, run_campaign(shrunk, extra_checks)
+    return shrink_campaign_by(
+        spec,
+        lambda result: any(v.invariant in wanted for v in result.violations),
+        extra_checks,
+    )

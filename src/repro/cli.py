@@ -13,6 +13,7 @@ Subcommands::
     ecfault wa           write-amplification estimate (the §4.4 formula)
     ecfault autoscale    pg_num advice for a pool/cluster shape
     ecfault chaos        seeded randomized fault campaigns with invariants
+    ecfault fuzz         coverage-guided adversarial campaign fuzzing
     ecfault replay       re-execute a chaos repro artifact exactly
     ecfault tenants      a multi-tenant QoS fleet experiment with SLO bill
     ecfault geo          a stretch-cluster experiment with WAN egress ledger
@@ -565,6 +566,11 @@ def cmd_chaos(args) -> int:
               "--writes/--tenants so the cross-region-byte invariant "
               "stays exact)", file=sys.stderr)
         return 2
+    if args.byzantine and (args.writes or args.tenants or args.geo):
+        print("chaos: --byzantine campaigns are read-only and "
+              "single-region (exclusive with --writes/--tenants/--geo "
+              "so containment is provable)", file=sys.stderr)
+        return 2
     levels = tuple(args.levels.split(",")) if args.levels else None
     report = run_chaos(
         args.seed,
@@ -575,6 +581,7 @@ def cmd_chaos(args) -> int:
         writes=args.writes,
         tenants=args.tenants,
         geo=args.geo,
+        byzantine=args.byzantine,
     )
     print(f"chaos: {report.campaigns} campaigns from seed {report.root_seed}: "
           f"{report.passed} passed, {report.invalid} invalid, "
@@ -595,6 +602,46 @@ def cmd_chaos(args) -> int:
               f"actions; artifact: {path}")
         for violation in shrunk_result.violations:
             print(f"    {violation.invariant}: {violation.detail}")
+    return 1 if report.failures else 0
+
+
+def cmd_fuzz(args) -> int:
+    from .adversary import run_fuzz
+    from .core.fault_injector import FAULT_LEVELS
+
+    if args.budget < 1:
+        print("fuzz: --budget must be >= 1", file=sys.stderr)
+        return 2
+    levels = tuple(args.levels.split(",")) if args.levels else None
+    if levels is not None:
+        unknown = sorted(set(levels) - set(FAULT_LEVELS))
+        if unknown:
+            print(f"fuzz: unknown fault levels {unknown}; allowed: "
+                  f"{','.join(FAULT_LEVELS)}", file=sys.stderr)
+            return 2
+
+    def progress(index, kind, spec, result, error):
+        if error is not None:
+            print(f"[{index + 1}/{args.budget}] {kind} seed {spec.seed}: "
+                  f"invalid ({error})", file=sys.stderr)
+        elif not result.passed:
+            print(f"[{index + 1}/{args.budget}] {kind} seed {spec.seed}: "
+                  f"FAILED ({len(result.violations)} violations)",
+                  file=sys.stderr)
+        elif args.verbose:
+            print(f"[{index + 1}/{args.budget}] {kind} seed {spec.seed}: ok "
+                  f"({spec.ec_plugin}, {len(spec.actions)} actions)",
+                  file=sys.stderr)
+
+    report = run_fuzz(
+        args.seed,
+        args.budget,
+        levels=levels,
+        byzantine=args.byzantine,
+        corpus_dir=args.corpus_dir,
+        on_run=progress,
+    )
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
     return 1 if report.failures else 0
 
 
@@ -998,11 +1045,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "stretch cluster with region outages and WAN "
                             "partitions, checking the cross-region-byte "
                             "invariant (exclusive with --writes/--tenants)")
+    chaos.add_argument("--byzantine", action="store_true",
+                       help="replace every schedule with lying-OSD faults "
+                            "(forged checksums, stale osdmap gossip, false "
+                            "write acks) and check the byzantine-containment "
+                            "invariant (exclusive with "
+                            "--writes/--tenants/--geo)")
     chaos.add_argument("--stop-on-failure", action="store_true",
                        help="stop at the first failing campaign")
     chaos.add_argument("--verbose", action="store_true",
                        help="log every campaign, not just failures")
     chaos.set_defaults(func=cmd_chaos)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided adversarial campaign fuzzing with a "
+             "novelty-retaining corpus",
+    )
+    fuzz.add_argument("--budget", type=int, default=50,
+                      help="total campaign runs (seeds + mutants)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="root seed; the whole session derives from it")
+    fuzz.add_argument("--corpus-dir", default="fuzz-corpus",
+                      help="where retained corpus entries, the summary, and "
+                           "shrunk repro artifacts are written")
+    fuzz.add_argument("--levels", default=None,
+                      help="comma list restricting seed-sample fault levels, "
+                           "e.g. byz_corrupt_data,byz_stale_map")
+    fuzz.add_argument("--byzantine", action="store_true",
+                      help="seed the corpus with byzantine campaigns "
+                           "(lying OSDs; containment invariant armed)")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="log every run, not just failures")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     replay = sub.add_parser(
         "replay", help="re-execute a chaos repro artifact exactly"

@@ -217,6 +217,10 @@ class CephCluster:
             self.mon_log,
             monitor=self.monitor,
         )
+        #: ByzantineState, attached lazily by ``ensure_byzantine`` when
+        #: the first Byzantine fault is injected; None on honest runs so
+        #: pre-existing outcome digests stay byte-identical.
+        self.byzantine = None
 
     # -- state ingestion ---------------------------------------------------------
 

@@ -460,6 +460,13 @@ class RadosClient:
                 reason=bad[0].reason,
             )
         served = {r.shard for r in results}
+        byz = getattr(self.cluster, "byzantine", None)
+        if byz is not None:
+            # Containment accounting: a read served from a shard that is
+            # still lying (undetected forged checksum or false-acked
+            # write) is a *wrong read* — the byzantine-containment
+            # invariant requires this count to stay zero pre-detection.
+            byz.note_read(pg.pgid, obj.name, served, env.now)
         needs_decode = degraded or served != set(data_shards)
         if needs_decode:
             # On-the-fly decode of the missing data shards at the primary.

@@ -72,6 +72,9 @@ class Monitor:
         self.on_up: List[Callable[[Set[int]], None]] = []
         #: Last health status broadcast via :meth:`record_health`.
         self.health_status = "HEALTH_OK"
+        #: Duck-typed ByzantineState reference, planted by
+        #: ``ensure_byzantine``; None unless a Byzantine fault landed.
+        self.byzantine = None
         #: Flap-dampening state: recent markdown timestamps per OSD and
         #: the pin expiry times, plus lifetime counters for digests.
         self.markdown_history: Dict[int, List[float]] = {}
@@ -104,6 +107,24 @@ class Monitor:
         while True:
             osd = self.osds[osd_id]
             if osd.is_up() and self._heartbeat_delivered(osd_id):
+                if (
+                    self.byzantine is not None
+                    and self.byzantine.gossiping_stale(osd_id)
+                ):
+                    # Epoch-mismatch rejection: the heartbeat carries an
+                    # osdmap epoch older than the monitor's.  The beat
+                    # still proves the daemon alive, but the monitor
+                    # rejects the stale gossip and pushes a fresh map —
+                    # which ends the lie (detection via the epoch path).
+                    claimed = self.byzantine.claimed_epoch(osd_id)
+                    self.byzantine.on_epoch_rejection(osd_id, self.env.now)
+                    self.log.emit(
+                        self.env.now, "mon",
+                        "stale osdmap epoch in heartbeat, "
+                        "rejecting gossip and pushing fresh map",
+                        osd=osd.name, claimed=claimed,
+                        epoch=self.osdmap_epoch,
+                    )
                 self.last_heartbeat[osd_id] = self.env.now
                 if self.is_pinned(osd_id):
                     # Dampened: the monitor no longer believes this

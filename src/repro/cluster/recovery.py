@@ -153,6 +153,9 @@ class RecoveryManager:
         #: Optional WaLedger credited as rebuilt chunks are stored, so the
         #: cluster-wide byte-conservation invariant stays exact.
         self.ledger = ledger
+        #: Duck-typed ByzantineState reference, planted by
+        #: ``ensure_byzantine``; None unless a Byzantine fault landed.
+        self.byzantine = None
         self.stats = RecoveryStats()
         # Consumed only when a gray fault actually forces a retry, so
         # healthy recovery cycles never draw from it.
@@ -347,6 +350,18 @@ class RecoveryManager:
                 + self.config.peering_per_object * len(pg.objects)
             )
             yield self.env.timeout(peering)
+            # Peering compares per-shard version claims, so any false
+            # ack on this PG surfaces here as pg_log divergence.
+            if self.byzantine is not None:
+                revealed = self.byzantine.reveal_false_acks(
+                    pg, self.env.now, "peering"
+                )
+                if revealed:
+                    self._log_for(primary).emit(
+                        self.env.now, "osd",
+                        "peering version check: acked writes never applied",
+                        pg=pg.pgid, shards=revealed,
+                    )
             if self.stats.io_started_at is None:
                 self.stats.io_started_at = self.env.now
                 self.mgr_log.emit(
@@ -515,6 +530,19 @@ class RecoveryManager:
                     self.config.peering_base
                     + self.config.peering_per_object * len(dirty_objs)
                 )
+                # Delta peering runs the same version cross-check as a
+                # full peer: false acks on this PG surface here too.
+                if self.byzantine is not None:
+                    revealed = self.byzantine.reveal_false_acks(
+                        pg, self.env.now, "peering"
+                    )
+                    if revealed:
+                        self._log_for(primary_id).emit(
+                            self.env.now, "osd",
+                            "peering version check: acked writes "
+                            "never applied",
+                            pg=pg.pgid, shards=revealed,
+                        )
                 if self.stats.io_started_at is None:
                     self.stats.io_started_at = self.env.now
                     self.mgr_log.emit(

@@ -108,6 +108,11 @@ class _ChunkRecord:
     expected: Optional[Tuple[int, ...]] = None
     data: Optional[bytes] = None
     corrupt_blocks: Set[int] = field(default_factory=set)
+    #: Blocks rewritten by a Byzantine fault *with forged checksums*: the
+    #: stored crc32c matches the wrong bytes, so local verify passes.
+    #: Only the deep-scrub EC-decode cross-check moves these into
+    #: ``corrupt_blocks`` (see :meth:`IntegrityStore.reveal_byzantine`).
+    byz_blocks: Set[int] = field(default_factory=set)
 
 
 class IntegrityStore:
@@ -250,6 +255,82 @@ class IntegrityStore:
         actual = block_checksums(record.data, self.config.csum_block_size)
         return [i for i, (a, e) in enumerate(zip(actual, record.expected)) if a != e]
 
+    # -- Byzantine corruption (forged checksums) -----------------------------------
+
+    def corrupt_byzantine(
+        self, pgid: str, object_name: str, shard: int, rng
+    ) -> int:
+        """Rewrite one chunk so its *local* checksums still verify.
+
+        The damage lands in ``byz_blocks`` instead of ``corrupt_blocks``:
+        :meth:`verify` (the local crc32c check) stays green, because the
+        adversary recomputed the stored checksums over the lie.  The
+        shard still joins ``_corrupted`` — it *is* silent damage, so the
+        white-box tolerance guards must count it and repair helpers must
+        exclude it.  Returns the number of blocks rewritten.
+        """
+        record = self._record(pgid, object_name, shard)
+        if self.config.data_plane:
+            # Rewrite the whole chunk with adversary bytes; expected
+            # keeps the write-time truth for the eventual repair.
+            data = bytearray(record.data)
+            for i in range(len(data)):
+                data[i] = rng.randrange(256)
+            if bytes(data) == record.data:
+                data[0] ^= 0xFF
+            record.data = bytes(data)
+            bad = set(self._bad_blocks(record))
+            if not bad:
+                raise RuntimeError("byzantine rewrite left no damage")
+        else:
+            # A believable forgery rewrites the whole chunk — partial
+            # rewrites would leave blocks whose true csum survives.
+            bad = set(range(record.blocks))
+        record.byz_blocks = bad
+        self._corrupted.setdefault((pgid, object_name), set()).add(shard)
+        return len(bad)
+
+    def byz_shards(self, pgid: str, object_name: str) -> Set[int]:
+        """Shards of one stripe carrying unrevealed forged-csum damage."""
+        return {
+            shard
+            for shard in self._corrupted.get((pgid, object_name), set())
+            if self._chunks[(pgid, object_name, shard)].byz_blocks
+        }
+
+    def reveal_byzantine(
+        self, pgid: str, object_name: str, shard: int
+    ) -> List[int]:
+        """The EC-decode cross-check exposed a forged-csum chunk.
+
+        Moves the hidden damage into ``corrupt_blocks`` so the ordinary
+        scrub-repair machinery (and any later local verify) sees it.
+        Returns the bad block indices, like :meth:`verify` would.
+        """
+        record = self._record(pgid, object_name, shard)
+        record.corrupt_blocks |= record.byz_blocks
+        record.byz_blocks = set()
+        return sorted(record.corrupt_blocks)
+
+    def actual_checksums(
+        self, pgid: str, object_name: str, shard: int
+    ) -> Optional[Tuple[int, ...]]:
+        """crc32c over the chunk's *current* bytes (data-plane only) —
+        what a lying OSD forges into its onode after a rewrite."""
+        if not self.config.data_plane:
+            return None
+        record = self._record(pgid, object_name, shard)
+        return block_checksums(record.data, self.config.csum_block_size)
+
+    def expected_checksums(
+        self, pgid: str, object_name: str, shard: int
+    ) -> Optional[Tuple[int, ...]]:
+        """The write-time truth (data-plane only) — restored to the onode
+        when a forged-csum lie is exposed."""
+        if not self.config.data_plane:
+            return None
+        return self._record(pgid, object_name, shard).expected
+
     # -- verification & repair (driven by the scrub state machine) ----------------
 
     def verify(
@@ -297,6 +378,7 @@ class IntegrityStore:
                 )
             record.data = data
         record.corrupt_blocks.clear()
+        record.byz_blocks.clear()
         shards = self._corrupted.get((pgid, object_name))
         if shards is not None:
             shards.discard(shard)
@@ -428,6 +510,10 @@ class ScrubManager:
         self.host_logs = host_logs
         self.mgr_log = mgr_log
         self.monitor = monitor
+        #: Duck-typed ByzantineState reference, planted by
+        #: ``ensure_byzantine`` when the first Byzantine fault lands;
+        #: None on every cluster the adversary never touched.
+        self.byzantine = None
         self.stats = ScrubStats()
         # Consumed only when a gray fault forces a repair retry, so runs
         # without degradation never draw from it.
@@ -516,6 +602,8 @@ class ScrubManager:
                         pg=pg.pgid, shard=shard, osd=osd.name,
                         bad_blocks=len(bad),
                     )
+        if self.byzantine is not None:
+            yield from self._byz_cross_checks(pg, errors)
         if not errors:
             self.pg_states[pg.pg_id] = ScrubPhase.CLEAN
             self.stats.pgs_scrubbed += 1
@@ -565,6 +653,64 @@ class ScrubManager:
         )
         if self.quiescent():
             self._health("HEALTH_OK", "all pgs active+clean after scrub repair")
+
+    # -- Byzantine cross-checks (run once per deep scrub of a PG) ---------------------------
+
+    def _byz_cross_checks(self, pg: PlacementGroup, errors: List[tuple]) -> Generator:
+        """Detections local checksum verify can never make.
+
+        *EC-decode cross-check*: for every shard of this PG carrying a
+        forged-checksum lie, the primary re-derives the shard from its
+        peers' chunks (already read during the scan) and compares.  The
+        extra decode is paid as primary CPU; a mismatch reveals the
+        forgery, restores the onode's true checksums, and enqueues the
+        chunk with the ordinary scrub-repair errors.
+
+        *Version cross-check*: deep scrub compares per-shard object
+        versions like peering does, so any undetected false ack on this
+        PG becomes ordinary pg_log staleness (healed by delta recovery,
+        not checksum repair).
+        """
+        byz = self.byzantine
+        code = self.pool.code
+        primary = self.osds[pg.acting[0]]
+        for obj in pg.objects:
+            for shard in sorted(self.integrity.byz_shards(pg.pgid, obj.name)):
+                osd_id = pg.acting[shard]
+                if not self.osds[osd_id].is_up():
+                    # The liar is down right now; its chunk cannot be
+                    # read, so the lie survives until a later cycle.
+                    continue
+                blocks = self.integrity.block_count(pg.pgid, obj.name, shard)
+                # Reconstructing one shard from k peers costs roughly k
+                # local verifies' worth of arithmetic on the primary.
+                yield primary.cpu.request(
+                    blocks * self.config.csum_verify_cost * code.k
+                )
+                truth = self.integrity.expected_checksums(
+                    pg.pgid, obj.name, shard
+                )
+                if truth is not None:
+                    self.osds[osd_id].backend.put_chunk_checksums(
+                        (pg.pgid, obj.name, shard), truth
+                    )
+                bad = self.integrity.reveal_byzantine(pg.pgid, obj.name, shard)
+                errors.append((obj, shard, bad))
+                self.stats.errors_detected += 1
+                byz.detect_corrupt(pg.pgid, obj.name, shard, self.env.now)
+                self._log_for(osd_id).emit(
+                    self.env.now, "osd",
+                    "scrub error: EC cross-check exposed forged checksums",
+                    pg=pg.pgid, shard=shard, osd=self.osds[osd_id].name,
+                    bad_blocks=len(bad),
+                )
+        revealed = byz.reveal_false_acks(pg, self.env.now, "scrub")
+        if revealed:
+            self._log_for(primary.osd_id).emit(
+                self.env.now, "osd",
+                "scrub version cross-check: acked writes never applied",
+                pg=pg.pgid, shards=revealed,
+            )
 
     # -- in-place EC decode-repair of one chunk ---------------------------------------------
 

@@ -50,6 +50,7 @@ from ..cluster.ceph import CephCluster
 from ..cluster.network import NetDegradation
 from ..cluster.scrub import CorruptionModel
 from ..sim.rng import SeedSequence
+from .byzantine import BYZ_LEVELS, ensure_byzantine
 from .worker import Worker
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "FAULT_LEVELS",
     "GRAY_LEVELS",
     "GEO_LEVELS",
+    "BYZ_LEVELS",
 ]
 
 #: Gray-failure levels: the fault degrades service but kills nothing.
@@ -69,8 +71,11 @@ GRAY_LEVELS = ("slow_device", "net_degrade", "flap")
 #: Region-level levels: only valid on multi-region (stretch) topologies.
 GEO_LEVELS = ("wan_partition", "region_outage")
 
-#: The fault levels the injector understands.
-FAULT_LEVELS = ("node", "device", "corrupt") + GRAY_LEVELS + GEO_LEVELS
+#: The fault levels the injector understands.  Byzantine levels (OSDs
+#: that lie — see :mod:`repro.core.byzantine`) ride at the end so every
+#: pre-existing level keeps its position.
+FAULT_LEVELS = ("node", "device", "corrupt") + GRAY_LEVELS + GEO_LEVELS \
+    + BYZ_LEVELS
 
 
 class Colocation:
@@ -132,7 +137,7 @@ class FaultSpec:
             )
         if self.colocation == Colocation.SAME_HOST and self.level in (
             "node", "net_degrade",
-        ) + GEO_LEVELS:
+        ) + GEO_LEVELS + BYZ_LEVELS:
             raise ValueError(
                 "same-host colocation applies to device-scoped faults, "
                 f"not level={self.level!r}"
@@ -214,6 +219,14 @@ class FaultInjector:
             # enforces that enough un-slowed candidates exist.
             self._select_slow_devices(spec)
             return
+        if spec.level == "byz_corrupt_data":
+            # Guarded per stripe like honest corruption: a lying shard
+            # counts against the code's tolerance m exactly the same.
+            self._byz_corrupt_victims(spec)
+            return
+        if spec.level == "byz_false_ack":
+            self._byz_false_ack_victims(spec)
+            return
         if spec.level in GEO_LEVELS:
             self._validate_geo(spec)
             return
@@ -231,9 +244,10 @@ class FaultInjector:
         # Crash-over-corruption guard, the converse of the stripe guard in
         # _corrupt_victims: each crashed bucket can take one more shard
         # from the stripe already carrying the most unrepaired silent
-        # corruption, and the combined damage must stay guaranteed-
-        # recoverable.
-        corrupt = self.cluster.integrity.max_corrupt_per_stripe()
+        # corruption (honest or Byzantine — undetected false acks are
+        # silent damage too), and the combined damage must stay
+        # guaranteed-recoverable.
+        corrupt = self._max_silent_damage()
         if corrupt and len(hit) + corrupt > tolerance:
             raise FaultToleranceError(
                 f"{len(hit)} failed {domain} buckets on top of {corrupt} "
@@ -288,7 +302,8 @@ class FaultInjector:
                     if not stale:
                         continue
                     corrupt = integrity.corrupt_shards(pg.pgid, obj.name)
-                    damage = max(damage, len(base | stale | corrupt))
+                    byz = self._byz_damage(pg.pgid, obj.name)
+                    damage = max(damage, len(base | stale | corrupt | byz))
             if damage > worst:
                 worst, worst_pg = damage, pg.pgid
         if worst > tolerance:
@@ -298,9 +313,10 @@ class FaultInjector:
                 f"guaranteed tolerance m={tolerance} of "
                 f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
             )
-        # Silent corruption can sit in any stripe; a region fault may
-        # remove its repair headroom (same guard as crash levels).
-        corrupt = integrity.max_corrupt_per_stripe()
+        # Silent corruption (honest or Byzantine) can sit in any stripe;
+        # a region fault may remove its repair headroom (same guard as
+        # crash levels).
+        corrupt = self._max_silent_damage()
         if corrupt and worst + corrupt > tolerance:
             raise FaultToleranceError(
                 f"{worst} region-damaged chunks on top of {corrupt} "
@@ -335,7 +351,44 @@ class FaultInjector:
                 if not stale:
                     continue
                 corrupt = integrity.corrupt_shards(pg.pgid, obj.name)
-                worst = max(worst, len(unavailable | stale | corrupt))
+                byz = self._byz_damage(pg.pgid, obj.name)
+                worst = max(worst, len(unavailable | stale | corrupt | byz))
+        return worst
+
+    def _byz_damage(self, pgid: str, name: str) -> Set[int]:
+        """Undetected false-ack shards for one object (empty when the
+        Byzantine axis never fired).  Forged-checksum byz corruption is
+        already counted by the integrity store's ``corrupt_shards``, so
+        only false acks need separate accounting here."""
+        byz = getattr(self.cluster, "byzantine", None)
+        if byz is None:
+            return set()
+        return byz.damaged_shards(pgid, name)
+
+    def _max_silent_damage(self) -> int:
+        """Worst-case per-stripe *silent* damage: unrepaired corrupt
+        shards unioned with undetected false-ack shards.  Identical to
+        ``integrity.max_corrupt_per_stripe()`` when no Byzantine fault
+        is active."""
+        integrity = self.cluster.integrity
+        byz = getattr(self.cluster, "byzantine", None)
+        if byz is None:
+            return integrity.max_corrupt_per_stripe()
+        worst = 0
+        # Every stripe carrying either kind of silent damage:
+        seen = {
+            (pgid, name) for pgid, name, _shards in byz.false_ack_items()
+        }
+        for pg in self.cluster.pool.pgs.values():
+            for obj in pg.objects:
+                if integrity.corrupt_shards(pg.pgid, obj.name):
+                    seen.add((pg.pgid, obj.name))
+        for pgid, name in seen:
+            damage = (
+                integrity.corrupt_shards(pgid, name)
+                | byz.damaged_shards(pgid, name)
+            )
+            worst = max(worst, len(damage))
         return worst
 
     def _osds_for(self, spec: FaultSpec) -> Set[int]:
@@ -352,6 +405,11 @@ class FaultInjector:
             for host_id in hosts:
                 out |= set(self.cluster.topology.hosts[host_id].osd_ids)
             return out
+        if spec.level == "byz_stale_map":
+            # A stale-gossip liar misroutes ops aimed at its shards until
+            # the monitor rejects its epoch, so it counts as unavailable
+            # for the tolerance guarantee exactly like a flapping OSD.
+            return set(self._select_byz_liars(spec))
         return set(self._select_devices(spec))
 
     # -- target selection ----------------------------------------------------------------
@@ -559,6 +617,7 @@ class FaultInjector:
             unavailable
             | stale
             | integrity.corrupt_shards(pg.pgid, obj.name)
+            | self._byz_damage(pg.pgid, obj.name)
             | set(shards)
         )
         if len(damaged) > tolerance:
@@ -568,6 +627,120 @@ class FaultInjector:
                 f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
             )
         return pg, obj, shards, rng
+
+    def _byz_stripe_victims(self, spec: FaultSpec, stream: str):
+        """Shared stripe/shard selection for the two data-plane byz
+        levels, with the same white-box union guard as honest corruption
+        (a lying shard is damage until scrub/peering finds it).
+
+        Each level draws from its *own* seeded stream — streams restart
+        identically per call, so sharing ``"fault-corrupt"`` would make
+        the adversary shadow the honest corruption picks exactly.
+        """
+        pool = self.cluster.pool
+        integrity = self.cluster.integrity
+        populated = [pg for pg in pool.pgs.values() if pg.objects]
+        if not populated:
+            raise ValueError("no stored objects for a Byzantine fault")
+        rng = self.seeds.stream(stream)
+        if spec.targets is not None:
+            shards = list(spec.targets)[: spec.count]
+            bad = [s for s in shards if not 0 <= s < pool.code.n]
+            if bad:
+                raise ValueError(
+                    f"{spec.level} targets are stripe shard indices; {bad} "
+                    f"outside [0, {pool.code.n})"
+                )
+            pg = populated[0]
+            obj = pg.objects[0]
+        else:
+            pg = rng.choice(populated)
+            obj = rng.choice(pg.objects)
+            shards = rng.sample(range(pool.code.n), spec.count)
+        tolerance = pool.code.fault_tolerance()
+        unavailable = {
+            s
+            for s, osd_id in enumerate(pg.acting)
+            if not self.cluster.osds[osd_id].is_up()
+            or osd_id in self.injected_osds
+        }
+        stale = pg.log.stale_shards(obj.name) if pg.log is not None else set()
+        damaged = (
+            unavailable
+            | stale
+            | integrity.corrupt_shards(pg.pgid, obj.name)
+            | self._byz_damage(pg.pgid, obj.name)
+            | set(shards)
+        )
+        if len(damaged) > tolerance:
+            raise FaultToleranceError(
+                f"{len(damaged)} damaged chunks in stripe "
+                f"{pg.pgid}/{obj.name} (Byzantine lies count like crash "
+                f"damage) would exceed the guaranteed tolerance "
+                f"m={tolerance} of "
+                f"{pool.code.plugin_name}({pool.code.n},{pool.code.k})"
+            )
+        return pg, obj, shards, rng
+
+    def _byz_corrupt_victims(self, spec: FaultSpec):
+        """Stripe victims for byz_corrupt_data (forged local checksums).
+
+        Needs write-time checksums: the lie *is* the forged checksum, so
+        a cluster without an integrity store has nothing to forge and —
+        more importantly — no deep scrub to ever detect it.
+        """
+        integrity = self.cluster.integrity
+        if not integrity.config.enabled:
+            raise ValueError(
+                "byz_corrupt_data faults need write-time checksums; "
+                "enable IntegrityConfig(enabled=True) on the cluster"
+            )
+        if not self.cluster.scrub.config.enabled:
+            raise ValueError(
+                "byz_corrupt_data faults need deep scrub enabled — "
+                "nothing else can ever detect a forged checksum"
+            )
+        return self._byz_stripe_victims(spec, "fault-byz-corrupt")
+
+    def _byz_false_ack_victims(self, spec: FaultSpec):
+        """Stripe victims for byz_false_ack (acked-but-not-applied).
+
+        The lie is a pg_log version claim, so the PG must keep a write
+        log and the object must have a committed version to falsify.
+        """
+        pg, obj, shards, rng = self._byz_stripe_victims(
+            spec, "fault-byz-ack"
+        )
+        if pg.log is None:
+            raise ValueError(
+                "byz_false_ack faults need per-PG write logs "
+                "(pg_log_max_entries > 0)"
+            )
+        if obj.name not in pg.log.object_version:
+            raise ValueError(
+                f"object {pg.pgid}/{obj.name} has no committed version "
+                "to falsely ack"
+            )
+        return pg, obj, shards, rng
+
+    def _select_byz_liars(self, spec: FaultSpec) -> List[int]:
+        """OSD daemons that will gossip a stale osdmap epoch."""
+        if spec.targets is not None:
+            return list(spec.targets)[: spec.count]
+        rng = self.seeds.stream("fault-byz-map")
+        candidates = sorted(self._healthy_data_osds())
+        byz = getattr(self.cluster, "byzantine", None)
+        if byz is not None:
+            candidates = [
+                osd_id for osd_id in candidates
+                if not byz.gossiping_stale(osd_id)
+            ]
+        if len(candidates) < spec.count:
+            raise ValueError(
+                f"only {len(candidates)} candidate OSDs for stale-map "
+                f"gossip, need {spec.count}"
+            )
+        return rng.sample(candidates, spec.count)
 
     # -- application --------------------------------------------------------------------
 
@@ -587,6 +760,54 @@ class FaultInjector:
             # Corrupted OSDs stay up (the fault is silent), so they are
             # not added to injected_osds — crash faults may still target
             # them, and the stripe guard above bounds combined damage.
+            return sorted(affected)
+        if spec.level == "byz_corrupt_data":
+            pg, obj, shards, rng = self._byz_corrupt_victims(spec)
+            state = ensure_byzantine(self.cluster)
+            affected = []
+            now = self.cluster.env.now
+            for shard in sorted(shards):
+                osd_id = pg.acting[shard]
+                host_id = self.cluster.topology.osds[osd_id].host_id
+                self.workers[host_id].byz_corrupt_chunk(
+                    pg.pgid, obj.name, shard, osd_id, rng
+                )
+                state.add_corrupt(osd_id, pg.pgid, obj.name, shard, now)
+                affected.append(osd_id)
+            # Like honest corruption: the daemon stays up and the fault
+            # is silent, so nothing joins injected_osds — the stripe
+            # guard bounds combined damage instead.
+            return sorted(affected)
+        if spec.level == "byz_false_ack":
+            pg, obj, shards, rng = self._byz_false_ack_victims(spec)
+            state = ensure_byzantine(self.cluster)
+            affected = []
+            now = self.cluster.env.now
+            for shard in sorted(shards):
+                osd_id = pg.acting[shard]
+                host_id = self.cluster.topology.osds[osd_id].host_id
+                self.workers[host_id].byz_false_ack(
+                    pg.pgid, obj.name, shard
+                )
+                state.add_false_ack(osd_id, pg.pgid, obj.name, shard, now)
+                affected.append(osd_id)
+            return sorted(affected)
+        if spec.level == "byz_stale_map":
+            liars = self._select_byz_liars(spec)
+            state = ensure_byzantine(self.cluster)
+            affected = []
+            now = self.cluster.env.now
+            # Capture the previous epoch once: every liar gossips the
+            # same old map, as if they all missed the same incremental.
+            stale_epoch = max(0, self.cluster.monitor.osdmap_epoch - 1)
+            for osd_id in sorted(liars):
+                host_id = self.cluster.topology.osds[osd_id].host_id
+                self.workers[host_id].byz_stale_map(osd_id, stale_epoch)
+                state.add_stale_map(osd_id, stale_epoch, now)
+                affected.append(osd_id)
+                # Misrouted ops make the liar's shards unreliable until
+                # the monitor pushes a fresh map: budgeted like a flap.
+                self.injected_osds.add(osd_id)
             return sorted(affected)
         # injected_osds is updated per target as each fault lands, not in
         # one batch after the loop: if a multi-target inject dies half-way
@@ -688,3 +909,11 @@ class FaultInjector:
             worker.restore()
             self.injected_osds -= set(worker.host.osd_ids)
             self.slowed_osds -= set(worker.host.osd_ids)
+        # Adversary-installed daemon state clears with the restart too: a
+        # restored OSD re-fetches the osdmap, ending any stale-map lie
+        # (counted as an epoch detection).  Data-plane lies — forged
+        # checksums, false acks — survive, mirroring how worker.restore
+        # never heals silent corruption; scrub and peering own those.
+        byz = getattr(self.cluster, "byzantine", None)
+        if byz is not None:
+            byz.on_restore(self.cluster.env.now)

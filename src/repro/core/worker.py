@@ -107,6 +107,59 @@ class Worker:
         )
         return blocks
 
+    # -- Byzantine faults (lie, don't die) ---------------------------------------------
+
+    def byz_corrupt_chunk(
+        self, pgid: str, object_name: str, shard: int, osd_id: int, rng
+    ) -> int:
+        """Byzantine fault: rewrite a chunk *and* forge its local crc32c.
+
+        Unlike :meth:`corrupt_chunk`, the stored checksums match the
+        wrong bytes, so a local verify passes — only a deep-scrub
+        EC-decode cross-check against the shard's peers can reveal the
+        lie.  Returns the number of checksum blocks rewritten.
+        :meth:`restore` never heals this: scrub repair does.
+        """
+        blocks = self.cluster.integrity.corrupt_byzantine(
+            pgid, object_name, shard, rng
+        )
+        # Forge the OSD-local stored checksums to match the lie, so the
+        # scrub's per-chunk verify stays green (data plane only — the
+        # model plane tracks the forgery inside the integrity store).
+        forged = self.cluster.integrity.actual_checksums(
+            pgid, object_name, shard
+        )
+        if forged is not None:
+            self.cluster.osds[osd_id].backend.put_chunk_checksums(
+                (pgid, object_name, shard), forged
+            )
+        self.log.emit(
+            self.cluster.env.now, "client",
+            "byzantine corruption injected (checksum forged)",
+            pg=pgid, shard=shard, blocks=blocks,
+        )
+        return blocks
+
+    def byz_false_ack(self, pgid: str, object_name: str, shard: int) -> None:
+        """Byzantine fault: the shard's write was acked but never applied.
+
+        Pure daemon-state lie — the pg_log claims a version the store
+        does not hold; peering's version cross-check will expose it.
+        """
+        self.log.emit(
+            self.cluster.env.now, "client",
+            "byzantine false ack injected (version claim is a lie)",
+            pg=pgid, object=object_name, shard=shard,
+        )
+
+    def byz_stale_map(self, osd_id: int, epoch: int) -> None:
+        """Byzantine fault: the daemon gossips an old osdmap epoch."""
+        self.log.emit(
+            self.cluster.env.now, "client",
+            "byzantine stale osdmap gossip started",
+            osd=f"osd.{osd_id}", epoch=epoch,
+        )
+
     # -- gray faults (degrade, don't kill) ---------------------------------------------
 
     def slow_device(self, osd_id: int, factor: float) -> None:

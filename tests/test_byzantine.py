@@ -1,0 +1,199 @@
+"""Byzantine fault axis: detection paths, containment, sampling.
+
+Each of the three lie families must be caught by its own defense —
+forged checksums by the deep-scrub EC cross-check, false acks by the
+peering/scrub version comparison, stale-map gossip by the monitor's
+epoch-mismatch rejection — and the ``byzantine-containment`` invariant
+must hold over every sampled byz campaign: zero wrong reads served
+before detection, every injected lie eventually detected.
+"""
+
+import pytest
+
+from repro.chaos import run_campaign, run_chaos
+from repro.chaos.campaign import CampaignSpec, ScheduledAction
+from repro.chaos.invariants import check_byzantine_containment
+from repro.chaos.sampler import sample_campaign
+from repro.core.byzantine import BYZ_LEVELS, ensure_byzantine
+from repro.core.controller import Controller
+from repro.core.profile import ExperimentProfile
+from repro.workload.generator import Workload
+
+pytestmark = pytest.mark.chaos
+
+
+def byz_spec(level, seed=7, **overrides):
+    """A minimal one-round byz campaign (inject, dwell, restore)."""
+    overrides.setdefault("scrub_interval", 200.0)
+    return CampaignSpec(
+        seed=seed,
+        actions=(
+            ScheduledAction(at=100.0, kind="inject", level=level, count=1),
+            ScheduledAction(at=600.0, kind="restore"),
+        ),
+        **overrides,
+    )
+
+
+# -- the three detection paths, end to end --------------------------------------
+
+
+def test_forged_checksum_is_caught_by_deep_scrub():
+    result = run_campaign(byz_spec("byz_corrupt_data"))
+    assert result.passed, [v.detail for v in result.violations]
+    section = result.digest["byzantine"]
+    [record] = section["records"]
+    assert record["level"] == "byz_corrupt_data"
+    assert record["detected_by"] == "scrub"
+    assert record["detected_at"] > record["injected_at"]
+    assert section["wrong_reads_served"] == 0
+    assert section["detections"]["scrub"] == 1
+
+
+def test_false_ack_is_caught_by_version_cross_check():
+    result = run_campaign(byz_spec("byz_false_ack"))
+    assert result.passed, [v.detail for v in result.violations]
+    [record] = result.digest["byzantine"]["records"]
+    assert record["level"] == "byz_false_ack"
+    # Scrub's version cross-check or peering — both compare claimed
+    # pg_log versions; which fires first depends on timing.
+    assert record["detected_by"] in ("scrub", "peering")
+    assert record["detected_at"] is not None
+
+
+def test_stale_map_gossip_is_caught_by_epoch_rejection():
+    result = run_campaign(byz_spec("byz_stale_map"))
+    assert result.passed, [v.detail for v in result.violations]
+    section = result.digest["byzantine"]
+    [record] = section["records"]
+    assert record["level"] == "byz_stale_map"
+    assert record["detected_by"] == "epoch"
+    assert section["epoch_rejections"] == 1
+
+
+def test_honest_campaign_digest_has_no_byzantine_section():
+    spec = sample_campaign(11)
+    result = run_campaign(spec)
+    assert "byzantine" not in result.digest
+
+
+# -- the containment invariant, both ways ---------------------------------------
+
+
+def build_cluster():
+    profile = ExperimentProfile(
+        name="byz-inv",
+        ec_plugin="jerasure",
+        ec_params={"k": 3, "m": 2},
+        pg_num=4,
+        stripe_unit=256 * 1024,
+        num_hosts=8,
+        osds_per_host=1,
+    )
+    controller = Controller(profile, seed=11)
+    controller.coordinator.ingest_workload(
+        Workload(num_objects=6, object_size=512 * 1024)
+    )
+    controller.env.run(until=50.0)
+    return controller.cluster
+
+
+def test_containment_is_vacuous_without_byzantine_state():
+    cluster = build_cluster()
+    assert cluster.byzantine is None
+    assert check_byzantine_containment(cluster) == []
+
+
+def test_containment_flags_an_undetected_lie():
+    cluster = build_cluster()
+    byz = ensure_byzantine(cluster)
+    byz.add_corrupt(3, "1.0", "obj", 2, at=10.0)
+    [violation] = check_byzantine_containment(cluster)
+    assert violation.invariant == "byzantine-containment"
+    assert "byz_corrupt_data" in violation.detail
+    assert "osd.3" in violation.detail
+
+
+def test_containment_flags_wrong_reads_and_clears_on_detection():
+    cluster = build_cluster()
+    byz = ensure_byzantine(cluster)
+    byz.add_corrupt(3, "1.0", "obj", 2, at=10.0)
+    byz.note_read("1.0", "obj", {0, 2}, now=20.0)  # overlaps the lie
+    violations = check_byzantine_containment(cluster)
+    assert any("still-lying" in v.detail for v in violations)
+    # Detection ends the lie; only the historical wrong read remains.
+    byz.detect_corrupt("1.0", "obj", 2, now=30.0)
+    [violation] = check_byzantine_containment(cluster)
+    assert "still-lying" in violation.detail
+
+
+def test_reads_from_honest_shards_are_never_wrong():
+    cluster = build_cluster()
+    byz = ensure_byzantine(cluster)
+    byz.add_corrupt(3, "1.0", "obj", 2, at=10.0)
+    byz.note_read("1.0", "obj", {0, 1, 4}, now=20.0)  # avoids shard 2
+    byz.note_read("2.0", "other", {2}, now=21.0)      # different object
+    assert byz.wrong_reads_served == 0
+
+
+# -- sampler and spec validation ------------------------------------------------
+
+
+def test_byz_sampling_is_deterministic_and_pure():
+    first = sample_campaign(5, byzantine=True)
+    second = sample_campaign(5, byzantine=True)
+    assert first == second
+    injects = [a for a in first.actions if a.kind == "inject"]
+    assert injects and all(a.level in BYZ_LEVELS for a in injects)
+    # Byz campaigns force scrubbing on and stay read-only/single-region.
+    assert first.scrub_interval > 0
+    assert first.write_interval == 0
+    assert first.tenant_fleet is None
+    assert first.num_regions == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"writes": True}, {"tenants": True}, {"geo": True},
+])
+def test_byz_sampling_is_exclusive(kwargs):
+    with pytest.raises(ValueError, match="read-only and single-region"):
+        sample_campaign(5, byzantine=True, **kwargs)
+
+
+def test_spec_rejects_byz_actions_without_scrubbing():
+    with pytest.raises(ValueError, match="scrubbing"):
+        byz_spec("byz_corrupt_data", scrub_interval=0.0)
+
+
+def test_spec_rejects_byz_actions_with_client_load():
+    with pytest.raises(ValueError, match="exclusive"):
+        byz_spec("byz_false_ack", write_interval=60.0, write_duration=600.0)
+
+
+def test_spec_rejects_byz_actions_on_stretch_clusters():
+    # scrub_interval=0 so the (stricter) geo scrub rule passes and the
+    # byz single-region rule is the one that fires.
+    with pytest.raises(ValueError, match="single-region"):
+        byz_spec("byz_stale_map", num_regions=3, num_hosts=9,
+                 scrub_interval=0.0)
+
+
+# -- sampled byz campaigns hold containment -------------------------------------
+
+
+def test_sampled_byz_campaigns_pass_containment():
+    results = []
+    report = run_chaos(
+        root_seed=0, campaigns=5, byzantine=True,
+        on_campaign=lambda i, spec, result, error:
+            results.append(result) if result is not None else None,
+    )
+    assert report.ok, [
+        v.detail for result in report.failures for v in result.violations
+    ]
+    assert results
+    for result in results:
+        section = result.digest["byzantine"]
+        assert section["wrong_reads_served"] == 0
+        for record in section["records"]:
+            assert record["detected_at"] is not None

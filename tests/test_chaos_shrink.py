@@ -14,6 +14,7 @@ from repro.chaos import (
     run_campaign,
     save_artifact,
     shrink_campaign,
+    shrink_campaign_by,
 )
 
 pytestmark = pytest.mark.chaos
@@ -116,6 +117,27 @@ def test_shrink_refuses_passing_campaign():
     passing = CampaignSpec.from_dict({**spec.to_dict(), "settle_time": 50_000.0})
     with pytest.raises(ValueError, match="does not fail"):
         shrink_campaign(passing)
+
+
+def test_shrink_campaign_by_takes_a_caller_oracle():
+    spec = failing_spec()
+    shrunk, result = shrink_campaign_by(
+        spec,
+        lambda r: any(v.invariant == "health-convergence"
+                      for v in r.violations),
+    )
+    assert len(shrunk.actions) == 1
+    assert not result.passed
+
+
+def test_shrink_campaign_by_refuses_a_satisfied_oracle():
+    # The campaign fails, but not the way the caller's predicate wants:
+    # there is nothing to minimise.
+    with pytest.raises(ValueError, match="does not fail"):
+        shrink_campaign_by(
+            failing_spec(),
+            lambda r: any(v.invariant == "durability" for v in r.violations),
+        )
 
 
 # -- artifacts -----------------------------------------------------------------

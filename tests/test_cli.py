@@ -110,6 +110,7 @@ def test_bad_ec_params_message():
 @pytest.mark.parametrize("command", [
     "run", "scrub", "sweep", "analyze", "repair-plan",
     "wa", "autoscale", "chaos", "replay", "tune", "inject", "tenants",
+    "fuzz",
 ])
 def test_every_subcommand_has_help(capsys, command):
     with pytest.raises(SystemExit) as excinfo:
@@ -139,6 +140,8 @@ def test_no_subcommand_is_an_error(capsys):
     ["tune", "--ec-variants", "k=9,m=3"],    # missing plugin: prefix
     ["inject", "--level", "node"],           # not a gray fault level
     ["inject", "--factor", "fast"],          # not a float
+    ["fuzz", "--budget", "lots"],            # not an int
+    ["fuzz", "--seed", "soon"],              # not an int
 ])
 def test_malformed_arguments_exit_2(capsys, argv):
     with pytest.raises(SystemExit) as excinfo:
@@ -409,3 +412,74 @@ def test_chaos_geo_clean_run(capsys):
     )
     assert code == 0
     assert "0 failed" in out
+
+
+# -- byzantine chaos + fuzz -----------------------------------------------------
+
+
+def test_chaos_byzantine_is_exclusive_with_other_modes(capsys):
+    for flag in ("--writes", "--tenants", "--geo"):
+        code, _, err = run_cli(
+            capsys, "chaos", "--campaigns", "1", "--byzantine", flag,
+        )
+        assert code == 2
+        assert "read-only and single-region" in err
+
+
+def test_chaos_byzantine_clean_run(capsys):
+    code, out, _ = run_cli(
+        capsys, "chaos", "--campaigns", "2", "--seed", "0", "--byzantine",
+    )
+    assert code == 0
+    assert "0 failed" in out
+
+
+def test_fuzz_rejects_a_bad_budget(capsys):
+    code, _, err = run_cli(capsys, "fuzz", "--budget", "0")
+    assert code == 2
+    assert "budget" in err
+
+
+def test_fuzz_rejects_unknown_levels(capsys):
+    code, _, err = run_cli(
+        capsys, "fuzz", "--budget", "2", "--levels", "node,meteor",
+    )
+    assert code == 2
+    assert "meteor" in err
+    assert "allowed" in err
+
+
+def test_fuzz_summary_json_schema(tmp_path, capsys):
+    corpus_dir = tmp_path / "corpus"
+    code, out, _ = run_cli(
+        capsys, "fuzz", "--seed", "5", "--budget", "4",
+        "--corpus-dir", str(corpus_dir),
+    )
+    assert code == 0
+    summary = json.loads(out)
+    assert set(summary) == {
+        "root_seed", "budget", "runs", "invalid", "mutants_rejected",
+        "failures", "artifacts", "corpus",
+    }
+    assert summary["root_seed"] == 5
+    assert summary["budget"] == 4
+    assert summary["runs"] == 4
+    assert summary["failures"] == 0
+    corpus = summary["corpus"]
+    assert set(corpus) == {
+        "entries", "considered", "coverage_pairs", "coverage",
+        "best_fitness", "lineages",
+    }
+    assert corpus["coverage_pairs"] == len(corpus["coverage"])
+    # The archived corpus on disk matches the printed summary.
+    on_disk = json.loads((corpus_dir / "summary.json").read_text())
+    assert on_disk == corpus
+    assert len(list(corpus_dir.glob("corpus-*.json"))) == corpus["entries"]
+
+
+def test_fuzz_is_deterministic(tmp_path, capsys):
+    _, first, _ = run_cli(capsys, "fuzz", "--seed", "5", "--budget", "3",
+                          "--corpus-dir", str(tmp_path / "a"))
+    _, second, _ = run_cli(capsys, "fuzz", "--seed", "5", "--budget", "3",
+                           "--corpus-dir", str(tmp_path / "b"))
+    assert json.loads(first) == json.loads(second)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cluster import CACHE_SCHEMES, CephCluster, CephConfig, IntegrityConfig
+from repro.cluster import (
+    CACHE_SCHEMES,
+    CephCluster,
+    CephConfig,
+    IntegrityConfig,
+    ScrubConfig,
+)
 from repro.core import Colocation, FaultSpec, FaultToleranceError
 from repro.core.fault_injector import FaultInjector
 from repro.core.worker import deploy_workers
@@ -11,7 +17,7 @@ from repro.sim import Environment
 
 
 def build(failure_domain="host", osds_per_host=3, num_hosts=10, code=None,
-          integrity=None):
+          integrity=None, scrub=None):
     env = Environment()
     cluster = CephCluster(
         env,
@@ -23,6 +29,7 @@ def build(failure_domain="host", osds_per_host=3, num_hosts=10, code=None,
         pg_num=16,
         failure_domain=failure_domain,
         integrity=integrity,
+        scrub=scrub,
     )
     for i in range(40):
         cluster.ingest_object(f"o{i}", 1024 * 1024)
@@ -246,3 +253,147 @@ def test_crash_guard_counts_unrepaired_corruption():
     injector.inject(FaultSpec(level="node", count=1))
     with pytest.raises(FaultToleranceError, match="corrupt"):
         injector.inject(FaultSpec(level="node", count=1))
+
+
+# -- Byzantine faults (OSDs that lie) -------------------------------------------
+
+
+def build_byz(**kwargs):
+    kwargs.setdefault("integrity", IntegrityConfig(enabled=True))
+    kwargs.setdefault("scrub", ScrubConfig(enabled=True))
+    return build(**kwargs)
+
+
+def test_byz_corrupt_requires_integrity():
+    _, injector = build(scrub=ScrubConfig(enabled=True))
+    with pytest.raises(ValueError, match="checksums"):
+        injector.inject(FaultSpec(level="byz_corrupt_data"))
+
+
+def test_byz_corrupt_requires_deep_scrub():
+    # With checksums but scrubbing disabled, a forged checksum would be
+    # *undetectable forever* — the injector refuses to create that.
+    _, injector = build(integrity=IntegrityConfig(enabled=True))
+    with pytest.raises(ValueError, match="deep scrub"):
+        injector.inject(FaultSpec(level="byz_corrupt_data"))
+
+
+def test_byz_corrupt_marks_state_and_keeps_osds_up():
+    cluster, injector = build_byz()
+    affected = injector.inject(FaultSpec(level="byz_corrupt_data", count=2))
+    assert len(affected) == 2
+    # Silent like honest corruption: no crash budget consumed.
+    assert injector.injected_osds == set()
+    for osd_id in affected:
+        assert cluster.osds[osd_id].is_up()
+    assert cluster.byzantine is not None
+    assert len(cluster.byzantine.records) == 2
+    assert not cluster.byzantine.quiescent()
+
+
+def test_byz_corrupt_respects_stripe_tolerance_guard():
+    _, injector = build_byz()
+    with pytest.raises(FaultToleranceError, match="Byzantine"):
+        injector.inject(FaultSpec(level="byz_corrupt_data", count=3))  # m=2
+
+
+def test_byz_and_honest_corruption_share_the_stripe_budget():
+    _, injector = build_byz()
+    # Explicit targets land on the first populated PG's first object for
+    # both levels, so they damage the same stripe: m = 2 total.
+    injector.inject(FaultSpec(level="corrupt", count=1, targets=[0]))
+    injector.inject(FaultSpec(level="byz_corrupt_data", count=1, targets=[1]))
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="byz_corrupt_data", count=1,
+                                  targets=[2]))
+
+
+def test_byz_false_ack_records_undetected_damage():
+    cluster, injector = build_byz()
+    affected = injector.inject(
+        FaultSpec(level="byz_false_ack", count=1, targets=[0])
+    )
+    assert len(affected) == 1
+    byz = cluster.byzantine
+    [(pgid, name, shards)] = list(byz.false_ack_items())
+    assert shards == {0}
+    assert byz.damaged_shards(pgid, name) == {0}
+
+
+def test_byz_false_ack_counts_in_crash_guard():
+    _, injector = build_byz()
+    # One undetected false ack is silent stripe damage: with m = 2 it
+    # leaves room for one crash bucket, not two.
+    injector.inject(FaultSpec(level="byz_false_ack", count=1))
+    injector.inject(FaultSpec(level="node", count=1))
+    with pytest.raises(FaultToleranceError, match="corrupt"):
+        injector.inject(FaultSpec(level="node", count=1))
+
+
+def test_byz_stale_map_counts_against_crash_budget():
+    cluster, injector = build_byz()
+    [liar] = injector.inject(FaultSpec(level="byz_stale_map", count=1))
+    # A misrouting liar is budgeted like a flapping OSD...
+    assert liar in injector.injected_osds
+    assert cluster.byzantine.gossiping_stale(liar)
+    # ...and the budget is cumulative with real crashes (m = 2): the
+    # liar's host is one bucket, so only one *other* host may fail.
+    liar_host = cluster.topology.osds[liar].host_id
+    others = [h for h in range(cluster.topology.num_hosts) if h != liar_host]
+    injector.inject(FaultSpec(level="node", count=1, targets=[others[0]]))
+    with pytest.raises(FaultToleranceError):
+        injector.inject(FaultSpec(level="node", count=1, targets=[others[1]]))
+
+
+def test_byz_selection_is_deterministic():
+    _, injector_a = build_byz()
+    _, injector_b = build_byz()
+    a = injector_a.inject(FaultSpec(level="byz_corrupt_data", count=2))
+    b = injector_b.inject(FaultSpec(level="byz_corrupt_data", count=2))
+    assert a == b
+
+
+def test_restore_all_ends_stale_map_lies_idempotently():
+    cluster, injector = build_byz()
+    [liar] = injector.inject(FaultSpec(level="byz_stale_map", count=1))
+    injector.restore_all()
+    byz = cluster.byzantine
+    # The restarted daemon re-fetched the map: lie over, detected via the
+    # epoch path, budget released.
+    assert not byz.gossiping_stale(liar)
+    assert injector.injected_osds == set()
+    [record] = byz.records
+    assert record.detected and record.detected_by == "epoch"
+    assert byz.quiescent()
+    # Second restore is a harmless no-op (no double-counted detections).
+    injector.restore_all()
+    assert byz.detections["epoch"] == 1
+    assert byz.epoch_rejections == 1
+
+
+def test_restore_all_preserves_data_plane_lies():
+    cluster, injector = build_byz()
+    injector.inject(FaultSpec(level="byz_corrupt_data", count=1, targets=[0]))
+    injector.inject(FaultSpec(level="byz_false_ack", count=1, targets=[1]))
+    injector.restore_all()
+    injector.restore_all()
+    # Worker restarts never heal silent damage: forged checksums and
+    # false acks persist until scrub/peering detects them.
+    byz = cluster.byzantine
+    assert not byz.quiescent()
+    assert sum(1 for r in byz.records if not r.detected) == 2
+    assert all(osd.is_up() for osd in cluster.osds.values())
+
+
+def test_restore_all_with_mixed_byz_and_crash_faults():
+    cluster, injector = build_byz()
+    # A data-plane lie plus a real crash, together inside the budget
+    # (silent 1 + one bucket = m): restore_all must roll back the crash,
+    # end any map lie, and keep data-plane accounting intact — twice.
+    injector.inject(FaultSpec(level="byz_corrupt_data", count=1, targets=[0]))
+    injector.inject(FaultSpec(level="node", count=1))
+    injector.restore_all()
+    injector.restore_all()
+    assert injector.injected_osds == set()
+    assert all(osd.is_up() for osd in cluster.osds.values())
+    assert not cluster.byzantine.quiescent()  # the lie survived restore

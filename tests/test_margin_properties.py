@@ -1,0 +1,150 @@
+"""Property tests for the fuzzer's near-miss margins.
+
+The fitness axes ``durability_near_miss`` and ``log_trim_near_miss``
+reward campaigns that push a cluster *close* to an invariant boundary
+without crossing it.  That only works if the underlying margins behave
+like distances: never negative under the white-box guard, monotonically
+shrinking as injected damage grows, and exactly zero at the invariant
+boundary — one more unit of damage is a violation.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import durability_margin, log_trim_margin
+from repro.chaos.invariants import check_durability
+from repro.cluster import IntegrityConfig, ScrubConfig
+from repro.cluster.pglog import PgLog
+from repro.core import FaultSpec
+from repro.core.byzantine import ensure_byzantine
+from repro.ec import ReedSolomon
+from tests.test_fault_injector import build
+
+pytestmark = pytest.mark.chaos
+
+
+def build_cluster():
+    """RS(7,4): m = 3, so damage can range over [0, 3]."""
+    return build(
+        failure_domain="osd",
+        code=ReedSolomon(4, 3),
+        integrity=IntegrityConfig(enabled=True),
+        scrub=ScrubConfig(enabled=True),
+    )
+
+
+# -- durability margin ----------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_durability_margin_counts_down_to_the_boundary(data):
+    cluster, injector = build_cluster()
+    tolerance = cluster.pool.code.fault_tolerance()
+
+    # Undamaged: the margin is the full tolerance.
+    assert durability_margin(cluster) == tolerance
+
+    # Damage one stripe shard-by-shard, mixing honest corruption and
+    # Byzantine false acks (both count in the same damage union).
+    total = data.draw(st.integers(min_value=0, max_value=tolerance))
+    shards = data.draw(st.lists(
+        st.integers(min_value=0, max_value=cluster.pool.code.n - 1),
+        min_size=total, max_size=total, unique=True,
+    ))
+    previous = float(tolerance)
+    for index, shard in enumerate(shards):
+        level = data.draw(st.sampled_from(("corrupt", "byz_false_ack")))
+        injector.inject(FaultSpec(level=level, count=1, targets=[shard]))
+        margin = durability_margin(cluster)
+        # Non-negative under the guard, monotone in injected damage.
+        assert 0 <= margin <= previous
+        previous = margin
+
+    # Explicit targets all land on one stripe: the margin is exactly
+    # tolerance minus the damage, and hits zero iff damage == tolerance.
+    assert durability_margin(cluster) == tolerance - total
+    assert (durability_margin(cluster) == 0) == (total == tolerance)
+
+
+@settings(max_examples=5, deadline=None)
+@given(extra_shard=st.integers(min_value=3, max_value=6))
+def test_durability_margin_zero_is_exactly_the_invariant_boundary(extra_shard):
+    cluster, injector = build_cluster()
+    tolerance = cluster.pool.code.fault_tolerance()
+    # Drive the stripe to the boundary through the guarded injector.
+    injector.inject(FaultSpec(
+        level="corrupt", count=tolerance, targets=list(range(tolerance)),
+    ))
+    assert durability_margin(cluster) == 0
+    # At margin zero the durability invariant still holds...
+    assert check_durability(cluster) == []
+    # ...and one more lying shard (planted behind the guard's back, the
+    # way only a test can) crosses it: the margin goes negative and the
+    # invariant fires.  Zero really is the boundary.
+    pg = next(pg for pg in cluster.pool.pgs.values() if pg.objects)
+    obj = pg.objects[0]
+    byz = ensure_byzantine(cluster)
+    byz.add_false_ack(pg.acting[extra_shard], pg.pgid, obj.name,
+                      extra_shard, at=0.0)
+    assert durability_margin(cluster) < 0
+    assert check_durability(cluster) != []
+
+
+# -- log-trim margin ------------------------------------------------------------
+
+
+def trim_cluster(log):
+    """The minimal duck-typed cluster ``log_trim_margin`` walks."""
+    pg = SimpleNamespace(log=log)
+    return SimpleNamespace(pool=SimpleNamespace(pgs={"1.0": pg}))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    max_entries=st.integers(min_value=2, max_value=10),
+    headroom=st.integers(min_value=0, max_value=10),
+    writes=st.integers(min_value=0, max_value=25),
+)
+def test_log_trim_margin_counts_down_to_the_divergence_floor(
+    max_entries, headroom, writes,
+):
+    log = PgLog(n_shards=4, max_entries=max_entries,
+                hard_limit=max_entries + headroom)
+    cluster = trim_cluster(log)
+    log.commit("obj", "create", touched=(0, 1, 2, 3), missing=(),
+               at=0.0, staged=False)
+
+    # No divergence: the log trims freely, there is no floor to
+    # approach, so there is no margin to report.
+    assert log_trim_margin(cluster) is None
+
+    # A divergent shard pins the log; the margin is the room left under
+    # the hard cap and shrinks by one per pinned write.
+    log.note_divergent("obj", shard=3)
+    previous = log_trim_margin(cluster)
+    assert previous == log.hard_limit - len(log.entries)
+    crossed = False
+    for index in range(writes):
+        log.commit("obj", "full", touched=(0, 1, 2), missing=(),
+                   at=float(index + 1), staged=False)
+        margin = log_trim_margin(cluster)
+        if margin is None:
+            # The hard cap forced a trim past the floor: the pinned
+            # shard surrendered its delta claim (backfill), which is the
+            # violation the margin predicts.  Only reachable by writing
+            # *through* zero margin.
+            assert previous == 0
+            assert 3 in log.backfill_shards
+            crossed = True
+            break
+        assert 0 <= margin <= previous  # non-negative, monotone
+        previous = margin
+    if not crossed:
+        # Short of the cliff the shard still holds its delta claim:
+        # zero margin means the *next* pinned write degrades it.
+        assert log.backfill_shards == set()
+        assert log_trim_margin(cluster) == log.hard_limit - len(log.entries)
