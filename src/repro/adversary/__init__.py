@@ -10,7 +10,7 @@ shrinker into a 1-minimal JSON repro artifact.  See docs/TESTING.md for
 the fuzzer tier contract and ``ecfault fuzz`` for the CLI entry point.
 """
 
-from .corpus import Corpus, CorpusEntry
+from .corpus import Corpus, CorpusEntry, load_corpus
 from .fuzzer import (
     FITNESS_AXES,
     FuzzReport,
@@ -19,7 +19,7 @@ from .fuzzer import (
     log_trim_margin,
     run_fuzz,
 )
-from .mutators import MUTATORS, mutate, splice
+from .mutators import MUTATORS, mutate, press_capacity, splice
 
 __all__ = [
     "Corpus",
@@ -29,8 +29,10 @@ __all__ = [
     "MUTATORS",
     "MarginProbe",
     "durability_margin",
+    "load_corpus",
     "log_trim_margin",
     "mutate",
+    "press_capacity",
     "run_fuzz",
     "splice",
 ]

@@ -16,7 +16,7 @@ from typing import Any, Dict, FrozenSet, List, Tuple
 
 from ..chaos.campaign import CampaignSpec
 
-__all__ = ["CorpusEntry", "Corpus"]
+__all__ = ["CorpusEntry", "Corpus", "load_corpus"]
 
 #: One coverage point: (fault level, EC plugin, PG state observed).
 CoveragePair = Tuple[str, str, str]
@@ -41,6 +41,16 @@ class CorpusEntry:
             "lineage": self.lineage,
             "outcome_hash": self.outcome_hash,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusEntry":
+        return cls(
+            spec=CampaignSpec.from_dict(data["spec"]),
+            fitness=dict(data["fitness"]),
+            coverage=frozenset(tuple(pair) for pair in data["coverage"]),
+            lineage=data["lineage"],
+            outcome_hash=data["outcome_hash"],
+        )
 
 
 @dataclass
@@ -107,3 +117,22 @@ class Corpus:
         )
         paths.append(summary_path)
         return paths
+
+
+def load_corpus(corpus_dir) -> Corpus:
+    """Rebuild a corpus from a directory :meth:`Corpus.save` wrote.
+
+    Entries replay through :meth:`Corpus.consider` in their saved order.
+    Every archived entry was admitted when it was first considered, and
+    rejected entries contributed no retained state, so the replay ends
+    with exactly the coverage set and fitness records the saving session
+    had — the property the ``--corpus-in`` determinism contract rests on
+    (``considered`` restarts at the admitted count, which is all the
+    saved session's survivors).
+    """
+    corpus_dir = Path(corpus_dir)
+    corpus = Corpus()
+    for path in sorted(corpus_dir.glob("corpus-*.json")):
+        entry = CorpusEntry.from_dict(json.loads(path.read_text()))
+        corpus.consider(entry)
+    return corpus

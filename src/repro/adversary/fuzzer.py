@@ -24,7 +24,7 @@ from ..chaos.engine import CampaignInvalid, CampaignResult, run_campaign
 from ..chaos.sampler import _EC_CHOICES, sample_campaign
 from ..chaos.shrink import shrink_campaign
 from ..sim.rng import SeedSequence, substream_seed
-from .corpus import Corpus, CorpusEntry
+from .corpus import Corpus, CorpusEntry, load_corpus
 from .mutators import (
     allowed_levels,
     duplicate_action,
@@ -243,6 +243,7 @@ def run_fuzz(
     levels: Optional[Sequence[str]] = None,
     byzantine: bool = False,
     corpus_dir=None,
+    corpus_in=None,
     on_run=None,
 ) -> FuzzReport:
     """One deterministic fuzz session of ``budget`` campaign runs.
@@ -250,12 +251,21 @@ def run_fuzz(
     ``levels``/``byzantine`` shape the seed samples exactly as they do
     ``run_chaos``.  ``corpus_dir`` (optional) receives the retained
     corpus entries, the summary, and any shrunk repro artifacts.
+    ``corpus_in`` (optional) pre-seeds the session's corpus from a
+    directory a previous session saved: the archived entries replay
+    through ``consider`` before the budget starts, so mutation rounds
+    draw on the prior session's discoveries from run one, and novelty
+    is judged against everything both sessions have seen.  Determinism
+    extends across the reuse: same ``corpus_in`` + same seed + same
+    budget, same session, always.
     ``on_run(index, kind, spec, result_or_none, error_or_none)`` mirrors
     the chaos progress callback (``kind`` is ``seed`` or ``mutant``).
     """
     if budget < 1:
         raise ValueError("budget must be >= 1")
     report = FuzzReport(root_seed=root_seed, budget=budget)
+    if corpus_in is not None:
+        report.corpus = load_corpus(corpus_in)
     rng = SeedSequence(root_seed).stream("adversary-fuzzer")
     seed_runs = max(1, min(budget, round(budget * SEED_FRACTION)))
 

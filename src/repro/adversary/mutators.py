@@ -29,6 +29,7 @@ __all__ = [
     "allowed_levels",
     "fault_round",
     "mutate",
+    "press_capacity",
     "press_data",
     "reshape_to",
     "splice",
@@ -221,6 +222,24 @@ def press_data(rng, spec: CampaignSpec) -> Optional[CampaignSpec]:
                     num_objects=num_objects, object_size=object_size)
 
 
+def press_capacity(rng, spec: CampaignSpec) -> Optional[CampaignSpec]:
+    """Jump the stored data straight to the sampler's ceiling.
+
+    Where :func:`press_data` hill-climbs the repair-bytes axis in
+    steps, this mutator maximizes both genes at once — most objects at
+    the largest size — so backfill targets feel the most capacity
+    pressure a sampled campaign can generate, aiming at the nearfull /
+    backfillfull arcs of the capacity-backpressure machinery.
+    """
+    num_objects = 32
+    object_size = max(_OBJECT_SIZES)
+    if (num_objects == spec.num_objects
+            and object_size == spec.object_size):
+        return None
+    return _rebuild(spec, list(spec.actions),
+                    num_objects=num_objects, object_size=object_size)
+
+
 def allowed_levels(spec: CampaignSpec) -> List[str]:
     """The fault levels a mutant of ``spec`` may legitimately add.
 
@@ -316,6 +335,7 @@ MUTATORS = (
     escalate_action,
     perturb_config,
     press_data,
+    press_capacity,
     add_fault_round,
     reshape_code,
 )

@@ -17,7 +17,7 @@ from .engine import (
     run_chaos,
 )
 from .invariants import InvariantSuite, InvariantViolation
-from .sampler import sample_campaign
+from .sampler import cascade_scenario, sample_campaign
 from .shrink import ddmin, shrink_campaign, shrink_campaign_by
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "ReproArtifact",
     "ScheduledAction",
     "campaign_seed",
+    "cascade_scenario",
     "ddmin",
     "load_artifact",
     "run_campaign",

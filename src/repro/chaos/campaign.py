@@ -13,7 +13,12 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster.osd import CephConfig
-from ..core.fault_injector import BYZ_LEVELS, GEO_LEVELS, FaultSpec
+from ..core.fault_injector import (
+    BYZ_LEVELS,
+    CASCADE_LEVELS,
+    GEO_LEVELS,
+    FaultSpec,
+)
 from ..core.profile import ExperimentProfile
 from ..geo.wan import DEFAULT_WAN
 from ..tenancy.spec import TenantFleetSpec
@@ -47,6 +52,8 @@ class ScheduledAction:
     bandwidth_penalty: float = 1.0
     partition: bool = False
     flap_interval: float = 60.0
+    # -- correlated-crash parameter (only read for that level) ----------------
+    domain: str = "host"
 
     def __post_init__(self):
         if self.at < 0:
@@ -72,6 +79,7 @@ class ScheduledAction:
             bandwidth_penalty=self.bandwidth_penalty,
             partition=self.partition,
             flap_interval=self.flap_interval,
+            domain=self.domain,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -96,6 +104,9 @@ class CampaignSpec:
     failure_domain: str = "host"
     num_hosts: int = 8
     osds_per_host: int = 2
+    #: Racks the hosts are dealt across (round-robin).  1 (the default)
+    #: keeps the classic rack-less cluster: byte-identical digests.
+    num_racks: int = 1
     scrub_interval: float = 0.0
     scrub_pgs_per_batch: int = 2
     # -- stretch-cluster shape ------------------------------------------------
@@ -108,6 +119,14 @@ class CampaignSpec:
     wan_egress_cost_per_gib: float = DEFAULT_WAN.egress_cost_per_gib
     # -- daemon tunables kept fast enough for bulk campaigns -----------------
     mon_osd_down_out_interval: float = 60.0
+    # -- cascade resilience ---------------------------------------------------
+    #: PG recovery servicing order: "fifo" (the legacy order, default —
+    #: byte-identical digests) or "risk" (redundancy-margin priority).
+    recovery_priority: str = "fifo"
+    #: Track per-PG time-at-minimum-redundancy in RecoveryStats.  Off by
+    #: default: the extra float stays pruned-at-zero either way, but the
+    #: accounting is only meaningful for cascade campaigns.
+    track_risk_exposure: bool = False
     # -- workload -------------------------------------------------------------
     num_objects: int = 20
     object_size: int = 1048576
@@ -199,6 +218,26 @@ class CampaignSpec:
                 "(scrub_interval > 0); nothing would ever detect or repair "
                 "the damage"
             )
+        if self.num_racks < 1:
+            raise ValueError("num_racks must be >= 1")
+        if self.recovery_priority not in ("fifo", "risk"):
+            raise ValueError(
+                f"recovery_priority must be 'fifo' or 'risk', "
+                f"got {self.recovery_priority!r}"
+            )
+        for action in self.actions:
+            if action.kind != "inject" or action.level not in CASCADE_LEVELS:
+                continue
+            if action.domain == "rack" and self.num_racks <= 1:
+                raise ValueError(
+                    "rack-level correlated_crash actions require a "
+                    "racked cluster (num_racks > 1)"
+                )
+            if action.domain == "region" and self.num_regions <= 1:
+                raise ValueError(
+                    "region-level correlated_crash actions require a "
+                    "stretch cluster (num_regions > 1)"
+                )
         if any(
             action.kind == "inject" and action.level in BYZ_LEVELS
             for action in self.actions
@@ -234,6 +273,7 @@ class CampaignSpec:
             failure_domain=self.failure_domain,
             num_hosts=self.num_hosts,
             osds_per_host=self.osds_per_host,
+            num_racks=self.num_racks,
             scrub_interval=self.scrub_interval,
             scrub_pgs_per_batch=self.scrub_pgs_per_batch,
             num_regions=self.num_regions,
@@ -242,7 +282,9 @@ class CampaignSpec:
             wan_latency=self.wan_latency,
             wan_egress_cost_per_gib=self.wan_egress_cost_per_gib,
             ceph=CephConfig(
-                mon_osd_down_out_interval=self.mon_osd_down_out_interval
+                mon_osd_down_out_interval=self.mon_osd_down_out_interval,
+                osd_recovery_priority=self.recovery_priority,
+                osd_track_risk_exposure=self.track_risk_exposure,
             ),
         )
 

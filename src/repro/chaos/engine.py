@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..cluster.ceph import OVERWRITE_LEDGER_KEYS, CephCluster
 from ..cluster.client import ClientLoadGenerator, RadosClient
 from ..cluster.health import HealthStatus, check_health
-from ..cluster.recovery import DELTA_STAT_KEYS, GEO_STAT_KEYS
+from ..cluster.recovery import CASCADE_STAT_KEYS, DELTA_STAT_KEYS, GEO_STAT_KEYS
 from ..core.controller import Controller
 from ..core.fault_injector import FaultInjector, FaultToleranceError
 from ..sim.rng import substream_seed
@@ -262,7 +262,8 @@ def outcome_digest(
             for osd in cluster.osds.values()
         },
         "recovery": _prune_zero(
-            asdict(cluster.recovery.stats), DELTA_STAT_KEYS + GEO_STAT_KEYS
+            asdict(cluster.recovery.stats),
+            DELTA_STAT_KEYS + GEO_STAT_KEYS + CASCADE_STAT_KEYS,
         ),
         "scrub": asdict(cluster.scrub.stats),
         "monitor": {
@@ -391,6 +392,7 @@ def run_chaos(
     tenants: bool = False,
     geo: bool = False,
     byzantine: bool = False,
+    cascade: bool = False,
 ) -> ChaosReport:
     """Sample and run ``campaigns`` campaigns derived from ``root_seed``.
 
@@ -409,6 +411,11 @@ def run_chaos(
     ``byzantine=True`` replaces every schedule with lying-OSD faults
     (forged checksums, stale osdmap gossip, false write acks) and arms
     the byzantine-containment invariant (exclusive with all three).
+    ``cascade=True`` samples correlated-failure campaigns — a whole
+    rack (or host bucket) lost in one event plus aftershock device
+    failures during the recovery window, under risk-prioritized
+    recovery with exposure tracking — arming the priority-soundness
+    and no-avoidable-loss invariants (exclusive with all four).
     """
     report = ChaosReport(root_seed=root_seed)
     for index in range(campaigns):
@@ -419,6 +426,7 @@ def run_chaos(
             tenants=tenants,
             geo=geo,
             byzantine=byzantine,
+            cascade=cascade,
         )
         report.campaigns += 1
         try:

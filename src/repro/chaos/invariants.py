@@ -29,6 +29,8 @@ __all__ = [
     "check_version_convergence",
     "check_cross_region_accounting",
     "check_byzantine_containment",
+    "check_priority_soundness",
+    "check_no_avoidable_loss",
     "check_tenant_fairness",
     "InvariantSuite",
 ]
@@ -264,6 +266,67 @@ def check_cross_region_accounting(cluster: CephCluster) -> List[InvariantViolati
     ]
 
 
+def check_priority_soundness(cluster: CephCluster) -> List[InvariantViolation]:
+    """Risk-prioritized recovery admits most-at-risk PGs first.
+
+    Every risk-mode admission snapshots the redundancy margins of the
+    PGs still waiting at that instant (:class:`~repro.cluster.recovery.
+    AdmissionRecord`); a waiting PG with a strictly smaller margin than
+    the one admitted means a stripe closer to data loss was left behind
+    a safer one.  Vacuous on FIFO runs — they record no admissions —
+    and safe to run step-wise (the log only grows).
+    """
+    violations: List[InvariantViolation] = []
+    for record in cluster.recovery.admission_log:
+        behind = [m for m in record.pending_margins if m < record.margin]
+        if behind:
+            violations.append(
+                InvariantViolation(
+                    "priority-soundness",
+                    f"pg {record.pg_id} (margin {record.margin}) admitted at "
+                    f"t={record.at:g} ahead of {len(behind)} pending PG(s) at "
+                    f"lower margin {sorted(behind)}",
+                    at_time=record.at,
+                )
+            )
+    return violations
+
+
+def check_no_avoidable_loss(cluster: CephCluster) -> List[InvariantViolation]:
+    """Data loss never occurs while a viable alternative placement existed.
+
+    Checked once after settle.  The recovery manager keeps an audit
+    trail of every PG it abandoned while a healthy placement with spare
+    capacity demonstrably existed (``_abandoned_with_alternative``);
+    entries clear when the PG later recovers.  A surviving entry whose
+    PG ended the run below k live shards convicts the recovery policy:
+    the data was lost even though, at abandon time, the cluster had
+    somewhere safe to put it.
+    """
+    violations: List[InvariantViolation] = []
+    recovery = cluster.recovery
+    k = cluster.pool.code.k
+    now = cluster.env.now
+    for pg_id, abandoned_at in sorted(
+        recovery._abandoned_with_alternative.items()
+    ):
+        pg = cluster.pool.pgs[pg_id]
+        alive = sum(
+            1 for osd_id in pg.acting if cluster.osds[osd_id].is_up()
+        )
+        if alive < k:
+            violations.append(
+                InvariantViolation(
+                    "no-avoidable-loss",
+                    f"pg {pg.pgid} ended with {alive} < k={k} live shards "
+                    f"but a healthy placement with spare capacity existed "
+                    f"when recovery abandoned it at t={abandoned_at:g}",
+                    at_time=now,
+                )
+            )
+    return violations
+
+
 def check_converged(cluster: CephCluster) -> List[InvariantViolation]:
     """End-of-campaign convergence: restore + recovery + scrub => HEALTH_OK.
 
@@ -453,6 +516,7 @@ STEP_CHECKS = (
     check_log_monotonicity,
     check_log_bounded_repair,
     check_cross_region_accounting,
+    check_priority_soundness,
 )
 
 
@@ -495,6 +559,7 @@ class InvariantSuite:
             check_converged,
             check_version_convergence,
             check_byzantine_containment,
+            check_no_avoidable_loss,
             *self.extra_final_checks,
         ):
             for violation in checker(self.cluster):

@@ -22,7 +22,7 @@ from ..sim.rng import SeedSequence
 from ..tenancy.spec import SloSpec, TenantFleetSpec, TenantSpec
 from .campaign import CampaignSpec, ScheduledAction
 
-__all__ = ["sample_campaign"]
+__all__ = ["sample_campaign", "cascade_scenario"]
 
 KB = 1024
 MB = 1024 * 1024
@@ -69,6 +69,16 @@ _GEO_EC_CHOICES: List[Tuple[str, Tuple[Tuple[str, int], ...]]] = [
     ("lrc", (("k", 4), ("l", 2), ("r", 2))),
 ]
 
+#: EC choices safe for cascade campaigns: rack-domain placement puts at
+#: most one shard per rack, so a whole-rack correlated crash costs one
+#: tolerance slot — tolerance >= 2 leaves budget for an aftershock.
+_CASCADE_EC_CHOICES: List[Tuple[str, Tuple[Tuple[str, int], ...]]] = [
+    ("jerasure", (("k", 3), ("m", 2))),
+    ("jerasure", (("k", 4), ("m", 2))),
+    ("isa", (("k", 4), ("m", 2))),
+    ("clay", (("d", 5), ("k", 3), ("m", 3))),
+]
+
 
 def _shard_count(params: Tuple[Tuple[str, int], ...]) -> int:
     """n = data + parity shards for any of the sampled plugins."""
@@ -95,6 +105,7 @@ def sample_campaign(
     tenants: bool = False,
     geo: bool = False,
     byzantine: bool = False,
+    cascade: bool = False,
 ) -> CampaignSpec:
     """Sample one valid campaign; same seed, same campaign, always.
 
@@ -135,7 +146,24 @@ def sample_campaign(
     ``byzantine=False`` streams stay byte-identical.  Exclusive with
     ``writes``/``tenants``/``geo``: containment must be judged on a
     read-only single-site cluster, where zero wrong reads is provable.
+
+    ``cascade=True`` re-shapes the campaign for correlated-failure
+    resilience: a rack-domain cluster with spare racks, a cascade-safe
+    EC geometry (tolerance >= 2, so a whole-rack loss leaves aftershock
+    budget), a sampled recovery priority (fifo or risk — both must
+    survive the same cascades), risk-exposure tracking on, and a
+    schedule of whole-rack correlated crashes followed by aftershock
+    device failures inside the recovery window.  The cascade draws
+    happen strictly after every other field so ``cascade=False``
+    streams stay byte-identical.  Exclusive with every other axis: the
+    no-avoidable-loss and priority-soundness invariants must be judged
+    without racing writers or a second fault vocabulary.
     """
+    if cascade and (writes or tenants or geo or byzantine):
+        raise ValueError(
+            "cascade campaigns are exclusive with writes/tenants/geo/"
+            "byzantine: cascade invariants must be judged in isolation"
+        )
     if tenants and writes:
         raise ValueError(
             "tenants and writes are exclusive: the fleet replaces the "
@@ -287,6 +315,33 @@ def sample_campaign(
             scrub_interval=float(rng.choice((200, 400, 800))),
             actions=tuple(_sample_byz_schedule(rng, tolerance, chosen)),
         )
+    if cascade:
+        # Drawn strictly after every existing field so cascade=False
+        # streams are untouched.  The rack-domain shape replaces the
+        # sampled EC geometry, cluster size and schedule wholesale:
+        # cascade-safety (rack loss costs one slot, tolerance >= 2
+        # leaves aftershock budget) is a property of the EC choice and
+        # rack count together, not something the generic draws can be
+        # patched into.
+        plugin, params = rng.choice(_CASCADE_EC_CHOICES)
+        n = _shard_count(params)
+        tolerance = _tolerance(plugin, params)
+        # n racks for placement plus spares: recovery can remap around a
+        # dead rack, and stripes that skip the crashed rack give the
+        # aftershocks mixed redundancy margins to prioritize.
+        num_racks = n + tolerance + rng.randrange(0, 2)
+        spec = replace(
+            spec,
+            ec_plugin=plugin,
+            ec_params=params,
+            failure_domain="rack",
+            num_hosts=num_racks * rng.choice((1, 2)),
+            osds_per_host=rng.choice((1, 2)),
+            num_racks=num_racks,
+            recovery_priority=rng.choice(("fifo", "risk")),
+            track_risk_exposure=True,
+            actions=tuple(_sample_cascade_schedule(rng, tolerance)),
+        )
     return spec
 
 
@@ -428,6 +483,85 @@ def _sample_geo_schedule(rng) -> List[ScheduledAction]:
         actions.append(ScheduledAction(at=t, kind="restore"))
         t += rng.choice((150.0, 300.0, 600.0))
     return actions
+
+
+def _sample_cascade_schedule(rng, tolerance: int) -> List[ScheduledAction]:
+    """A budget-tracked schedule of correlated-crash cascades.
+
+    Each round opens with a whole-rack correlated crash (one tolerance
+    slot — rack-domain placement caps any stripe at one shard per rack)
+    and then spends the remaining budget on *aftershocks*: single-device
+    crashes landing inside the recovery window, the follow-on failures
+    that push already-degraded stripes toward their redundancy floor.
+    The injector's white-box guard still bounds every step, so injected
+    faults alone can never exceed the code's tolerance; restore timing
+    straddles the down->out interval exactly like the generic schedule.
+    """
+    actions: List[ScheduledAction] = []
+    t = 100.0
+    for _ in range(rng.randrange(1, 3)):
+        actions.append(
+            ScheduledAction(
+                at=t,
+                kind="inject",
+                level="correlated_crash",
+                count=1,
+                domain="rack",
+            )
+        )
+        for _ in range(rng.randrange(0, tolerance)):
+            t += rng.choice((5.0, 20.0, 60.0))
+            actions.append(
+                ScheduledAction(at=t, kind="inject", level="device", count=1)
+            )
+        t += rng.choice((50.0, 200.0, 500.0))
+        actions.append(ScheduledAction(at=t, kind="restore"))
+        t += rng.choice((150.0, 300.0, 600.0))
+    return actions
+
+
+def cascade_scenario(seed: int, recovery_priority: str = "risk") -> CampaignSpec:
+    """The canonical rack-loss + aftershock scenario, fixed shape.
+
+    Shared by ``ecfault cascade`` and the cascade-recovery benchmark so
+    both always speak about the same cluster: jerasure(4,2) over 8
+    single-host racks (two OSDs each), rack failure domain, 16 PGs.  At
+    t=100 one whole rack dies as a correlated crash; at t=130 — inside
+    the recovery window, before the monitor marks the rack out — an
+    aftershock takes a device in a surviving rack, driving some stripes
+    to their redundancy floor (margin 0) while others keep margin 1.
+    Only ``recovery_priority`` varies, so a fifo/risk pair of runs is a
+    controlled experiment on servicing order alone.
+    """
+    actions = (
+        ScheduledAction(
+            at=100.0,
+            kind="inject",
+            level="correlated_crash",
+            count=1,
+            domain="rack",
+        ),
+        ScheduledAction(at=130.0, kind="inject", level="device", count=1),
+        ScheduledAction(at=1500.0, kind="restore"),
+    )
+    return CampaignSpec(
+        seed=seed,
+        ec_plugin="jerasure",
+        ec_params=(("k", 4), ("m", 2)),
+        pg_num=16,
+        stripe_unit=256 * KB,
+        cache_scheme="autotune",
+        failure_domain="rack",
+        num_hosts=8,
+        osds_per_host=2,
+        num_racks=8,
+        mon_osd_down_out_interval=60.0,
+        num_objects=24,
+        object_size=1 * MB,
+        recovery_priority=recovery_priority,
+        track_risk_exposure=True,
+        actions=actions,
+    )
 
 
 def _sample_byz_schedule(

@@ -17,6 +17,7 @@ Subcommands::
     ecfault replay       re-execute a chaos repro artifact exactly
     ecfault tenants      a multi-tenant QoS fleet experiment with SLO bill
     ecfault geo          a stretch-cluster experiment with WAN egress ledger
+    ecfault cascade      a correlated-failure cascade under a recovery policy
 
 Every command prints plain text; ``sweep`` and ``tune`` write
 machine-readable JSON so results can be analysed later or elsewhere.
@@ -571,6 +572,12 @@ def cmd_chaos(args) -> int:
               "single-region (exclusive with --writes/--tenants/--geo "
               "so containment is provable)", file=sys.stderr)
         return 2
+    if args.cascade and (args.writes or args.tenants or args.geo
+                         or args.byzantine):
+        print("chaos: --cascade campaigns are exclusive with "
+              "--writes/--tenants/--geo/--byzantine (the cascade "
+              "invariants must be judged in isolation)", file=sys.stderr)
+        return 2
     levels = tuple(args.levels.split(",")) if args.levels else None
     report = run_chaos(
         args.seed,
@@ -582,6 +589,7 @@ def cmd_chaos(args) -> int:
         tenants=args.tenants,
         geo=args.geo,
         byzantine=args.byzantine,
+        cascade=args.cascade,
     )
     print(f"chaos: {report.campaigns} campaigns from seed {report.root_seed}: "
           f"{report.passed} passed, {report.invalid} invalid, "
@@ -606,11 +614,17 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
+    from pathlib import Path
+
     from .adversary import run_fuzz
     from .core.fault_injector import FAULT_LEVELS
 
     if args.budget < 1:
         print("fuzz: --budget must be >= 1", file=sys.stderr)
+        return 2
+    if args.corpus_in is not None and not Path(args.corpus_in).is_dir():
+        print(f"fuzz: --corpus-in {args.corpus_in!r} is not a directory",
+              file=sys.stderr)
         return 2
     levels = tuple(args.levels.split(",")) if args.levels else None
     if levels is not None:
@@ -639,6 +653,7 @@ def cmd_fuzz(args) -> int:
         levels=levels,
         byzantine=args.byzantine,
         corpus_dir=args.corpus_dir,
+        corpus_in=args.corpus_in,
         on_run=progress,
     )
     print(json.dumps(report.summary(), indent=2, sort_keys=True))
@@ -846,6 +861,69 @@ def cmd_geo(args) -> int:
     return 0
 
 
+def cmd_cascade(args) -> int:
+    from .chaos import cascade_scenario, run_campaign
+
+    priorities = (
+        ("fifo", "risk") if args.compare else (args.priority,)
+    )
+    runs = {}
+    for priority in priorities:
+        spec = cascade_scenario(args.seed, recovery_priority=priority)
+        result = run_campaign(spec)
+        runs[priority] = (spec, result)
+
+    if args.json:
+        payload = {}
+        for priority, (spec, result) in runs.items():
+            recovery = result.digest["recovery"]
+            payload[priority] = {
+                "outcome_hash": result.outcome_hash,
+                "violations": len(result.violations),
+                "time_at_min_redundancy": recovery.get(
+                    "time_at_min_redundancy", 0.0
+                ),
+                "pgs_at_min_redundancy": recovery.get(
+                    "pgs_at_min_redundancy", 0
+                ),
+                "pgs_recovered": recovery.get("pgs_recovered", 0),
+                "pgs_toofull_requeued": recovery.get(
+                    "pgs_toofull_requeued", 0
+                ),
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if any(r.violations for _, r in runs.values()) else 0
+
+    failed = False
+    for priority, (spec, result) in runs.items():
+        recovery = result.digest["recovery"]
+        print(f"cascade seed {spec.seed}, recovery priority {priority}:")
+        print(f"  time at min redundancy: "
+              f"{recovery.get('time_at_min_redundancy', 0.0):9.3f} s")
+        print(f"  PGs that hit min redundancy: "
+              f"{recovery.get('pgs_at_min_redundancy', 0)}")
+        print(f"  PGs recovered:          "
+              f"{recovery.get('pgs_recovered', 0)}")
+        if recovery.get("pgs_toofull_requeued", 0):
+            print(f"  toofull re-queues:      "
+                  f"{recovery['pgs_toofull_requeued']}")
+        print(f"  invariant violations:   {len(result.violations)}")
+        for violation in result.violations:
+            print(f"    {violation.invariant}: {violation.detail}")
+        print(f"  outcome hash:           {result.outcome_hash[:16]}…")
+        failed = failed or bool(result.violations)
+    if args.compare:
+        fifo = runs["fifo"][1].digest["recovery"]
+        risk = runs["risk"][1].digest["recovery"]
+        fifo_t = fifo.get("time_at_min_redundancy", 0.0)
+        risk_t = risk.get("time_at_min_redundancy", 0.0)
+        saved = fifo_t - risk_t
+        pct = (saved / fifo_t * 100) if fifo_t else 0.0
+        print(f"risk-prioritized recovery saved {saved:.3f} s at min "
+              f"redundancy ({pct:.1f}% of fifo's {fifo_t:.3f} s)")
+    return 1 if failed else 0
+
+
 def cmd_autoscale(args) -> int:
     params = _parse_ec(args.plugin, args.ec_params)
     width = params["k"] + params.get("m", params.get("l", 0) + params.get("r", 0))
@@ -1051,6 +1129,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "write acks) and check the byzantine-containment "
                             "invariant (exclusive with "
                             "--writes/--tenants/--geo)")
+    chaos.add_argument("--cascade", action="store_true",
+                       help="re-shape every campaign into a rack-sharded "
+                            "cluster hit by correlated rack crashes with "
+                            "aftershocks, checking the no-avoidable-loss "
+                            "and priority-soundness invariants (exclusive "
+                            "with --writes/--tenants/--geo/--byzantine)")
     chaos.add_argument("--stop-on-failure", action="store_true",
                        help="stop at the first failing campaign")
     chaos.add_argument("--verbose", action="store_true",
@@ -1066,9 +1150,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="total campaign runs (seeds + mutants)")
     fuzz.add_argument("--seed", type=int, default=0,
                       help="root seed; the whole session derives from it")
-    fuzz.add_argument("--corpus-dir", default="fuzz-corpus",
+    fuzz.add_argument("--corpus-dir", "--corpus-out", dest="corpus_dir",
+                      default="fuzz-corpus",
                       help="where retained corpus entries, the summary, and "
                            "shrunk repro artifacts are written")
+    fuzz.add_argument("--corpus-in", default=None,
+                      help="seed this session's corpus from a directory a "
+                           "previous run's --corpus-out wrote (coverage and "
+                           "fitness records carry over, so only campaigns "
+                           "novel against the old corpus are retained)")
     fuzz.add_argument("--levels", default=None,
                       help="comma list restricting seed-sample fault levels, "
                            "e.g. byz_corrupt_data,byz_stale_map")
@@ -1139,6 +1229,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the geo outcome as JSON")
     geo.set_defaults(func=cmd_geo, hosts=12, objects=40,
                      object_size=8 * MB, ec_params="k=4,m=2")
+
+    cascade = sub.add_parser(
+        "cascade",
+        help="correlated-failure cascade (rack crash + aftershock) under "
+             "fifo or risk-prioritized recovery",
+    )
+    cascade.add_argument("--seed", type=int, default=0,
+                         help="scenario seed (fixed cluster shape; the seed "
+                              "feeds placement and service-time draws)")
+    cascade.add_argument("--priority", choices=["fifo", "risk"],
+                         default="risk",
+                         help="recovery admission order: arrival order or "
+                              "lowest-redundancy-margin first")
+    cascade.add_argument("--compare", action="store_true",
+                         help="run both priorities on the same seed and "
+                              "report the time-at-min-redundancy delta")
+    cascade.add_argument("--json", action="store_true",
+                         help="emit per-priority results as JSON")
+    cascade.set_defaults(func=cmd_cascade)
 
     autoscale = sub.add_parser("autoscale", help="pg_num advice")
     autoscale.add_argument("--plugin", default="jerasure")

@@ -239,11 +239,15 @@ class ClientOpStats:
     writes_ok: int = 0
     writes_failed: int = 0
     write_retries: int = 0
+    #: Write attempts that blocked on the monitor's full-ratio pause
+    #: (capacity backpressure).  Zero — and digest-pruned — unless some
+    #: OSD actually hit ``mon_osd_full_ratio``.
+    writes_paused: int = 0
 
 
 #: ClientOpStats fields added with the write path — pruned from digests
 #: when zero so read-only runs hash identically to the prior model.
-WRITE_STAT_KEYS = ("writes_ok", "writes_failed", "write_retries")
+WRITE_STAT_KEYS = ("writes_ok", "writes_failed", "write_retries", "writes_paused")
 
 
 @dataclass(frozen=True)
@@ -611,6 +615,14 @@ class RadosClient:
         allocs: Dict[int, Tuple[int, int, int]] = {}
         attempt = 0
         while True:
+            # Capacity backpressure: while any OSD is at the full ratio
+            # the monitor pauses client writes cluster-wide.  The gate is
+            # None when unpaused (no yield, no event perturbation), so
+            # runs that never fill a device are byte-identical.
+            gate = self.cluster.monitor.write_gate()
+            if gate is not None:
+                self.stats.writes_paused += 1
+                yield gate
             if rmw:
                 result = yield from self._rmw_attempt(
                     pg, obj, data_shard, landed, attempt

@@ -125,6 +125,20 @@ class Disk:
             self.read_bytes += nbytes
         return self.center.request(self.service_time(ops, nbytes, write))
 
+    @property
+    def usage_ratio(self) -> float:
+        """Fraction of capacity allocated — the backpressure input.
+
+        The nearfull/backfillfull/full thresholds in
+        :class:`~repro.cluster.osd.CephConfig` are compared against this
+        ratio by the monitor and by recovery's backfill target selection.
+        """
+        return self.used_bytes / self.spec.capacity_bytes
+
+    def headroom_bytes(self) -> int:
+        """Unallocated capacity left on the device."""
+        return self.spec.capacity_bytes - self.used_bytes
+
     def allocate(self, nbytes: int) -> None:
         """Account ``nbytes`` of durable allocation (WA measurement)."""
         if nbytes < 0:

@@ -35,8 +35,13 @@ class HealthStatus:
 
 
 #: Devices at or beyond this usage ratio are "nearfull" (Ceph default).
+#: Kept as module constants for callers that want the defaults without a
+#: config; :func:`check_health` reads the live thresholds from
+#: ``cluster.config`` (the ``mon_osd_*_ratio`` family).
 NEARFULL_RATIO = 0.85
-#: ...and beyond this one, "full".
+#: ...beyond this one, new backfill targets stop landing on the OSD...
+BACKFILLFULL_RATIO = 0.90
+#: ...and beyond this one, "full" (client writes pause cluster-wide).
 FULL_RATIO = 0.95
 
 
@@ -57,6 +62,9 @@ class HealthReport:
     checks: tuple
     pgs_inconsistent: int = 0
     pgs_repairing: int = 0
+    #: OSDs past the backfillfull ratio: still serving I/O but no longer
+    #: eligible as backfill targets (capacity backpressure tier 2).
+    backfillfull_osds: tuple = ()
     #: PGs whose pg_log still records stale shards (writes that missed a
     #: replica and have not been delta-repaired yet).
     pgs_dirty_log: int = 0
@@ -113,13 +121,17 @@ def check_health(cluster: CephCluster) -> HealthReport:
         if up_shards < min_size:
             undersized += 1
 
+    config = cluster.config
     nearfull = []
+    backfillfull = []
     full = []
     for osd_id, osd in sorted(cluster.osds.items()):
-        usage = osd.disk.used_bytes / osd.disk.spec.capacity_bytes
-        if usage >= FULL_RATIO:
+        usage = osd.disk.usage_ratio
+        if usage >= config.mon_osd_full_ratio:
             full.append(osd.name)
-        elif usage >= NEARFULL_RATIO:
+        elif usage >= config.mon_osd_backfillfull_ratio:
+            backfillfull.append(osd.name)
+        elif usage >= config.mon_osd_nearfull_ratio:
             nearfull.append(osd.name)
 
     inconsistent = cluster.scrub.pgs_in(ScrubPhase.INCONSISTENT)
@@ -136,8 +148,12 @@ def check_health(cluster: CephCluster) -> HealthReport:
         checks.append(f"{undersized} pgs undersized (below min_size)")
     if nearfull:
         checks.append(f"{len(nearfull)} nearfull osd(s)")
+    if backfillfull:
+        checks.append(f"{len(backfillfull)} backfillfull osd(s)")
     if full:
         checks.append(f"{len(full)} full osd(s)")
+    if getattr(cluster.monitor, "write_paused", False):
+        checks.append("client writes paused (osd(s) at full ratio)")
     if inconsistent:
         checks.append(f"{inconsistent} pgs inconsistent (scrub errors)")
     if repairing:
@@ -164,6 +180,7 @@ def check_health(cluster: CephCluster) -> HealthReport:
         nearfull_osds=tuple(nearfull),
         full_osds=tuple(full),
         checks=tuple(checks),
+        backfillfull_osds=tuple(backfillfull),
         pgs_inconsistent=inconsistent,
         pgs_repairing=repairing,
         pgs_dirty_log=dirty_log,

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Set
 
-from ..sim import Environment
+from ..sim import Environment, Event
 from ..sim.rng import SeedSequence
 from .logs import NodeLog
 from .network import Nic
@@ -81,6 +81,17 @@ class Monitor:
         self.pinned_until: Dict[int, float] = {}
         self.markdowns_total = 0
         self.pins_total = 0
+        #: Capacity backpressure: per-OSD capacity tier last observed on
+        #: a monitor tick ("ok" / "nearfull" / "backfillfull" / "full"),
+        #: used to log transitions once instead of every tick.
+        self.capacity_state: Dict[int, str] = {}
+        #: Cluster-wide write pause: True while any up OSD sits at or
+        #: past ``mon_osd_full_ratio``.  Clients block on
+        #: :meth:`write_gate` until the monitor observes usage back
+        #: below the ratio and resumes.
+        self.write_paused = False
+        self.write_pauses_total = 0
+        self._resume_event: Optional[Event] = None
         # Deterministic per-OSD heartbeat phase: a seeded draw per OSD in
         # id order, bounded by the interval so the first beat lands well
         # inside the grace window.  Same cluster, same phases, always.
@@ -193,6 +204,10 @@ class Monitor:
             yield self.env.timeout(self.config.mon_tick_interval)
             self._check_failures()
             self._check_down_out()
+            # Capacity backpressure piggybacks on the same tick (no
+            # extra process, so the event interleaving of pre-cascade
+            # runs is untouched).
+            self._check_capacity()
 
     def _check_failures(self) -> None:
         now = self.env.now
@@ -266,6 +281,87 @@ class Monitor:
             )
             for callback in self.on_out:
                 callback(newly_out)
+
+    # -- capacity backpressure --------------------------------------------------------
+
+    def _capacity_tier(self, osd: OsdDaemon) -> str:
+        usage = osd.disk.usage_ratio
+        if usage >= self.config.mon_osd_full_ratio:
+            return "full"
+        if usage >= self.config.mon_osd_backfillfull_ratio:
+            return "backfillfull"
+        if usage >= self.config.mon_osd_nearfull_ratio:
+            return "nearfull"
+        return "ok"
+
+    def _check_capacity(self) -> None:
+        """Per-OSD capacity tiers and the cluster-wide write pause.
+
+        Runs on every monitor tick.  Tier *transitions* are logged once
+        (OSD_NEARFULL / OSD_BACKFILLFULL / OSD_FULL style); the write
+        pause engages while any up OSD sits at the full ratio and
+        releases — waking every gated client write — once all up OSDs
+        are back below it.
+        """
+        now = self.env.now
+        any_full = False
+        for osd_id in sorted(self.osds):
+            osd = self.osds[osd_id]
+            tier = self._capacity_tier(osd)
+            if tier == "full" and osd.is_up():
+                any_full = True
+            previous = self.capacity_state.get(osd_id, "ok")
+            if tier == previous:
+                continue
+            self.capacity_state[osd_id] = tier
+            if tier == "ok":
+                self.log.emit(
+                    now, "mon", "osd capacity back below nearfull",
+                    osd=osd.name,
+                )
+            else:
+                check = {
+                    "nearfull": "OSD_NEARFULL",
+                    "backfillfull": "OSD_BACKFILLFULL",
+                    "full": "OSD_FULL",
+                }[tier]
+                self.log.emit(
+                    now, "mon", f"{check}: osd capacity threshold crossed",
+                    osd=osd.name,
+                    usage=round(osd.disk.usage_ratio, 4),
+                )
+        if any_full and not self.write_paused:
+            self.write_paused = True
+            self.write_pauses_total += 1
+            self.log.emit(
+                now, "mon",
+                "osd(s) at full ratio, pausing client writes",
+            )
+        elif self.write_paused and not any_full:
+            self.write_paused = False
+            self.log.emit(
+                now, "mon",
+                "capacity recovered, resuming client writes",
+            )
+            resume = self._resume_event
+            self._resume_event = None
+            if resume is not None and not resume.triggered:
+                resume.succeed()
+
+    def write_gate(self) -> Optional[Event]:
+        """The client-write admission gate.
+
+        Returns ``None`` while writes are admitted (the common case —
+        callers skip the yield entirely, keeping unpaused runs
+        byte-identical to the pre-backpressure model) or an
+        :class:`~repro.sim.Event` that fires when the monitor resumes
+        writes after a full-ratio pause.
+        """
+        if not self.write_paused:
+            return None
+        if self._resume_event is None:
+            self._resume_event = Event(self.env)
+        return self._resume_event
 
     # -- health transitions (scrub / corruption subsystem) ---------------------------
 

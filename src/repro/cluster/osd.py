@@ -106,6 +106,24 @@ class CephConfig:
     #: No effect on single-region topologies.  Disable to measure the
     #: naive helper choice (the geo benchmark's baseline).
     recovery_locality_aware: bool = True
+    #: Capacity backpressure thresholds (Ceph's ``mon_osd_*_ratio``
+    #: family) on each OSD's allocated fraction: nearfull warns,
+    #: backfillfull stops new backfill targets landing on the OSD, full
+    #: pauses cluster-wide client writes until usage drops back below.
+    mon_osd_nearfull_ratio: float = 0.85
+    mon_osd_backfillfull_ratio: float = 0.90
+    mon_osd_full_ratio: float = 0.95
+    #: PG recovery servicing order: ``fifo`` keeps the historical
+    #: pool-iteration order (byte-identical to the pre-cascade model);
+    #: ``risk`` admits PGs through a priority queue ordered by
+    #: redundancy margin (fewest surviving parity shards first), ties
+    #: broken by bytes-at-risk, degraded-object count, then pg id.
+    osd_recovery_priority: str = "fifo"
+    #: Track per-PG time spent at minimum redundancy (margin zero — one
+    #: more loss is data loss) into ``RecoveryStats``.  Off by default
+    #: so pre-cascade digests stay byte-identical; cascade campaigns,
+    #: the cascade CLI, and the cascade benchmark turn it on.
+    osd_track_risk_exposure: bool = False
 
     def __post_init__(self):
         if self.osd_heartbeat_interval <= 0 or self.osd_heartbeat_grace <= 0:
@@ -130,6 +148,21 @@ class CephConfig:
             raise ValueError("pg log hard limit must be >= max entries")
         if self.client_write_retry_max < 0:
             raise ValueError("retry budgets must be non-negative")
+        if not (
+            0.0
+            < self.mon_osd_nearfull_ratio
+            <= self.mon_osd_backfillfull_ratio
+            <= self.mon_osd_full_ratio
+            <= 1.0
+        ):
+            raise ValueError(
+                "capacity ratios must satisfy "
+                "0 < nearfull <= backfillfull <= full <= 1"
+            )
+        if self.osd_recovery_priority not in ("fifo", "risk"):
+            raise ValueError(
+                f"unknown recovery priority {self.osd_recovery_priority!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -59,8 +59,10 @@ from .topology import ClusterTopology
 __all__ = [
     "RecoveryStats",
     "RecoveryManager",
+    "AdmissionRecord",
     "DELTA_STAT_KEYS",
     "GEO_STAT_KEYS",
+    "CASCADE_STAT_KEYS",
 ]
 
 
@@ -102,6 +104,16 @@ class RecoveryStats:
     cross_region_bytes_written: int = 0
     cross_region_pulls: int = 0
     cross_region_pushes: int = 0
+    #: Cascade-resilience counters.  ``time_at_min_redundancy`` is
+    #: aggregate PG-seconds spent at redundancy margin <= 0 (one more
+    #: loss is data loss), measured between osdmap/recovery events and
+    #: only when ``osd_track_risk_exposure`` is on;
+    #: ``pgs_at_min_redundancy`` counts entries into that state.
+    #: ``pgs_toofull_requeued`` counts PGs whose toofull-abandoned
+    #: backfill was requeued after capacity freed up.
+    time_at_min_redundancy: float = 0.0
+    pgs_at_min_redundancy: int = 0
+    pgs_toofull_requeued: int = 0
     started_at: Optional[float] = None
     io_started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -127,6 +139,31 @@ GEO_STAT_KEYS = (
     "cross_region_pulls",
     "cross_region_pushes",
 )
+
+#: RecoveryStats fields added with the cascade axis — pruned from
+#: digests when zero so pre-cascade runs hash identically.
+CASCADE_STAT_KEYS = (
+    "time_at_min_redundancy",
+    "pgs_at_min_redundancy",
+    "pgs_toofull_requeued",
+)
+
+
+@dataclass(frozen=True)
+class AdmissionRecord:
+    """One risk-mode recovery admission, for the priority-soundness oracle.
+
+    ``pending_margins`` snapshots the redundancy margins of the PGs
+    still waiting behind this one at the admission instant; the
+    invariant asserts none of them was strictly more at risk than the
+    PG admitted.  Only risk-priority runs record admissions — FIFO runs
+    keep an empty log (the invariant is vacuous there by design).
+    """
+
+    at: float
+    pg_id: int
+    margin: int
+    pending_margins: tuple
 
 
 class RecoveryManager:
@@ -174,6 +211,26 @@ class RecoveryManager:
         #: surviving hosts instead of hammering the same straw2 prefix.
         #: Never advanced on single-region topologies.
         self._helper_rr = 0
+        #: Risk-mode admission trail (see :class:`AdmissionRecord`);
+        #: stays empty under FIFO priority.
+        self.admission_log: List[AdmissionRecord] = []
+        #: pg_id -> sim time it entered redundancy margin <= 0; clocks
+        #: close into ``stats.time_at_min_redundancy`` when margin
+        #: recovers.  Only maintained under ``osd_track_risk_exposure``.
+        self._at_min_since: Dict[int, float] = {}
+        #: PGs that hit a toofull push during recovery, mapped to a
+        #: per-up-OSD used-bytes snapshot at abandon time: a later drop
+        #: below the snapshot (or a fresh OSD joining) requeues them.
+        self._toofull_pgs: Dict[int, Dict[int, int]] = {}
+        #: Toofull hits observed mid-recovery, consumed by
+        #: ``_recover_pg`` to turn a silently-incomplete backfill into
+        #: an explicit abandon-and-requeue.
+        self._toofull_hit: Set[int] = set()
+        #: pg_id -> earliest time its recovery was abandoned while a
+        #: healthy placement with spare capacity demonstrably existed —
+        #: the audit trail behind the no-avoidable-loss invariant.
+        #: Entries clear when the PG later recovers.
+        self._abandoned_with_alternative: Dict[int, float] = {}
 
     @property
     def idle(self) -> bool:
@@ -188,16 +245,107 @@ class RecoveryManager:
     def on_osds_out(self, newly_out: Set[int]) -> None:
         """React to an osdmap change: queue recovery for affected PGs."""
         self.out_osds |= set(newly_out)
+        self._update_risk_clocks()
         if self.stats.started_at is None:
             self.stats.started_at = self.env.now
         affected = self.pool.pgs_using_osd(newly_out)
+        batch = []
         for pg in affected:
             lost_shards = pg.shards_on(self.out_osds)
             if not lost_shards:
                 continue
+            batch.append((pg, lost_shards))
+        self._spawn_recoveries(batch)
+
+    # -- risk-prioritized dispatch ---------------------------------------------------
+
+    def pg_margin(self, pg: PlacementGroup) -> int:
+        """Redundancy margin: up acting shards minus k.
+
+        0 means one more loss is data loss (min redundancy); negative
+        means the PG cannot currently serve reads from live shards.
+        """
+        alive = sum(
+            1 for osd_id in pg.acting if self.osds[osd_id].is_up()
+        )
+        return alive - self.pool.code.k
+
+    def _risk_key(self, pg: PlacementGroup, lost_shards: List[int]):
+        """Priority-queue order: margin asc, bytes-at-risk desc,
+        degraded-object count desc, pg id (deterministic tie-break)."""
+        bytes_at_risk = pg.stored_bytes() * len(lost_shards)
+        return (
+            self.pg_margin(pg),
+            -bytes_at_risk,
+            -len(pg.objects),
+            pg.pg_id,
+        )
+
+    def _spawn_recoveries(self, batch, requeued: bool = False) -> None:
+        """Dispatch a same-instant batch of PG recoveries.
+
+        FIFO mode spawns in the caller's (pool-iteration) order — byte
+        identical to the historical model.  Risk mode re-scores every
+        queued PG against the *current* map (margins reflect any OSD
+        that is already down again), sorts by risk, and spawns in that
+        order; because all processes start at the same instant, the
+        backfill Resource queues then grant reservations in priority
+        order.  Each admission is recorded for the priority-soundness
+        invariant.
+        """
+        if self.config.osd_recovery_priority == "risk":
+            batch = sorted(
+                batch, key=lambda item: self._risk_key(item[0], item[1])
+            )
+            margins = [self.pg_margin(pg) for pg, _ in batch]
+            for index, (pg, _) in enumerate(batch):
+                self.admission_log.append(
+                    AdmissionRecord(
+                        at=self.env.now,
+                        pg_id=pg.pg_id,
+                        margin=margins[index],
+                        pending_margins=tuple(margins[index + 1:]),
+                    )
+                )
+        for pg, lost_shards in batch:
             self._active_pgs += 1
             self.stats.pgs_queued += 1
+            if requeued:
+                self.stats.pgs_requeued += 1
+                self.mgr_log.emit(
+                    self.env.now, "mgr",
+                    "helper rejoined, requeueing degraded pg", pg=pg.pgid,
+                )
             self.env.process(self._recover_pg(pg, lost_shards))
+
+    def _update_risk_clocks(self) -> None:
+        """Advance the per-PG time-at-min-redundancy accounting.
+
+        Called on every osdmap/up event and on each PG recovery
+        completion; a no-op unless ``osd_track_risk_exposure`` is set,
+        so pre-cascade runs never touch the new stats fields.
+        """
+        if not self.config.osd_track_risk_exposure:
+            return
+        now = self.env.now
+        for pg_id in sorted(self.pool.pgs):
+            pg = self.pool.pgs[pg_id]
+            at_min = self.pg_margin(pg) <= 0
+            since = self._at_min_since.get(pg_id)
+            if at_min and since is None:
+                self._at_min_since[pg_id] = now
+                self.stats.pgs_at_min_redundancy += 1
+            elif not at_min and since is not None:
+                self.stats.time_at_min_redundancy += now - since
+                del self._at_min_since[pg_id]
+
+    def pgs_at_tolerance(self) -> int:
+        """PGs currently at margin <= 0 (the benchmark's exposure probe)."""
+        return sum(
+            1
+            for pg_id in sorted(self.pool.pgs)
+            if self.pg_margin(self.pool.pgs[pg_id]) <= 0
+        )
 
     def on_osds_in(self, newly_in: Set[int]) -> None:
         """React to restored OSDs rejoining the map.
@@ -212,24 +360,23 @@ class RecoveryManager:
         without the requeue a healed cluster stays wedged degraded.
         """
         self.out_osds -= set(newly_in)
+        self._update_risk_clocks()
         if self._abandoned_pgs:
             requeue = sorted(self._abandoned_pgs)
             self._abandoned_pgs.clear()
+            batch = []
             for pg_id in requeue:
                 pg = self.pool.pgs[pg_id]
+                # A rejoining OSD supersedes the capacity watch: the
+                # requeue here already retries the backfill.
+                self._toofull_pgs.pop(pg_id, None)
                 lost_shards = pg.shards_on(self.out_osds)
                 if not lost_shards:
                     # Every OSD this PG was missing is back in the map:
                     # nothing to rebuild (any staleness is delta's job).
                     continue
-                self._active_pgs += 1
-                self.stats.pgs_queued += 1
-                self.stats.pgs_requeued += 1
-                self.mgr_log.emit(
-                    self.env.now, "mgr",
-                    "helper rejoined, requeueing degraded pg", pg=pg.pgid,
-                )
-                self.env.process(self._recover_pg(pg, lost_shards))
+                batch.append((pg, lost_shards))
+            self._spawn_recoveries(batch, requeued=True)
         self._queue_delta(set(newly_in))
 
     # -- entry point (wired to Monitor.on_up): pg_log delta recovery ----------------
@@ -242,6 +389,7 @@ class RecoveryManager:
         away.  The PG logs know exactly which objects those were; queue
         delta recovery for the affected PGs.
         """
+        self._update_risk_clocks()
         self._queue_delta(set(newly_up))
 
     def _queue_delta(self, osd_ids: Set[int]) -> None:
@@ -282,6 +430,64 @@ class RecoveryManager:
         for pg_id in sorted(self.pool.pgs):
             if self._maybe_queue_delta_pg(self.pool.pgs[pg_id]):
                 queued = True
+        if self._kick_toofull():
+            queued = True
+        return queued
+
+    # -- toofull requeue (capacity backpressure) --------------------------------------
+
+    def _capacity_snapshot(self) -> Dict[int, int]:
+        """Per-up-OSD allocated bytes, the toofull-retry trigger state."""
+        return {
+            osd_id: self.osds[osd_id].disk.used_bytes
+            for osd_id in sorted(self.osds)
+            if self.osds[osd_id].is_up()
+        }
+
+    def _note_toofull(self, pg: PlacementGroup) -> None:
+        """Watch a toofull-abandoned PG for freed capacity.
+
+        The snapshot comparison in :meth:`_kick_toofull` only requeues
+        when some up OSD's usage *dropped* below what it was at abandon
+        time (or a fresh OSD joined) — never on mere growth — so the
+        settle loop cannot livelock on a permanently-full cluster.
+        """
+        self._toofull_pgs[pg.pg_id] = self._capacity_snapshot()
+
+    def _kick_toofull(self) -> bool:
+        """Requeue toofull-abandoned PGs once capacity has freed.
+
+        Called from :meth:`kick_stale` (the chaos/gray convergence
+        kick): a transient toofull — an OSD that filled during the
+        cascade and later freed space, or a new target joining — no
+        longer leaves a permanently degraded shard.
+        """
+        queued = False
+        batch = []
+        current = self._capacity_snapshot() if self._toofull_pgs else {}
+        for pg_id in sorted(self._toofull_pgs):
+            snapshot = self._toofull_pgs[pg_id]
+            freed = any(
+                used < snapshot.get(osd_id, float("inf"))
+                for osd_id, used in current.items()
+            )
+            if not freed:
+                continue
+            del self._toofull_pgs[pg_id]
+            pg = self.pool.pgs[pg_id]
+            self._abandoned_pgs.discard(pg_id)
+            lost_shards = pg.shards_on(self.out_osds)
+            if not lost_shards:
+                continue
+            self.stats.pgs_toofull_requeued += 1
+            self.mgr_log.emit(
+                self.env.now, "mgr",
+                "capacity freed, requeueing toofull pg", pg=pg.pgid,
+            )
+            batch.append((pg, lost_shards))
+            queued = True
+        if batch:
+            self._spawn_recoveries(batch)
         return queued
 
     def wait_all_recovered(self) -> Event:
@@ -301,20 +507,79 @@ class RecoveryManager:
 
     # -- per-PG state machine --------------------------------------------------------
 
-    def _recover_pg(self, pg: PlacementGroup, lost_shards: List[int]) -> Generator:
-        old_acting = list(pg.acting)
+    def _backfillfull_osds(self) -> Set[int]:
+        """OSDs past the backfillfull ratio: not valid backfill targets."""
+        ratio = self.config.mon_osd_backfillfull_ratio
+        return {
+            osd_id
+            for osd_id, osd in self.osds.items()
+            if osd.disk.usage_ratio >= ratio
+        }
+
+    def _audit_abandon(self, pg: PlacementGroup) -> None:
+        """Record an abandon while a viable alternative placement existed.
+
+        The no-avoidable-loss invariant's evidence trail: if at abandon
+        time a placement avoiding the out set existed whose every OSD
+        still had headroom for this PG's shard, remember the instant.
+        The entry clears if the PG later recovers; one surviving an
+        actual data loss convicts the recovery policy of avoidable loss.
+        """
+        if pg.pg_id in self._abandoned_with_alternative:
+            return
+        shard_bytes = pg.stored_bytes()
+        full = {
+            osd_id
+            for osd_id, osd in self.osds.items()
+            if osd.disk.headroom_bytes() < shard_bytes
+        }
         try:
-            new_acting = self.pool.crush.place_pg(
+            self.pool.crush.place_pg(
                 pg.pool_id,
                 pg.pg_id,
                 self.pool.code.n,
                 self.pool.failure_domain,
-                excluded_osds=self.out_osds,
+                excluded_osds=self.out_osds | full,
                 region_rule=self.pool.region_rule,
             )
         except PlacementError:
+            return
+        self._abandoned_with_alternative[pg.pg_id] = self.env.now
+
+    def _recover_pg(self, pg: PlacementGroup, lost_shards: List[int]) -> Generator:
+        old_acting = list(pg.acting)
+        self._toofull_hit.discard(pg.pg_id)
+        # Capacity-aware target selection: OSDs past the backfillfull
+        # ratio are excluded up front (Ceph's backfillfull reservation
+        # rejection).  If that leaves too few buckets, fall back to
+        # capacity-blind placement — the per-push headroom check is
+        # still the last line of defense.
+        excluded = set(self.out_osds) | self._backfillfull_osds()
+        try:
+            try:
+                new_acting = self.pool.crush.place_pg(
+                    pg.pool_id,
+                    pg.pg_id,
+                    self.pool.code.n,
+                    self.pool.failure_domain,
+                    excluded_osds=excluded,
+                    region_rule=self.pool.region_rule,
+                )
+            except PlacementError:
+                if excluded == self.out_osds:
+                    raise
+                new_acting = self.pool.crush.place_pg(
+                    pg.pool_id,
+                    pg.pg_id,
+                    self.pool.code.n,
+                    self.pool.failure_domain,
+                    excluded_osds=self.out_osds,
+                    region_rule=self.pool.region_rule,
+                )
+        except PlacementError:
             self.stats.pgs_unplaceable += 1
             self._abandoned_pgs.add(pg.pg_id)
+            self._audit_abandon(pg)
             self.mgr_log.emit(
                 self.env.now, "mgr", "pg remains degraded, no placement",
                 pg=pg.pgid,
@@ -385,20 +650,38 @@ class RecoveryManager:
             for osd_id in reversed(reservation_osds):
                 self.osds[osd_id].backfill_slots.release()
 
-        if not all(results):
-            # At least one object op was abandoned: the rebuilt state is
-            # incomplete, so the PG keeps its old acting set and stays
-            # degraded instead of claiming a clean map it cannot serve.
+        toofull = pg.pg_id in self._toofull_hit
+        self._toofull_hit.discard(pg.pg_id)
+        if not all(results) or toofull:
+            # At least one object op was abandoned (or a push found its
+            # target toofull): the rebuilt state is incomplete, so the
+            # PG keeps its old acting set and stays degraded instead of
+            # claiming a clean map it cannot serve.
             self.stats.pgs_abandoned += 1
             self._abandoned_pgs.add(pg.pg_id)
-            self._log_for(primary).emit(
-                self.env.now, "osd", "recovery abandoned, pg remains degraded",
-                pg=pg.pgid, failed=sum(1 for ok in results if not ok),
-            )
+            self._audit_abandon(pg)
+            if toofull:
+                # Watch for freed capacity: kick_stale requeues this PG
+                # instead of leaving the shard permanently degraded.
+                self._note_toofull(pg)
+                self._log_for(primary).emit(
+                    self.env.now, "osd",
+                    "backfill toofull, pg remains degraded",
+                    pg=pg.pgid,
+                )
+            else:
+                self._log_for(primary).emit(
+                    self.env.now, "osd",
+                    "recovery abandoned, pg remains degraded",
+                    pg=pg.pgid, failed=sum(1 for ok in results if not ok),
+                )
             self._pg_finished()
             return
 
         pg.acting = new_acting
+        self._abandoned_with_alternative.pop(pg.pg_id, None)
+        self._toofull_pgs.pop(pg.pg_id, None)
+        self._update_risk_clocks()
         self.stats.pgs_recovered += 1
         self._log_for(primary).emit(
             self.env.now, "osd", "recovery completed", pg=pg.pgid
@@ -810,6 +1093,11 @@ class RecoveryManager:
         for shard, result in zip(pushes, push_results):
             if result:
                 pushed.add(shard)
+                if result == "toofull":
+                    # Surface the capacity miss to the PG state machine:
+                    # _recover_pg abandons (and capacity-watches) the PG
+                    # instead of claiming a clean map missing a chunk.
+                    self._toofull_hit.add(pg.pg_id)
                 if log is None:
                     continue
                 if result == "stored":

@@ -39,6 +39,17 @@ What actually bounds recoverability is how many shards of any one stripe
 live in (or behind) the target regions — the region-spanning CRUSH rule
 caps that, and the guard unions it with live damage (down OSDs, stale
 and corrupt shards) exactly like the crash-over-staleness guard.
+
+Cascade experiments add one **correlated** level:
+
+* ``correlated_crash`` — fail every OSD inside whole failure-domain
+  buckets (hosts, racks, …) in a single event: the shared-switch /
+  shared-PDU scenario where one physical fault takes out an entire
+  domain at once.  It is guarded exactly like ``node`` crashes — the
+  buckets taken out (in the *pool's* failure domain) plus live damage
+  must stay within the code's tolerance — so an injected cascade alone
+  can never lose data; only the follow-on aftershocks the campaign
+  schedules push PGs toward their redundancy floor.
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..cluster.ceph import CephCluster
 from ..cluster.network import NetDegradation
 from ..cluster.scrub import CorruptionModel
+from ..cluster.topology import FailureDomain
 from ..sim.rng import SeedSequence
 from .byzantine import BYZ_LEVELS, ensure_byzantine
 from .worker import Worker
@@ -63,6 +75,7 @@ __all__ = [
     "GRAY_LEVELS",
     "GEO_LEVELS",
     "BYZ_LEVELS",
+    "CASCADE_LEVELS",
 ]
 
 #: Gray-failure levels: the fault degrades service but kills nothing.
@@ -71,11 +84,14 @@ GRAY_LEVELS = ("slow_device", "net_degrade", "flap")
 #: Region-level levels: only valid on multi-region (stretch) topologies.
 GEO_LEVELS = ("wan_partition", "region_outage")
 
+#: Correlated level: one event fails a whole failure-domain bucket.
+CASCADE_LEVELS = ("correlated_crash",)
+
 #: The fault levels the injector understands.  Byzantine levels (OSDs
-#: that lie — see :mod:`repro.core.byzantine`) ride at the end so every
-#: pre-existing level keeps its position.
+#: that lie — see :mod:`repro.core.byzantine`) and the correlated level
+#: ride at the end so every pre-existing level keeps its position.
 FAULT_LEVELS = ("node", "device", "corrupt") + GRAY_LEVELS + GEO_LEVELS \
-    + BYZ_LEVELS
+    + BYZ_LEVELS + CASCADE_LEVELS
 
 
 class Colocation:
@@ -97,11 +113,14 @@ class FaultSpec:
     service times by ``factor``), ``"net_degrade"`` (apply ``loss`` /
     ``latency`` / ``bandwidth_penalty`` / ``partition`` to host NICs) or
     ``"flap"`` (oscillate OSD daemons with half-periods around
-    ``flap_interval``).  ``count`` is how many targets; ``colocation``
-    constrains device-scoped faults; ``corruption`` picks the damage
-    model for corrupt-level faults; explicit ``targets`` (host ids for
+    ``flap_interval``), or ``"correlated_crash"`` (fail every OSD in
+    whole ``domain`` buckets at once — the shared-switch scenario).
+    ``count`` is how many targets; ``colocation`` constrains
+    device-scoped faults; ``corruption`` picks the damage model for
+    corrupt-level faults; explicit ``targets`` (host ids for
     node/net_degrade faults, OSD ids for device/slow_device/flap faults,
-    stripe shard indices for corrupt faults) override selection.
+    stripe shard indices for corrupt faults, bucket ids for
+    correlated_crash faults) override selection.
     """
 
     level: str = "node"
@@ -121,6 +140,8 @@ class FaultSpec:
     partition: bool = False
     #: flap: nominal half-period of the up/down oscillation (seconds).
     flap_interval: float = 60.0
+    #: correlated_crash: the topology level that fails as one unit.
+    domain: str = "host"
 
     def __post_init__(self):
         if self.level not in FAULT_LEVELS:
@@ -137,11 +158,19 @@ class FaultSpec:
             )
         if self.colocation == Colocation.SAME_HOST and self.level in (
             "node", "net_degrade",
-        ) + GEO_LEVELS + BYZ_LEVELS:
+        ) + GEO_LEVELS + BYZ_LEVELS + CASCADE_LEVELS:
             raise ValueError(
                 "same-host colocation applies to device-scoped faults, "
                 f"not level={self.level!r}"
             )
+        if self.level == "correlated_crash":
+            if self.domain not in (
+                FailureDomain.HOST, FailureDomain.RACK, FailureDomain.REGION,
+            ):
+                raise ValueError(
+                    f"correlated_crash domain must be one of host, rack, "
+                    f"region; got {self.domain!r}"
+                )
         if self.corruption not in CorruptionModel.ALL:
             raise ValueError(
                 f"unknown corruption model {self.corruption!r}; "
@@ -410,6 +439,13 @@ class FaultInjector:
             # the monitor rejects its epoch, so it counts as unavailable
             # for the tolerance guarantee exactly like a flapping OSD.
             return set(self._select_byz_liars(spec))
+        if spec.level == "correlated_crash":
+            out = set()
+            for bucket in self._select_correlated_buckets(spec):
+                out |= set(
+                    self.cluster.topology.osds_in_bucket(bucket, spec.domain)
+                )
+            return out
         return set(self._select_devices(spec))
 
     # -- target selection ----------------------------------------------------------------
@@ -449,6 +485,39 @@ class FaultInjector:
         if len(candidates) < spec.count:
             raise ValueError(
                 f"only {len(candidates)} hosts hold data, need {spec.count}"
+            )
+        return rng.sample(candidates, spec.count)
+
+    def _select_correlated_buckets(self, spec: FaultSpec) -> List[int]:
+        """Pick the failure-domain buckets a correlated_crash takes out.
+
+        Explicit ``targets`` are bucket ids at ``spec.domain``; otherwise
+        buckets are sampled from those still holding reachable data so
+        the correlated loss actually triggers recovery.  Draws from its
+        own seeded stream — validate and inject replay the same picks.
+        """
+        topology = self.cluster.topology
+        all_buckets = set(topology.buckets(spec.domain))
+        if spec.targets is not None:
+            buckets = list(spec.targets)[: spec.count]
+            bad = sorted(set(buckets) - all_buckets)
+            if bad:
+                raise ValueError(
+                    f"correlated_crash targets are {spec.domain} bucket "
+                    f"ids; {bad} unknown"
+                )
+            return buckets
+        rng = self.seeds.stream("fault-correlated")
+        candidates = sorted(
+            {
+                topology.bucket_of(osd_id, spec.domain)
+                for osd_id in self._healthy_data_osds()
+            }
+        )
+        if len(candidates) < spec.count:
+            raise ValueError(
+                f"only {len(candidates)} {spec.domain} buckets hold data, "
+                f"need {spec.count}"
             )
         return rng.sample(candidates, spec.count)
 
@@ -852,6 +921,25 @@ class FaultInjector:
                     self.workers[host.host_id].shutdown_node()
                     affected.extend(host.osd_ids)
                     self.injected_osds |= set(host.osd_ids)
+        elif spec.level == "correlated_crash":
+            buckets = self._select_correlated_buckets(spec)
+            affected = []
+            for bucket in sorted(buckets):
+                # The shared switch/PDU dies: every host in the bucket
+                # goes down as one event, not a staggered sequence.
+                hosts = sorted(
+                    {
+                        self.cluster.topology.osds[osd_id].host_id
+                        for osd_id in self.cluster.topology.osds_in_bucket(
+                            bucket, spec.domain
+                        )
+                    }
+                )
+                for host_id in hosts:
+                    self.workers[host_id].shutdown_node()
+                    host_osds = self.cluster.topology.hosts[host_id].osd_ids
+                    affected.extend(host_osds)
+                    self.injected_osds |= set(host_osds)
         elif spec.level == "wan_partition":
             regions = self._select_regions(spec)
             wan = self.cluster.topology.wan

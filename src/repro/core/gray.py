@@ -31,7 +31,12 @@ from ..cluster.client import (
     WriteStats,
 )
 from ..cluster.health import HealthStatus, check_health
-from ..cluster.recovery import DELTA_STAT_KEYS, RecoveryStats
+from ..cluster.recovery import (
+    CASCADE_STAT_KEYS,
+    DELTA_STAT_KEYS,
+    GEO_STAT_KEYS,
+    RecoveryStats,
+)
 from ..workload.generator import Workload
 from .controller import Controller
 from .fault_injector import FaultSpec
@@ -72,14 +77,18 @@ class GrayOutcome:
         Write-path keys appear only when the run actually wrote: the
         new counters are pruned at zero and the write-sample section is
         omitted entirely, so read-only digests stay byte-identical to
-        the pre-write-path model.
+        the pre-write-path model.  The geo and cascade recovery
+        counters get the same treatment (gray runs never exercise
+        cross-region repair or risk accounting, so they are always
+        zero here) — the same pruning the chaos engine's outcome
+        digest applies.
         """
         client = asdict(self.client_stats)
         for key in WRITE_STAT_KEYS:
             if client.get(key) == 0:
                 del client[key]
         recovery = asdict(self.recovery_stats)
-        for key in DELTA_STAT_KEYS:
+        for key in DELTA_STAT_KEYS + GEO_STAT_KEYS + CASCADE_STAT_KEYS:
             if recovery.get(key) == 0:
                 del recovery[key]
         payload = {

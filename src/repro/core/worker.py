@@ -225,7 +225,12 @@ class Worker:
                 )
                 yield self.cluster.env.timeout(interval * (0.5 + rng.random()))
         except Interrupt:
-            # restore() stops the oscillation; it re-raises the daemon.
+            # restore() stops the oscillation.  Re-raise the daemon here
+            # too, not just in restore(): when the inject and the restore
+            # land at the same sim instant, this loop's first down-phase
+            # runs *after* restore() already set daemon_up — without
+            # this, the interrupt would strand the daemon down forever.
+            osd.daemon_up = True
             return
 
     def restore(self) -> None:

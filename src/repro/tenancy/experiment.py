@@ -22,7 +22,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.client import WRITE_STAT_KEYS
 from ..cluster.health import check_health
-from ..cluster.recovery import DELTA_STAT_KEYS, RecoveryStats
+from ..cluster.recovery import (
+    CASCADE_STAT_KEYS,
+    DELTA_STAT_KEYS,
+    GEO_STAT_KEYS,
+    RecoveryStats,
+)
 from ..core.controller import Controller
 from ..core.fault_injector import FaultSpec
 from ..core.gray import SETTLE_POLL, _converged
@@ -75,7 +80,7 @@ class TenantOutcome:
         with a per-tenant map and (under QoS) the scheduler totals.
         """
         recovery = asdict(self.recovery_stats)
-        for key in DELTA_STAT_KEYS:
+        for key in DELTA_STAT_KEYS + GEO_STAT_KEYS + CASCADE_STAT_KEYS:
             if recovery.get(key) == 0:
                 del recovery[key]
         payload: Dict[str, Any] = {

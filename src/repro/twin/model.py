@@ -64,8 +64,10 @@ __all__ = [
 #: Fault levels that change the osdmap and trigger backfill.  Gray levels
 #: (slow_device, net_degrade, flap) and corruption degrade service but do
 #: not mark OSDs out, so — like the DES, whose timeline stays ``None`` —
-#: the twin predicts no recovery cycle for them.
-_CRASH_LEVELS = ("node", "device")
+#: the twin predicts no recovery cycle for them.  ``correlated_crash``
+#: fails whole failure-domain buckets at once and rides the same
+#: machinery via bucket/host-equivalent conversion.
+_CRASH_LEVELS = ("node", "device", "correlated_crash")
 
 
 @dataclass(frozen=True)
@@ -163,6 +165,9 @@ class TwinPrediction:
     #: Expected repair bytes pulled across regions (stretch clusters
     #: only; None on single-region profiles so their digests are stable).
     wan_cross_read_bytes: Optional[float] = None
+    #: Expected aggregate PG-time at minimum redundancy (correlated
+    #: fault loads only; None otherwise so existing digests are stable).
+    time_at_risk: Optional[float] = None
 
     @property
     def checking_fraction(self) -> float:
@@ -195,6 +200,8 @@ class TwinPrediction:
             data["tenant_slo_p99"] = self.tenant_slo_p99
         if self.wan_cross_read_bytes is not None:
             data["wan_cross_read_bytes"] = self.wan_cross_read_bytes
+        if self.time_at_risk is not None:
+            data["time_at_risk"] = self.time_at_risk
         return data
 
     def digest_json(self) -> str:
@@ -212,6 +219,19 @@ def _comb(n: int, r: int) -> int:
     return math.comb(n, r)
 
 
+def _correlated_host_equivalents(
+    profile: ExperimentProfile, spec: FaultSpec
+) -> int:
+    """How many whole hosts one correlated_crash unit takes down."""
+    if spec.domain == FailureDomain.RACK:
+        per_bucket = -(-profile.num_hosts // max(1, profile.num_racks))
+    elif spec.domain == FailureDomain.REGION:
+        per_bucket = -(-profile.num_hosts // max(1, profile.num_regions))
+    else:
+        per_bucket = 1
+    return per_bucket * spec.count
+
+
 def _loss_distribution(
     profile: ExperimentProfile, faults: Sequence[FaultSpec]
 ) -> List[Tuple[int, float]]:
@@ -221,7 +241,10 @@ def _loss_distribution(
     stripe's ``n`` shards sit on ``n`` distinct hosts, so the lost count
     is hypergeometric over hosts.  Device faults remove single OSDs;
     each shard's OSD is marginally uniform, binomial is exact enough at
-    the counts the injector admits.
+    the counts the injector admits.  Correlated crashes mark whole
+    buckets: on a rack-domain pool a whole-rack unit is one marked
+    bucket in the same hypergeometric, just drawn over racks; anywhere
+    else the unit dissolves into its host-equivalents.
     """
     code_n = _code_for(profile).n
     hosts = profile.num_hosts
@@ -232,7 +255,16 @@ def _loss_distribution(
     failed_osds = sum(
         spec.count for spec in faults if spec.level == "device"
     )
-    if failed_hosts == 0 and failed_osds == 0:
+    rack_pool = profile.failure_domain == FailureDomain.RACK
+    failed_racks = 0
+    for spec in faults:
+        if spec.level != "correlated_crash":
+            continue
+        if rack_pool and spec.domain == FailureDomain.RACK:
+            failed_racks += spec.count
+        else:
+            failed_hosts += _correlated_host_equivalents(profile, spec)
+    if failed_hosts == 0 and failed_osds == 0 and failed_racks == 0:
         return [(0, 1.0)]
     if profile.failure_domain == FailureDomain.OSD:
         # OSD domain: shards land on distinct OSDs, hosts unconstrained.
@@ -251,6 +283,25 @@ def _loss_distribution(
             for j in range(0, min(code_n, failed_hosts) + 1)
         ]
         dist = {j: p for j, p in host_dist if p > 0}
+    if failed_racks:
+        # Rack-domain pools place at most one shard per rack, so whole-
+        # rack correlated units are hypergeometric over racks; folded
+        # with whatever the (conservatively independent) host faults
+        # already cost, capped at the stripe width.
+        racks = max(1, profile.num_racks)
+        rack_dist = [
+            (j, _comb(failed_racks, j)
+             * _comb(racks - failed_racks, code_n - j)
+             / _comb(racks, code_n))
+            for j in range(0, min(code_n, failed_racks) + 1)
+        ]
+        folded_racks: Dict[int, float] = {}
+        for base_j, base_p in dist.items():
+            for j, p in rack_dist:
+                if p > 0:
+                    key = min(code_n, base_j + j)
+                    folded_racks[key] = folded_racks.get(key, 0.0) + base_p * p
+        dist = folded_racks
     if failed_osds:
         # Device removals: per-shard marginal loss probability, folded
         # into whatever the node faults already cost.
@@ -517,19 +568,22 @@ class AnalyticalTwin:
         repair_read = affected_objects * costs.net_read_bytes
         repair_written = lost_chunks * chunk
 
-        # Cluster shape after the osdmap change.
+        # Cluster shape after the osdmap change.  Correlated crashes
+        # dissolve into their host-equivalents here: capacity math only
+        # cares how many hosts' worth of daemons left the cluster.
         osds = profile.num_hosts * profile.osds_per_host
-        failed_osds = sum(
-            spec.count * profile.osds_per_host
+        down_hosts = sum(
+            spec.count for spec in crash if spec.level == "node"
+        ) + sum(
+            _correlated_host_equivalents(profile, spec)
             for spec in crash
-            if spec.level == "node"
-        ) + sum(spec.count for spec in crash if spec.level == "device")
-        survivors = max(1, osds - failed_osds)
-        surviving_hosts = max(
-            1,
-            profile.num_hosts
-            - sum(spec.count for spec in crash if spec.level == "node"),
+            if spec.level == "correlated_crash"
         )
+        failed_osds = down_hosts * profile.osds_per_host + sum(
+            spec.count for spec in crash if spec.level == "device"
+        )
+        survivors = max(1, osds - failed_osds)
+        surviving_hosts = max(1, profile.num_hosts - down_hosts)
 
         # PG census.  Every PG whose acting set touches a failed OSD gets
         # queued — including empty ones, which still pay reservation
@@ -726,6 +780,17 @@ class AnalyticalTwin:
             + config.peering_base
             + config.peering_per_object * (objects / profile.pg_num)
         )
+        # Time-at-risk (cascade loads only): expected aggregate PG-time
+        # spent at the redundancy floor.  A stripe sits at margin <= 0
+        # exactly when it lost >= tolerance shards; each such PG is
+        # exposed from the fault until its recovery completes, bounded
+        # above by the full predicted cycle.
+        time_at_risk: Optional[float] = None
+        if any(spec.level == "correlated_crash" for spec in crash):
+            p_at_min = sum(
+                p for j, p in loss_dist if j >= code.fault_tolerance()
+            )
+            time_at_risk = profile.pg_num * p_at_min * (checking + ec_period)
         return TwinPrediction(
             label=profile.name,
             settings=settings,
@@ -740,6 +805,7 @@ class AnalyticalTwin:
             affected_objects=affected_objects,
             lost_chunks=lost_chunks,
             wan_cross_read_bytes=wan_cross_bytes,
+            time_at_risk=time_at_risk,
         )
 
     # -- client-path p99 ---------------------------------------------------------

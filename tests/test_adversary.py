@@ -201,3 +201,82 @@ def test_failures_are_shrunk_into_repro_artifacts(tmp_path, monkeypatch):
     }
     # The corpus itself was still archived alongside the repro.
     assert (tmp_path / "summary.json").exists()
+
+
+# -- press_capacity mutator -----------------------------------------------------
+
+
+def test_press_capacity_jumps_to_the_data_ceiling():
+    from repro.adversary import press_capacity
+    from repro.chaos.sampler import _OBJECT_SIZES
+
+    rng = random.Random(2)
+    spec = sample_campaign(1)
+    mutant = press_capacity(rng, spec)
+    assert mutant is not None
+    assert mutant.num_objects == 32
+    assert mutant.object_size == max(_OBJECT_SIZES)
+    # Already at the ceiling: the mutator declines instead of no-oping.
+    assert press_capacity(rng, mutant) is None
+
+
+def test_press_capacity_is_registered():
+    from repro.adversary import press_capacity
+
+    assert press_capacity in MUTATORS
+
+
+# -- corpus archiving and reuse --------------------------------------------------
+
+
+def test_corpus_entry_round_trips_through_json():
+    original = entry(SPEC, {"axis": 1.5}, [PAIR_A, PAIR_B], "mutant-3")
+    rebuilt = CorpusEntry.from_dict(
+        json.loads(json.dumps(original.to_dict()))
+    )
+    assert rebuilt == original
+
+
+def test_load_corpus_reproduces_the_saved_records(tmp_path):
+    from repro.adversary import load_corpus
+
+    report = run_fuzz(root_seed=5, budget=4, corpus_dir=tmp_path)
+    loaded = load_corpus(tmp_path)
+    assert loaded.seen_coverage == report.corpus.seen_coverage
+    assert loaded.best_fitness == report.corpus.best_fitness
+    assert [e.lineage for e in loaded.entries] == [
+        e.lineage for e in report.corpus.entries
+    ]
+    assert loaded.considered == len(report.corpus.entries)
+
+
+def test_corpus_in_resumed_session_is_deterministic(tmp_path):
+    first_dir = tmp_path / "session-1"
+    run_fuzz(root_seed=5, budget=4, corpus_dir=first_dir)
+
+    resumed = [
+        run_fuzz(
+            root_seed=6, budget=3, corpus_dir=tmp_path / f"resume-{i}",
+            corpus_in=first_dir,
+        )
+        for i in range(2)
+    ]
+    assert resumed[0].corpus.summary() == resumed[1].corpus.summary()
+    assert resumed[0].runs == resumed[1].runs == 3
+
+
+def test_corpus_in_carries_coverage_so_repeats_are_not_novel(tmp_path):
+    first_dir = tmp_path / "session-1"
+    first = run_fuzz(root_seed=5, budget=4, corpus_dir=first_dir)
+
+    resumed = run_fuzz(
+        root_seed=5, budget=4, corpus_dir=tmp_path / "session-2",
+        corpus_in=first_dir,
+    )
+    # The prior session's discoveries are on the books from run one.
+    assert resumed.corpus.seen_coverage >= first.corpus.seen_coverage
+    # Replayed entries + this session's novel finds, never duplicates.
+    lineages = [e.lineage for e in resumed.corpus.entries]
+    assert lineages[: len(first.corpus.entries)] == [
+        e.lineage for e in first.corpus.entries
+    ]

@@ -110,7 +110,7 @@ def test_bad_ec_params_message():
 @pytest.mark.parametrize("command", [
     "run", "scrub", "sweep", "analyze", "repair-plan",
     "wa", "autoscale", "chaos", "replay", "tune", "inject", "tenants",
-    "fuzz",
+    "fuzz", "cascade",
 ])
 def test_every_subcommand_has_help(capsys, command):
     with pytest.raises(SystemExit) as excinfo:
@@ -142,6 +142,8 @@ def test_no_subcommand_is_an_error(capsys):
     ["inject", "--factor", "fast"],          # not a float
     ["fuzz", "--budget", "lots"],            # not an int
     ["fuzz", "--seed", "soon"],              # not an int
+    ["cascade", "--priority", "turbo"],      # not a recovery priority
+    ["cascade", "--seed", "soon"],           # not an int
 ])
 def test_malformed_arguments_exit_2(capsys, argv):
     with pytest.raises(SystemExit) as excinfo:
@@ -483,3 +485,81 @@ def test_fuzz_is_deterministic(tmp_path, capsys):
     _, second, _ = run_cli(capsys, "fuzz", "--seed", "5", "--budget", "3",
                            "--corpus-dir", str(tmp_path / "b"))
     assert json.loads(first) == json.loads(second)
+
+
+def test_fuzz_corpus_out_is_an_alias_for_corpus_dir(tmp_path, capsys):
+    out_dir = tmp_path / "corpus"
+    code, _, _ = run_cli(
+        capsys, "fuzz", "--seed", "5", "--budget", "2",
+        "--corpus-out", str(out_dir),
+    )
+    assert code == 0
+    assert (out_dir / "summary.json").exists()
+
+
+def test_fuzz_rejects_missing_corpus_in(tmp_path, capsys):
+    code, _, err = run_cli(
+        capsys, "fuzz", "--budget", "1",
+        "--corpus-in", str(tmp_path / "nowhere"),
+        "--corpus-out", str(tmp_path / "out"),
+    )
+    assert code == 2
+    assert "not a directory" in err
+
+
+def test_fuzz_corpus_in_resumes_deterministically(tmp_path, capsys):
+    first_dir = tmp_path / "first"
+    assert run_cli(
+        capsys, "fuzz", "--seed", "5", "--budget", "3",
+        "--corpus-out", str(first_dir),
+    )[0] == 0
+    resumed = [
+        run_cli(
+            capsys, "fuzz", "--seed", "6", "--budget", "2",
+            "--corpus-in", str(first_dir),
+            "--corpus-out", str(tmp_path / f"resume-{i}"),
+        )[1]
+        for i in range(2)
+    ]
+    assert json.loads(resumed[0]) == json.loads(resumed[1])
+
+
+# -- cascade -------------------------------------------------------------------
+
+
+def test_chaos_cascade_is_exclusive_with_other_streams(capsys):
+    for other in ("--writes", "--tenants", "--geo", "--byzantine"):
+        code, _, err = run_cli(
+            capsys, "chaos", "--cascade", other, "--campaigns", "1",
+        )
+        assert code == 2
+        assert "exclusive" in err
+
+
+def test_chaos_cascade_small_batch_clean(capsys):
+    code, out, _ = run_cli(
+        capsys, "chaos", "--cascade", "--campaigns", "3", "--seed", "5",
+    )
+    assert code == 0
+    assert "3 campaigns from seed 5" in out
+    assert "0 failed" in out
+
+
+def test_cascade_command_compare_reports_the_saving(capsys):
+    code, out, _ = run_cli(capsys, "cascade", "--seed", "7", "--compare")
+    assert code == 0
+    assert "recovery priority fifo" in out
+    assert "recovery priority risk" in out
+    assert "risk-prioritized recovery saved" in out
+    assert "time at min redundancy" in out
+
+
+def test_cascade_command_json_is_deterministic(capsys):
+    _, first, _ = run_cli(capsys, "cascade", "--seed", "7", "--json")
+    _, second, _ = run_cli(capsys, "cascade", "--seed", "7", "--json")
+    assert json.loads(first) == json.loads(second)
+    blob = json.loads(first)
+    assert set(blob) == {"risk"}
+    assert {"outcome_hash", "violations", "time_at_min_redundancy",
+            "pgs_at_min_redundancy", "pgs_recovered",
+            "pgs_toofull_requeued"} <= set(blob["risk"])

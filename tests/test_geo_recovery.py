@@ -8,7 +8,7 @@ import pytest
 
 from repro.chaos.engine import run_campaign
 from repro.chaos.sampler import sample_campaign
-from repro.cluster.recovery import GEO_STAT_KEYS
+from repro.cluster.recovery import CASCADE_STAT_KEYS, GEO_STAT_KEYS
 from repro.core.experiment import run_experiment
 from repro.core.fault_injector import FaultSpec
 from repro.core.profile import PAPER_RS_PROFILE, ExperimentProfile
@@ -134,9 +134,11 @@ def test_locality_toggle_changes_only_the_flagged_field():
 # -- single-region regression pins -------------------------------------------
 #
 # Captured on the pre-geo tree: the geo subsystem must leave every
-# region-less path byte-identical.  RecoveryStats grew four always-zero
-# geo fields, so raw asdict() digests prune GEO_STAT_KEYS first — the
-# same pruning the chaos engine applies.
+# region-less path byte-identical, and the cascade subsystem every
+# fifo/untracked path.  RecoveryStats grew four always-zero geo fields
+# and three always-zero cascade fields, so raw asdict() digests prune
+# GEO_STAT_KEYS and CASCADE_STAT_KEYS first — the same pruning the
+# chaos engine applies.
 
 PINNED_CHAOS_HASHES = {
     11: "80a706388b3f585ca36c3dc2f402799a14d0511e241e0760d070582a765a26d6",
@@ -161,6 +163,8 @@ def test_single_region_inject_digest_pinned():
     recovery = asdict(out.recovery_stats)
     for key in GEO_STAT_KEYS:
         assert recovery.pop(key) == 0  # single-region runs never geo-count
+    for key in CASCADE_STAT_KEYS:
+        assert recovery.pop(key) == 0  # fifo runs never risk-account
     payload = {
         "recovery": recovery,
         "t": out.total_recovery_time,

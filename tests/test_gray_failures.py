@@ -169,6 +169,22 @@ def test_flap_oscillates_daemon_and_restore_stops_it():
     assert after == count  # oscillation stopped
 
 
+def test_same_instant_flap_inject_and_restore_leaves_daemon_up():
+    # Regression: the flap loop's first down-phase runs *after* a
+    # same-instant restore() already re-raised the daemon (the loop
+    # process bootstraps at the current instant, the interrupt lands
+    # behind it).  The interrupt handler must re-raise the daemon or
+    # the OSD stays down forever with nothing left to restore it.
+    env, cluster, injector = build()
+    env.run(until=10)
+    [victim] = injector.inject(FaultSpec(level="flap", flap_interval=10.0))
+    injector.restore_all()  # same sim instant — no env.run in between
+    env.run(until=200)
+    assert cluster.osds[victim].daemon_up
+    assert cluster.osds[victim].is_up()
+    assert not cluster.monitor.down_since
+
+
 def test_flap_dampening_pins_then_converges():
     env, cluster, injector = build(
         down_out=60.0, mon_osd_markdown_count=3, mon_osd_markdown_pin=120.0
